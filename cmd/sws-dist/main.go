@@ -1,0 +1,228 @@
+// Command sws-dist demonstrates genuinely distributed work stealing: it
+// launches one OS process per PE, each hosting its own symmetric heap,
+// with every steal travelling over TCP between processes. Rank 0 prints
+// the global result.
+//
+// Workloads: a recursive binary tree (default), the UTS benchmark, or
+// BPC.
+//
+// Examples:
+//
+//	sws-dist -n 4 -depth 14
+//	sws-dist -n 3 -protocol sdc
+//	sws-dist -n 4 -workload uts
+//	sws-dist -n 4 -workload bpc
+//
+// The same binary re-executes itself in worker mode for each rank (the
+// -worker flags are internal).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+
+	"sws/internal/bpc"
+	"sws/internal/pool"
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/uts"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 4, "number of PEs (one OS process each)")
+		depth     = flag.Int("depth", 14, "binary recursion depth (2^depth leaves)")
+		protoName = flag.String("protocol", "sws", "steal protocol: sws or sdc")
+		workload  = flag.String("workload", "tree", "workload: tree, uts, or bpc")
+
+		worker = flag.Bool("worker", false, "internal: run as a worker process")
+		rank   = flag.Int("rank", -1, "internal: worker rank")
+		coord  = flag.String("coordinator", "", "internal: rendezvous address")
+	)
+	flag.Parse()
+
+	proto, err := pool.ParseProtocol(*protoName)
+	if err != nil {
+		fatal(err)
+	}
+	switch *workload {
+	case "tree", "uts", "bpc":
+	default:
+		fatal(fmt.Errorf("unknown workload %q (want tree, uts, or bpc)", *workload))
+	}
+	if *worker {
+		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload); err != nil {
+			fatal(fmt.Errorf("rank %d: %w", *rank, err))
+		}
+		return
+	}
+	if err := launch(*n, *depth, *protoName, *workload); err != nil {
+		fatal(err)
+	}
+}
+
+// launch spawns one worker process per rank and waits for all of them.
+func launch(n, depth int, protoName, workload string) error {
+	if n < 1 {
+		return fmt.Errorf("need at least one PE, got %d", n)
+	}
+	coord, err := pickCoordinator()
+	if err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locating own binary: %w", err)
+	}
+	fmt.Printf("launching %d worker processes (coordinator %s)\n", n, coord)
+	procs := make([]*exec.Cmd, n)
+	for rank := 0; rank < n; rank++ {
+		cmd := exec.Command(self,
+			"-worker", "-rank", fmt.Sprint(rank), "-n", fmt.Sprint(n),
+			"-coordinator", coord, "-depth", fmt.Sprint(depth),
+			"-protocol", protoName, "-workload", workload)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("starting rank %d: %w", rank, err)
+		}
+		procs[rank] = cmd
+	}
+	var firstErr error
+	for rank, cmd := range procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rank %d exited: %w", rank, err)
+		}
+	}
+	return firstErr
+}
+
+// pickCoordinator reserves a loopback port for the rendezvous.
+func pickCoordinator() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// runWorker is one PE's process: join the world, run the pool, publish
+// per-rank counts into rank 0's heap, and let rank 0 report.
+func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload string) error {
+	w, err := shmem.Join(shmem.DistConfig{
+		Rank:        rank,
+		NumPEs:      n,
+		Coordinator: coord,
+		HeapBytes:   16 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	return w.Run(func(c *shmem.Ctx) error {
+		// A results array on rank 0: executed-task count per rank.
+		resultsAddr, err := c.Alloc(n * shmem.WordSize)
+		if err != nil {
+			return err
+		}
+		reg := pool.NewRegistry()
+		var expect uint64 // expected world task total (0 = unknown)
+		var seed func(p *pool.Pool) error
+		pcfg := pool.Config{Protocol: proto, Seed: int64(n)}
+		switch workload {
+		case "uts":
+			wl, err := uts.NewWorkload(uts.Small)
+			if err != nil {
+				return err
+			}
+			if err := wl.Register(reg); err != nil {
+				return err
+			}
+			pcfg.PayloadCap = uts.PayloadSize
+			seed = func(p *pool.Pool) error { return wl.Seed(p, c.Rank()) }
+		case "bpc":
+			wl, err := bpc.NewWorkload(bpc.Default())
+			if err != nil {
+				return err
+			}
+			if err := wl.Register(reg); err != nil {
+				return err
+			}
+			expect = wl.Params.TotalTasks()
+			seed = func(p *pool.Pool) error { return wl.Seed(p, c.Rank()) }
+		default:
+			var h task.Handle
+			h = reg.MustRegister("node", func(tc *pool.TaskCtx, payload []byte) error {
+				args, err := task.ParseArgs(payload, 1)
+				if err != nil {
+					return err
+				}
+				if args[0] == 0 {
+					return nil
+				}
+				for i := 0; i < 2; i++ {
+					if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			expect = uint64(1)<<(depth+1) - 1
+			seed = func(p *pool.Pool) error {
+				if c.Rank() != 0 {
+					return nil
+				}
+				return p.Add(h, task.Args(uint64(depth)))
+			}
+		}
+		p, err := pool.New(c, reg, pcfg)
+		if err != nil {
+			return err
+		}
+		if err := seed(p); err != nil {
+			return err
+		}
+		start := time.Now()
+		if err := p.Run(); err != nil {
+			return err
+		}
+		st := p.Stats()
+		addr := resultsAddr + shmem.Addr(c.Rank()*shmem.WordSize)
+		if err := c.Store64(0, addr, st.TasksExecuted); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		fmt.Printf("rank %d (pid %d): executed %d tasks, %d steals in, %d attempts out\n",
+			c.Rank(), os.Getpid(), st.TasksExecuted, st.TasksStolen, st.StealsAttempted)
+		if c.Rank() == 0 {
+			buf := make([]byte, n*shmem.WordSize)
+			if err := c.Get(0, resultsAddr, buf); err != nil {
+				return err
+			}
+			var total uint64
+			for i := 0; i < n; i++ {
+				total += binary.NativeEndian.Uint64(buf[i*shmem.WordSize:])
+			}
+			status := "OK"
+			if expect != 0 && total != expect {
+				status = fmt.Sprintf("MISMATCH (want %d)", expect)
+			}
+			fmt.Printf("world total: %d tasks across %d processes in %v [%s]\n",
+				total, n, time.Since(start).Round(time.Millisecond), status)
+		}
+		return c.Barrier()
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sws-dist:", err)
+	os.Exit(1)
+}

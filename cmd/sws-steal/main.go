@@ -1,0 +1,85 @@
+// Command sws-steal runs the steal-latency microbenchmark (Figure 6):
+// the time of a single steal operation as a function of stolen volume and
+// task size, for both protocols. It can also audit the communication
+// structure itself (Figure 2).
+//
+// Examples:
+//
+//	sws-steal
+//	sws-steal -volumes 1,4,16,64,256,1024 -reps 50
+//	sws-steal -fig2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sws/internal/bench"
+	"sws/internal/cli"
+)
+
+func main() {
+	def := bench.DefaultFig6()
+	var (
+		volumes = flag.String("volumes", "", "comma-separated steal volumes (default 1..1024 in octaves)")
+		slots   = flag.String("slots", "24,192", "comma-separated task slot sizes in bytes (paper: 24,192)")
+		reps    = flag.Int("reps", def.Reps, "timed steals per point")
+		rtt     = flag.Duration("rtt", def.Latency.BlockingRTT, "injected blocking round-trip latency")
+		fig2    = flag.Bool("fig2", false, "audit steal communication counts instead (Figure 2)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *fig2 {
+		t, err := bench.Fig2()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cli.Emit(os.Stdout, []*bench.Table{t}, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := def
+	cfg.Reps = *reps
+	cfg.Latency.BlockingRTT = *rtt
+	var err error
+	if cfg.Volumes, err = parseInts(*volumes, cfg.Volumes); err != nil {
+		fatal(err)
+	}
+	if cfg.SlotSizes, err = parseInts(*slots, cfg.SlotSizes); err != nil {
+		fatal(err)
+	}
+	t, err := bench.Fig6(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cli.Emit(os.Stdout, []*bench.Table{t}, *csv); err != nil {
+		fatal(err)
+	}
+}
+
+func parseInts(s string, def []int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return def, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sws-steal:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Fib: naive recursive Fibonacci on the task pool, comparing the SWS
+// protocol against the SDC baseline on the same workload.
+//
+// Each task fib(n) spawns fib(n-1) and fib(n-2); leaves contribute 1.
+// The leaf count of this recursion tree equals fib(n+1), giving a
+// built-in correctness check, and the extreme skew of the recursion tree
+// (fib(n-1)'s subtree is ~1.6x fib(n-2)'s) keeps the load balancer busy.
+//
+// Run:
+//
+//	go run ./examples/fib -n 26
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"sws"
+)
+
+func fibRef(n int) uint64 {
+	a, b := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+func main() {
+	n := flag.Int("n", 24, "Fibonacci index")
+	pes := flag.Int("pes", 4, "number of PEs")
+	flag.Parse()
+
+	for _, proto := range []sws.Protocol{sws.SDC, sws.SWS} {
+		var leaves atomic.Uint64
+		start := time.Now()
+		res, err := sws.Run(sws.Config{PEs: *pes, Protocol: proto, Seed: 42}, sws.Job{
+			Register: func(reg *sws.Registry) (sws.Handle, error) {
+				var h sws.Handle
+				var err error
+				h, err = reg.Register("fib", func(tc *sws.TaskCtx, payload []byte) error {
+					args, err := sws.ParseArgs(payload, 1)
+					if err != nil {
+						return err
+					}
+					k := args[0]
+					if k < 2 {
+						leaves.Add(1)
+						return nil
+					}
+					if err := tc.Spawn(h, sws.Args(k-1)); err != nil {
+						return err
+					}
+					return tc.Spawn(h, sws.Args(k-2))
+				})
+				return h, err
+			},
+			Seed: func(p *sws.Pool, h sws.Handle, rank int) error {
+				if rank != 0 {
+					return nil
+				}
+				return p.Add(h, sws.Args(uint64(*n)))
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := fibRef(*n)
+		status := "OK"
+		if leaves.Load() != want {
+			status = fmt.Sprintf("MISMATCH (want %d)", want)
+		}
+		fmt.Printf("%-3s fib(%d) = %-12d [%s]  wall %-12v  tasks %-9d  steals %d\n",
+			proto, *n, leaves.Load(), status, time.Since(start).Round(time.Millisecond),
+			res.Total.TasksExecuted, res.Total.StealsSuccessful)
+	}
+}

@@ -1,0 +1,106 @@
+// Monte Carlo π: global-address-space accumulation with remote spawning.
+//
+// Rank 0 remote-spawns one sampling task per chunk directly onto a chosen
+// PE (tc.SpawnOn — the paper's "spawn onto remote queues" capability);
+// each task accumulates its hit count into a symmetric counter on rank 0
+// with a one-sided non-blocking atomic add (the Scioto model's "tasks may
+// communicate and use data stored in the global address space"). Work
+// stealing rebalances whatever the initial placement got wrong.
+//
+// Run:
+//
+//	go run ./examples/montecarlo -samples 4000000 -pes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+
+	"sws"
+	"sws/internal/shmem"
+)
+
+func main() {
+	samples := flag.Uint64("samples", 4_000_000, "total sample count")
+	chunks := flag.Uint64("chunks", 256, "number of sampling tasks")
+	pes := flag.Int("pes", 4, "number of PEs")
+	flag.Parse()
+
+	per := *samples / *chunks
+	total := per * *chunks
+	// The symmetric counter address: identical on every PE (collective
+	// allocation), stored atomically because every PE's Seed writes it.
+	var hitsAddr atomic.Uint64
+
+	_, err := sws.Run(sws.Config{PEs: *pes, Seed: 2}, sws.Job{
+		Register: func(reg *sws.Registry) (sws.Handle, error) {
+			return reg.Register("sample", func(tc *sws.TaskCtx, payload []byte) error {
+				args, err := sws.ParseArgs(payload, 2)
+				if err != nil {
+					return err
+				}
+				chunk, n := args[0], args[1]
+				// A tiny deterministic PRNG seeded by the chunk id, so the
+				// answer is identical no matter which PE runs the task.
+				state := chunk*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+				next := func() uint64 {
+					state ^= state << 13
+					state ^= state >> 7
+					state ^= state << 17
+					return state
+				}
+				var hits uint64
+				for i := uint64(0); i < n; i++ {
+					x := float64(next()%1_000_000) / 1_000_000
+					y := float64(next()%1_000_000) / 1_000_000
+					if x*x+y*y <= 1 {
+						hits++
+					}
+				}
+				// One-sided accumulation into the symmetric counter on
+				// rank 0; the pool's termination barrier covers completion.
+				return tc.Shmem().Add64NBI(0, shmem.Addr(hitsAddr.Load()), hits)
+			})
+		},
+		Seed: func(p *sws.Pool, h sws.Handle, rank int) error {
+			// Collective allocation on every PE keeps the address
+			// symmetric; rank 0's copy is the accumulator.
+			addr, err := p.Shmem().Alloc(8)
+			if err != nil {
+				return err
+			}
+			hitsAddr.Store(uint64(addr))
+			if rank != 0 {
+				return nil
+			}
+			// Spread chunks round-robin with remote spawns; stealing
+			// handles residual imbalance.
+			n := p.Shmem().NumPEs()
+			for c := uint64(0); c < *chunks; c++ {
+				if err := p.SpawnOn(int(c)%n, h, sws.Args(c, per)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Finish: func(p *sws.Pool, rank int) error {
+			if rank != 0 {
+				return nil
+			}
+			hits, err := p.Shmem().Load64(0, shmem.Addr(hitsAddr.Load()))
+			if err != nil {
+				return err
+			}
+			pi := 4 * float64(hits) / float64(total)
+			fmt.Printf("π ≈ %.6f (error %.6f) from %d samples in %d remote-spawned tasks\n",
+				pi, math.Abs(pi-math.Pi), total, *chunks)
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

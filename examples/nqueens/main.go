@@ -1,0 +1,94 @@
+// N-Queens: combinatorial search on the task pool — the "exhaustive state
+// space exploration" class of workload the paper's UTS benchmark stands in
+// for, here as a real solver.
+//
+// Each task is a partial placement (row plus three attack bitmasks packed
+// into the payload); it spawns one subtask per safe square in the next
+// row and counts completed boards. The search tree is highly irregular —
+// most branches die early — which is exactly the imbalance work stealing
+// exists to fix.
+//
+// Run:
+//
+//	go run ./examples/nqueens -n 11 -pes 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"sws"
+)
+
+// Known solution counts for validation.
+var solutions = map[int]uint64{
+	4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724, 11: 2680, 12: 14200, 13: 73712,
+}
+
+func main() {
+	n := flag.Int("n", 10, "board size")
+	pes := flag.Int("pes", 4, "number of PEs")
+	flag.Parse()
+	if *n < 4 || *n > 13 {
+		log.Fatal("nqueens: -n must be in [4, 13]")
+	}
+
+	var count atomic.Uint64
+	start := time.Now()
+	res, err := sws.Run(sws.Config{PEs: *pes, Seed: 7, PayloadCap: 32}, sws.Job{
+		Register: func(reg *sws.Registry) (sws.Handle, error) {
+			var h sws.Handle
+			var err error
+			h, err = reg.Register("place", func(tc *sws.TaskCtx, payload []byte) error {
+				// payload: row, columns mask, left diagonal, right diagonal.
+				args, err := sws.ParseArgs(payload, 4)
+				if err != nil {
+					return err
+				}
+				row, cols, dl, dr := args[0], args[1], args[2], args[3]
+				if row == uint64(*n) {
+					count.Add(1)
+					return nil
+				}
+				full := uint64(1)<<*n - 1
+				free := full &^ (cols | dl | dr)
+				for free != 0 {
+					bit := free & (^free + 1) // lowest set bit
+					free &^= bit
+					err := tc.Spawn(h, sws.Args(
+						row+1,
+						cols|bit,
+						(dl|bit)<<1&full,
+						(dr|bit)>>1,
+					))
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			return h, err
+		},
+		Seed: func(p *sws.Pool, h sws.Handle, rank int) error {
+			if rank != 0 {
+				return nil
+			}
+			return p.Add(h, sws.Args(0, 0, 0, 0))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	status := "OK"
+	if want := solutions[*n]; count.Load() != want {
+		status = fmt.Sprintf("MISMATCH (want %d)", want)
+	}
+	fmt.Printf("%d-queens: %d solutions [%s]\n", *n, count.Load(), status)
+	fmt.Printf("explored %d placements in %v on %d PEs (%.0f tasks/s, %d steals)\n",
+		res.Total.TasksExecuted, time.Since(start).Round(time.Millisecond), *pes,
+		res.Throughput, res.Total.StealsSuccessful)
+}

@@ -1,0 +1,65 @@
+// Quickstart: a minimal SWS task pool.
+//
+// A single root task recursively spawns a binary tree of subtasks; leaves
+// increment a counter. Work seeded on PE 0 is spread across all PEs by
+// structured-atomic work stealing.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"sws"
+)
+
+func main() {
+	const depth = 16
+	var leaves atomic.Int64
+
+	res, err := sws.Run(sws.Config{PEs: 4, Seed: 1}, sws.Job{
+		Register: func(reg *sws.Registry) (sws.Handle, error) {
+			var h sws.Handle
+			var err error
+			h, err = reg.Register("node", func(tc *sws.TaskCtx, payload []byte) error {
+				args, err := sws.ParseArgs(payload, 1)
+				if err != nil {
+					return err
+				}
+				if args[0] == 0 {
+					leaves.Add(1)
+					return nil
+				}
+				for i := 0; i < 2; i++ {
+					if err := tc.Spawn(h, sws.Args(args[0]-1)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			return h, err
+		},
+		Seed: func(p *sws.Pool, h sws.Handle, rank int) error {
+			if rank != 0 {
+				return nil
+			}
+			return p.Add(h, sws.Args(depth))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("leaves counted:   %d (expected %d)\n", leaves.Load(), 1<<depth)
+	fmt.Printf("tasks executed:   %d across %d PEs in %v\n", res.Total.TasksExecuted, len(res.PEs), res.Elapsed)
+	fmt.Printf("throughput:       %.0f tasks/s\n", res.Throughput)
+	fmt.Printf("steals:           %d successful (%d tasks moved), %d empty probes\n",
+		res.Total.StealsSuccessful, res.Total.TasksStolen, res.Total.StealsEmpty)
+	for rank, pe := range res.PEs {
+		fmt.Printf("  PE %d executed %6d tasks (%d stolen in)\n", rank, pe.TasksExecuted, pe.TasksStolen)
+	}
+}

@@ -1,0 +1,3 @@
+module sws
+
+go 1.22

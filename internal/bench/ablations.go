@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sws/internal/bpc"
+	"sws/internal/pool"
+	"sws/internal/stats"
+	"sws/internal/uts"
+	"sws/internal/wsq"
+)
+
+// Ablations isolate the design choices DESIGN.md §6 calls out, as tables
+// (the bench_test.go Benchmark* variants report the same comparisons as
+// testing.B metrics).
+
+// AblationConfig scales the ablation workloads.
+type AblationConfig struct {
+	PEs  int
+	Reps int
+}
+
+// DefaultAblation returns the laptop-scale configuration.
+func DefaultAblation() AblationConfig { return AblationConfig{PEs: 4, Reps: 5} }
+
+// ablationRow measures one configuration: mean runtime, steal counts, and
+// attempt counts over reps.
+func ablationRow(cfg AblationConfig, pcfg pool.Config, f Factory) (stats.Summary, stats.PE, error) {
+	runs, err := RunReps(RunConfig{
+		PEs:     cfg.PEs,
+		Latency: DefaultLatency(),
+		Pool:    pcfg,
+		Seed:    5,
+	}, f, cfg.Reps)
+	if err != nil {
+		return stats.Summary{}, stats.PE{}, err
+	}
+	var rt []float64
+	var tot stats.PE
+	for _, r := range runs {
+		rt = append(rt, r.Elapsed.Seconds())
+		tot.Add(r.Total())
+	}
+	return stats.Summarize(rt), tot, nil
+}
+
+// AblationEpochs compares SWS with completion epochs (format V2) against
+// the §4.1 wait-for-all behaviour (format V1) on a BPC workload.
+func AblationEpochs(cfg AblationConfig) (*Table, error) {
+	params := bpc.Params{Depth: 16, NConsumers: 64, ConsumerWork: 20 * time.Microsecond, ProducerWork: 4 * time.Microsecond}
+	t := &Table{
+		Title:  "Ablation: completion epochs (§4.2)",
+		Note:   "SWS on BPC; without epochs the owner waits for in-flight steals at every queue reset",
+		Header: []string{"variant", "mean runtime", "relSD %", "steals", "acquires"},
+	}
+	for _, noEpochs := range []bool{false, true} {
+		name := "epochs (V2)"
+		if noEpochs {
+			name = "no epochs (V1)"
+		}
+		pcfg := pool.Config{PayloadCap: 24, NoEpochs: noEpochs}
+		sum, tot, err := ablationRow(cfg, pcfg, func() (Workload, error) { return bpc.NewWorkload(params) })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmtDur(time.Duration(sum.Mean * float64(time.Second))),
+			fmtF(100 * sum.RelSD),
+			fmt.Sprint(tot.StealsSuccessful),
+			fmt.Sprint(tot.Acquires),
+		})
+	}
+	return t, nil
+}
+
+// AblationDamping compares steal damping on and off under scarce work
+// (the §4.3 regime: thieves repeatedly probing nearly-empty queues).
+func AblationDamping(cfg AblationConfig) (*Table, error) {
+	params := bpc.Params{Depth: 8, NConsumers: 16, ConsumerWork: 100 * time.Microsecond, ProducerWork: 10 * time.Microsecond}
+	t := &Table{
+		Title:  "Ablation: steal damping (§4.3)",
+		Note:   "SWS on scarce-work BPC; damping trades fetch-add spam for read-only probes",
+		Header: []string{"variant", "mean runtime", "attempts", "empty", "steals"},
+	}
+	for _, noDamping := range []bool{false, true} {
+		name := "damping"
+		if noDamping {
+			name = "no damping"
+		}
+		pcfg := pool.Config{PayloadCap: 24, NoDamping: noDamping}
+		sum, tot, err := ablationRow(cfg, pcfg, func() (Workload, error) { return bpc.NewWorkload(params) })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmtDur(time.Duration(sum.Mean * float64(time.Second))),
+			fmt.Sprint(tot.StealsAttempted),
+			fmt.Sprint(tot.StealsEmpty),
+			fmt.Sprint(tot.StealsSuccessful),
+		})
+	}
+	return t, nil
+}
+
+// AblationPolicies compares steal-volume policies on UTS.
+func AblationPolicies(cfg AblationConfig) (*Table, error) {
+	t := &Table{
+		Title:  "Ablation: steal-volume policy",
+		Note:   "SWS on UTS; the paper argues for steal-half (§2)",
+		Header: []string{"policy", "mean runtime", "steals", "tasks stolen", "tasks/steal"},
+	}
+	for _, p := range []wsq.Policy{wsq.StealHalfPolicy, wsq.StealOnePolicy, wsq.StealAllPolicy} {
+		pcfg := pool.Config{PayloadCap: uts.PayloadSize, StealPolicy: p}
+		sum, tot, err := ablationRow(cfg, pcfg, func() (Workload, error) { return uts.NewWorkload(uts.Tiny) })
+		if err != nil {
+			return nil, err
+		}
+		perSteal := 0.0
+		if tot.StealsSuccessful > 0 {
+			perSteal = float64(tot.TasksStolen) / float64(tot.StealsSuccessful)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.String(),
+			fmtDur(time.Duration(sum.Mean * float64(time.Second))),
+			fmt.Sprint(tot.StealsSuccessful),
+			fmt.Sprint(tot.TasksStolen),
+			fmtF(perSteal),
+		})
+	}
+	return t, nil
+}
+
+// AblationVictim compares victim-selection policies on BPC.
+func AblationVictim(cfg AblationConfig) (*Table, error) {
+	params := bpc.Params{Depth: 16, NConsumers: 64, ConsumerWork: 20 * time.Microsecond, ProducerWork: 4 * time.Microsecond}
+	t := &Table{
+		Title:  "Ablation: victim selection",
+		Note:   "SWS on BPC; the paper (and Blumofe-Leiserson) use uniform random",
+		Header: []string{"policy", "mean runtime", "attempts", "steals", "hit rate %"},
+	}
+	for _, v := range []pool.VictimPolicy{pool.VictimRandom, pool.VictimRoundRobin, pool.VictimSticky} {
+		pcfg := pool.Config{PayloadCap: 24, Victim: v}
+		sum, tot, err := ablationRow(cfg, pcfg, func() (Workload, error) { return bpc.NewWorkload(params) })
+		if err != nil {
+			return nil, err
+		}
+		rate := 0.0
+		if tot.StealsAttempted > 0 {
+			rate = 100 * float64(tot.StealsSuccessful) / float64(tot.StealsAttempted)
+		}
+		t.Rows = append(t.Rows, []string{
+			v.String(),
+			fmtDur(time.Duration(sum.Mean * float64(time.Second))),
+			fmt.Sprint(tot.StealsAttempted),
+			fmt.Sprint(tot.StealsSuccessful),
+			fmtF(rate),
+		})
+	}
+	return t, nil
+}
+
+// Ablations runs every ablation table.
+func Ablations(cfg AblationConfig) ([]*Table, error) {
+	var out []*Table
+	for _, f := range []func(AblationConfig) (*Table, error){
+		AblationEpochs, AblationDamping, AblationPolicies, AblationVictim,
+	} {
+		t, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

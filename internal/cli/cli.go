@@ -1,0 +1,52 @@
+// Package cli holds small helpers shared by the command-line tools in
+// cmd/: flag parsing for PE lists and table emission.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sws/internal/bench"
+)
+
+// ParsePEList parses a comma-separated list of PE counts; an empty string
+// yields the default sweep.
+func ParsePEList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return bench.DefaultPECounts(), nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("cli: bad PE count %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Emit renders tables as aligned text or CSV.
+func Emit(w io.Writer, tables []*bench.Table, csv bool) error {
+	for _, t := range tables {
+		if csv {
+			if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+				return err
+			}
+			if err := t.CSV(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.Fprint(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sws/internal/shmem"
+	"sws/internal/wsq"
+)
+
+func fusedOptions() Options {
+	return Options{Epochs: true, Damping: true, Fused: true}
+}
+
+// A fused steal is exactly 2 communications, 1 blocking: the claim and
+// the task copy collapse into one round trip (the Portals-style ablation
+// beyond the paper's 3/2).
+func TestFusedStealCommunicationCount(t *testing.T) {
+	runWorld(t, 2, func(c *shmem.Ctx) error {
+		q, err := NewQueue(c, fusedOptions())
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := uint64(0); i < 20; i++ {
+				if err := q.Push(desc(i)); err != nil {
+					return err
+				}
+			}
+			if _, err := q.Release(); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		before := c.Counters().Snapshot()
+		tasks, out, err := q.Steal(0)
+		if err != nil {
+			return err
+		}
+		d := c.Counters().Snapshot().Sub(before)
+		if out != wsq.Stolen || len(tasks) != 5 {
+			return fmt.Errorf("steal: out=%v n=%d", out, len(tasks))
+		}
+		if d.Total() != 2 || d.Blocking() != 1 {
+			return fmt.Errorf("fused steal used %d comms (%d blocking): %v", d.Total(), d.Blocking(), d)
+		}
+		if d.Of(shmem.OpFetchAddGet) != 1 || d.Of(shmem.OpStoreNBI) != 1 {
+			return fmt.Errorf("fused op mix wrong: %v", d)
+		}
+		// An empty discovery is still a single communication.
+		for out == wsq.Stolen {
+			_, out, err = q.Steal(0)
+			if err != nil {
+				return err
+			}
+		}
+		before = c.Counters().Snapshot()
+		if _, out, err = q.Steal(0); err != nil || out != wsq.Empty {
+			return fmt.Errorf("empty: out=%v err=%v", out, err)
+		}
+		d = c.Counters().Snapshot().Sub(before)
+		if d.Total() != 1 || d.Of(shmem.OpFetchAddGet) != 1 {
+			return fmt.Errorf("fused empty discovery used %v", d)
+		}
+		return c.Barrier()
+	})
+}
+
+// The fused path must deliver the same steal-half schedule and contents.
+func TestFusedStealSequence(t *testing.T) {
+	const total = 150
+	runWorld(t, 2, func(c *shmem.Ctx) error {
+		q, err := NewQueue(c, fusedOptions())
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := uint64(0); i < 2*total; i++ {
+				if err := q.Push(desc(i)); err != nil {
+					return err
+				}
+			}
+			if n, err := q.Release(); err != nil || n != total {
+				return fmt.Errorf("release: n=%d err=%v", n, err)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		want := []int{75, 37, 19, 9, 5, 2, 1, 1, 1}
+		seen := make(map[uint64]bool)
+		for i, w := range want {
+			tasks, out, err := q.Steal(0)
+			if err != nil {
+				return fmt.Errorf("steal %d: %w", i, err)
+			}
+			if out != wsq.Stolen || len(tasks) != w {
+				return fmt.Errorf("steal %d: out=%v len=%d want %d", i, out, len(tasks), w)
+			}
+			for _, d := range tasks {
+				id := descID(t, d)
+				if seen[id] || id >= total {
+					return fmt.Errorf("bad or duplicate task %d", id)
+				}
+				seen[id] = true
+			}
+		}
+		return c.Barrier()
+	})
+}
+
+// Wrapped fused steals: the handler returns two spans and the server
+// concatenates them; contents must survive.
+func TestFusedWrappedSteals(t *testing.T) {
+	const rounds = 30
+	const batch = 12
+	runWorld(t, 2, func(c *shmem.Ctx) error {
+		opts := fusedOptions()
+		opts.Capacity = 16
+		q, err := NewQueue(c, opts)
+		if err != nil {
+			return err
+		}
+		var next uint64
+		if c.Rank() == 0 {
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < batch; i++ {
+					if err := q.Push(desc(next)); err != nil {
+						return err
+					}
+					next++
+				}
+				if _, err := q.Release(); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				for {
+					if _, ok, err := q.Pop(); err != nil {
+						return err
+					} else if !ok {
+						if n, err := q.Acquire(); err != nil {
+							return err
+						} else if n == 0 {
+							break
+						}
+					}
+				}
+				if err := q.Progress(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		seen := make(map[uint64]bool)
+		for r := 0; r < rounds; r++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			for s := 0; s < 2; s++ {
+				tasks, out, err := q.Steal(0)
+				if err != nil {
+					return err
+				}
+				if out == wsq.Stolen {
+					for _, d := range tasks {
+						id := descID(t, d)
+						if seen[id] {
+							return fmt.Errorf("round %d: task %d stolen twice", r, id)
+						}
+						seen[id] = true
+					}
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		if len(seen) == 0 {
+			return fmt.Errorf("nothing stolen")
+		}
+		return nil
+	})
+}
+
+// Fused steals over the TCP transport exercise the wire encoding of the
+// combined response.
+func TestFusedStealTCP(t *testing.T) {
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: 2, HeapBytes: 4 << 20, Transport: shmem.TransportTCP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *shmem.Ctx) error {
+		q, err := NewQueue(c, fusedOptions())
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := uint64(0); i < 16; i++ {
+				if err := q.Push(desc(i)); err != nil {
+					return err
+				}
+			}
+			if _, err := q.Release(); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		tasks, out, err := q.Steal(0)
+		if err != nil {
+			return err
+		}
+		if out != wsq.Stolen || len(tasks) != 4 {
+			return fmt.Errorf("tcp fused steal: out=%v n=%d", out, len(tasks))
+		}
+		for i, d := range tasks {
+			if got := descID(t, d); got != uint64(i) {
+				return fmt.Errorf("task %d has id %d", i, got)
+			}
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"sws/internal/wsq"
+)
+
+// FuzzStealvalRoundTrip feeds arbitrary words through Unpack->Pack and
+// checks the codec's internal consistency: any word that decodes as valid
+// must re-encode to a word that decodes identically (idempotence), and
+// thief increments must never corrupt owner fields.
+func FuzzStealvalRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1) << 63)
+	f.Add(AstealsUnit)
+	f.Add(^uint64(0))
+	w0, _ := FormatV2.Pack(Stealval{Valid: true, Epoch: 1, ITasks: 150, Tail: 500, Asteals: 2})
+	f.Add(w0)
+	f.Fuzz(func(t *testing.T, w uint64) {
+		for _, format := range []Format{FormatV1, FormatV2} {
+			v := format.Unpack(w)
+			if v.ITasks < 0 || v.Tail < 0 {
+				t.Fatalf("%v: negative fields from %#x: %+v", format, w, v)
+			}
+			if v.ITasks > format.maxITasks() || v.Tail > format.maxTail() {
+				t.Fatalf("%v: out-of-range fields from %#x: %+v", format, w, v)
+			}
+			if format == FormatV1 {
+				v.Epoch = 0 // V1 carries no epoch
+			}
+			if !v.Valid {
+				continue // disabled words do not round-trip their fields
+			}
+			repacked, err := format.Pack(v)
+			if err != nil {
+				t.Fatalf("%v: cannot repack own decode of %#x (%+v): %v", format, w, v, err)
+			}
+			v2 := format.Unpack(repacked)
+			if v2 != v {
+				t.Fatalf("%v: unstable decode: %+v != %+v", format, v2, v)
+			}
+			// A thief's increment touches only asteals.
+			bumped := format.Unpack(repacked + AstealsUnit)
+			if bumped.ITasks != v.ITasks || bumped.Tail != v.Tail {
+				t.Fatalf("%v: increment corrupted owner fields: %+v -> %+v", format, v, bumped)
+			}
+		}
+	})
+}
+
+// FuzzStealPlan checks the plan arithmetic for arbitrary block sizes and
+// attempt indexes: blocks stay within the remaining work and offsets
+// telescope.
+func FuzzStealPlan(f *testing.F) {
+	f.Add(150, 2)
+	f.Add(0, 0)
+	f.Add(1, 5)
+	f.Add(1<<19-1, 30)
+	f.Fuzz(func(t *testing.T, n, i int) {
+		if n < 0 || n > 1<<19 || i < 0 || i > 1<<20 {
+			t.Skip()
+		}
+		for _, p := range []wsq.Policy{wsq.StealHalfPolicy, wsq.StealOnePolicy, wsq.StealAllPolicy} {
+			k := p.Block(n, i)
+			off := p.Offset(n, i)
+			if k < 0 || off < 0 || off > n {
+				t.Fatalf("%v(%d, %d): k=%d off=%d", p, n, i, k, off)
+			}
+			if off+k > n {
+				t.Fatalf("%v(%d, %d): block [%d, %d) exceeds n", p, n, i, off, off+k)
+			}
+			if k > 0 && p.Offset(n, i+1) != off+k {
+				t.Fatalf("%v(%d, %d): offsets do not telescope", p, n, i)
+			}
+		}
+	})
+}

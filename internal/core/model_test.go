@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/wsq"
+)
+
+// Model-based interleaving test: a scheduler goroutine drives the owner
+// (PE 0) and a thief (PE 1) in randomized lockstep through every queue
+// operation, then checks the fundamental invariant against a reference
+// model — every pushed task is obtained exactly once, either by an owner
+// pop or a thief steal, and nothing else is ever produced.
+//
+// Unlike the free-running stress tests, lockstep scheduling explores
+// adversarial interleavings deterministically per seed (e.g. a steal
+// claim squeezed between SharedAvail and retire, acquires racing
+// completions), and failures are replayable.
+
+type modelOp int
+
+const (
+	opPush modelOp = iota
+	opPop
+	opRelease
+	opAcquire
+	opProgress
+	opSteal
+	numModelOps
+)
+
+func runModelSchedule(t *testing.T, opts Options, seed int64, steps int) error {
+	t.Helper()
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: 2, HeapBytes: 4 << 20})
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	// Pre-generate the schedule: (who, op). Thief only steals.
+	type step struct {
+		who int
+		op  modelOp
+	}
+	schedule := make([]step, steps)
+	for i := range schedule {
+		if rng.Intn(3) == 0 {
+			schedule[i] = step{1, opSteal}
+		} else {
+			schedule[i] = step{0, modelOp(rng.Intn(int(numModelOps - 1)))}
+		}
+	}
+
+	// Lockstep plumbing: turn[who] <- step; done <- result.
+	turns := [2]chan modelOp{make(chan modelOp), make(chan modelOp)}
+	done := make(chan error)
+
+	pushed := make(map[uint64]bool)
+	got := make(map[uint64]string)
+	var next uint64
+
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- w.Run(func(c *shmem.Ctx) error {
+			q, err := NewQueue(c, opts)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			me := c.Rank()
+			for op := range turns[me] {
+				var oerr error
+				switch op {
+				case opPush:
+					id := next
+					if err := q.Push(task.Desc{Handle: 1, Payload: task.Args(id)}); err != nil {
+						if err == ErrFull {
+							oerr = nil // legal; model just skips
+						} else {
+							oerr = err
+						}
+					} else {
+						pushed[id] = true
+						next++
+					}
+				case opPop:
+					d, ok, err := q.Pop()
+					if err != nil {
+						oerr = err
+					} else if ok {
+						args, perr := task.ParseArgs(d.Payload, 1)
+						if perr != nil {
+							oerr = perr
+						} else if prev, dup := got[args[0]]; dup {
+							oerr = fmt.Errorf("task %d obtained twice (pop after %s)", args[0], prev)
+						} else {
+							got[args[0]] = "pop"
+						}
+					}
+				case opRelease:
+					_, oerr = q.Release()
+				case opAcquire:
+					_, oerr = q.Acquire()
+				case opProgress:
+					oerr = q.Progress()
+				case opSteal:
+					tasks, out, err := q.Steal(0)
+					if err != nil {
+						oerr = err
+					} else if out == wsq.Stolen {
+						for _, d := range tasks {
+							args, perr := task.ParseArgs(d.Payload, 1)
+							if perr != nil {
+								oerr = perr
+								break
+							}
+							if prev, dup := got[args[0]]; dup {
+								oerr = fmt.Errorf("task %d obtained twice (steal after %s)", args[0], prev)
+								break
+							}
+							got[args[0]] = "steal"
+						}
+						// Completion must land before the owner's next
+						// lockstep op so the model stays deterministic.
+						if oerr == nil {
+							oerr = c.Quiet()
+						}
+					}
+				}
+				done <- oerr
+			}
+			return c.Barrier()
+		})
+	}()
+
+	fail := func(err error) error {
+		close(turns[0])
+		close(turns[1])
+		<-runErr
+		return err
+	}
+	for i, s := range schedule {
+		turns[s.who] <- s.op
+		if err := <-done; err != nil {
+			return fail(fmt.Errorf("seed %d step %d (%v by PE %d): %w", seed, i, s.op, s.who, err))
+		}
+	}
+	// Drain: the owner recovers everything that remains.
+	for tries := 0; len(got) < len(pushed) && tries < 10*steps; tries++ {
+		var op modelOp
+		switch tries % 4 {
+		case 0:
+			op = opPop
+		case 1:
+			op = opAcquire
+		case 2:
+			op = opProgress
+		default:
+			op = opPop
+		}
+		turns[0] <- op
+		if err := <-done; err != nil {
+			return fail(fmt.Errorf("seed %d drain: %w", seed, err))
+		}
+	}
+	close(turns[0])
+	close(turns[1])
+	if err := <-runErr; err != nil {
+		return err
+	}
+	if len(got) != len(pushed) {
+		return fmt.Errorf("seed %d: pushed %d tasks, obtained %d", seed, len(pushed), len(got))
+	}
+	for id := range pushed {
+		if _, ok := got[id]; !ok {
+			return fmt.Errorf("seed %d: task %d lost", seed, id)
+		}
+	}
+	return nil
+}
+
+func TestModelInterleavingsV2(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		if err := runModelSchedule(t, Options{Capacity: 64, Epochs: true, Damping: true}, seed, 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestModelInterleavingsV1(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		if err := runModelSchedule(t, Options{Capacity: 64, Epochs: false}, seed, 250); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestModelInterleavingsStealOne(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		if err := runModelSchedule(t, Options{Capacity: 64, Epochs: true, Policy: wsq.StealOnePolicy}, seed, 250); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestModelInterleavingsFused(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		if err := runModelSchedule(t, Options{Capacity: 64, Epochs: true, Fused: true}, seed, 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestModelInterleavingsTinyCapacity(t *testing.T) {
+	// Capacity 4 forces constant wraps and ErrFull paths.
+	for seed := int64(1); seed <= 20; seed++ {
+		if err := runModelSchedule(t, Options{Capacity: 4, Epochs: true}, seed, 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

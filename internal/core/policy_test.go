@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sws/internal/shmem"
+	"sws/internal/wsq"
+)
+
+// policySteal runs one (owner, thief) round under the given policy and
+// returns the sequence of stolen block sizes.
+func policySteal(t *testing.T, policy wsq.Policy, exposed int) []int {
+	t.Helper()
+	var sizes []int
+	runWorld(t, 2, func(c *shmem.Ctx) error {
+		q, err := NewQueue(c, Options{Epochs: true, Policy: policy})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := uint64(0); i < uint64(2*exposed); i++ {
+				if err := q.Push(desc(i)); err != nil {
+					return err
+				}
+			}
+			if n, err := q.Release(); err != nil || n != exposed {
+				return fmt.Errorf("release: n=%d err=%v", n, err)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for {
+			tasks, out, err := q.Steal(0)
+			if err != nil {
+				return err
+			}
+			if out != wsq.Stolen {
+				break
+			}
+			sizes = append(sizes, len(tasks))
+		}
+		return c.Barrier()
+	})
+	return sizes
+}
+
+func TestStealOnePolicyQueue(t *testing.T) {
+	sizes := policySteal(t, wsq.StealOnePolicy, 10)
+	if len(sizes) != 10 {
+		t.Fatalf("steals = %d, want 10", len(sizes))
+	}
+	for i, k := range sizes {
+		if k != 1 {
+			t.Errorf("steal %d took %d tasks", i, k)
+		}
+	}
+}
+
+func TestStealAllPolicyQueue(t *testing.T) {
+	sizes := policySteal(t, wsq.StealAllPolicy, 10)
+	if len(sizes) != 1 || sizes[0] != 10 {
+		t.Fatalf("sizes = %v, want [10]", sizes)
+	}
+}
+
+func TestStealHalfPolicyQueueDefault(t *testing.T) {
+	sizes := policySteal(t, wsq.StealHalfPolicy, 150)
+	want := []int{75, 37, 19, 9, 5, 2, 1, 1, 1}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("steal %d = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+// Steal-one releases must clamp the advertised block to the completion
+// slot budget.
+func TestStealOneBlockClamp(t *testing.T) {
+	runWorld(t, 2, func(c *shmem.Ctx) error {
+		q, err := NewQueue(c, Options{Epochs: true, Policy: wsq.StealOnePolicy, Capacity: 4096})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			return c.Barrier()
+		}
+		for i := uint64(0); i < 3000; i++ {
+			if err := q.Push(desc(i)); err != nil {
+				return err
+			}
+		}
+		n, err := q.Release()
+		if err != nil {
+			return err
+		}
+		if n > 512 {
+			return fmt.Errorf("release exposed %d tasks; steal-one slot budget is 512", n)
+		}
+		return c.Barrier()
+	})
+}

@@ -1,0 +1,577 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sws/internal/ring"
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/wsq"
+)
+
+// Options configures an SWS queue. The zero value is completed by
+// defaults; see the field comments.
+type Options struct {
+	// Capacity is the number of task slots in the circular buffer.
+	// Default 8192. Bounded by the stealval tail-field width.
+	Capacity int
+	// PayloadCap is the per-task payload capacity in bytes. Default 24
+	// (with the 8-byte header that is the paper's 32-byte BPC task).
+	PayloadCap int
+	// Epochs selects completion epochs (stealval format V2, the paper's
+	// §4.2 refinement). Disable to get the §4.1 behaviour: the owner
+	// waits for all in-flight steals before each queue reset.
+	Epochs bool
+	// Damping enables steal damping (§4.3): thieves probe targets that
+	// repeatedly turned up empty with a read-only fetch.
+	Damping bool
+	// DampThreshold is the asteals overshoot beyond the steal plan that
+	// flips a target into empty-mode. Default 4.
+	DampThreshold uint32
+	// ResetPoll is how long queue resets may poll for a free completion
+	// epoch before reporting an error (guards against lost thieves in
+	// fault-injection tests). Default 10s.
+	ResetPoll time.Duration
+	// Policy selects the steal-volume schedule (default steal-half, the
+	// paper's policy; steal-one and steal-all exist for ablations).
+	Policy wsq.Policy
+	// Fused enables single-round-trip steals through the substrate's
+	// programmable-NIC emulation (shmem.FetchAddGet): the claim fetch-add
+	// and the dependent task copy complete in ONE blocking communication,
+	// emulating the Portals-offload predecessor the paper cites (§1,
+	// "Accelerated Work Stealing"). Requires interconnect support the
+	// paper deliberately avoids assuming — provided here as an ablation
+	// beyond SWS.
+	Fused bool
+}
+
+func (o *Options) setDefaults() {
+	if o.Capacity == 0 {
+		o.Capacity = 8192
+	}
+	if o.PayloadCap == 0 {
+		o.PayloadCap = 24
+	}
+	if o.DampThreshold == 0 {
+		o.DampThreshold = 4
+	}
+	if o.ResetPoll == 0 {
+		o.ResetPoll = 10 * time.Second
+	}
+}
+
+// DefaultOptions returns the options used by the paper-style benchmarks:
+// epochs and damping on.
+func DefaultOptions() Options {
+	return Options{Epochs: true, Damping: true}
+}
+
+// ErrFull is returned by Push when the queue has no free slot even after
+// reclaiming completed steals.
+var ErrFull = errors.New("core: task queue full")
+
+// epochRec tracks one published shared block until all claims against it
+// have signalled completion and its space has been reclaimed.
+type epochRec struct {
+	start  uint64 // logical position of the block's first task
+	itasks int    // tasks initially shared in this block
+	parity int    // completion-array index (epoch % MaxEpochs)
+
+	// claimed* are fixed when the block's stealval is retired (swapped
+	// out); until then claimedBlocks is -1.
+	claimedBlocks int
+	claimedTasks  int
+
+	reclaimedBlocks int // prefix of claimed blocks whose space was reclaimed
+}
+
+func (r *epochRec) retired() bool { return r.claimedBlocks >= 0 }
+func (r *epochRec) drained() bool {
+	return r.retired() && r.reclaimedBlocks == r.claimedBlocks
+}
+
+// Queue is one PE's SWS task queue: a split circular buffer of task slots
+// in the symmetric heap, fronted by the packed stealval and per-epoch
+// completion arrays. Owner methods must only be called from the owning
+// PE's goroutine; Steal is thief-side.
+type Queue struct {
+	ctx      *shmem.Ctx
+	opts     Options
+	format   Format
+	codec    task.Codec
+	ring     ring.Ring
+	policy   wsq.Policy
+	maxSlots int // completion-array slots per epoch
+
+	// Symmetric layout (identical offsets on every PE).
+	stealvalAddr   shmem.Addr
+	completionAddr shmem.Addr // MaxEpochs * wsq.MaxPlanLen words
+	tasksAddr      shmem.Addr
+
+	// Owner-side logical positions: rtail <= stail <= split <= head.
+	// [rtail, stail)  claimed by older epochs, awaiting completion;
+	// [stail, split)  the current shared block;
+	// [split, head)   the local portion.
+	head  uint64
+	split uint64
+	stail uint64
+	rtail uint64
+
+	curEpoch int        // monotonic epoch counter (parity indexes arrays)
+	recs     []epochRec // oldest-first; last entry is the current block
+	maxIT    int        // cap on an advertised block
+
+	// Thief-side damping state: per-victim mode (false=full, true=empty).
+	emptyMode []bool
+
+	// scratch is the owner-side slot staging buffer (one slot).
+	scratch []byte
+
+	// ownerStats are maintained by owner operations for introspection.
+	releases, acquires, resetPolls uint64
+}
+
+// NewQueue collectively constructs the queue: every PE must call it with
+// identical options. It allocates the symmetric regions and publishes an
+// empty-but-valid stealval.
+func NewQueue(ctx *shmem.Ctx, opts Options) (*Queue, error) {
+	opts.setDefaults()
+	format := FormatV1
+	if opts.Epochs {
+		format = FormatV2
+	}
+	if opts.Capacity < 2 {
+		return nil, fmt.Errorf("core: capacity %d too small", opts.Capacity)
+	}
+	if opts.Capacity > format.maxTail()+1 {
+		return nil, fmt.Errorf("core: capacity %d exceeds stealval tail field of %v (max %d)",
+			opts.Capacity, format, format.maxTail()+1)
+	}
+	codec, err := task.NewCodec(opts.PayloadCap)
+	if err != nil {
+		return nil, err
+	}
+	rg, err := ring.New(opts.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{
+		ctx:       ctx,
+		opts:      opts,
+		format:    format,
+		codec:     codec,
+		ring:      rg,
+		policy:    opts.Policy,
+		emptyMode: make([]bool, ctx.NumPEs()),
+		scratch:   make([]byte, codec.SlotSize()),
+	}
+	// Completion arrays are indexed by attempt number, so their size must
+	// cover the policy's longest plan over any advertisable block.
+	switch opts.Policy {
+	case wsq.StealOnePolicy:
+		q.maxSlots = 512 // bounds blocks to 512 tasks per release
+	case wsq.StealAllPolicy:
+		q.maxSlots = 1
+	default:
+		q.maxSlots = wsq.MaxPlanLen
+	}
+	// §4.3: cap the advertised block so thieves' increments cannot
+	// overflow asteals into owner fields even if every PE piles on.
+	q.maxIT = format.maxITasks() - ctx.NumPEs()
+	if q.maxIT < 1 {
+		return nil, fmt.Errorf("core: %d PEs leave no itasks range", ctx.NumPEs())
+	}
+	if q.maxIT > opts.Capacity {
+		q.maxIT = opts.Capacity
+	}
+	if mb := q.policy.MaxBlock(q.maxSlots); q.maxIT > mb {
+		q.maxIT = mb
+	}
+	if q.stealvalAddr, err = ctx.Alloc(shmem.WordSize); err != nil {
+		return nil, err
+	}
+	if q.completionAddr, err = ctx.Alloc(MaxEpochs * q.maxSlots * shmem.WordSize); err != nil {
+		return nil, err
+	}
+	if q.tasksAddr, err = ctx.Alloc(opts.Capacity * codec.SlotSize()); err != nil {
+		return nil, err
+	}
+	if opts.Fused {
+		// The fused handler is a pure function of the fetched stealval
+		// and the queue's symmetric geometry; the stealval's own address
+		// is the symmetric handler id.
+		if err := ctx.RegisterFused(uint64(q.stealvalAddr), q.fusedRanges); err != nil {
+			return nil, err
+		}
+	}
+	// Publish an empty, valid block for epoch 0.
+	if err := q.publish(0, 0); err != nil {
+		return nil, err
+	}
+	q.recs = []epochRec{{start: 0, itasks: 0, parity: 0, claimedBlocks: -1}}
+	return q, nil
+}
+
+// fusedRanges is the target-side ("NIC") half of a fused steal: map the
+// fetched stealval to the claimed block's byte ranges.
+func (q *Queue) fusedRanges(old uint64) ([2]shmem.FusedSpan, int) {
+	var out [2]shmem.FusedSpan
+	v := q.format.Unpack(old)
+	if !v.Valid {
+		return out, 0
+	}
+	if int(v.Asteals) >= q.policy.PlanLen(v.ITasks) {
+		return out, 0
+	}
+	k := q.policy.Block(v.ITasks, int(v.Asteals))
+	off := q.policy.Offset(v.ITasks, int(v.Asteals))
+	spans, n, err := q.ring.Spans(uint64(v.Tail)+uint64(off), k)
+	if err != nil {
+		return out, 0
+	}
+	slotSize := q.codec.SlotSize()
+	for i := 0; i < n; i++ {
+		out[i] = shmem.FusedSpan{
+			Addr: q.tasksAddr + shmem.Addr(spans[i].Start*slotSize),
+			N:    spans[i].Count * slotSize,
+		}
+	}
+	return out, n
+}
+
+// Format reports the stealval layout in use.
+func (q *Queue) Format() Format { return q.format }
+
+// LocalCount returns the number of tasks in the local portion.
+func (q *Queue) LocalCount() int { return ring.Distance(q.split, q.head) }
+
+// SharedAvail returns the owner's view of unclaimed shared tasks in the
+// current block (a local atomic read of its own stealval).
+func (q *Queue) SharedAvail() int {
+	w, err := q.ctx.Load64(q.ctx.Rank(), q.stealvalAddr)
+	if err != nil {
+		return 0
+	}
+	v := q.format.Unpack(w)
+	if !v.Valid {
+		return 0
+	}
+	return v.ITasks - q.policy.Offset(v.ITasks, q.clampAttempts(v))
+}
+
+// clampAttempts bounds the raw asteals counter by the steal plan length.
+func (q *Queue) clampAttempts(v Stealval) int {
+	n := q.policy.PlanLen(v.ITasks)
+	if int(v.Asteals) < n {
+		return int(v.Asteals)
+	}
+	return n
+}
+
+// free returns the number of unoccupied slots.
+func (q *Queue) free() int { return q.ring.Cap() - ring.Distance(q.rtail, q.head) }
+
+// slotAddr returns the heap address of the physical slot for a logical
+// position.
+func (q *Queue) slotAddr(pos uint64) shmem.Addr {
+	return q.tasksAddr + shmem.Addr(q.ring.Slot(pos)*q.codec.SlotSize())
+}
+
+// Push enqueues a task at the head of the local portion. Purely local: no
+// locking, no communication (§3.1 / §4.1: enqueueing is unchanged and
+// lightweight).
+func (q *Queue) Push(d task.Desc) error {
+	if q.free() == 0 {
+		if err := q.Progress(); err != nil {
+			return err
+		}
+		if q.free() == 0 {
+			return ErrFull
+		}
+	}
+	if err := q.codec.Encode(q.scratch, d); err != nil {
+		return err
+	}
+	if err := q.ctx.Put(q.ctx.Rank(), q.slotAddr(q.head), q.scratch); err != nil {
+		return err
+	}
+	q.head++
+	return nil
+}
+
+// Pop removes the newest task from the local portion (LIFO, giving the
+// depth-first traversal that bounds pool space).
+func (q *Queue) Pop() (task.Desc, bool, error) {
+	if q.head == q.split {
+		return task.Desc{}, false, nil
+	}
+	if err := q.ctx.Get(q.ctx.Rank(), q.slotAddr(q.head-1), q.scratch); err != nil {
+		return task.Desc{}, false, err
+	}
+	d, err := q.codec.Decode(q.scratch)
+	if err != nil {
+		return task.Desc{}, false, err
+	}
+	q.head--
+	return d, true, nil
+}
+
+// cur returns the current (last) epoch record.
+func (q *Queue) cur() *epochRec { return &q.recs[len(q.recs)-1] }
+
+// publish writes a fresh valid stealval for the current epoch parity.
+func (q *Queue) publish(itasks int, stail uint64) error {
+	w, err := q.format.Pack(Stealval{
+		Valid:  true,
+		Epoch:  q.parity(),
+		ITasks: itasks,
+		Tail:   q.ring.Slot(stail),
+	})
+	if err != nil {
+		return err
+	}
+	return q.ctx.Store64(q.ctx.Rank(), q.stealvalAddr, w)
+}
+
+func (q *Queue) parity() int {
+	if q.format == FormatV1 {
+		return 0
+	}
+	return q.curEpoch % MaxEpochs
+}
+
+// retire disables stealing, harvests the swapped-out stealval into the
+// current epoch record, and drops the record immediately if nothing was
+// claimed. It returns the number of unclaimed tasks left in the block.
+func (q *Queue) retire() (unclaimed int, err error) {
+	old, err := q.ctx.Swap64(q.ctx.Rank(), q.stealvalAddr, q.format.Disabled())
+	if err != nil {
+		return 0, err
+	}
+	v := q.format.Unpack(old)
+	rec := q.cur()
+	if !v.Valid {
+		// Every retire is paired with a startEpoch before control returns
+		// to the owner loop, so a disabled stealval here means corruption.
+		return 0, fmt.Errorf("core: retire found stealval already disabled")
+	}
+	if v.ITasks != rec.itasks {
+		return 0, fmt.Errorf("core: stealval itasks %d does not match epoch record %d", v.ITasks, rec.itasks)
+	}
+	rec.claimedBlocks = q.clampAttempts(v)
+	rec.claimedTasks = q.policy.Offset(rec.itasks, rec.claimedBlocks)
+	unclaimed = rec.itasks - rec.claimedTasks
+	// Advance stail past the claimed prefix; the unclaimed remainder is
+	// redistributed by the caller (acquire keeps/localizes it; release
+	// requires it to be empty).
+	q.stail += uint64(rec.claimedTasks)
+	if rec.claimedBlocks == 0 {
+		// Nothing was ever claimed: no completions to wait for.
+		q.recs = q.recs[:len(q.recs)-1]
+	}
+	return unclaimed, nil
+}
+
+// completionSlotAddr returns the heap address of completion slot b for
+// parity p.
+func (q *Queue) completionSlotAddr(p, b int) shmem.Addr {
+	return q.completionAddr + shmem.Addr((p*q.maxSlots+b)*shmem.WordSize)
+}
+
+// Progress reclaims space for the longest prefix of completed steals,
+// scanning draining epochs oldest-first (§4.2). Purely local reads of the
+// completion arrays.
+func (q *Queue) Progress() error {
+	for len(q.recs) > 0 {
+		rec := &q.recs[0]
+		if !rec.retired() {
+			return nil // current block; nothing to drain yet
+		}
+		for rec.reclaimedBlocks < rec.claimedBlocks {
+			b := rec.reclaimedBlocks
+			w, err := q.ctx.Load64(q.ctx.Rank(), q.completionSlotAddr(rec.parity, b))
+			if err != nil {
+				return err
+			}
+			if w == 0 {
+				return nil // oldest outstanding steal still in flight
+			}
+			want := q.policy.Block(rec.itasks, b)
+			if int(w) != want {
+				return fmt.Errorf("core: completion slot %d of epoch parity %d holds %d, want %d tasks",
+					b, rec.parity, w, want)
+			}
+			q.rtail += uint64(want)
+			rec.reclaimedBlocks++
+		}
+		// Fully drained: zero its completion slots so the parity can be
+		// reused, then drop the record.
+		for b := 0; b < rec.claimedBlocks; b++ {
+			if err := q.ctx.Store64(q.ctx.Rank(), q.completionSlotAddr(rec.parity, b), 0); err != nil {
+				return err
+			}
+		}
+		q.recs = q.recs[1:]
+	}
+	return nil
+}
+
+// waitParityFree polls Progress until no draining record uses parity p
+// (V1: until every draining record is gone — the §4.1 wait-for-all).
+func (q *Queue) waitParityFree(p int) error {
+	deadline := time.Now().Add(q.opts.ResetPoll)
+	for {
+		if err := q.Progress(); err != nil {
+			return err
+		}
+		busy := false
+		for i := range q.recs {
+			rec := &q.recs[i]
+			if !rec.retired() {
+				continue
+			}
+			if q.format == FormatV1 || rec.parity == p {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return nil
+		}
+		q.resetPolls++
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: reset stalled %v waiting for completion epoch parity %d (lost thief?)",
+				q.opts.ResetPoll, p)
+		}
+		time.Sleep(time.Microsecond)
+	}
+}
+
+// startEpoch begins a new completion epoch: waits for its parity's
+// completion array to drain, zeroes it, and appends the record.
+// The caller must have retired the previous block.
+func (q *Queue) startEpoch(itasks int) error {
+	q.curEpoch++
+	p := q.parity()
+	if err := q.waitParityFree(p); err != nil {
+		return err
+	}
+	for b := 0; b < q.maxSlots; b++ {
+		if err := q.ctx.Store64(q.ctx.Rank(), q.completionSlotAddr(p, b), 0); err != nil {
+			return err
+		}
+	}
+	q.recs = append(q.recs, epochRec{start: q.stail, itasks: itasks, parity: p, claimedBlocks: -1})
+	return q.publish(itasks, q.stail)
+}
+
+// Release moves half of the local tasks into a fresh shared block when
+// the shared portion is empty (§4.1). Reports the number of tasks
+// exposed; 0 means the release did not apply (shared work remains, or
+// fewer than 2 local tasks, or — with epochs — both completion arrays are
+// still draining, in which case we simply retry later rather than poll).
+func (q *Queue) Release() (int, error) {
+	local := q.LocalCount()
+	if local < 2 || q.SharedAvail() > 0 {
+		return 0, nil
+	}
+	// Non-blocking variant of the parity wait: skip the release if the
+	// next parity is still draining. Work stays local and runnable.
+	if err := q.Progress(); err != nil {
+		return 0, err
+	}
+	nextParity := q.parity()
+	if q.format == FormatV2 {
+		nextParity = (q.curEpoch + 1) % MaxEpochs
+	}
+	for i := range q.recs[:len(q.recs)-1] {
+		rec := &q.recs[i]
+		if q.format == FormatV1 || rec.parity == nextParity {
+			return 0, nil
+		}
+	}
+	unclaimed, err := q.retire()
+	if err != nil {
+		return 0, err
+	}
+	if unclaimed != 0 {
+		// Claims only grow between the SharedAvail()==0 check above and
+		// the retire, so leftover unclaimed work is impossible here.
+		return 0, fmt.Errorf("core: release found %d unclaimed shared tasks", unclaimed)
+	}
+	moved := local / 2
+	if moved > q.maxIT {
+		moved = q.maxIT
+	}
+	// The new block is the bottom `moved` tasks of the local portion:
+	// [split, split+moved). stail has already advanced to split's old
+	// claimed boundary; after a clean retire stail == split.
+	if q.stail != q.split {
+		return 0, fmt.Errorf("core: release with stail %d != split %d", q.stail, q.split)
+	}
+	q.split += uint64(moved)
+	q.releases++
+	if err := q.startEpoch(moved); err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// Acquire moves half of the unclaimed shared tasks back into the local
+// portion when the local portion is empty (§4.1–4.2). Stealing is
+// disabled for the duration of the update; with epochs the owner never
+// waits for in-flight claims unless both completion arrays are busy.
+func (q *Queue) Acquire() (int, error) {
+	if q.LocalCount() != 0 {
+		return 0, nil
+	}
+	unclaimed, err := q.retire()
+	if err != nil {
+		return 0, err
+	}
+	if unclaimed == 0 {
+		// Nothing to localize; re-open an empty block so thieves see a
+		// valid (if empty) queue.
+		if err := q.startEpoch(0); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	moved := (unclaimed + 1) / 2
+	remain := unclaimed - moved
+	if remain > q.maxIT {
+		// Cannot advertise more than the field allows; localize the rest.
+		moved += remain - q.maxIT
+		remain = q.maxIT
+	}
+	// Unclaimed region is [stail, split); keep the bottom `remain` shared
+	// and absorb the top `moved` into the local portion.
+	if ring.Distance(q.stail, q.split) != unclaimed {
+		return 0, fmt.Errorf("core: acquire sees %d unclaimed, geometry says %d",
+			unclaimed, ring.Distance(q.stail, q.split))
+	}
+	q.split -= uint64(moved)
+	q.acquires++
+	if err := q.startEpoch(remain); err != nil {
+		return 0, err
+	}
+	return moved, nil
+}
+
+// OwnerStats reports queue-owner activity for diagnostics.
+type OwnerStats struct {
+	Releases, Acquires, ResetPolls uint64
+	Epochs                         int // draining + current epoch records
+}
+
+// Stats returns a snapshot of owner-side activity.
+func (q *Queue) Stats() OwnerStats {
+	return OwnerStats{
+		Releases:   q.releases,
+		Acquires:   q.acquires,
+		ResetPolls: q.resetPolls,
+		Epochs:     len(q.recs),
+	}
+}

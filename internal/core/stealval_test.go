@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatString(t *testing.T) {
+	if FormatV1.String() != "v1" || FormatV2.String() != "v2-epochs" {
+		t.Error("format strings wrong")
+	}
+	if Format(9).String() == "" {
+		t.Error("unknown format string empty")
+	}
+}
+
+// The paper's Figure 3 example: asteals=2, valid, itasks=150, tail=500.
+func TestPackUnpackFig3Example(t *testing.T) {
+	v := Stealval{Asteals: 2, Valid: true, ITasks: 150, Tail: 500}
+	w, err := FormatV1.Pack(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatV1.Unpack(w)
+	if got != v {
+		t.Errorf("round trip: %+v != %+v", got, v)
+	}
+	// The asteals field must occupy the top 24 bits.
+	if w>>AstealsShift != 2 {
+		t.Errorf("asteals not in high bits: %#x", w)
+	}
+}
+
+func TestPackUnpackV2(t *testing.T) {
+	v := Stealval{Asteals: 7, Valid: true, Epoch: 1, ITasks: 150, Tail: 500}
+	w, err := FormatV2.Pack(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatV2.Unpack(w)
+	if got != v {
+		t.Errorf("round trip: %+v != %+v", got, v)
+	}
+}
+
+// A thief's fetch-add of AstealsUnit must increment asteals and leave
+// every owner field untouched — the property the whole protocol rests on.
+func TestFetchAddOnlyTouchesAsteals(t *testing.T) {
+	for _, f := range []Format{FormatV1, FormatV2} {
+		v := Stealval{Asteals: 0, Valid: true, ITasks: 150, Tail: 500}
+		if f == FormatV2 {
+			v.Epoch = 1
+		}
+		w, err := f.Pack(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 1000; i++ {
+			w += AstealsUnit
+			got := f.Unpack(w)
+			if got.Asteals != uint32(i) {
+				t.Fatalf("%v: after %d adds asteals=%d", f, i, got.Asteals)
+			}
+			if got.ITasks != v.ITasks || got.Tail != v.Tail || got.Valid != v.Valid || got.Epoch != v.Epoch {
+				t.Fatalf("%v: owner fields corrupted after %d adds: %+v", f, i, got)
+			}
+		}
+	}
+}
+
+// Disabled words must decode as invalid, and stray increments on a
+// disabled word must keep it invalid.
+func TestDisabled(t *testing.T) {
+	for _, f := range []Format{FormatV1, FormatV2} {
+		w := f.Disabled()
+		if f.Unpack(w).Valid {
+			t.Errorf("%v: Disabled() decodes as valid", f)
+		}
+		for i := 0; i < 100; i++ {
+			w += AstealsUnit
+			if f.Unpack(w).Valid {
+				t.Errorf("%v: disabled word became valid after %d increments", f, i+1)
+			}
+		}
+	}
+}
+
+func TestPackRangeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Format
+		v    Stealval
+	}{
+		{"v1 itasks too big", FormatV1, Stealval{Valid: true, ITasks: MaxITasksV1 + 1}},
+		{"v1 tail too big", FormatV1, Stealval{Valid: true, Tail: MaxTailV1 + 1}},
+		{"v1 nonzero epoch", FormatV1, Stealval{Valid: true, Epoch: 1}},
+		{"v2 itasks too big", FormatV2, Stealval{Valid: true, ITasks: MaxITasksV2 + 1}},
+		{"v2 tail too big", FormatV2, Stealval{Valid: true, Tail: MaxTailV2 + 1}},
+		{"v2 epoch too big", FormatV2, Stealval{Valid: true, Epoch: MaxEpochs}},
+		{"negative itasks", FormatV2, Stealval{Valid: true, ITasks: -1}},
+		{"negative tail", FormatV2, Stealval{Valid: true, Tail: -1}},
+		{"asteals overflow", FormatV2, Stealval{Valid: true, Asteals: 1 << 24}},
+	}
+	for _, c := range cases {
+		if _, err := c.f.Pack(c.v); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// Property: pack/unpack round-trips every in-range value, both formats.
+func TestPackUnpackProperty(t *testing.T) {
+	fV1 := func(asteals uint32, itasks uint32, tail uint32, valid bool) bool {
+		v := Stealval{
+			Asteals: asteals & astealsMask,
+			Valid:   valid,
+			ITasks:  int(itasks) & MaxITasksV1,
+			Tail:    int(tail) & MaxTailV1,
+		}
+		if !valid {
+			// V1 encodes invalid by clearing the bit; owner fields survive.
+			v.ITasks, v.Tail = int(itasks)&MaxITasksV1, int(tail)&MaxTailV1
+		}
+		w, err := FormatV1.Pack(v)
+		if err != nil {
+			return false
+		}
+		return FormatV1.Unpack(w) == v
+	}
+	if err := quick.Check(fV1, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error("v1:", err)
+	}
+	fV2 := func(asteals uint32, itasks uint32, tail uint32, epoch uint8) bool {
+		v := Stealval{
+			Asteals: asteals & astealsMask,
+			Valid:   true,
+			Epoch:   int(epoch) % MaxEpochs,
+			ITasks:  int(itasks) & MaxITasksV2,
+			Tail:    int(tail) & MaxTailV2,
+		}
+		w, err := FormatV2.Pack(v)
+		if err != nil {
+			return false
+		}
+		return FormatV2.Unpack(w) == v
+	}
+	if err := quick.Check(fV2, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error("v2:", err)
+	}
+}
+
+// Property: fields are independent — packing two values that differ in one
+// field yields words that differ only in that field's bit range.
+func TestFieldIndependenceProperty(t *testing.T) {
+	f := func(itasks uint32, tailA, tailB uint32) bool {
+		a := Stealval{Valid: true, Epoch: 1, ITasks: int(itasks) & MaxITasksV2, Tail: int(tailA) & MaxTailV2}
+		b := a
+		b.Tail = int(tailB) & MaxTailV2
+		wa, err1 := FormatV2.Pack(a)
+		wb, err2 := FormatV2.Pack(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		diff := wa ^ wb
+		return diff&^uint64(MaxTailV2) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,626 @@
+// Package pool implements the Scioto-style task-pool runtime (§2.1 of the
+// paper) on top of the work-stealing queues: each PE runs tasks from its
+// own split queue in LIFO order, exposes work to thieves via release,
+// reclaims it via acquire, and — when out of local work — steals from
+// random victims until distributed termination detection declares the
+// global pool exhausted.
+//
+// The pool is protocol-agnostic: Config.Protocol selects the SWS queue
+// (internal/core, the paper's contribution) or the SDC baseline
+// (internal/sdc), so benchmarks compare the two communication structures
+// under an otherwise identical runtime, as the paper's evaluation does.
+//
+// Accounting follows §5.3's definitions: time spent in successful steal
+// operations is steal time; time spent in failed attempts is search time.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"sws/internal/core"
+	"sws/internal/ptimer"
+	"sws/internal/sdc"
+	"sws/internal/shmem"
+	"sws/internal/stats"
+	"sws/internal/task"
+	"sws/internal/term"
+	"sws/internal/trace"
+	"sws/internal/wsq"
+)
+
+// Protocol selects the work-stealing queue implementation.
+type Protocol int
+
+const (
+	// SWS is the paper's structured-atomic protocol (default).
+	SWS Protocol = iota
+	// SDC is the Scioto baseline.
+	SDC
+	// SWSFused is SWS with single-round-trip steals over the
+	// programmable-NIC emulation (the Portals-offload ablation).
+	SWSFused
+)
+
+// VictimPolicy selects how thieves choose steal targets.
+type VictimPolicy int
+
+const (
+	// VictimRandom picks a uniformly random peer per attempt (the
+	// paper's policy, optimal for many workloads per Blumofe-Leiserson).
+	VictimRandom VictimPolicy = iota
+	// VictimRoundRobin cycles deterministically through peers.
+	VictimRoundRobin
+	// VictimSticky retries the last productive victim before falling
+	// back to random — a minimal locality-style heuristic.
+	VictimSticky
+	// VictimHierarchical prefers victims in the thief's locality group
+	// (Config.GroupSize consecutive ranks, e.g. a node's PEs) and falls
+	// back to the whole world on alternate attempts — the hierarchical
+	// stealing idea of Kumar et al. and CHARM++ the paper cites (§2.2).
+	VictimHierarchical
+)
+
+func (v VictimPolicy) String() string {
+	switch v {
+	case VictimRandom:
+		return "random"
+	case VictimRoundRobin:
+		return "round-robin"
+	case VictimSticky:
+		return "sticky"
+	case VictimHierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("VictimPolicy(%d)", int(v))
+	}
+}
+
+func (p Protocol) String() string {
+	switch p {
+	case SWS:
+		return "sws"
+	case SDC:
+		return "sdc"
+	case SWSFused:
+		return "sws-fused"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol converts a command-line name to a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "sws", "SWS":
+		return SWS, nil
+	case "sdc", "SDC":
+		return SDC, nil
+	case "sws-fused", "fused", "xws":
+		return SWSFused, nil
+	default:
+		return 0, fmt.Errorf("pool: unknown protocol %q (want sws, sdc, or sws-fused)", s)
+	}
+}
+
+// Config parameterizes a pool. The zero value is a usable SWS pool with
+// epochs and damping enabled.
+type Config struct {
+	// Protocol selects SWS (default) or SDC.
+	Protocol Protocol
+	// QueueCapacity is the task-slot count per PE. Default 8192.
+	QueueCapacity int
+	// PayloadCap is the per-task payload capacity in bytes. Default 24.
+	PayloadCap int
+	// NoEpochs disables completion epochs (SWS only; stealval format V1).
+	NoEpochs bool
+	// NoDamping disables steal damping (SWS only).
+	NoDamping bool
+	// StealTries is the number of victims tried per search round before
+	// re-checking termination. Default 2.
+	StealTries int
+	// StealPolicy selects the steal-volume schedule (default the paper's
+	// steal-half; steal-one and steal-all exist for ablations).
+	StealPolicy wsq.Policy
+	// Victim selects how thieves pick targets (default uniform random,
+	// the paper's policy; alternatives echo the locality-aware work the
+	// paper cites as orthogonal, §2.2).
+	Victim VictimPolicy
+	// GroupSize is the locality-group width for VictimHierarchical
+	// (consecutive ranks form a group; default 4).
+	GroupSize int
+	// Seed makes victim selection reproducible; each PE derives its own
+	// stream from Seed and its rank.
+	Seed int64
+	// PushTimeout bounds how long stolen tasks or spawns may wait for
+	// queue space held by in-flight steal completions. Default 10s.
+	PushTimeout time.Duration
+	// MailboxSlots sizes the remote-spawn inbox ring. Default 256.
+	MailboxSlots int
+	// Trace, if non-nil, records per-PE scheduling events into its ring
+	// buffers (see internal/trace). Nil disables tracing entirely.
+	Trace *trace.Set
+}
+
+func (c *Config) setDefaults() {
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 8192
+	}
+	if c.PayloadCap == 0 {
+		c.PayloadCap = 24
+	}
+	if c.StealTries == 0 {
+		c.StealTries = 2
+	}
+	if c.PushTimeout == 0 {
+		c.PushTimeout = 10 * time.Second
+	}
+	if c.MailboxSlots == 0 {
+		c.MailboxSlots = defaultMailboxSlots
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = 4
+	}
+}
+
+// Func is a task body. It may spawn subtasks through the TaskCtx; per the
+// Scioto model it must run to completion without blocking on other tasks.
+type Func func(tc *TaskCtx, payload []byte) error
+
+// Registry maps task handles to functions. Registration order must be
+// identical on every PE (SPMD), which makes handles portable.
+type Registry struct {
+	funcs []Func
+	names map[string]task.Handle
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]task.Handle)}
+}
+
+// Register adds a named task function and returns its portable handle.
+func (r *Registry) Register(name string, f Func) (task.Handle, error) {
+	if f == nil {
+		return 0, fmt.Errorf("pool: nil task function %q", name)
+	}
+	if _, dup := r.names[name]; dup {
+		return 0, fmt.Errorf("pool: task %q already registered", name)
+	}
+	h := task.Handle(len(r.funcs))
+	r.funcs = append(r.funcs, f)
+	r.names[name] = h
+	return h, nil
+}
+
+// MustRegister is Register for setup code where duplicates are bugs.
+func (r *Registry) MustRegister(name string, f Func) task.Handle {
+	h, err := r.Register(name, f)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Lookup returns the handle for a registered name.
+func (r *Registry) Lookup(name string) (task.Handle, bool) {
+	h, ok := r.names[name]
+	return h, ok
+}
+
+func (r *Registry) fn(h task.Handle) (Func, error) {
+	if int(h) >= len(r.funcs) {
+		return nil, fmt.Errorf("pool: task handle %d not registered (have %d)", h, len(r.funcs))
+	}
+	return r.funcs[h], nil
+}
+
+// Pool is one PE's participation in the global task pool.
+type Pool struct {
+	ctx  *shmem.Ctx
+	cfg  Config
+	reg  *Registry
+	q    wsq.Queue
+	det  *term.Detector
+	mbox *mailbox
+	cal  ptimer.Calibration
+	rng  *rand.Rand
+
+	tc      TaskCtx
+	st      stats.PE
+	tr      *trace.Buffer
+	elapsed time.Duration
+	ran     bool
+
+	// Victim-policy state.
+	rrNext int
+	sticky int
+}
+
+// TaskCtx is the handle passed to task functions.
+type TaskCtx struct {
+	p *Pool
+}
+
+// Rank returns the executing PE's rank.
+func (tc *TaskCtx) Rank() int { return tc.p.ctx.Rank() }
+
+// NumPEs returns the world size.
+func (tc *TaskCtx) NumPEs() int { return tc.p.ctx.NumPEs() }
+
+// Shmem exposes the PGAS context so tasks can use global memory, as the
+// Scioto model allows (tasks may communicate through the global address
+// space but may not wait on concurrent tasks).
+func (tc *TaskCtx) Shmem() *shmem.Ctx { return tc.p.ctx }
+
+// Spawn enqueues a new task on the executing PE's queue.
+func (tc *TaskCtx) Spawn(h task.Handle, payload []byte) error {
+	return tc.p.addTask(task.Desc{Handle: h, Payload: payload})
+}
+
+// SpawnOn enqueues a new task on PE pe's queue via its remote-spawn
+// inbox. This costs communication (§3 of the paper: remote spawning is
+// possible "although with more overhead"); prefer Spawn and let stealing
+// move the work unless placement genuinely matters.
+func (tc *TaskCtx) SpawnOn(pe int, h task.Handle, payload []byte) error {
+	return tc.p.SpawnOn(pe, h, payload)
+}
+
+// New collectively constructs the pool; every PE calls it with an
+// identical registry and configuration.
+func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
+	cfg.setDefaults()
+	if reg == nil || len(reg.funcs) == 0 {
+		return nil, errors.New("pool: registry is empty")
+	}
+	p := &Pool{
+		ctx: ctx,
+		cfg: cfg,
+		reg: reg,
+		cal: ptimer.Calibrate(),
+		rng: rand.New(rand.NewSource(cfg.Seed + int64(ctx.Rank())*0x9E3779B9)),
+	}
+	p.tc = TaskCtx{p: p}
+	p.sticky = -1
+	p.tr = cfg.Trace.PE(ctx.Rank())
+	var err error
+	switch cfg.Protocol {
+	case SWS, SWSFused:
+		p.q, err = core.NewQueue(ctx, core.Options{
+			Capacity:   cfg.QueueCapacity,
+			PayloadCap: cfg.PayloadCap,
+			Epochs:     !cfg.NoEpochs,
+			Damping:    !cfg.NoDamping,
+			Policy:     cfg.StealPolicy,
+			Fused:      cfg.Protocol == SWSFused,
+		})
+	case SDC:
+		p.q, err = sdc.NewQueue(ctx, sdc.Options{
+			Capacity:   cfg.QueueCapacity,
+			PayloadCap: cfg.PayloadCap,
+			Policy:     cfg.StealPolicy,
+		})
+	default:
+		err = fmt.Errorf("pool: unknown protocol %v", cfg.Protocol)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.det, err = term.New(ctx); err != nil {
+		return nil, err
+	}
+	codec, err := task.NewCodec(cfg.PayloadCap)
+	if err != nil {
+		return nil, err
+	}
+	if p.mbox, err = newMailbox(ctx, codec, cfg.MailboxSlots, cfg.PushTimeout); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Queue exposes the underlying work-stealing queue (for diagnostics and
+// microbenchmarks).
+func (p *Pool) Queue() wsq.Queue { return p.q }
+
+// Shmem exposes the PGAS context, for collective allocations and global
+// address space use around a run.
+func (p *Pool) Shmem() *shmem.Ctx { return p.ctx }
+
+// Add seeds a task into this PE's queue before (or during) Run.
+func (p *Pool) Add(h task.Handle, payload []byte) error {
+	return p.addTask(task.Desc{Handle: h, Payload: payload})
+}
+
+// SpawnOn delivers a task into PE pe's remote-spawn inbox. Safe to call
+// from task functions and from seeding code.
+func (p *Pool) SpawnOn(pe int, h task.Handle, payload []byte) error {
+	if pe == p.ctx.Rank() {
+		return p.addTask(task.Desc{Handle: h, Payload: payload})
+	}
+	if pe < 0 || pe >= p.ctx.NumPEs() {
+		return fmt.Errorf("pool: SpawnOn target %d out of range [0, %d)", pe, p.ctx.NumPEs())
+	}
+	// Count the spawn before sending so termination detection sees the
+	// task exist from the moment it can be observed anywhere.
+	p.st.TasksSpawned++
+	if err := p.det.TaskSpawned(1); err != nil {
+		return err
+	}
+	if err := p.mbox.send(pe, task.Desc{Handle: h, Payload: payload}); err != nil {
+		return err
+	}
+	p.st.RemoteSpawnsSent++
+	p.tr.Record(trace.RemoteSpawn, int64(pe), 0)
+	return nil
+}
+
+// addTask pushes a descriptor, waiting out transient fullness caused by
+// in-flight steal completions, and records the spawn.
+func (p *Pool) addTask(d task.Desc) error {
+	if err := p.push(d); err != nil {
+		return err
+	}
+	p.st.TasksSpawned++
+	return p.det.TaskSpawned(1)
+}
+
+func (p *Pool) push(d task.Desc) error {
+	err := p.q.Push(d)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, core.ErrFull) && !errors.Is(err, sdc.ErrFull) {
+		return err
+	}
+	deadline := time.Now().Add(p.cfg.PushTimeout)
+	for {
+		if err := p.q.Progress(); err != nil {
+			return err
+		}
+		err = p.q.Push(d)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrFull) && !errors.Is(err, sdc.ErrFull) {
+			return err
+		}
+		if werr := p.ctx.Err(); werr != nil {
+			return werr
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pool: queue full for %v (capacity %d too small for this workload): %w",
+				p.cfg.PushTimeout, p.cfg.QueueCapacity, err)
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
+}
+
+// Run processes tasks until global termination. It begins and ends with a
+// barrier; whole-run timing covers the span between them, matching the
+// paper's whole-program timers.
+func (p *Pool) Run() error {
+	if p.ran {
+		return errors.New("pool: Run called twice")
+	}
+	p.ran = true
+	if err := p.ctx.Barrier(); err != nil {
+		return err
+	}
+	start := time.Now()
+	iter, idle := 0, 0
+	for {
+		iter++
+		if err := p.ctx.Err(); err != nil {
+			return fmt.Errorf("pool: world failed: %w", err)
+		}
+		// Expose work when the shared portion has run dry (§3.1: release
+		// is invoked when the runtime discovers the imbalance).
+		released, err := p.q.Release()
+		if err != nil {
+			return err
+		}
+		if released > 0 {
+			p.st.Releases++
+			p.tr.Record(trace.Release, 0, int64(released))
+		}
+		if iter%64 == 0 {
+			if err := p.q.Progress(); err != nil {
+				return err
+			}
+		}
+		// Remotely spawned tasks arrive through the inbox; drain them
+		// into the local queue (already counted as spawned by senders).
+		got, err := p.mbox.drain(p.push)
+		if err != nil {
+			return err
+		}
+		if got > 0 {
+			p.st.RemoteSpawnsRecv += uint64(got)
+			p.tr.Record(trace.InboxDrain, 0, int64(got))
+			continue
+		}
+		d, ok, err := p.q.Pop()
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := p.execute(d); err != nil {
+				return err
+			}
+			// One yield per task keeps oversubscribed worlds fair:
+			// thieves get to run between a busy PE's tasks, which is what
+			// dedicated cores would give them.
+			runtime.Gosched()
+			continue
+		}
+		// Local portion empty: pull shared work back.
+		moved, err := p.q.Acquire()
+		if err != nil {
+			return err
+		}
+		if moved > 0 {
+			p.st.Acquires++
+			p.tr.Record(trace.Acquire, 0, int64(moved))
+			continue
+		}
+		// Queue empty: search for work.
+		found, err := p.search()
+		if err != nil {
+			return err
+		}
+		if found {
+			continue
+		}
+		done, err := p.det.Check()
+		if err != nil {
+			return err
+		}
+		if done {
+			p.tr.Record(trace.Terminated, 0, 0)
+			break
+		}
+		// Idle PEs keep searching aggressively (the paper's model has
+		// idle processes continuously looking for work); yield to keep
+		// oversubscribed worlds live, with an occasional real sleep.
+		idle++
+		if idle%256 == 0 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	p.elapsed = time.Since(start)
+	return p.ctx.Barrier()
+}
+
+// execute runs one task.
+func (p *Pool) execute(d task.Desc) error {
+	fn, err := p.reg.fn(d.Handle)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := fn(&p.tc, d.Payload); err != nil {
+		return fmt.Errorf("pool: task %d failed: %w", d.Handle, err)
+	}
+	el := p.cal.Since(t0)
+	p.st.ExecTime += el
+	p.st.TasksExecuted++
+	p.tr.Record(trace.TaskExec, int64(d.Handle), int64(el))
+	return p.det.TaskExecuted(1)
+}
+
+// search makes up to StealTries steal attempts against random victims,
+// enqueueing any stolen tasks locally. It reports whether work was found.
+func (p *Pool) search() (bool, error) {
+	n := p.ctx.NumPEs()
+	if n == 1 {
+		return false, nil
+	}
+	for i := 0; i < p.cfg.StealTries; i++ {
+		v := p.victim(i)
+		t0 := time.Now()
+		tasks, out, err := p.q.Steal(v)
+		el := p.cal.Since(t0)
+		if err != nil {
+			return false, err
+		}
+		p.st.StealsAttempted++
+		switch out {
+		case wsq.Stolen:
+			p.st.StealsSuccessful++
+			p.st.TasksStolen += uint64(len(tasks))
+			p.st.StealTime += el
+			p.tr.Record(trace.StealOK, int64(v), int64(len(tasks)))
+			if p.cfg.Victim == VictimSticky {
+				p.sticky = v
+			}
+			for _, d := range tasks {
+				if err := p.push(d); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		case wsq.Empty:
+			p.st.StealsEmpty++
+			p.st.SearchTime += el
+			p.tr.Record(trace.StealEmpty, int64(v), 0)
+		case wsq.Disabled:
+			p.st.StealsDisabled++
+			p.st.SearchTime += el
+			p.tr.Record(trace.StealDisabled, int64(v), 0)
+		}
+	}
+	return false, nil
+}
+
+// victim picks the next steal target under the configured policy. The
+// attempt index lets hierarchical selection alternate between the local
+// group and the whole world.
+func (p *Pool) victim(try int) int {
+	switch p.cfg.Victim {
+	case VictimRoundRobin:
+		p.rrNext++
+		v := (p.ctx.Rank() + p.rrNext) % p.ctx.NumPEs()
+		if v == p.ctx.Rank() {
+			p.rrNext++
+			v = (v + 1) % p.ctx.NumPEs()
+		}
+		return v
+	case VictimSticky:
+		// Re-try the last productive victim first; fall back to random.
+		if p.sticky >= 0 {
+			v := p.sticky
+			p.sticky = -1 // consumed; search() re-arms it on success
+			return v
+		}
+		return p.randomVictim()
+	case VictimHierarchical:
+		if try%2 == 0 {
+			if v, ok := p.groupVictim(); ok {
+				return v
+			}
+		}
+		return p.randomVictim()
+	default:
+		return p.randomVictim()
+	}
+}
+
+// groupVictim picks a random peer in this PE's locality group, reporting
+// ok=false when the group contains no other PE.
+func (p *Pool) groupVictim() (int, bool) {
+	g := p.cfg.GroupSize
+	lo := (p.ctx.Rank() / g) * g
+	hi := lo + g
+	if hi > p.ctx.NumPEs() {
+		hi = p.ctx.NumPEs()
+	}
+	if hi-lo < 2 {
+		return 0, false
+	}
+	v := lo + p.rng.Intn(hi-lo-1)
+	if v >= p.ctx.Rank() {
+		v++
+	}
+	return v, true
+}
+
+// randomVictim picks a uniformly random PE other than this one.
+func (p *Pool) randomVictim() int {
+	v := p.rng.Intn(p.ctx.NumPEs() - 1)
+	if v >= p.ctx.Rank() {
+		v++
+	}
+	return v
+}
+
+// Stats returns this PE's counters. Valid after Run.
+func (p *Pool) Stats() stats.PE { return p.st }
+
+// Elapsed returns this PE's wall time inside Run (between the barriers).
+func (p *Pool) Elapsed() time.Duration { return p.elapsed }

@@ -1,0 +1,438 @@
+package pool
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/trace"
+)
+
+func runWorld(t *testing.T, npes int, kind shmem.TransportKind, body func(*shmem.Ctx) error) {
+	t.Helper()
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: npes, HeapBytes: 8 << 20, Transport: kind})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	h1, err := r.Register("a", func(*TaskCtx, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := r.MustRegister("b", func(*TaskCtx, []byte) error { return nil })
+	if h1 == h2 {
+		t.Error("duplicate handles")
+	}
+	if _, err := r.Register("a", func(*TaskCtx, []byte) error { return nil }); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := r.Register("c", nil); err == nil {
+		t.Error("nil func accepted")
+	}
+	if h, ok := r.Lookup("b"); !ok || h != h2 {
+		t.Error("lookup failed")
+	}
+	if _, ok := r.Lookup("zzz"); ok {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	if p, err := ParseProtocol("sws"); err != nil || p != SWS {
+		t.Error("sws parse failed")
+	}
+	if p, err := ParseProtocol("SDC"); err != nil || p != SDC {
+		t.Error("SDC parse failed")
+	}
+	if _, err := ParseProtocol("bogus"); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+	if SWS.String() != "sws" || SDC.String() != "sdc" {
+		t.Error("protocol strings wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	runWorld(t, 1, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		if _, err := New(c, nil, Config{}); err == nil {
+			return fmt.Errorf("nil registry accepted")
+		}
+		if _, err := New(c, NewRegistry(), Config{}); err == nil {
+			return fmt.Errorf("empty registry accepted")
+		}
+		if _, err := New(c, nil, Config{Protocol: Protocol(99)}); err == nil {
+			return fmt.Errorf("bogus protocol accepted")
+		}
+		return nil
+	})
+}
+
+// recursiveSumWorkload spawns a binary recursion of given depth; each leaf
+// adds 1 to a shared Go-level accumulator. The expected count is 2^depth
+// leaves, and the pool must execute 2^(depth+1)-1 tasks in total.
+func recursiveSumWorkload(t *testing.T, npes int, kind shmem.TransportKind, proto Protocol, depth uint64) {
+	t.Helper()
+	var leaves atomic.Int64
+	var totalExecuted atomic.Int64
+	runWorld(t, npes, kind, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			d := args[0]
+			if d == 0 {
+				leaves.Add(1)
+				return nil
+			}
+			for i := 0; i < 2; i++ {
+				if err := tc.Spawn(h, task.Args(d-1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p, err := New(c, reg, Config{Protocol: proto, Seed: 42, QueueCapacity: 2048})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, task.Args(depth)); err != nil {
+				return err
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		totalExecuted.Add(int64(p.Stats().TasksExecuted))
+		return nil
+	})
+	wantLeaves := int64(1) << depth
+	wantTasks := int64(1)<<(depth+1) - 1
+	if leaves.Load() != wantLeaves {
+		t.Errorf("leaves = %d, want %d", leaves.Load(), wantLeaves)
+	}
+	if totalExecuted.Load() != wantTasks {
+		t.Errorf("executed = %d, want %d", totalExecuted.Load(), wantTasks)
+	}
+}
+
+func TestRecursiveWorkloadSWS(t *testing.T) {
+	recursiveSumWorkload(t, 4, shmem.TransportLocal, SWS, 12)
+}
+
+func TestRecursiveWorkloadSDC(t *testing.T) {
+	recursiveSumWorkload(t, 4, shmem.TransportLocal, SDC, 12)
+}
+
+func TestRecursiveWorkloadSWSFused(t *testing.T) {
+	recursiveSumWorkload(t, 4, shmem.TransportLocal, SWSFused, 12)
+}
+
+func TestRecursiveWorkloadSinglePE(t *testing.T) {
+	recursiveSumWorkload(t, 1, shmem.TransportLocal, SWS, 10)
+}
+
+func TestRecursiveWorkloadTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp transport in -short mode")
+	}
+	recursiveSumWorkload(t, 3, shmem.TransportTCP, SWS, 9)
+	recursiveSumWorkload(t, 3, shmem.TransportTCP, SDC, 9)
+}
+
+func TestRecursiveWorkloadNoEpochsNoDamping(t *testing.T) {
+	var leaves atomic.Int64
+	runWorld(t, 3, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			if args[0] == 0 {
+				leaves.Add(1)
+				return nil
+			}
+			for i := 0; i < 2; i++ {
+				if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p, err := New(c, reg, Config{NoEpochs: true, NoDamping: true, Seed: 7, QueueCapacity: 2048})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, task.Args(uint64(11))); err != nil {
+				return err
+			}
+		}
+		return p.Run()
+	})
+	if leaves.Load() != 1<<11 {
+		t.Errorf("leaves = %d, want %d", leaves.Load(), 1<<11)
+	}
+}
+
+// Work seeded on every PE (not just rank 0) must all run.
+func TestAllPEsSeed(t *testing.T) {
+	var ran atomic.Int64
+	const perPE = 50
+	runWorld(t, 4, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		h := reg.MustRegister("one", func(tc *TaskCtx, payload []byte) error {
+			ran.Add(1)
+			return nil
+		})
+		p, err := New(c, reg, Config{Seed: 1})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < perPE; i++ {
+			if err := p.Add(h, nil); err != nil {
+				return err
+			}
+		}
+		return p.Run()
+	})
+	if ran.Load() != 4*perPE {
+		t.Errorf("ran %d tasks, want %d", ran.Load(), 4*perPE)
+	}
+}
+
+// Steals must actually happen when the work is seeded on one PE: the
+// paper's whole premise is load distribution.
+func TestWorkIsDistributed(t *testing.T) {
+	var executedBy [4]atomic.Int64
+	runWorld(t, 4, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			executedBy[tc.Rank()].Add(1)
+			if args[0] == 0 {
+				return nil
+			}
+			for i := 0; i < 4; i++ {
+				if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+					return err
+				}
+			}
+			// Enough work per task that thieves have time to engage.
+			busy := 0
+			for i := 0; i < 50000; i++ {
+				busy += i
+			}
+			_ = busy
+			return nil
+		})
+		p, err := New(c, reg, Config{Seed: 3, QueueCapacity: 4096})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, task.Args(uint64(6))); err != nil {
+				return err
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		if c.Rank() != 0 && p.Stats().StealsAttempted == 0 {
+			return fmt.Errorf("PE %d never attempted a steal", c.Rank())
+		}
+		return nil
+	})
+	helped := 0
+	for i := 1; i < 4; i++ {
+		if executedBy[i].Load() > 0 {
+			helped++
+		}
+	}
+	if helped == 0 {
+		t.Error("no work was ever stolen from the seeding PE")
+	}
+}
+
+// A failing task must abort the run with its error.
+func TestTaskErrorPropagates(t *testing.T) {
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := w.Run(func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		h := reg.MustRegister("boom", func(tc *TaskCtx, payload []byte) error {
+			return fmt.Errorf("deliberate failure")
+		})
+		p, err := New(c, reg, Config{})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, nil); err != nil {
+				return err
+			}
+		}
+		return p.Run()
+	})
+	if rerr == nil {
+		t.Fatal("task error swallowed")
+	}
+}
+
+// Executing a descriptor whose handle was never registered must fail
+// loudly, not crash.
+func TestUnknownHandle(t *testing.T) {
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerr := w.Run(func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		reg.MustRegister("only", func(tc *TaskCtx, payload []byte) error { return nil })
+		p, err := New(c, reg, Config{})
+		if err != nil {
+			return err
+		}
+		if err := p.Add(task.Handle(42), nil); err != nil {
+			return err
+		}
+		return p.Run()
+	})
+	if rerr == nil {
+		t.Fatal("unknown handle accepted")
+	}
+}
+
+func TestRunTwice(t *testing.T) {
+	runWorld(t, 1, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		reg.MustRegister("nop", func(tc *TaskCtx, payload []byte) error { return nil })
+		p, err := New(c, reg, Config{})
+		if err != nil {
+			return err
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		if err := p.Run(); err == nil {
+			return fmt.Errorf("second Run accepted")
+		}
+		return nil
+	})
+}
+
+// Spawn/execute accounting must balance across the world.
+func TestStatsBalance(t *testing.T) {
+	var spawned, executed atomic.Int64
+	runWorld(t, 3, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+			args, _ := task.ParseArgs(payload, 1)
+			if args[0] > 0 {
+				for i := 0; i < 3; i++ {
+					if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		p, err := New(c, reg, Config{Protocol: SDC, Seed: 5})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, task.Args(uint64(5))); err != nil {
+				return err
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		s := p.Stats()
+		spawned.Add(int64(s.TasksSpawned))
+		executed.Add(int64(s.TasksExecuted))
+		return nil
+	})
+	want := int64((243*3 - 1) / 2) // sum_{i=0..5} 3^i = 364
+	if spawned.Load() != want || executed.Load() != want {
+		t.Errorf("spawned=%d executed=%d, want %d each", spawned.Load(), executed.Load(), want)
+	}
+}
+
+// Tracing must capture the scheduling story of a run: executions on every
+// PE, successful steals, releases, and termination.
+func TestTracing(t *testing.T) {
+	tr, err := trace.NewSet(3, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorld(t, 3, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			if args[0] == 0 {
+				return nil
+			}
+			for i := 0; i < 2; i++ {
+				if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p, err := New(c, reg, Config{Seed: 3, Trace: tr})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, task.Args(uint64(10))); err != nil {
+				return err
+			}
+		}
+		return p.Run()
+	})
+	counts := tr.CountByKind()
+	if counts[trace.TaskExec] == 0 {
+		t.Error("no exec events traced")
+	}
+	if counts[trace.Terminated] != 3 {
+		t.Errorf("terminated events = %d, want 3", counts[trace.Terminated])
+	}
+	if counts[trace.Release] == 0 {
+		t.Error("no release events traced")
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exec") {
+		t.Error("dump missing exec events")
+	}
+}

@@ -1,0 +1,29 @@
+package ptimer
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCalibrateReasonable(t *testing.T) {
+	c := Calibrate()
+	if c.Overhead < 0 {
+		t.Fatalf("negative overhead %v", c.Overhead)
+	}
+	if c.Overhead > time.Millisecond {
+		t.Fatalf("implausible clock overhead %v", c.Overhead)
+	}
+}
+
+func TestSinceSubtractsOverhead(t *testing.T) {
+	c := Calibration{Overhead: time.Hour}
+	if d := c.Since(time.Now()); d != 0 {
+		t.Fatalf("Since with huge overhead = %v, want clamp to 0", d)
+	}
+	c = Calibration{}
+	start := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	if d := c.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("Since = %v, want >= 2ms", d)
+	}
+}

@@ -1,0 +1,182 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	for _, c := range []int{0, -1, -100} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%d): expected error", c)
+		}
+	}
+}
+
+func TestNewAccepts(t *testing.T) {
+	r, err := New(16)
+	if err != nil {
+		t.Fatalf("New(16): %v", err)
+	}
+	if r.Cap() != 16 {
+		t.Errorf("Cap() = %d, want 16", r.Cap())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestSlotWraps(t *testing.T) {
+	r := MustNew(8)
+	cases := []struct {
+		pos  uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {7, 7}, {8, 0}, {9, 1}, {15, 7}, {16, 0}, {800, 0}, {803, 3},
+	}
+	for _, c := range cases {
+		if got := r.Slot(c.pos); got != c.want {
+			t.Errorf("Slot(%d) = %d, want %d", c.pos, got, c.want)
+		}
+	}
+}
+
+func TestSpansNoWrap(t *testing.T) {
+	r := MustNew(10)
+	spans, n, err := r.Spans(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d spans, want 1", n)
+	}
+	if spans[0] != (Span{Start: 2, Count: 5}) {
+		t.Errorf("span = %+v", spans[0])
+	}
+}
+
+func TestSpansExactToEnd(t *testing.T) {
+	r := MustNew(10)
+	spans, n, err := r.Spans(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || spans[0] != (Span{Start: 5, Count: 5}) {
+		t.Errorf("got n=%d spans=%+v", n, spans)
+	}
+}
+
+func TestSpansWrap(t *testing.T) {
+	r := MustNew(10)
+	spans, n, err := r.Spans(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("got %d spans, want 2", n)
+	}
+	if spans[0] != (Span{Start: 8, Count: 2}) || spans[1] != (Span{Start: 0, Count: 3}) {
+		t.Errorf("spans = %+v", spans)
+	}
+}
+
+func TestSpansZeroLength(t *testing.T) {
+	r := MustNew(4)
+	_, n, err := r.Spans(3, 0)
+	if err != nil || n != 0 {
+		t.Errorf("Spans(3,0) = n=%d err=%v, want 0,nil", n, err)
+	}
+}
+
+func TestSpansFullCapacity(t *testing.T) {
+	r := MustNew(6)
+	spans, n, err := r.Spans(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("got %d spans, want 2", n)
+	}
+	if spans[0].Count+spans[1].Count != 6 {
+		t.Errorf("span counts sum to %d", spans[0].Count+spans[1].Count)
+	}
+}
+
+func TestSpansErrors(t *testing.T) {
+	r := MustNew(4)
+	if _, _, err := r.Spans(0, 5); err == nil {
+		t.Error("Spans longer than capacity: expected error")
+	}
+	if _, _, err := r.Spans(0, -1); err == nil {
+		t.Error("negative Spans length: expected error")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance(5, 12); d != 7 {
+		t.Errorf("Distance(5,12) = %d, want 7", d)
+	}
+	if d := Distance(3, 3); d != 0 {
+		t.Errorf("Distance(3,3) = %d, want 0", d)
+	}
+}
+
+func TestDistancePanicsOnInversion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Distance(2,1) did not panic")
+		}
+	}()
+	Distance(2, 1)
+}
+
+// Property: for any position and valid length, the spans returned cover
+// exactly the logical interval, in order, with no wrap inside a span.
+func TestSpansProperty(t *testing.T) {
+	r := MustNew(64)
+	f := func(pos uint64, n16 uint16) bool {
+		n := int(n16 % 65) // 0..64, all valid lengths
+		spans, cnt, err := r.Spans(pos, n)
+		if err != nil {
+			return false
+		}
+		total := 0
+		logical := pos
+		for i := 0; i < cnt; i++ {
+			s := spans[i]
+			if s.Count <= 0 || s.Start < 0 || s.Start+s.Count > r.Cap() {
+				return false
+			}
+			// Each physical slot must match the logical walk.
+			for j := 0; j < s.Count; j++ {
+				if r.Slot(logical) != s.Start+j {
+					return false
+				}
+				logical++
+			}
+			total += s.Count
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Slot is stable under adding multiples of the capacity.
+func TestSlotPeriodicProperty(t *testing.T) {
+	r := MustNew(48)
+	f := func(pos uint64, k uint8) bool {
+		shifted := pos + uint64(k)*48
+		return r.Slot(pos) == r.Slot(shifted)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

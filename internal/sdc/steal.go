@@ -1,0 +1,158 @@
+package sdc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/wsq"
+)
+
+// Steal attempts to steal half of the victim's shared tasks with the
+// six-communication SDC protocol (see the package comment). It returns
+// Empty if the victim advertised no work, and Disabled if the lock stayed
+// contended past Options.LockAttempts.
+func (q *Queue) Steal(victim int) ([]task.Desc, wsq.Outcome, error) {
+	if victim == q.ctx.Rank() {
+		return nil, wsq.Empty, fmt.Errorf("sdc: PE %d cannot steal from itself", victim)
+	}
+	if victim < 0 || victim >= q.ctx.NumPEs() {
+		return nil, wsq.Empty, fmt.Errorf("sdc: victim %d out of range [0, %d)", victim, q.ctx.NumPEs())
+	}
+
+	// (1) Acquire the remote lock, polling metadata while contended so an
+	// emptied queue aborts the attempt early.
+	ok, out, err := q.lockRemote(victim)
+	if err != nil {
+		return nil, wsq.Empty, err
+	}
+	if !ok {
+		return nil, out, nil
+	}
+
+	// (2) Fetch tail, sequence, and split in one 24-byte get.
+	var meta [3 * shmem.WordSize]byte
+	if err := q.ctx.Get(victim, q.metaWordAddr(tailWord), meta[:]); err != nil {
+		q.unlockRemote(victim)
+		return nil, wsq.Empty, err
+	}
+	tail := binary.NativeEndian.Uint64(meta[0:8])
+	seq := binary.NativeEndian.Uint64(meta[8:16])
+	split := binary.NativeEndian.Uint64(meta[16:24])
+	if split < tail {
+		q.unlockRemote(victim)
+		return nil, wsq.Empty, fmt.Errorf("sdc: victim %d metadata inverted: tail=%d split=%d", victim, tail, split)
+	}
+	avail := int(split - tail)
+	if avail == 0 {
+		// Aborting steal: nothing shared; unlock and walk away.
+		q.unlockRemote(victim)
+		return nil, wsq.Empty, nil
+	}
+
+	// Volume under the configured policy (default steal-half, matching
+	// SWS so the comparison isolates the communication structure).
+	k := q.opts.Policy.Block(avail, 0)
+	if k < 1 {
+		k = 1
+	}
+
+	// (3) Advance tail and bump the steal sequence in one 16-byte put.
+	var upd [2 * shmem.WordSize]byte
+	binary.NativeEndian.PutUint64(upd[0:8], tail+uint64(k))
+	binary.NativeEndian.PutUint64(upd[8:16], seq+1)
+	if err := q.ctx.Put(victim, q.metaWordAddr(tailWord), upd[:]); err != nil {
+		q.unlockRemote(victim)
+		return nil, wsq.Empty, err
+	}
+
+	// (4) Release the lock. The claim is durable; the copy is deferred.
+	if err := q.ctx.Store64(victim, q.metaWordAddr(lockWord), 0); err != nil {
+		return nil, wsq.Empty, err
+	}
+
+	// (5) Copy the claimed block (wrap-aware).
+	tasks, err := q.copyBlock(victim, tail, k)
+	if err != nil {
+		return nil, wsq.Empty, err
+	}
+
+	// (6) Deferred completion: non-blocking store of the claim size into
+	// the record slot for this steal's sequence number.
+	if err := q.ctx.Store64NBI(victim, q.recAddr(seq), uint64(k)); err != nil {
+		return nil, wsq.Empty, err
+	}
+	return tasks, wsq.Stolen, nil
+}
+
+// lockRemote spins on the victim's lock. It returns ok=false with an
+// outcome when the attempt should be abandoned: Empty if a metadata poll
+// saw no shared work (abort), Disabled if the lock stayed held for the
+// whole budget.
+func (q *Queue) lockRemote(victim int) (bool, wsq.Outcome, error) {
+	me := uint64(q.ctx.Rank() + 1)
+	for attempt := 0; attempt < q.opts.LockAttempts; attempt++ {
+		got, err := q.ctx.CompareSwap64(victim, q.metaWordAddr(lockWord), 0, me)
+		if err != nil {
+			return false, wsq.Empty, err
+		}
+		if got == 0 {
+			return true, wsq.Stolen, nil
+		}
+		if attempt == 0 {
+			q.lockContended++
+		}
+		if (attempt+1)%q.opts.ProbeEvery == 0 {
+			// Aborting steals: poll the metadata without the lock; if the
+			// shared portion emptied, give up now.
+			var meta [3 * shmem.WordSize]byte
+			if err := q.ctx.Get(victim, q.metaWordAddr(tailWord), meta[:]); err != nil {
+				return false, wsq.Empty, err
+			}
+			tail := binary.NativeEndian.Uint64(meta[0:8])
+			split := binary.NativeEndian.Uint64(meta[16:24])
+			if split <= tail {
+				q.abortedSteals++
+				return false, wsq.Empty, nil
+			}
+		}
+	}
+	q.abortedSteals++
+	return false, wsq.Disabled, nil
+}
+
+func (q *Queue) unlockRemote(victim int) {
+	// Best-effort: the address is validated, and a transport failure has
+	// already poisoned the world.
+	_ = q.ctx.Store64(victim, q.metaWordAddr(lockWord), 0)
+}
+
+// copyBlock fetches k slots starting at logical position tail from the
+// victim, unwrapping the ring as needed.
+func (q *Queue) copyBlock(victim int, start uint64, k int) ([]task.Desc, error) {
+	slotSize := q.codec.SlotSize()
+	buf := make([]byte, k*slotSize)
+	spans, n, err := q.ring.Spans(start, k)
+	if err != nil {
+		return nil, err
+	}
+	got := 0
+	for i := 0; i < n; i++ {
+		sp := spans[i]
+		addr := q.taskAddr + shmem.Addr(sp.Start*slotSize)
+		if err := q.ctx.Get(victim, addr, buf[got:got+sp.Count*slotSize]); err != nil {
+			return nil, err
+		}
+		got += sp.Count * slotSize
+	}
+	tasks := make([]task.Desc, k)
+	for i := range tasks {
+		d, err := q.codec.Decode(buf[i*slotSize:])
+		if err != nil {
+			return nil, fmt.Errorf("sdc: stolen slot %d from PE %d: %w", i, victim, err)
+		}
+		tasks[i] = d
+	}
+	return tasks, nil
+}

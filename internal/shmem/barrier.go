@@ -1,0 +1,144 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// barrier synchronizes the PEs of a world. Fully local worlds use the
+// condition-variable centralBarrier; distributed worlds synchronize
+// through reserved words on rank 0's symmetric heap (heapBarrier).
+type barrier interface {
+	wait() error
+	poison()
+}
+
+// centralBarrier is a reusable sense-reversing barrier. It synchronizes
+// all PEs of a world regardless of transport (for the TCP transport the
+// PEs still live in one process; a fully distributed barrier would belong
+// to a multi-process launcher).
+//
+// The barrier can be poisoned when the world fails so that surviving PEs
+// return an error instead of deadlocking on a peer that will never arrive.
+type centralBarrier struct {
+	n int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	phase    uint64
+	poisoned bool
+}
+
+func newCentralBarrier(n int) *centralBarrier {
+	b := &centralBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n PEs have called wait for the current phase.
+func (b *centralBarrier) wait() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		return fmt.Errorf("shmem: barrier poisoned by world failure")
+	}
+	phase := b.phase
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.phase == phase && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		return fmt.Errorf("shmem: barrier poisoned by world failure")
+	}
+	return nil
+}
+
+// poison wakes all waiters with an error and fails all future waits.
+func (b *centralBarrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Reserved symmetric-heap words for runtime internals (heap barrier
+// state). User allocations start after them on every world, keeping
+// addresses symmetric across deployment modes.
+const (
+	barrierArriveAddr Addr = 0 * WordSize // arrival count on rank 0
+	barrierGenAddr    Addr = 1 * WordSize // generation on rank 0
+	reservedHeapBytes      = 8 * WordSize
+)
+
+// heapBarrier is a sense-counting barrier over one-sided operations on
+// rank 0's heap: arrive with a fetch-add, release by bumping a generation
+// word that waiters poll. It works across OS processes because it only
+// uses the transport.
+type heapBarrier struct {
+	w       *World
+	rank, n int
+	gen     uint64
+	timeout time.Duration
+
+	poisoned atomic.Bool
+}
+
+func newHeapBarrier(w *World, rank, n int, timeout time.Duration) *heapBarrier {
+	if timeout == 0 {
+		timeout = 5 * time.Minute
+	}
+	return &heapBarrier{w: w, rank: rank, n: n, timeout: timeout}
+}
+
+func (b *heapBarrier) wait() error {
+	if b.poisoned.Load() {
+		return fmt.Errorf("shmem: barrier poisoned by world failure")
+	}
+	myGen := b.gen
+	prev, err := b.w.transport.fetchAdd64(b.rank, 0, barrierArriveAddr, 1)
+	if err != nil {
+		return fmt.Errorf("shmem: barrier arrive: %w", err)
+	}
+	if prev == uint64(b.n-1) {
+		// Last arriver: reset the count for the next generation, then
+		// release everyone. The order matters — the count must be clean
+		// before any released PE can arrive at the next barrier.
+		if err := b.w.transport.store64(b.rank, 0, barrierArriveAddr, 0); err != nil {
+			return fmt.Errorf("shmem: barrier reset: %w", err)
+		}
+		if _, err := b.w.transport.fetchAdd64(b.rank, 0, barrierGenAddr, 1); err != nil {
+			return fmt.Errorf("shmem: barrier release: %w", err)
+		}
+		b.gen++
+		return nil
+	}
+	deadline := time.Now().Add(b.timeout)
+	for {
+		g, err := b.w.transport.load64(b.rank, 0, barrierGenAddr)
+		if err != nil {
+			return fmt.Errorf("shmem: barrier poll: %w", err)
+		}
+		if g > myGen {
+			b.gen = g
+			return nil
+		}
+		if b.poisoned.Load() || b.w.failed.Load() {
+			return fmt.Errorf("shmem: barrier poisoned by world failure")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shmem: barrier timed out after %v (peer process lost?)", b.timeout)
+		}
+		time.Sleep(5 * time.Microsecond)
+	}
+}
+
+func (b *heapBarrier) poison() { b.poisoned.Store(true) }

@@ -1,0 +1,142 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Collectives built from one-sided operations and barriers, in the spirit
+// of OpenSHMEM's collective routines. All PEs must call each collective
+// with the same arguments (SPMD); the scratch/data addresses must come
+// from collective Allocs so they are symmetric.
+
+// Broadcast64 copies root's value to every PE and returns it. The word at
+// addr on every PE holds the value afterwards.
+func (c *Ctx) Broadcast64(root int, addr Addr, val uint64) (uint64, error) {
+	if root < 0 || root >= c.NumPEs() {
+		return 0, fmt.Errorf("shmem: broadcast root %d out of range [0, %d)", root, c.NumPEs())
+	}
+	if c.rank == root {
+		for pe := 0; pe < c.NumPEs(); pe++ {
+			if err := c.Store64NBI(pe, addr, val); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.Quiet(); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	v, err := c.Load64(c.rank, addr)
+	if err != nil {
+		return 0, err
+	}
+	// Closing barrier: the root must not start a subsequent collective
+	// (overwriting addr) before every PE has read its copy.
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// AllReduceSum64 sums every PE's val and returns the total on all PEs.
+// scratch must be a collectively allocated word.
+func (c *Ctx) AllReduceSum64(scratch Addr, val uint64) (uint64, error) {
+	// Round 1: a clean accumulator on rank 0.
+	if c.rank == 0 {
+		if err := c.Store64(0, scratch, 0); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	// Round 2: everyone contributes.
+	if err := c.Add64NBI(0, scratch, val); err != nil {
+		return 0, err
+	}
+	if err := c.Barrier(); err != nil { // barrier implies quiet
+		return 0, err
+	}
+	// Round 3: everyone reads the total, then a closing barrier keeps a
+	// subsequent reduction from zeroing the accumulator under a reader.
+	v, err := c.Load64(0, scratch)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// AllReduceMax64 returns the maximum of every PE's val on all PEs.
+// scratch must be a collectively allocated word.
+func (c *Ctx) AllReduceMax64(scratch Addr, val uint64) (uint64, error) {
+	if c.rank == 0 {
+		if err := c.Store64(0, scratch, 0); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	// CAS loop: losers retry until their value is no longer larger.
+	for {
+		cur, err := c.Load64(0, scratch)
+		if err != nil {
+			return 0, err
+		}
+		if cur >= val {
+			break
+		}
+		got, err := c.CompareSwap64(0, scratch, cur, val)
+		if err != nil {
+			return 0, err
+		}
+		if got == cur {
+			break
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	v, err := c.Load64(0, scratch)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// Gather64 collects every PE's val into the array at addr on root
+// (NumPEs words, collectively allocated) and returns the full table on
+// every PE (fetched from root).
+func (c *Ctx) Gather64(root int, addr Addr, val uint64) ([]uint64, error) {
+	if root < 0 || root >= c.NumPEs() {
+		return nil, fmt.Errorf("shmem: gather root %d out of range [0, %d)", root, c.NumPEs())
+	}
+	slot := addr + Addr(c.rank*WordSize)
+	if err := c.Store64NBI(root, slot, val); err != nil {
+		return nil, err
+	}
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, c.NumPEs()*WordSize)
+	if err := c.Get(root, addr, buf); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, c.NumPEs())
+	for i := range out {
+		out[i] = binary.NativeEndian.Uint64(buf[i*WordSize:])
+	}
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

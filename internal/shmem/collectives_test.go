@@ -1,0 +1,142 @@
+package shmem
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBroadcast64(t *testing.T) {
+	transports(t, func(t *testing.T, kind TransportKind) {
+		run(t, Config{NumPEs: 4, Transport: kind}, func(c *Ctx) error {
+			addr, err := c.Alloc(8)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			val := uint64(0)
+			if c.Rank() == 2 {
+				val = 777
+			}
+			got, err := c.Broadcast64(2, addr, val)
+			if err != nil {
+				return err
+			}
+			if got != 777 {
+				return fmt.Errorf("rank %d got %d, want 777", c.Rank(), got)
+			}
+			if _, err := c.Broadcast64(-1, addr, 0); err == nil {
+				return fmt.Errorf("bad root accepted")
+			}
+			return c.Barrier()
+		})
+	})
+}
+
+func TestAllReduceSum64(t *testing.T) {
+	run(t, Config{NumPEs: 5}, func(c *Ctx) error {
+		scratch, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Twice, to prove the accumulator resets between uses.
+		for round := 0; round < 2; round++ {
+			got, err := c.AllReduceSum64(scratch, uint64(c.Rank()+1))
+			if err != nil {
+				return err
+			}
+			if got != 15 { // 1+2+3+4+5
+				return fmt.Errorf("round %d rank %d: sum=%d, want 15", round, c.Rank(), got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllReduceMax64(t *testing.T) {
+	run(t, Config{NumPEs: 4}, func(c *Ctx) error {
+		scratch, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		got, err := c.AllReduceMax64(scratch, uint64(10*(c.Rank()+1)))
+		if err != nil {
+			return err
+		}
+		if got != 40 {
+			return fmt.Errorf("rank %d: max=%d, want 40", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestGather64(t *testing.T) {
+	run(t, Config{NumPEs: 4}, func(c *Ctx) error {
+		addr, err := c.Alloc(4 * 8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		table, err := c.Gather64(1, addr, uint64(c.Rank()*c.Rank()))
+		if err != nil {
+			return err
+		}
+		for i, v := range table {
+			if v != uint64(i*i) {
+				return fmt.Errorf("rank %d: table[%d]=%d, want %d", c.Rank(), i, v, i*i)
+			}
+		}
+		if _, err := c.Gather64(9, addr, 0); err == nil {
+			return fmt.Errorf("bad root accepted")
+		}
+		return c.Barrier()
+	})
+}
+
+// Collectives must also work across a distributed world.
+func TestDistCollectives(t *testing.T) {
+	errs := joinWorld(t, 3, func(c *Ctx) error {
+		scratch, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		gaddr, err := c.Alloc(3 * 8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		sum, err := c.AllReduceSum64(scratch, uint64(c.Rank()+1))
+		if err != nil {
+			return err
+		}
+		if sum != 6 {
+			return fmt.Errorf("sum=%d, want 6", sum)
+		}
+		table, err := c.Gather64(0, gaddr, uint64(c.Rank()+100))
+		if err != nil {
+			return err
+		}
+		for i, v := range table {
+			if v != uint64(i+100) {
+				return fmt.Errorf("table[%d]=%d", i, v)
+			}
+		}
+		return c.Barrier()
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

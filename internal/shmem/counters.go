@@ -1,0 +1,155 @@
+package shmem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Op identifies a one-sided operation kind for counting and fault injection.
+type Op int
+
+const (
+	OpPut Op = iota
+	OpGet
+	OpFetchAdd
+	OpSwap
+	OpCompareSwap
+	OpLoad
+	OpStore
+	OpStoreNBI
+	OpAddNBI
+	OpPutNBI
+	OpFetchAddGet
+	numOps
+)
+
+var opNames = [...]string{
+	OpPut:         "put",
+	OpGet:         "get",
+	OpFetchAdd:    "fetch-add",
+	OpSwap:        "swap",
+	OpCompareSwap: "compare-swap",
+	OpLoad:        "atomic-fetch",
+	OpStore:       "atomic-store",
+	OpStoreNBI:    "atomic-store-nbi",
+	OpAddNBI:      "atomic-add-nbi",
+	OpPutNBI:      "put-nbi",
+	OpFetchAddGet: "fetch-add-get",
+}
+
+func (o Op) String() string {
+	if o >= 0 && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Blocking reports whether the operation blocks the initiator until it
+// completes at the target.
+func (o Op) Blocking() bool {
+	switch o {
+	case OpStoreNBI, OpAddNBI, OpPutNBI:
+		return false
+	default:
+		return true
+	}
+}
+
+// Counters tallies the remote one-sided operations issued by one PE.
+// Local (self-targeted) operations are counted separately: they are plain
+// memory accesses and do not represent network traffic, which is what
+// Figure 2 of the paper audits.
+type Counters struct {
+	ops      [numOps]atomic.Uint64
+	bytesPut atomic.Uint64
+	bytesGot atomic.Uint64
+	local    atomic.Uint64
+}
+
+func (c *Counters) countRemote(op Op, payload int) {
+	c.ops[op].Add(1)
+	switch op {
+	case OpPut, OpPutNBI:
+		c.bytesPut.Add(uint64(payload))
+	case OpGet:
+		c.bytesGot.Add(uint64(payload))
+	}
+}
+
+func (c *Counters) countLocal() { c.local.Add(1) }
+
+// CounterSnapshot is an immutable copy of a Counters at a point in time.
+type CounterSnapshot struct {
+	Ops      [numOps]uint64
+	BytesPut uint64
+	BytesGot uint64
+	Local    uint64
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() CounterSnapshot {
+	var s CounterSnapshot
+	for i := range c.ops {
+		s.Ops[i] = c.ops[i].Load()
+	}
+	s.BytesPut = c.bytesPut.Load()
+	s.BytesGot = c.bytesGot.Load()
+	s.Local = c.local.Load()
+	return s
+}
+
+// Sub returns the per-op difference s - earlier, for attributing operation
+// counts to a window of activity (e.g. one steal).
+func (s CounterSnapshot) Sub(earlier CounterSnapshot) CounterSnapshot {
+	var d CounterSnapshot
+	for i := range s.Ops {
+		d.Ops[i] = s.Ops[i] - earlier.Ops[i]
+	}
+	d.BytesPut = s.BytesPut - earlier.BytesPut
+	d.BytesGot = s.BytesGot - earlier.BytesGot
+	d.Local = s.Local - earlier.Local
+	return d
+}
+
+// Total returns the total number of remote operations in the snapshot.
+func (s CounterSnapshot) Total() uint64 {
+	var t uint64
+	for _, v := range s.Ops {
+		t += v
+	}
+	return t
+}
+
+// Blocking returns the number of remote blocking operations in the snapshot.
+func (s CounterSnapshot) Blocking() uint64 {
+	var t uint64
+	for op := Op(0); op < numOps; op++ {
+		if op.Blocking() {
+			t += s.Ops[op]
+		}
+	}
+	return t
+}
+
+// NonBlocking returns the number of remote non-blocking operations.
+func (s CounterSnapshot) NonBlocking() uint64 { return s.Total() - s.Blocking() }
+
+// Of returns the count for a single operation kind.
+func (s CounterSnapshot) Of(op Op) uint64 { return s.Ops[op] }
+
+func (s CounterSnapshot) String() string {
+	out := ""
+	for op := Op(0); op < numOps; op++ {
+		if s.Ops[op] == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", op, s.Ops[op])
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package shmem
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Ctx is a PE's handle to the world: its identity, its symmetric heap, and
+// the one-sided operations it may perform on any PE's heap. A Ctx is bound
+// to the goroutine running its PE's body and is not safe for concurrent
+// use by multiple goroutines.
+type Ctx struct {
+	w        *World
+	rank     int
+	self     *peState
+	counters Counters
+
+	// allocCursor is this PE's symmetric-allocation bump pointer. All PEs
+	// must perform the same sequence of Alloc calls (SPMD style), which
+	// makes the returned offsets symmetric, as with shmem_malloc.
+	allocCursor Addr
+}
+
+func (w *World) newCtx(rank int) *Ctx {
+	// The first words of every heap are reserved for runtime internals
+	// (distributed barrier state); user allocations start past them so
+	// addresses stay symmetric across deployment modes.
+	return &Ctx{w: w, rank: rank, self: w.pes[rank], allocCursor: reservedHeapBytes}
+}
+
+// Rank returns this PE's rank in [0, NumPEs).
+func (c *Ctx) Rank() int { return c.rank }
+
+// NumPEs returns the number of PEs in the world.
+func (c *Ctx) NumPEs() int { return c.w.cfg.NumPEs }
+
+// Counters returns this PE's communication counters.
+func (c *Ctx) Counters() *Counters { return &c.counters }
+
+// Err reports the world's fatal error, if any: another PE's body failed
+// or the transport died. Long-running loops should poll it so one PE's
+// failure unwinds the whole world instead of leaving peers spinning.
+func (c *Ctx) Err() error {
+	if !c.w.failed.Load() {
+		return nil
+	}
+	if err := c.w.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("shmem: world failed")
+}
+
+// Alloc reserves n bytes of symmetric heap, aligned to WordSize, and
+// returns the offset. Alloc must be called collectively: every PE must
+// perform the same sequence of Alloc calls so the offsets coincide
+// (verified cheaply at the next Barrier when the world is local).
+func (c *Ctx) Alloc(n int) (Addr, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("shmem: negative allocation %d", n)
+	}
+	size := Addr((n + WordSize - 1) &^ (WordSize - 1))
+	if uint64(c.allocCursor)+uint64(size) > uint64(len(c.self.bytes)) {
+		return 0, fmt.Errorf("shmem: symmetric heap exhausted: want %d bytes at %#x, heap is %d bytes",
+			n, uint64(c.allocCursor), len(c.self.bytes))
+	}
+	addr := c.allocCursor
+	c.allocCursor += size
+	return addr, nil
+}
+
+// MustAlloc is Alloc that treats exhaustion as fatal, for setup code.
+func (c *Ctx) MustAlloc(n int) Addr {
+	a, err := c.Alloc(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Barrier synchronizes all PEs. It also completes this PE's outstanding
+// non-blocking operations first (OpenSHMEM's barrier_all implies quiet).
+func (c *Ctx) Barrier() error {
+	if err := c.Quiet(); err != nil {
+		return err
+	}
+	return c.w.barrier.wait()
+}
+
+// Quiet blocks until all non-blocking operations issued by this PE have
+// been applied at their targets.
+func (c *Ctx) Quiet() error { return c.w.transport.quiet(c.rank) }
+
+// --- Blocking one-sided operations ---------------------------------------
+
+// Put copies src into PE pe's heap at addr and blocks until complete.
+func (c *Ctx) Put(pe int, addr Addr, src []byte) error {
+	if pe == c.rank {
+		if err := c.self.checkRange(addr, len(src)); err != nil {
+			return err
+		}
+		c.counters.countLocal()
+		c.self.copyIn(addr, src)
+		return nil
+	}
+	c.counters.countRemote(OpPut, len(src))
+	return c.w.transport.put(c.rank, pe, addr, src)
+}
+
+// Get copies len(dst) bytes from PE pe's heap at addr into dst.
+func (c *Ctx) Get(pe int, addr Addr, dst []byte) error {
+	if pe == c.rank {
+		if err := c.self.checkRange(addr, len(dst)); err != nil {
+			return err
+		}
+		c.counters.countLocal()
+		c.self.copyOut(addr, dst)
+		return nil
+	}
+	c.counters.countRemote(OpGet, len(dst))
+	return c.w.transport.get(c.rank, pe, addr, dst)
+}
+
+// FetchAdd64 atomically adds delta to the word at addr on PE pe and
+// returns the previous value.
+func (c *Ctx) FetchAdd64(pe int, addr Addr, delta uint64) (uint64, error) {
+	if pe == c.rank {
+		i, err := c.self.checkWord(addr)
+		if err != nil {
+			return 0, err
+		}
+		c.counters.countLocal()
+		return atomic.AddUint64(c.self.word(i), delta) - delta, nil
+	}
+	c.counters.countRemote(OpFetchAdd, 0)
+	return c.w.transport.fetchAdd64(c.rank, pe, addr, delta)
+}
+
+// Swap64 atomically replaces the word at addr on PE pe with val and
+// returns the previous value.
+func (c *Ctx) Swap64(pe int, addr Addr, val uint64) (uint64, error) {
+	if pe == c.rank {
+		i, err := c.self.checkWord(addr)
+		if err != nil {
+			return 0, err
+		}
+		c.counters.countLocal()
+		return atomic.SwapUint64(c.self.word(i), val), nil
+	}
+	c.counters.countRemote(OpSwap, 0)
+	return c.w.transport.swap64(c.rank, pe, addr, val)
+}
+
+// CompareSwap64 atomically replaces the word at addr on PE pe with new if
+// it equals old, returning the previous value (OpenSHMEM fetching CAS).
+func (c *Ctx) CompareSwap64(pe int, addr Addr, old, new uint64) (uint64, error) {
+	if pe == c.rank {
+		i, err := c.self.checkWord(addr)
+		if err != nil {
+			return 0, err
+		}
+		c.counters.countLocal()
+		for {
+			cur := atomic.LoadUint64(c.self.word(i))
+			if cur != old {
+				return cur, nil
+			}
+			if atomic.CompareAndSwapUint64(c.self.word(i), old, new) {
+				return old, nil
+			}
+		}
+	}
+	c.counters.countRemote(OpCompareSwap, 0)
+	return c.w.transport.compareSwap64(c.rank, pe, addr, old, new)
+}
+
+// Load64 atomically fetches the word at addr on PE pe.
+func (c *Ctx) Load64(pe int, addr Addr) (uint64, error) {
+	if pe == c.rank {
+		i, err := c.self.checkWord(addr)
+		if err != nil {
+			return 0, err
+		}
+		c.counters.countLocal()
+		return atomic.LoadUint64(c.self.word(i)), nil
+	}
+	c.counters.countRemote(OpLoad, 0)
+	return c.w.transport.load64(c.rank, pe, addr)
+}
+
+// Store64 atomically stores val to the word at addr on PE pe and blocks
+// until the store is visible at the target.
+func (c *Ctx) Store64(pe int, addr Addr, val uint64) error {
+	if pe == c.rank {
+		i, err := c.self.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		c.counters.countLocal()
+		atomic.StoreUint64(c.self.word(i), val)
+		return nil
+	}
+	c.counters.countRemote(OpStore, 0)
+	return c.w.transport.store64(c.rank, pe, addr, val)
+}
+
+// --- Non-blocking one-sided operations ------------------------------------
+
+// Store64NBI injects an atomic store and returns immediately. Completion
+// is observed via Quiet (or Barrier). Self-targeted stores apply
+// immediately.
+func (c *Ctx) Store64NBI(pe int, addr Addr, val uint64) error {
+	if pe == c.rank {
+		return c.Store64(pe, addr, val)
+	}
+	c.counters.countRemote(OpStoreNBI, 0)
+	return c.w.transport.storeNBI(c.rank, pe, addr, val)
+}
+
+// Add64NBI injects a non-fetching atomic add and returns immediately.
+func (c *Ctx) Add64NBI(pe int, addr Addr, delta uint64) error {
+	if pe == c.rank {
+		_, err := c.FetchAdd64(pe, addr, delta)
+		return err
+	}
+	c.counters.countRemote(OpAddNBI, 0)
+	return c.w.transport.addNBI(c.rank, pe, addr, delta)
+}
+
+// PutNBI injects a bulk put and returns immediately.
+func (c *Ctx) PutNBI(pe int, addr Addr, src []byte) error {
+	if pe == c.rank {
+		return c.Put(pe, addr, src)
+	}
+	c.counters.countRemote(OpPutNBI, len(src))
+	return c.w.transport.putNBI(c.rank, pe, addr, src)
+}
+
+// --- Point-to-point synchronization ----------------------------------------
+
+// Cmp is a comparison operator for WaitUntil64 (OpenSHMEM's shmem_wait_until).
+type Cmp int
+
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpGT
+	CmpGE
+	CmpLT
+	CmpLE
+)
+
+func (c Cmp) String() string {
+	switch c {
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	default:
+		return fmt.Sprintf("Cmp(%d)", int(c))
+	}
+}
+
+func (c Cmp) eval(a, b uint64) (bool, error) {
+	switch c {
+	case CmpEQ:
+		return a == b, nil
+	case CmpNE:
+		return a != b, nil
+	case CmpGT:
+		return a > b, nil
+	case CmpGE:
+		return a >= b, nil
+	case CmpLT:
+		return a < b, nil
+	case CmpLE:
+		return a <= b, nil
+	default:
+		return false, fmt.Errorf("shmem: unknown comparison %d", int(c))
+	}
+}
+
+// WaitUntil64 blocks until the word at addr in THIS PE's heap satisfies
+// `value cmp operand` — OpenSHMEM's point-to-point synchronization: a peer
+// flips the word with a one-sided store and this PE observes it without
+// any message exchange. It returns the satisfying value, or an error if
+// the world fails or the timeout (0 = none) expires.
+func (c *Ctx) WaitUntil64(addr Addr, cmp Cmp, operand uint64, timeout time.Duration) (uint64, error) {
+	i, err := c.self.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for spins := 0; ; spins++ {
+		v := atomic.LoadUint64(c.self.word(i))
+		ok, err := cmp.eval(v, operand)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return v, nil
+		}
+		if werr := c.Err(); werr != nil {
+			return 0, werr
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return 0, fmt.Errorf("shmem: WaitUntil64(%#x %v %d) timed out after %v (last value %d)",
+				uint64(addr), cmp, operand, timeout, v)
+		}
+		if spins%64 == 63 {
+			time.Sleep(time.Microsecond)
+		} else {
+			yield()
+		}
+	}
+}

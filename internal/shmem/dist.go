@@ -1,0 +1,323 @@
+package shmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// DistConfig describes one process's membership in a multi-process world:
+// every process hosts exactly one PE and reaches its peers over TCP. Rank
+// 0 additionally runs the rendezvous service on Coordinator where peers
+// exchange their per-PE listener addresses.
+type DistConfig struct {
+	// Rank is this process's PE rank in [0, NumPEs).
+	Rank int
+	// NumPEs is the world size (number of processes).
+	NumPEs int
+	// Coordinator is the host:port rank 0 listens on for the rendezvous;
+	// other ranks dial it.
+	Coordinator string
+	// HeapBytes is the symmetric heap size (identical on every rank).
+	HeapBytes int
+	// Latency optionally layers the injected cost model on top of the
+	// real network.
+	Latency LatencyModel
+	// Fault optionally injects faults (initiator side).
+	Fault FaultInjector
+	// BarrierTimeout bounds barrier waits (default 5m): a lost peer
+	// process surfaces as an error instead of a hang.
+	BarrierTimeout time.Duration
+	// RendezvousTimeout bounds the address exchange (default 30s).
+	RendezvousTimeout time.Duration
+}
+
+func (c *DistConfig) setDefaults() error {
+	if c.NumPEs < 1 {
+		return fmt.Errorf("shmem: NumPEs must be >= 1, got %d", c.NumPEs)
+	}
+	if c.Rank < 0 || c.Rank >= c.NumPEs {
+		return fmt.Errorf("shmem: rank %d out of range [0, %d)", c.Rank, c.NumPEs)
+	}
+	if c.Coordinator == "" {
+		return fmt.Errorf("shmem: Coordinator address required")
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 1 << 20
+	}
+	if c.HeapBytes < WordSize {
+		return fmt.Errorf("shmem: HeapBytes must be >= %d, got %d", WordSize, c.HeapBytes)
+	}
+	c.HeapBytes = (c.HeapBytes + WordSize - 1) &^ (WordSize - 1)
+	if c.RendezvousTimeout == 0 {
+		c.RendezvousTimeout = 30 * time.Second
+	}
+	return nil
+}
+
+// Join creates this process's slice of a distributed world: it allocates
+// the local PE's heap, starts the PE service listener, exchanges
+// addresses with every peer through the coordinator, and returns a World
+// whose Run executes the body once, for the local rank.
+//
+// Every process must call Join with an identical configuration except
+// Rank. The returned world's one-sided operations against remote ranks
+// travel over TCP to the peer processes ("RMA over RPC").
+func Join(cfg DistConfig) (*World, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg: Config{
+			NumPEs:    cfg.NumPEs,
+			HeapBytes: cfg.HeapBytes,
+			Latency:   cfg.Latency,
+			Transport: TransportTCP,
+			Fault:     cfg.Fault,
+		},
+		localRank: cfg.Rank,
+	}
+	// Only the local PE's heap exists in this process.
+	w.pes = make([]*peState, cfg.NumPEs)
+	w.pes[cfg.Rank] = newPEState(cfg.Rank, cfg.HeapBytes)
+
+	t, err := newDistTransport(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.transport = t
+	w.barrier = newHeapBarrier(w, cfg.Rank, cfg.NumPEs, cfg.BarrierTimeout)
+	return w, nil
+}
+
+// runLocalRank is World.Run for a distributed world: execute the body for
+// the single local PE, then tear the transport down.
+func (w *World) runLocalRank(body func(*Ctx) error) error {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("shmem: PE %d panicked: %v", w.localRank, r)
+			}
+		}()
+		err = body(w.newCtx(w.localRank))
+	}()
+	if err != nil {
+		w.fail(fmt.Errorf("shmem: PE %d failed: %w", w.localRank, err))
+	}
+	if cerr := w.transport.close(); cerr != nil && err == nil {
+		err = fmt.Errorf("shmem: closing transport: %w", cerr)
+	}
+	return err
+}
+
+// newDistTransport builds the cross-process TCP transport: a listener and
+// service loop for the local rank, plus the rendezvous that fills in every
+// peer's address.
+func newDistTransport(w *World, cfg DistConfig) (*tcpTransport, error) {
+	t := &tcpTransport{
+		w:     w,
+		sync_: make(map[connKey]*syncConn),
+		async: make(map[connKey]*asyncConn),
+	}
+	t.listeners = make([]net.Listener, cfg.NumPEs)
+	t.addrs = make([]string, cfg.NumPEs)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("shmem: listen for PE %d: %w", cfg.Rank, err)
+	}
+	t.listeners[cfg.Rank] = ln
+	self := ln.Addr().String()
+	t.wg.Add(1)
+	go t.serve(cfg.Rank, ln)
+
+	addrs, err := rendezvous(cfg, self)
+	if err != nil {
+		_ = t.close()
+		return nil, err
+	}
+	copy(t.addrs, addrs)
+	if t.addrs[cfg.Rank] != self {
+		_ = t.close()
+		return nil, fmt.Errorf("shmem: rendezvous table lists %q for rank %d, want %q",
+			t.addrs[cfg.Rank], cfg.Rank, self)
+	}
+	return t, nil
+}
+
+// Rendezvous wire format (all little-endian):
+//   peer -> coordinator:  rank uint32, alen uint16, addr bytes
+//   coordinator -> peer:  n uint32, then n x (alen uint16, addr bytes)
+
+// rendezvous exchanges PE service addresses through rank 0.
+func rendezvous(cfg DistConfig, self string) ([]string, error) {
+	if cfg.NumPEs == 1 {
+		return []string{self}, nil
+	}
+	if cfg.Rank == 0 {
+		return rendezvousServe(cfg, self)
+	}
+	return rendezvousDial(cfg, self)
+}
+
+func rendezvousServe(cfg DistConfig, self string) ([]string, error) {
+	ln, err := net.Listen("tcp", cfg.Coordinator)
+	if err != nil {
+		return nil, fmt.Errorf("shmem: rendezvous listen on %s: %w", cfg.Coordinator, err)
+	}
+	defer ln.Close()
+	type reg struct {
+		conn net.Conn
+		rank int
+	}
+	addrs := make([]string, cfg.NumPEs)
+	addrs[0] = self
+	regs := make([]reg, 0, cfg.NumPEs-1)
+	deadline := time.Now().Add(cfg.RendezvousTimeout)
+	for len(regs) < cfg.NumPEs-1 {
+		if dl, ok := ln.(*net.TCPListener); ok {
+			if err := dl.SetDeadline(deadline); err != nil {
+				return nil, err
+			}
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			for _, r := range regs {
+				r.conn.Close()
+			}
+			return nil, fmt.Errorf("shmem: rendezvous accept (have %d/%d peers): %w",
+				len(regs), cfg.NumPEs-1, err)
+		}
+		rank, addr, err := readRegistration(conn)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("shmem: rendezvous registration: %w", err)
+		}
+		if rank <= 0 || rank >= cfg.NumPEs || addrs[rank] != "" {
+			conn.Close()
+			return nil, fmt.Errorf("shmem: rendezvous got invalid or duplicate rank %d", rank)
+		}
+		addrs[rank] = addr
+		regs = append(regs, reg{conn, rank})
+	}
+	for _, r := range regs {
+		err := writeTable(r.conn, addrs)
+		r.conn.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shmem: rendezvous reply to rank %d: %w", r.rank, err)
+		}
+	}
+	return addrs, nil
+}
+
+func rendezvousDial(cfg DistConfig, self string) ([]string, error) {
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(cfg.RendezvousTimeout)
+	for {
+		conn, err = net.DialTimeout("tcp", cfg.Coordinator, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shmem: rendezvous dial %s: %w", cfg.Coordinator, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(cfg.RendezvousTimeout)); err != nil {
+		return nil, err
+	}
+	if err := writeRegistration(conn, cfg.Rank, self); err != nil {
+		return nil, fmt.Errorf("shmem: rendezvous register: %w", err)
+	}
+	addrs, err := readTable(conn, cfg.NumPEs)
+	if err != nil {
+		return nil, fmt.Errorf("shmem: rendezvous table: %w", err)
+	}
+	return addrs, nil
+}
+
+func writeRegistration(conn net.Conn, rank int, addr string) error {
+	w := bufio.NewWriter(conn)
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(rank))
+	binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(addr)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.WriteString(addr); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readRegistration(conn net.Conn) (int, string, error) {
+	r := bufio.NewReader(conn)
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, "", err
+	}
+	rank := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	alen := int(binary.LittleEndian.Uint16(hdr[4:6]))
+	addr := make([]byte, alen)
+	if _, err := io.ReadFull(r, addr); err != nil {
+		return 0, "", err
+	}
+	return rank, string(addr), nil
+}
+
+func writeTable(conn net.Conn, addrs []string) error {
+	w := bufio.NewWriter(conn)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(addrs)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	for _, a := range addrs {
+		var alen [2]byte
+		binary.LittleEndian.PutUint16(alen[:], uint16(len(a)))
+		if _, err := w.Write(alen[:]); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(a); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func readTable(conn net.Conn, want int) ([]string, error) {
+	r := bufio.NewReader(conn)
+	var nbuf [4]byte
+	if _, err := io.ReadFull(r, nbuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(nbuf[:]))
+	if n != want {
+		return nil, fmt.Errorf("table has %d entries, want %d", n, want)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		var alen [2]byte
+		if _, err := io.ReadFull(r, alen[:]); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, binary.LittleEndian.Uint16(alen[:]))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		addrs[i] = string(buf)
+	}
+	return addrs, nil
+}
+
+// listenLoopback reserves a loopback TCP listener (exposed for tests and
+// launchers that need to pick a coordinator port).
+func listenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

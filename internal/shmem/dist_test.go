@@ -1,0 +1,209 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a loopback port for a coordinator.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := listenLoopback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// joinWorld runs n Join members concurrently (each with its own World —
+// the same code path OS processes take, here sharing a process only for
+// test convenience) and applies body on each.
+func joinWorld(t *testing.T, n int, body func(*Ctx) error) []error {
+	t.Helper()
+	coord := freeAddr(t)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			w, err := Join(DistConfig{
+				Rank:              rank,
+				NumPEs:            n,
+				Coordinator:       coord,
+				HeapBytes:         1 << 20,
+				BarrierTimeout:    time.Minute,
+				RendezvousTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = fmt.Errorf("join rank %d: %w", rank, err)
+				return
+			}
+			errs[rank] = w.Run(body)
+		}(rank)
+	}
+	wg.Wait()
+	return errs
+}
+
+func TestDistConfigValidation(t *testing.T) {
+	bad := []DistConfig{
+		{Rank: 0, NumPEs: 0, Coordinator: "x"},
+		{Rank: -1, NumPEs: 2, Coordinator: "x"},
+		{Rank: 2, NumPEs: 2, Coordinator: "x"},
+		{Rank: 0, NumPEs: 2},
+		{Rank: 0, NumPEs: 1, Coordinator: "x", HeapBytes: 4},
+	}
+	for i, cfg := range bad {
+		if _, err := Join(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDistSingleRank(t *testing.T) {
+	errs := joinWorld(t, 1, func(c *Ctx) error {
+		if c.NumPEs() != 1 || c.Rank() != 0 {
+			return fmt.Errorf("identity wrong: %d/%d", c.Rank(), c.NumPEs())
+		}
+		addr, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Store64(0, addr, 42); err != nil {
+			return err
+		}
+		v, err := c.Load64(0, addr)
+		if err != nil || v != 42 {
+			return fmt.Errorf("load: %d, %v", v, err)
+		}
+		return c.Barrier()
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistPutGetAcrossMembers(t *testing.T) {
+	errs := joinWorld(t, 3, func(c *Ctx) error {
+		addr, err := c.Alloc(64)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Each rank writes a tagged message into its right neighbour.
+		right := (c.Rank() + 1) % c.NumPEs()
+		msg := []byte(fmt.Sprintf("from rank %d!", c.Rank()))
+		if err := c.Put(right, addr, msg); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		left := (c.Rank() + c.NumPEs() - 1) % c.NumPEs()
+		want := fmt.Sprintf("from rank %d!", left)
+		got := make([]byte, len(want))
+		if err := c.Get(c.Rank(), addr, got); err != nil {
+			return err
+		}
+		if string(got) != want {
+			return fmt.Errorf("rank %d got %q, want %q", c.Rank(), got, want)
+		}
+		return c.Barrier()
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistAtomicsAndBarrier(t *testing.T) {
+	const n = 4
+	const each = 25
+	errs := joinWorld(t, n, func(c *Ctx) error {
+		addr, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		for i := 0; i < each; i++ {
+			if _, err := c.FetchAdd64(0, addr, 1); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		v, err := c.Load64(0, addr)
+		if err != nil {
+			return err
+		}
+		if v != n*each {
+			return fmt.Errorf("counter = %d, want %d", v, n*each)
+		}
+		// Several more barrier generations to exercise the heap barrier's
+		// count-reset protocol.
+		for i := 0; i < 5; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistNBIQuiet(t *testing.T) {
+	errs := joinWorld(t, 2, func(c *Ctx) error {
+		addr, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for i := 0; i < 50; i++ {
+				if err := c.Add64NBI(0, addr, 2); err != nil {
+					return err
+				}
+			}
+			if err := c.Quiet(); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			v, err := c.Load64(0, addr)
+			if err != nil {
+				return err
+			}
+			if v != 100 {
+				return fmt.Errorf("after quiet: %d, want 100", v)
+			}
+		}
+		return c.Barrier()
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

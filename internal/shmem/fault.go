@@ -1,0 +1,99 @@
+package shmem
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultInjector intercepts one-sided operations before they are applied,
+// for testing protocol robustness. Implementations must be safe for
+// concurrent use by every PE.
+type FaultInjector interface {
+	// Before is called once per operation. The returned delay is charged
+	// (on top of the latency model) before the operation applies; if
+	// duplicate is true and the operation is idempotent to duplicate
+	// (non-fetching stores and adds are not duplicated — only delivery of
+	// identical stores), it is applied twice, emulating fabric-level
+	// retransmission of a completed-but-unacknowledged store.
+	Before(op Op, from, to int, addr Addr) (delay time.Duration, duplicate bool)
+}
+
+// DelayFaults injects a random delay into a fraction of non-blocking
+// operations. It stresses exactly the window the paper's completion epochs
+// exist for: steal-completion notifications that arrive long after the
+// claim, possibly after the owner has started an acquire.
+type DelayFaults struct {
+	// Fraction of matching operations to delay, in [0, 1].
+	Fraction float64
+	// MaxDelay is the upper bound of the uniformly random delay.
+	MaxDelay time.Duration
+	// Ops restricts injection to these operation kinds; empty means all
+	// non-blocking kinds.
+	Ops []Op
+	// Seed makes the injection reproducible.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (d *DelayFaults) init() {
+	d.rng = rand.New(rand.NewSource(d.Seed))
+}
+
+// Before implements FaultInjector.
+func (d *DelayFaults) Before(op Op, from, to int, addr Addr) (time.Duration, bool) {
+	d.once.Do(d.init)
+	if !d.matches(op) {
+		return 0, false
+	}
+	d.mu.Lock()
+	hit := d.rng.Float64() < d.Fraction
+	var delay time.Duration
+	if hit && d.MaxDelay > 0 {
+		delay = time.Duration(d.rng.Int63n(int64(d.MaxDelay)))
+	}
+	d.mu.Unlock()
+	return delay, false
+}
+
+func (d *DelayFaults) matches(op Op) bool {
+	if len(d.Ops) == 0 {
+		return !op.Blocking()
+	}
+	for _, o := range d.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// DuplicateFaults re-delivers a fraction of idempotent stores, emulating a
+// fabric retransmitting an operation whose ack was lost. Only OpStoreNBI
+// and OpStore are duplicated: a duplicated store of the same value is the
+// only duplication a reliable-delivery fabric can surface to these
+// protocols (fetch-adds are acknowledged with their fetch and never
+// retried blindly).
+type DuplicateFaults struct {
+	Fraction float64
+	Seed     int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// Before implements FaultInjector.
+func (d *DuplicateFaults) Before(op Op, from, to int, addr Addr) (time.Duration, bool) {
+	if op != OpStoreNBI && op != OpStore {
+		return 0, false
+	}
+	d.once.Do(func() { d.rng = rand.New(rand.NewSource(d.Seed)) })
+	d.mu.Lock()
+	hit := d.rng.Float64() < d.Fraction
+	d.mu.Unlock()
+	return 0, hit
+}

@@ -1,0 +1,139 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Fused operations emulate a programmable NIC in the style of the
+// Portals 4 work the reproduced paper cites as its inspiration (§1: prior
+// work "reduced communications for steal transactions to a single network
+// round-trip" using next-generation interconnect offload). A fused
+// fetch-add-get performs an atomic fetch-add and a dependent get — whose
+// address range is *computed at the target from the fetched value* — in
+// one round trip.
+//
+// The range computation is a handler registered identically on every PE
+// (SPMD), addressed by a symmetric id, so nothing but plain data crosses
+// the wire: the initiator sends (word address, delta, handler id) and the
+// target-side service — the "NIC" — runs the handler on the fetched value
+// to decide which bytes to return. Handlers must be pure functions of the
+// fetched value: they run outside the owner's goroutine.
+
+// FusedRange maps a fetched word to at most two heap ranges to read (two
+// because a circular-buffer block may wrap). Return n=0 spans for "no
+// data" (e.g. the word shows nothing claimable).
+type FusedRange func(old uint64) (ranges [2]FusedSpan, n int)
+
+// FusedSpan is one contiguous heap range.
+type FusedSpan struct {
+	Addr Addr
+	N    int
+}
+
+// fusedRegistry holds the world's handlers.
+type fusedRegistry struct {
+	mu sync.RWMutex
+	m  map[uint64]FusedRange
+}
+
+func (r *fusedRegistry) register(id uint64, f FusedRange) error {
+	if f == nil {
+		return fmt.Errorf("shmem: nil fused handler")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[uint64]FusedRange)
+	}
+	if _, dup := r.m[id]; dup {
+		// SPMD worlds register the same symmetric handler once per PE;
+		// keep the first copy. Handlers must be identical per id.
+		return nil
+	}
+	r.m[id] = f
+	return nil
+}
+
+func (r *fusedRegistry) lookup(id uint64) (FusedRange, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.m[id]
+	return f, ok
+}
+
+// RegisterFused installs a fused-range handler under a symmetric id.
+// Every PE must register the same handler under the same id (SPMD);
+// duplicate registrations keep the first copy. A convenient unique id is
+// the symmetric address of the word the fused op targets. Registering on
+// one PE of a local world is visible to all; each process of a
+// distributed world registers its own copy.
+func (c *Ctx) RegisterFused(id uint64, f FusedRange) error {
+	return c.w.fused.register(id, f)
+}
+
+// FetchAddGet atomically adds delta to the word at addr on PE pe and, in
+// the same round trip, returns the bytes selected by the registered
+// handler applied to the prior value. One blocking communication.
+func (c *Ctx) FetchAddGet(pe int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
+	if pe == c.rank {
+		i, err := c.self.checkWord(addr)
+		if err != nil {
+			return 0, nil, err
+		}
+		c.counters.countLocal()
+		old := atomic.AddUint64(c.self.word(i), delta) - delta
+		data, err := c.w.applyFused(c.self, old, id)
+		return old, data, err
+	}
+	c.counters.countRemote(OpFetchAddGet, 0)
+	old, data, err := c.w.transport.fetchAddGet(c.rank, pe, addr, delta, id)
+	if err == nil {
+		c.counters.bytesGot.Add(uint64(len(data)))
+	}
+	return old, data, err
+}
+
+// applyFused runs the handler against a target heap and gathers the
+// selected bytes (the "NIC-side" half of a fused op).
+func (w *World) applyFused(pe *peState, old uint64, id uint64) ([]byte, error) {
+	f, ok := w.fused.lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("shmem: fused handler %d not registered", id)
+	}
+	ranges, n, total := fusedSpans(f, old)
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, 0, total)
+	for i := 0; i < n; i++ {
+		sp := ranges[i]
+		if err := pe.checkRange(sp.Addr, sp.N); err != nil {
+			return nil, fmt.Errorf("shmem: fused handler %d produced bad range: %w", id, err)
+		}
+		buf := make([]byte, sp.N)
+		pe.copyOut(sp.Addr, buf)
+		out = append(out, buf...)
+	}
+	return out, nil
+}
+
+// fusedSpans normalizes a handler's output.
+func fusedSpans(f FusedRange, old uint64) ([2]FusedSpan, int, int) {
+	ranges, n := f(old)
+	if n < 0 {
+		n = 0
+	}
+	if n > 2 {
+		n = 2
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		if ranges[i].N < 0 {
+			ranges[i].N = 0
+		}
+		total += ranges[i].N
+	}
+	return ranges, n, total
+}

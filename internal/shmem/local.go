@@ -1,0 +1,286 @@
+package shmem
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// localTransport executes one-sided operations directly against the target
+// heap from the initiating goroutine — the software analogue of NIC-side
+// RDMA/atomic offload: the target PE's worker code is never involved.
+//
+// Blocking operations charge LatencyModel.BlockingRTT (+ bandwidth) before
+// returning, emulating the initiator waiting on a network round-trip.
+//
+// Non-blocking operations are handed to a per-target applier goroutine and
+// charged only the injection overhead; Quiet waits for the initiator's
+// outstanding injections to be applied. Routing NBI ops through an applier
+// (instead of applying them inline) preserves the essential weak-ordering
+// property the protocols must tolerate: a steal-completion store may land
+// at the target well after the thief has moved on.
+type localTransport struct {
+	w        *World
+	appliers []*nbiApplier
+}
+
+// nbiOp is a deferred non-blocking operation.
+type nbiOp struct {
+	op    Op
+	from  int
+	addr  Addr
+	val   uint64 // for storeNBI / addNBI
+	data  []byte // for putNBI (owned copy)
+	delay time.Duration
+	dup   bool
+}
+
+// nbiApplier serializes deferred operations onto one target PE's heap.
+type nbiApplier struct {
+	target *peState
+	w      *World
+	ch     chan nbiOp
+	done   chan struct{}
+}
+
+const nbiQueueDepth = 1024
+
+func newLocalTransport(w *World) *localTransport {
+	t := &localTransport{w: w}
+	t.appliers = make([]*nbiApplier, len(w.pes))
+	for i, pe := range w.pes {
+		a := &nbiApplier{target: pe, w: w, ch: make(chan nbiOp, nbiQueueDepth), done: make(chan struct{})}
+		t.appliers[i] = a
+		go a.run()
+	}
+	return t
+}
+
+func (a *nbiApplier) run() {
+	defer close(a.done)
+	for op := range a.ch {
+		if op.delay > 0 {
+			time.Sleep(op.delay)
+		}
+		a.apply(op)
+		if op.dup {
+			a.apply(op)
+		}
+		a.w.pes[op.from].nbiPending.Add(-1)
+	}
+}
+
+func (a *nbiApplier) apply(op nbiOp) {
+	switch op.op {
+	case OpStoreNBI:
+		if i, err := a.target.checkWord(op.addr); err == nil {
+			atomic.StoreUint64(a.target.word(i), op.val)
+		} else {
+			a.w.fail(err)
+		}
+	case OpAddNBI:
+		if i, err := a.target.checkWord(op.addr); err == nil {
+			atomic.AddUint64(a.target.word(i), op.val)
+		} else {
+			a.w.fail(err)
+		}
+	case OpPutNBI:
+		if err := a.target.checkRange(op.addr, len(op.data)); err == nil {
+			a.target.copyIn(op.addr, op.data)
+		} else {
+			a.w.fail(err)
+		}
+	default:
+		a.w.fail(fmt.Errorf("shmem: applier received blocking op %v", op.op))
+	}
+}
+
+func (t *localTransport) pe(to int) (*peState, error) {
+	if to < 0 || to >= len(t.w.pes) {
+		return nil, fmt.Errorf("shmem: target PE %d out of range [0, %d)", to, len(t.w.pes))
+	}
+	return t.w.pes[to], nil
+}
+
+// inject runs the fault hook (if any) and returns the extra delay/dup.
+func (t *localTransport) inject(op Op, from, to int, addr Addr) (time.Duration, bool) {
+	if f := t.w.cfg.Fault; f != nil {
+		return f.Before(op, from, to, addr)
+	}
+	return 0, false
+}
+
+func (t *localTransport) put(from, to int, addr Addr, src []byte) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	if err := pe.checkRange(addr, len(src)); err != nil {
+		return err
+	}
+	d, _ := t.inject(OpPut, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(src)) + d)
+	pe.copyIn(addr, src)
+	return nil
+}
+
+func (t *localTransport) get(from, to int, addr Addr, dst []byte) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	if err := pe.checkRange(addr, len(dst)); err != nil {
+		return err
+	}
+	d, _ := t.inject(OpGet, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + d)
+	pe.copyOut(addr, dst)
+	return nil
+}
+
+func (t *localTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	d, _ := t.inject(OpFetchAdd, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	return atomic.AddUint64(pe.word(i), delta) - delta, nil
+}
+
+func (t *localTransport) swap64(from, to int, addr Addr, val uint64) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	d, _ := t.inject(OpSwap, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	return atomic.SwapUint64(pe.word(i), val), nil
+}
+
+func (t *localTransport) compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	d, _ := t.inject(OpCompareSwap, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	// Emulate SHMEM's fetching compare-and-swap: returns the prior value.
+	for {
+		cur := atomic.LoadUint64(pe.word(i))
+		if cur != old {
+			return cur, nil
+		}
+		if atomic.CompareAndSwapUint64(pe.word(i), old, new) {
+			return old, nil
+		}
+	}
+}
+
+func (t *localTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, nil, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	d, _ := t.inject(OpFetchAddGet, from, to, addr)
+	old := atomic.AddUint64(pe.word(i), delta) - delta
+	data, err := t.w.applyFused(pe, old, id)
+	if err != nil {
+		return 0, nil, err
+	}
+	// One round trip covers the claim and the dependent payload.
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(data)) + d)
+	return old, data, nil
+}
+
+func (t *localTransport) load64(from, to int, addr Addr) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	d, _ := t.inject(OpLoad, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	return atomic.LoadUint64(pe.word(i)), nil
+}
+
+func (t *localTransport) store64(from, to int, addr Addr, val uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return err
+	}
+	d, _ := t.inject(OpStore, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	atomic.StoreUint64(pe.word(i), val)
+	return nil
+}
+
+func (t *localTransport) enqueueNBI(op nbiOp, to int) error {
+	if to < 0 || to >= len(t.appliers) {
+		return fmt.Errorf("shmem: target PE %d out of range [0, %d)", to, len(t.appliers))
+	}
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.InjectOverhead)
+	t.w.pes[op.from].nbiPending.Add(1)
+	t.appliers[to].ch <- op
+	return nil
+}
+
+func (t *localTransport) storeNBI(from, to int, addr Addr, val uint64) error {
+	d, dup := t.inject(OpStoreNBI, from, to, addr)
+	return t.enqueueNBI(nbiOp{op: OpStoreNBI, from: from, addr: addr, val: val, delay: d, dup: dup}, to)
+}
+
+func (t *localTransport) addNBI(from, to int, addr Addr, delta uint64) error {
+	d, dup := t.inject(OpAddNBI, from, to, addr)
+	if dup {
+		// Duplicating an add is not idempotent; reliable fabrics never
+		// blindly retry atomics. Ignore the duplication request.
+		dup = false
+	}
+	return t.enqueueNBI(nbiOp{op: OpAddNBI, from: from, addr: addr, val: delta, delay: d, dup: dup}, to)
+}
+
+func (t *localTransport) putNBI(from, to int, addr Addr, src []byte) error {
+	d, dup := t.inject(OpPutNBI, from, to, addr)
+	data := make([]byte, len(src))
+	copy(data, src)
+	return t.enqueueNBI(nbiOp{op: OpPutNBI, from: from, addr: addr, data: data, delay: d, dup: dup}, to)
+}
+
+func (t *localTransport) quiet(from int) error {
+	pe := t.w.pes[from]
+	return t.w.spinUntil(func() bool { return pe.nbiPending.Load() == 0 })
+}
+
+func (t *localTransport) close() error {
+	for _, a := range t.appliers {
+		close(a.ch)
+	}
+	for _, a := range t.appliers {
+		<-a.done
+	}
+	return nil
+}

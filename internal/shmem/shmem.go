@@ -1,0 +1,315 @@
+// Package shmem emulates an OpenSHMEM-style partitioned global address
+// space (PGAS) for the work-stealing runtimes in this repository.
+//
+// The paper this repository reproduces (Cartier, Dinan, Larkins, ICPP 2021)
+// builds its task queues on OpenSHMEM one-sided communication: puts, gets,
+// and 64-bit atomic operations executed against a symmetric heap without
+// involving the target CPU. Go has no MPI/RMA ecosystem, so this package
+// supplies the closest synthetic equivalent:
+//
+//   - Every processing element (PE) owns a symmetric heap. Collective
+//     allocations performed in the same order on every PE yield the same
+//     offset everywhere, as with shmem_malloc.
+//   - One-sided operations (Put, Get, FetchAdd64, Swap64, CompareSwap64,
+//     Load64, Store64, and their non-blocking variants) act on a target
+//     PE's heap without any cooperation from the target's worker code,
+//     mirroring NIC-side RDMA and atomic offload.
+//   - A configurable latency model charges each blocking operation a
+//     network round-trip and each non-blocking injection a (smaller)
+//     overhead, so protocol-level communication counts translate into
+//     measured time the same way they do on a real fabric.
+//
+// Two transports are provided: a local transport (PEs are goroutines in
+// one address space; the default, used by all benchmarks) and a TCP
+// transport (operations are marshalled over real sockets to a per-PE
+// service goroutine, exercising a genuine network path).
+//
+// The package deliberately keeps OpenSHMEM's flat, rank-addressed flavor:
+// addresses are byte offsets into the symmetric heap, word operations
+// require 8-byte alignment, and ordering is explicit (Quiet).
+package shmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Addr is a byte offset into the symmetric heap. The same Addr names the
+// same logical object on every PE (symmetric addressing).
+type Addr uint64
+
+// WordSize is the size of the atomic unit, in bytes. All atomic operations
+// act on 64-bit words at WordSize-aligned addresses.
+const WordSize = 8
+
+// TransportKind selects the communication substrate.
+type TransportKind int
+
+const (
+	// TransportLocal runs all PEs as goroutines in one address space.
+	// One-sided operations are executed by the initiating goroutine
+	// directly against the target heap (as NIC offload would), with
+	// latency injected per the world's LatencyModel.
+	TransportLocal TransportKind = iota
+	// TransportTCP marshals every one-sided operation over a loopback
+	// TCP connection to a per-PE service goroutine that applies it to
+	// the target heap. Latency is whatever the real sockets provide
+	// (plus the model, if configured).
+	TransportTCP
+)
+
+func (k TransportKind) String() string {
+	switch k {
+	case TransportLocal:
+		return "local"
+	case TransportTCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", int(k))
+	}
+}
+
+// Config describes a world of PEs.
+type Config struct {
+	// NumPEs is the number of processing elements. Must be >= 1.
+	NumPEs int
+	// HeapBytes is the symmetric heap size per PE, in bytes.
+	// Rounded up to a multiple of WordSize. Default 1 MiB.
+	HeapBytes int
+	// Latency is the injected communication cost model.
+	// The zero value charges nothing (suitable for correctness tests).
+	Latency LatencyModel
+	// Transport selects the substrate. Default TransportLocal.
+	Transport TransportKind
+	// Fault, if non-nil, intercepts operations for fault injection.
+	Fault FaultInjector
+}
+
+func (c *Config) setDefaults() error {
+	if c.NumPEs < 1 {
+		return fmt.Errorf("shmem: NumPEs must be >= 1, got %d", c.NumPEs)
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 1 << 20
+	}
+	if c.HeapBytes < WordSize {
+		return fmt.Errorf("shmem: HeapBytes must be >= %d, got %d", WordSize, c.HeapBytes)
+	}
+	c.HeapBytes = (c.HeapBytes + WordSize - 1) &^ (WordSize - 1)
+	return nil
+}
+
+// World owns the PEs, their heaps, and the transport.
+type World struct {
+	cfg       Config
+	pes       []*peState
+	transport transport
+	barrier   barrier
+
+	// localRank is >= 0 when this World hosts exactly one PE of a larger
+	// distributed world (see Join); -1 for fully local worlds.
+	localRank int
+
+	// fused holds the registered fused-operation handlers (see fused.go).
+	fused fusedRegistry
+
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+// peState is the per-PE symmetric heap plus NBI bookkeeping.
+type peState struct {
+	rank  int
+	words []uint64 // backing store; guarantees 8-byte alignment
+	bytes []byte   // byte view over words
+
+	// nbiPending counts non-blocking operations issued *by* this PE that
+	// have not yet been applied at their targets. Quiet spins on it.
+	nbiPending atomic.Int64
+}
+
+func newPEState(rank, heapBytes int) *peState {
+	words := make([]uint64, heapBytes/WordSize)
+	var bytes []byte
+	if len(words) > 0 {
+		bytes = unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*WordSize)
+	}
+	return &peState{rank: rank, words: words, bytes: bytes}
+}
+
+// NewWorld validates the configuration and builds the world. PEs do not
+// run until Run is called.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	w := &World{cfg: cfg, localRank: -1}
+	w.pes = make([]*peState, cfg.NumPEs)
+	for i := range w.pes {
+		w.pes[i] = newPEState(i, cfg.HeapBytes)
+	}
+	w.barrier = newCentralBarrier(cfg.NumPEs)
+	switch cfg.Transport {
+	case TransportLocal:
+		w.transport = newLocalTransport(w)
+	case TransportTCP:
+		t, err := newTCPTransport(w)
+		if err != nil {
+			return nil, fmt.Errorf("shmem: starting tcp transport: %w", err)
+		}
+		w.transport = t
+	default:
+		return nil, fmt.Errorf("shmem: unknown transport %v", cfg.Transport)
+	}
+	return w, nil
+}
+
+// NumPEs returns the number of processing elements in the world.
+func (w *World) NumPEs() int { return w.cfg.NumPEs }
+
+// Config returns a copy of the world's (defaulted) configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// fail records the first fatal world error (e.g. a transport failure) and
+// poisons barriers so PEs do not deadlock waiting for a dead peer.
+func (w *World) fail(err error) {
+	if err == nil {
+		return
+	}
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+	w.failed.Store(true)
+	w.barrier.poison()
+}
+
+// Err returns the recorded fatal world error, if any.
+func (w *World) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+// Run executes body once per PE, each on its own goroutine, and waits for
+// all of them. It returns the first body error, joined with any fatal
+// world error. Run may be called only once per World.
+//
+// For a distributed world (Join), only the local PE runs in this process.
+func (w *World) Run(body func(*Ctx) error) error {
+	if w.localRank >= 0 {
+		return w.runLocalRank(body)
+	}
+	errs := make([]error, w.cfg.NumPEs)
+	var wg sync.WaitGroup
+	for rank := 0; rank < w.cfg.NumPEs; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("shmem: PE %d panicked: %v", rank, r)
+					w.fail(errs[rank])
+				}
+			}()
+			ctx := w.newCtx(rank)
+			errs[rank] = body(ctx)
+			if errs[rank] != nil {
+				// A failed PE will never reach later barriers; poison them
+				// so its peers unwind instead of deadlocking.
+				w.fail(fmt.Errorf("shmem: PE %d failed: %w", rank, errs[rank]))
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if cerr := w.transport.close(); cerr != nil {
+		errs = append(errs, fmt.Errorf("shmem: closing transport: %w", cerr))
+	}
+	errs = append(errs, w.Err())
+	return errors.Join(errs...)
+}
+
+// checkWord validates a word-aligned, in-bounds atomic address.
+func (p *peState) checkWord(addr Addr) (int, error) {
+	if addr%WordSize != 0 {
+		return 0, fmt.Errorf("shmem: unaligned atomic address %#x", uint64(addr))
+	}
+	i := int(addr / WordSize)
+	if i < 0 || i >= len(p.words) {
+		return 0, fmt.Errorf("shmem: atomic address %#x out of heap bounds (%d bytes)", uint64(addr), len(p.bytes))
+	}
+	return i, nil
+}
+
+// checkRange validates an in-bounds byte range.
+func (p *peState) checkRange(addr Addr, n int) error {
+	if n < 0 {
+		return fmt.Errorf("shmem: negative transfer length %d", n)
+	}
+	end := uint64(addr) + uint64(n)
+	if end > uint64(len(p.bytes)) || end < uint64(addr) {
+		return fmt.Errorf("shmem: range [%#x, %#x) out of heap bounds (%d bytes)", uint64(addr), end, len(p.bytes))
+	}
+	return nil
+}
+
+// word returns the atomic word slot for addr; the caller must have
+// validated it with checkWord.
+func (p *peState) word(i int) *uint64 { return &p.words[i] }
+
+// copyIn writes src into the heap at addr. The word-aligned body of the
+// transfer is written with per-word atomic stores: heap regions are
+// routinely read by one PE while written by another under protocol-level
+// (not lock-level) ordering — e.g. a thief copying a claimed task block —
+// and per-word atomics give every such transfer a well-defined place in
+// the memory model on all transports. Payload layouts are word-aligned by
+// construction; ragged edges fall back to plain copies. The caller must
+// have validated the range with checkRange.
+func (p *peState) copyIn(addr Addr, src []byte) {
+	i := 0
+	if addr%WordSize == 0 {
+		base := int(addr) / WordSize
+		for ; i+WordSize <= len(src); i += WordSize {
+			atomic.StoreUint64(&p.words[base+i/WordSize], binary.NativeEndian.Uint64(src[i:]))
+		}
+	}
+	copy(p.bytes[int(addr)+i:int(addr)+len(src)], src[i:])
+}
+
+// copyOut reads len(dst) bytes from the heap at addr into dst, with the
+// same per-word atomicity as copyIn.
+func (p *peState) copyOut(addr Addr, dst []byte) {
+	i := 0
+	if addr%WordSize == 0 {
+		base := int(addr) / WordSize
+		for ; i+WordSize <= len(dst); i += WordSize {
+			binary.NativeEndian.PutUint64(dst[i:], atomic.LoadUint64(&p.words[base+i/WordSize]))
+		}
+	}
+	copy(dst[i:], p.bytes[int(addr)+i:int(addr)+len(dst)])
+}
+
+// spinUntil busy-waits until cond returns true or the world fails.
+// A yield keeps oversubscribed worlds (more PEs than cores) live.
+func (w *World) spinUntil(cond func() bool) error {
+	for i := 0; ; i++ {
+		if cond() {
+			return nil
+		}
+		if w.failed.Load() {
+			return fmt.Errorf("shmem: world failed while waiting: %w", w.Err())
+		}
+		if i%64 == 63 {
+			time.Sleep(time.Microsecond)
+		} else {
+			yield()
+		}
+	}
+}

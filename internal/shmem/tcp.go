@@ -1,0 +1,541 @@
+package shmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tcpTransport marshals every one-sided operation over loopback TCP to a
+// per-PE service goroutine that applies it to the target heap. This is the
+// "emulate RMA over RPC" substitution: the service goroutine plays the role
+// of the NIC — the target PE's worker code is still never involved.
+//
+// Each (initiator, target) pair uses up to two connections:
+//   - a sync connection carrying request/response round-trips for blocking
+//     operations, and
+//   - an async connection carrying pipelined non-blocking operations whose
+//     acks are drained by a reader goroutine into the initiator's
+//     nbiPending counter (consumed by Quiet).
+type tcpTransport struct {
+	w         *World
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	sync_ map[connKey]*syncConn
+	async map[connKey]*asyncConn
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+type connKey struct {
+	from, to int
+	kind     byte
+}
+
+const (
+	connSync  byte = 0
+	connAsync byte = 1
+)
+
+// Wire format. All integers little-endian.
+//
+// Connection preamble (initiator -> server):
+//   kind uint8, from uint32
+// Request:
+//   op uint8, addr uint64, val1 uint64, val2 uint64, plen uint32, payload
+// Sync response:
+//   status uint8, val uint64, plen uint32, payload
+//   (status 0 = ok; otherwise payload is an error string)
+// Async ack (server -> initiator): one byte per applied op.
+
+type syncConn struct {
+	mu sync.Mutex
+	rw *bufio.ReadWriter
+	c  net.Conn
+}
+
+type asyncConn struct {
+	mu sync.Mutex // serializes writers
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+func newTCPTransport(w *World) (*tcpTransport, error) {
+	t := &tcpTransport{
+		w:     w,
+		sync_: make(map[connKey]*syncConn),
+		async: make(map[connKey]*asyncConn),
+	}
+	t.listeners = make([]net.Listener, len(w.pes))
+	t.addrs = make([]string, len(w.pes))
+	for i := range w.pes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.close()
+			return nil, fmt.Errorf("listen for PE %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.wg.Add(1)
+		go t.serve(i, ln)
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) serve(rank int, ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !t.closed.Load() {
+				t.w.fail(fmt.Errorf("shmem/tcp: accept on PE %d: %w", rank, err))
+			}
+			return
+		}
+		t.wg.Add(1)
+		go t.handle(rank, conn)
+	}
+}
+
+// handle services one connection against this PE's heap.
+func (t *tcpTransport) handle(rank int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var pre [5]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return // peer vanished before preamble; nothing to clean up
+	}
+	kind := pre[0]
+	pe := t.w.pes[rank]
+	for {
+		op, addr, v1, v2, payload, err := readRequest(r)
+		if err != nil {
+			if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				t.w.fail(fmt.Errorf("shmem/tcp: PE %d read request: %w", rank, err))
+			}
+			return
+		}
+		status := byte(0)
+		var rv uint64
+		var rp []byte
+		if aerr := t.applyOp(pe, op, addr, v1, v2, payload, &rv, &rp); aerr != nil {
+			status, rp = 1, []byte(aerr.Error())
+		}
+		if kind == connSync {
+			if err := writeResponse(w, status, rv, rp); err != nil {
+				t.w.fail(fmt.Errorf("shmem/tcp: PE %d write response: %w", rank, err))
+				return
+			}
+		} else {
+			if status != 0 {
+				t.w.fail(fmt.Errorf("shmem/tcp: PE %d async op failed: %s", rank, rp))
+			}
+			if err := w.WriteByte(1); err != nil || w.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// applyOp executes a one-sided op on the local heap, exactly as the local
+// transport's initiator/applier would.
+func (t *tcpTransport) applyOp(pe *peState, op Op, addr Addr, v1, v2 uint64, payload []byte, rv *uint64, rp *[]byte) error {
+	switch op {
+	case OpFetchAddGet:
+		i, err := pe.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		old := atomic.AddUint64(pe.word(i), v1) - v1
+		data, err := t.w.applyFused(pe, old, v2)
+		if err != nil {
+			return err
+		}
+		*rv = old
+		*rp = data
+	case OpPut, OpPutNBI:
+		if err := pe.checkRange(addr, len(payload)); err != nil {
+			return err
+		}
+		pe.copyIn(addr, payload)
+	case OpGet:
+		n := int(v1)
+		if err := pe.checkRange(addr, n); err != nil {
+			return err
+		}
+		buf := make([]byte, n)
+		pe.copyOut(addr, buf)
+		*rp = buf
+	case OpFetchAdd:
+		i, err := pe.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		*rv = atomic.AddUint64(pe.word(i), v1) - v1
+	case OpSwap:
+		i, err := pe.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		*rv = atomic.SwapUint64(pe.word(i), v1)
+	case OpCompareSwap:
+		i, err := pe.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		for {
+			cur := atomic.LoadUint64(pe.word(i))
+			if cur != v1 {
+				*rv = cur
+				return nil
+			}
+			if atomic.CompareAndSwapUint64(pe.word(i), v1, v2) {
+				*rv = v1
+				return nil
+			}
+		}
+	case OpLoad:
+		i, err := pe.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		*rv = atomic.LoadUint64(pe.word(i))
+	case OpStore, OpStoreNBI:
+		i, err := pe.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		atomic.StoreUint64(pe.word(i), v1)
+	case OpAddNBI:
+		i, err := pe.checkWord(addr)
+		if err != nil {
+			return err
+		}
+		atomic.AddUint64(pe.word(i), v1)
+	default:
+		return fmt.Errorf("shmem/tcp: unknown op %d", op)
+	}
+	return nil
+}
+
+func readRequest(r *bufio.Reader) (Op, Addr, uint64, uint64, []byte, error) {
+	var hdr [29]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	op := Op(hdr[0])
+	addr := Addr(binary.LittleEndian.Uint64(hdr[1:9]))
+	v1 := binary.LittleEndian.Uint64(hdr[9:17])
+	v2 := binary.LittleEndian.Uint64(hdr[17:25])
+	plen := binary.LittleEndian.Uint32(hdr[25:29])
+	var payload []byte
+	if plen > 0 {
+		payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, 0, 0, 0, nil, err
+		}
+	}
+	return op, addr, v1, v2, payload, nil
+}
+
+func writeRequest(w *bufio.Writer, op Op, addr Addr, v1, v2 uint64, payload []byte) error {
+	var hdr [29]byte
+	hdr[0] = byte(op)
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(addr))
+	binary.LittleEndian.PutUint64(hdr[9:17], v1)
+	binary.LittleEndian.PutUint64(hdr[17:25], v2)
+	binary.LittleEndian.PutUint32(hdr[25:29], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func writeResponse(w *bufio.Writer, status byte, val uint64, payload []byte) error {
+	var hdr [13]byte
+	hdr[0] = status
+	binary.LittleEndian.PutUint64(hdr[1:9], val)
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+func readResponse(r *bufio.Reader) (byte, uint64, []byte, error) {
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	status := hdr[0]
+	val := binary.LittleEndian.Uint64(hdr[1:9])
+	plen := binary.LittleEndian.Uint32(hdr[9:13])
+	var payload []byte
+	if plen > 0 {
+		payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return status, val, payload, nil
+}
+
+func (t *tcpTransport) dial(from, to int, kind byte) (net.Conn, error) {
+	if to < 0 || to >= len(t.addrs) {
+		return nil, fmt.Errorf("shmem/tcp: target PE %d out of range [0, %d)", to, len(t.addrs))
+	}
+	conn, err := net.DialTimeout("tcp", t.addrs[to], 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("shmem/tcp: dial PE %d: %w", to, err)
+	}
+	var pre [5]byte
+	pre[0] = kind
+	binary.LittleEndian.PutUint32(pre[1:], uint32(from))
+	if _, err := conn.Write(pre[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("shmem/tcp: preamble to PE %d: %w", to, err)
+	}
+	return conn, nil
+}
+
+func (t *tcpTransport) syncConn(from, to int) (*syncConn, error) {
+	key := connKey{from, to, connSync}
+	t.mu.Lock()
+	if sc, ok := t.sync_[key]; ok {
+		t.mu.Unlock()
+		return sc, nil
+	}
+	t.mu.Unlock()
+	conn, err := t.dial(from, to, connSync)
+	if err != nil {
+		return nil, err
+	}
+	sc := &syncConn{
+		rw: bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+		c:  conn,
+	}
+	t.mu.Lock()
+	if prior, ok := t.sync_[key]; ok {
+		t.mu.Unlock()
+		conn.Close()
+		return prior, nil
+	}
+	t.sync_[key] = sc
+	t.mu.Unlock()
+	return sc, nil
+}
+
+func (t *tcpTransport) asyncConn(from, to int) (*asyncConn, error) {
+	key := connKey{from, to, connAsync}
+	t.mu.Lock()
+	if ac, ok := t.async[key]; ok {
+		t.mu.Unlock()
+		return ac, nil
+	}
+	t.mu.Unlock()
+	conn, err := t.dial(from, to, connAsync)
+	if err != nil {
+		return nil, err
+	}
+	ac := &asyncConn{w: bufio.NewWriter(conn), c: conn}
+	t.mu.Lock()
+	if prior, ok := t.async[key]; ok {
+		t.mu.Unlock()
+		conn.Close()
+		return prior, nil
+	}
+	t.async[key] = ac
+	t.mu.Unlock()
+	// Drain acks into the initiator's pending counter.
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		r := bufio.NewReader(conn)
+		buf := make([]byte, 256)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				t.w.pes[from].nbiPending.Add(-int64(n))
+			}
+			if err != nil {
+				if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+					t.w.fail(fmt.Errorf("shmem/tcp: ack reader %d->%d: %w", from, to, err))
+				}
+				return
+			}
+		}
+	}()
+	return ac, nil
+}
+
+// roundTrip performs one blocking request/response on the sync connection.
+func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, payload []byte) (uint64, []byte, error) {
+	if f := t.w.cfg.Fault; f != nil {
+		d, _ := f.Before(op, from, to, addr)
+		charge(d)
+	}
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(payload)))
+	sc, err := t.syncConn(from, to)
+	if err != nil {
+		return 0, nil, err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if err := writeRequest(sc.rw.Writer, op, addr, v1, v2, payload); err != nil {
+		return 0, nil, fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+	}
+	status, val, rp, err := readResponse(sc.rw.Reader)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shmem/tcp: %v response from PE %d: %w", op, to, err)
+	}
+	if status != 0 {
+		return 0, nil, fmt.Errorf("shmem/tcp: %v at PE %d: %s", op, to, rp)
+	}
+	return val, rp, nil
+}
+
+// injectAsync pipelines one non-blocking request.
+func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, payload []byte) error {
+	dup := false
+	if f := t.w.cfg.Fault; f != nil {
+		var d time.Duration
+		d, dup = f.Before(op, from, to, addr)
+		charge(d)
+		if op == OpAddNBI {
+			dup = false // atomics are never blindly retransmitted
+		}
+	}
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.InjectOverhead)
+	ac, err := t.asyncConn(from, to)
+	if err != nil {
+		return err
+	}
+	n := int64(1)
+	if dup {
+		n = 2
+	}
+	t.w.pes[from].nbiPending.Add(n)
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	if err := writeRequest(ac.w, op, addr, v1, 0, payload); err != nil {
+		t.w.pes[from].nbiPending.Add(-n)
+		return fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+	}
+	if dup {
+		if err := writeRequest(ac.w, op, addr, v1, 0, payload); err != nil {
+			t.w.pes[from].nbiPending.Add(-1)
+			return fmt.Errorf("shmem/tcp: duplicate %v to PE %d: %w", op, to, err)
+		}
+	}
+	return nil
+}
+
+func (t *tcpTransport) put(from, to int, addr Addr, src []byte) error {
+	_, _, err := t.roundTrip(from, to, OpPut, addr, 0, 0, src)
+	return err
+}
+
+func (t *tcpTransport) get(from, to int, addr Addr, dst []byte) error {
+	// Charge bandwidth for the returned payload (request carries none).
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.bandwidth(len(dst)))
+	_, rp, err := t.roundTrip(from, to, OpGet, addr, uint64(len(dst)), 0, nil)
+	if err != nil {
+		return err
+	}
+	if len(rp) != len(dst) {
+		return fmt.Errorf("shmem/tcp: get from PE %d returned %d bytes, want %d", to, len(rp), len(dst))
+	}
+	copy(dst, rp)
+	return nil
+}
+
+func (t *tcpTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpFetchAdd, addr, delta, 0, nil)
+	return v, err
+}
+
+func (t *tcpTransport) swap64(from, to int, addr Addr, val uint64) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpSwap, addr, val, 0, nil)
+	return v, err
+}
+
+func (t *tcpTransport) compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpCompareSwap, addr, old, new, nil)
+	return v, err
+}
+
+func (t *tcpTransport) load64(from, to int, addr Addr) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpLoad, addr, 0, 0, nil)
+	return v, err
+}
+
+func (t *tcpTransport) store64(from, to int, addr Addr, val uint64) error {
+	_, _, err := t.roundTrip(from, to, OpStore, addr, val, 0, nil)
+	return err
+}
+
+func (t *tcpTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
+	return t.roundTrip(from, to, OpFetchAddGet, addr, delta, id, nil)
+}
+
+func (t *tcpTransport) storeNBI(from, to int, addr Addr, val uint64) error {
+	return t.injectAsync(from, to, OpStoreNBI, addr, val, nil)
+}
+
+func (t *tcpTransport) addNBI(from, to int, addr Addr, delta uint64) error {
+	return t.injectAsync(from, to, OpAddNBI, addr, delta, nil)
+}
+
+func (t *tcpTransport) putNBI(from, to int, addr Addr, src []byte) error {
+	return t.injectAsync(from, to, OpPutNBI, addr, 0, src)
+}
+
+func (t *tcpTransport) quiet(from int) error {
+	pe := t.w.pes[from]
+	return t.w.spinUntil(func() bool { return pe.nbiPending.Load() == 0 })
+}
+
+func (t *tcpTransport) close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	var errs []error
+	for _, ln := range t.listeners {
+		if ln != nil {
+			if err := ln.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	t.mu.Lock()
+	for _, sc := range t.sync_ {
+		sc.c.Close()
+	}
+	for _, ac := range t.async {
+		ac.c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,27 @@
+package shmem
+
+// transport executes one-sided operations against remote heaps. The `from`
+// rank identifies the initiator (for NBI completion tracking); `to` is the
+// target PE whose heap is accessed. Self-targeted operations never reach
+// the transport — Ctx short-circuits them onto local memory.
+type transport interface {
+	put(from, to int, addr Addr, src []byte) error
+	get(from, to int, addr Addr, dst []byte) error
+	fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error)
+	swap64(from, to int, addr Addr, val uint64) (uint64, error)
+	compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error)
+	load64(from, to int, addr Addr) (uint64, error)
+	store64(from, to int, addr Addr, val uint64) error
+	fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error)
+
+	// Non-blocking injections: completion is observed via quiet.
+	storeNBI(from, to int, addr Addr, val uint64) error
+	addNBI(from, to int, addr Addr, delta uint64) error
+	putNBI(from, to int, addr Addr, src []byte) error
+
+	// quiet blocks until all NBI operations issued by `from` have been
+	// applied at their targets.
+	quiet(from int) error
+
+	close() error
+}

@@ -1,0 +1,108 @@
+package shmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWaitUntil64(t *testing.T) {
+	transports(t, func(t *testing.T, kind TransportKind) {
+		run(t, Config{NumPEs: 2, Transport: kind}, func(c *Ctx) error {
+			addr, err := c.Alloc(8)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				// Flag PE 1 after a short delay with a one-sided store.
+				time.Sleep(2 * time.Millisecond)
+				return c.Store64(1, addr, 7)
+			}
+			v, err := c.WaitUntil64(addr, CmpGE, 5, 5*time.Second)
+			if err != nil {
+				return err
+			}
+			if v != 7 {
+				return fmt.Errorf("woke on %d, want 7", v)
+			}
+			return nil
+		})
+	})
+}
+
+func TestWaitUntil64Comparisons(t *testing.T) {
+	run(t, Config{NumPEs: 1}, func(c *Ctx) error {
+		addr, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Store64(0, addr, 10); err != nil {
+			return err
+		}
+		cases := []struct {
+			cmp     Cmp
+			operand uint64
+		}{
+			{CmpEQ, 10}, {CmpNE, 3}, {CmpGT, 9}, {CmpGE, 10}, {CmpLT, 11}, {CmpLE, 10},
+		}
+		for _, cs := range cases {
+			if _, err := c.WaitUntil64(addr, cs.cmp, cs.operand, time.Second); err != nil {
+				return fmt.Errorf("%v %d: %w", cs.cmp, cs.operand, err)
+			}
+		}
+		// Unsatisfiable comparisons must time out, not hang.
+		if _, err := c.WaitUntil64(addr, CmpGT, 100, 5*time.Millisecond); err == nil {
+			return fmt.Errorf("unsatisfiable wait returned")
+		}
+		// Bad address must be rejected.
+		if _, err := c.WaitUntil64(3, CmpEQ, 0, time.Millisecond); err == nil {
+			return fmt.Errorf("unaligned wait accepted")
+		}
+		if _, err := c.WaitUntil64(addr, Cmp(99), 0, time.Millisecond); err == nil {
+			return fmt.Errorf("unknown comparison accepted")
+		}
+		return nil
+	})
+}
+
+func TestWaitUntil64WorldFailure(t *testing.T) {
+	w, err := NewWorld(Config{NumPEs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *Ctx) error {
+		addr, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			return fmt.Errorf("deliberate failure")
+		}
+		// The wait must unwind on world failure, not sit until timeout.
+		_, werr := c.WaitUntil64(addr, CmpEQ, 1, time.Minute)
+		if werr == nil {
+			return fmt.Errorf("wait survived world failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected the deliberate failure to propagate")
+	}
+}
+
+func TestCmpStrings(t *testing.T) {
+	for _, c := range []Cmp{CmpEQ, CmpNE, CmpGT, CmpGE, CmpLT, CmpLE} {
+		if c.String() == "" {
+			t.Errorf("cmp %d has empty string", int(c))
+		}
+	}
+	if Cmp(42).String() == "" {
+		t.Error("unknown cmp empty")
+	}
+}

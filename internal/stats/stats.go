@@ -1,0 +1,147 @@
+// Package stats collects and aggregates the measurements the paper's
+// evaluation reports: per-PE task and steal counters, steal vs search time
+// (§5.3's definitions: time in successful steal operations vs time spent
+// in failed attempts looking for work), and cross-run summaries
+// (mean, relative standard deviation, relative range — Figures 7d/8d).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// PE holds one processing element's counters for one run.
+type PE struct {
+	TasksExecuted uint64
+	TasksSpawned  uint64
+
+	StealsAttempted  uint64 // every steal call against a victim
+	StealsSuccessful uint64
+	StealsEmpty      uint64
+	StealsDisabled   uint64
+	TasksStolen      uint64
+
+	Acquires uint64
+	Releases uint64
+
+	// RemoteSpawnsSent/Recv count tasks pushed into / drained from the
+	// remote-spawn mailboxes.
+	RemoteSpawnsSent uint64
+	RemoteSpawnsRecv uint64
+
+	// StealTime is time spent in successful steal operations; SearchTime
+	// is time spent in failed attempts (the paper's split).
+	StealTime  time.Duration
+	SearchTime time.Duration
+	ExecTime   time.Duration
+}
+
+// Add accumulates o into s.
+func (s *PE) Add(o PE) {
+	s.TasksExecuted += o.TasksExecuted
+	s.TasksSpawned += o.TasksSpawned
+	s.StealsAttempted += o.StealsAttempted
+	s.StealsSuccessful += o.StealsSuccessful
+	s.StealsEmpty += o.StealsEmpty
+	s.StealsDisabled += o.StealsDisabled
+	s.TasksStolen += o.TasksStolen
+	s.Acquires += o.Acquires
+	s.Releases += o.Releases
+	s.RemoteSpawnsSent += o.RemoteSpawnsSent
+	s.RemoteSpawnsRecv += o.RemoteSpawnsRecv
+	s.StealTime += o.StealTime
+	s.SearchTime += o.SearchTime
+	s.ExecTime += o.ExecTime
+}
+
+// Run aggregates one whole-pool execution.
+type Run struct {
+	PEs      []PE
+	Elapsed  time.Duration // wall time of the slowest PE (paper: max runtime)
+	Protocol string
+}
+
+// Total returns the element-wise sum over all PEs.
+func (r Run) Total() PE {
+	var t PE
+	for _, p := range r.PEs {
+		t.Add(p)
+	}
+	return t
+}
+
+// Throughput returns executed tasks per second across the whole run.
+func (r Run) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Total().TasksExecuted) / r.Elapsed.Seconds()
+}
+
+// Summary describes a sample of repeated measurements.
+type Summary struct {
+	N        int
+	Mean, SD float64
+	Min, Max float64
+	RelSD    float64 // SD / Mean (Fig 7d/8d's "SD" series)
+	RelRange float64 // (Max-Min) / Mean (Fig 7d/8d's "Range" series)
+	Median   float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.SD = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	if s.Mean != 0 {
+		s.RelSD = s.SD / s.Mean
+		s.RelRange = (s.Max - s.Min) / s.Mean
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Durations converts a slice of durations to float64 seconds for
+// Summarize.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.3g min=%.6g max=%.6g relSD=%.2f%% relRange=%.2f%%",
+		s.N, s.Mean, s.SD, s.Min, s.Max, 100*s.RelSD, 100*s.RelRange)
+}

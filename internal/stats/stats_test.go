@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPEAdd(t *testing.T) {
+	a := PE{TasksExecuted: 3, StealTime: time.Second, StealsEmpty: 1}
+	b := PE{TasksExecuted: 4, StealTime: 2 * time.Second, TasksStolen: 9}
+	a.Add(b)
+	if a.TasksExecuted != 7 || a.StealTime != 3*time.Second || a.TasksStolen != 9 || a.StealsEmpty != 1 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+}
+
+func TestRunTotalAndThroughput(t *testing.T) {
+	r := Run{
+		PEs:     []PE{{TasksExecuted: 10}, {TasksExecuted: 30}},
+		Elapsed: 2 * time.Second,
+	}
+	if got := r.Total().TasksExecuted; got != 40 {
+		t.Errorf("Total = %d, want 40", got)
+	}
+	if got := r.Throughput(); got != 20 {
+		t.Errorf("Throughput = %v, want 20", got)
+	}
+	if (Run{}).Throughput() != 0 {
+		t.Error("zero-elapsed throughput not 0")
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.SD-2.138) > 0.01 {
+		t.Errorf("sd = %v", s.SD)
+	}
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Errorf("min/max/n wrong: %+v", s)
+	}
+	if math.Abs(s.Median-4.5) > 1e-12 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if math.Abs(s.RelRange-7.0/5.0) > 1e-12 {
+		t.Errorf("relRange = %v", s.RelRange)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary not zero")
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.SD != 0 || s.Median != 3 {
+		t.Errorf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	xs := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if xs[0] != 1 || xs[1] != 0.5 {
+		t.Errorf("Durations = %v", xs)
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		const eps = 1e-6
+		return s.Min-eps <= s.Median && s.Median <= s.Max+eps &&
+			s.Min-eps <= s.Mean && s.Mean <= s.Max+eps && s.SD >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package task
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecRoundTrip: any payload within capacity must encode/decode
+// exactly; any slot bytes must either decode to a within-capacity
+// descriptor or be rejected — never panic or over-read.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint32(0), []byte{})
+	f.Add(uint32(7), []byte("hello"))
+	f.Add(^uint32(0), bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, handle uint32, payload []byte) {
+		c := MustNewCodec(64)
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		slot := make([]byte, c.SlotSize())
+		d := Desc{Handle: Handle(handle), Payload: payload}
+		if err := c.Encode(slot, d); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := c.Decode(slot)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Handle != d.Handle || !bytes.Equal(got.Payload, d.Payload) {
+			t.Fatalf("round trip: %+v != %+v", got, d)
+		}
+	})
+}
+
+// FuzzDecodeArbitrary: decoding arbitrary slot bytes must never panic,
+// and successful decodes must respect the capacity.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 72))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c := MustNewCodec(64)
+		d, err := c.Decode(raw)
+		if err != nil {
+			return
+		}
+		if len(d.Payload) > c.PayloadCap() {
+			t.Fatalf("decode produced %d-byte payload beyond capacity", len(d.Payload))
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// Package term implements distributed termination detection for the task
+// pool.
+//
+// The pool's execution model (§2.1 of the paper) requires detecting when
+// every task in the global pool has been consumed: "processes continue to
+// search for work until it is globally exhausted". This package uses the
+// classic double-counting quiescence scheme over one-sided communication,
+// consistent with the PGAS substrate:
+//
+//   - Every PE maintains monotonic (spawned, executed) counters in its
+//     symmetric heap, updated with local atomic stores as it runs tasks.
+//   - When idle, rank 0 sums all counters with one-sided gets. Two
+//     consecutive identical sums with spawned == executed imply global
+//     quiescence: any existing task keeps executed < spawned (tasks are
+//     counted spawned at creation and executed only after running, so
+//     in-flight stolen tasks hold the sums apart), and any activity
+//     between the two passes perturbs a monotonic counter, breaking the
+//     equality of the passes.
+//   - Rank 0 then broadcasts a termination flag into every PE's heap with
+//     non-blocking stores; idle PEs poll their own flag locally (free)
+//     while continuing to search for work.
+//
+// A Detector is built once per pool run and is not reusable.
+package term
+
+import (
+	"encoding/binary"
+
+	"sws/internal/shmem"
+)
+
+// Detector is one PE's handle on the termination protocol.
+type Detector struct {
+	ctx *shmem.Ctx
+
+	countersAddr shmem.Addr // 2 words: spawned, executed
+	flagAddr     shmem.Addr // 1 word: nonzero once terminated
+
+	spawned  uint64
+	executed uint64
+
+	// Rank 0's detection state: the previous clean (spawned==executed)
+	// global sum, or ^0 if none yet.
+	lastClean uint64
+	done      bool
+
+	// Probes counts global summation passes, for diagnostics.
+	Probes uint64
+}
+
+// New collectively constructs a detector; every PE must call it at the
+// same point in its allocation sequence.
+func New(ctx *shmem.Ctx) (*Detector, error) {
+	d := &Detector{ctx: ctx, lastClean: ^uint64(0)}
+	var err error
+	if d.countersAddr, err = ctx.Alloc(2 * shmem.WordSize); err != nil {
+		return nil, err
+	}
+	if d.flagAddr, err = ctx.Alloc(shmem.WordSize); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// TaskSpawned records n newly created tasks and publishes the counter.
+func (d *Detector) TaskSpawned(n int) error {
+	d.spawned += uint64(n)
+	return d.ctx.Store64(d.ctx.Rank(), d.countersAddr, d.spawned)
+}
+
+// TaskExecuted records n completed tasks and publishes the counter.
+func (d *Detector) TaskExecuted(n int) error {
+	d.executed += uint64(n)
+	return d.ctx.Store64(d.ctx.Rank(), d.countersAddr+shmem.WordSize, d.executed)
+}
+
+// Counts returns this PE's local view of its own counters.
+func (d *Detector) Counts() (spawned, executed uint64) {
+	return d.spawned, d.executed
+}
+
+// Check is called by an idle PE. It returns true once global termination
+// has been detected. Rank 0 performs a summation pass per call; other
+// ranks poll their local flag (no communication).
+func (d *Detector) Check() (bool, error) {
+	if d.done {
+		return true, nil
+	}
+	if d.ctx.Rank() != 0 {
+		v, err := d.ctx.Load64(d.ctx.Rank(), d.flagAddr)
+		if err != nil {
+			return false, err
+		}
+		if v != 0 {
+			d.done = true
+		}
+		return d.done, nil
+	}
+
+	d.Probes++
+	var sumSpawned, sumExecuted uint64
+	var buf [2 * shmem.WordSize]byte
+	for pe := 0; pe < d.ctx.NumPEs(); pe++ {
+		if err := d.ctx.Get(pe, d.countersAddr, buf[:]); err != nil {
+			return false, err
+		}
+		sumSpawned += binary.NativeEndian.Uint64(buf[0:8])
+		sumExecuted += binary.NativeEndian.Uint64(buf[8:16])
+	}
+	if sumExecuted > sumSpawned {
+		// A torn snapshot: a task spawned on one PE after we read its
+		// counter was executed on a PE we read later. Not quiescent;
+		// retry. (Genuine duplication is caught by workload checksums,
+		// not here — the sums can legitimately look inverted in flight.)
+		d.lastClean = ^uint64(0)
+		return false, nil
+	}
+	if sumSpawned != sumExecuted {
+		d.lastClean = ^uint64(0)
+		return false, nil
+	}
+	if d.lastClean != sumSpawned {
+		// First clean pass at this count; confirm on the next call.
+		d.lastClean = sumSpawned
+		return false, nil
+	}
+	// Two identical clean passes: quiesced. Broadcast the flag.
+	for pe := 0; pe < d.ctx.NumPEs(); pe++ {
+		if err := d.ctx.Store64NBI(pe, d.flagAddr, 1); err != nil {
+			return false, err
+		}
+	}
+	if err := d.ctx.Quiet(); err != nil {
+		return false, err
+	}
+	d.done = true
+	return true, nil
+}

@@ -1,0 +1,196 @@
+// Package trace records per-PE runtime events into fixed-size ring
+// buffers for post-mortem analysis of scheduling behaviour: who stole
+// from whom and when, when queues released or acquired work, how long
+// termination detection took. Tracing is off unless a Set is attached to
+// the pool configuration; each buffer has a single writer (its PE), so
+// recording is a few stores with no synchronization on the hot path.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// TaskExec: a task ran. A = task handle, B = duration ns.
+	TaskExec Kind = iota
+	// TaskSpawn: a task was enqueued locally. A = task handle.
+	TaskSpawn
+	// StealOK: a steal succeeded. A = victim, B = tasks obtained.
+	StealOK
+	// StealEmpty: a steal attempt found no work. A = victim.
+	StealEmpty
+	// StealDisabled: the victim's queue was locked/disabled. A = victim.
+	StealDisabled
+	// Release: tasks moved local -> shared. B = count.
+	Release
+	// Acquire: tasks moved shared -> local. B = count.
+	Acquire
+	// RemoteSpawn: a task was sent to a peer's inbox. A = destination.
+	RemoteSpawn
+	// InboxDrain: tasks drained from the inbox. B = count.
+	InboxDrain
+	// Terminated: global termination observed.
+	Terminated
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	TaskExec:      "exec",
+	TaskSpawn:     "spawn",
+	StealOK:       "steal-ok",
+	StealEmpty:    "steal-empty",
+	StealDisabled: "steal-disabled",
+	Release:       "release",
+	Acquire:       "acquire",
+	RemoteSpawn:   "remote-spawn",
+	InboxDrain:    "inbox-drain",
+	Terminated:    "terminated",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   time.Duration // since the Set's epoch
+	PE   int
+	Kind Kind
+	A, B int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v pe=%d %-14s a=%d b=%d", e.At, e.PE, e.Kind, e.A, e.B)
+}
+
+// Buffer is one PE's event ring. A single goroutine (the owning PE)
+// writes; reads happen after the run.
+type Buffer struct {
+	pe     int
+	epoch  time.Time
+	events []Event
+	n      uint64 // total recorded (may exceed len(events))
+}
+
+// Record appends an event, overwriting the oldest once the ring is full.
+func (b *Buffer) Record(k Kind, a, bval int64) {
+	if b == nil || len(b.events) == 0 {
+		return
+	}
+	b.events[b.n%uint64(len(b.events))] = Event{
+		At: time.Since(b.epoch), PE: b.pe, Kind: k, A: a, B: bval,
+	}
+	b.n++
+}
+
+// Len reports the number of retained events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	if b.n < uint64(len(b.events)) {
+		return int(b.n)
+	}
+	return len(b.events)
+}
+
+// Dropped reports how many events were overwritten.
+func (b *Buffer) Dropped() uint64 {
+	if b == nil || b.n <= uint64(len(b.events)) {
+		return 0
+	}
+	return b.n - uint64(len(b.events))
+}
+
+// Events returns the retained events, oldest first.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	out := make([]Event, 0, b.Len())
+	start := uint64(0)
+	if b.n > uint64(len(b.events)) {
+		start = b.n - uint64(len(b.events))
+	}
+	for i := start; i < b.n; i++ {
+		out = append(out, b.events[i%uint64(len(b.events))])
+	}
+	return out
+}
+
+// Set holds one buffer per PE with a shared epoch, so event timestamps
+// are comparable across PEs.
+type Set struct {
+	buffers []*Buffer
+}
+
+// NewSet creates per-PE buffers of the given capacity.
+func NewSet(pes, capacity int) (*Set, error) {
+	if pes < 1 || capacity < 1 {
+		return nil, fmt.Errorf("trace: need pes >= 1 and capacity >= 1 (got %d, %d)", pes, capacity)
+	}
+	epoch := time.Now()
+	s := &Set{buffers: make([]*Buffer, pes)}
+	for i := range s.buffers {
+		s.buffers[i] = &Buffer{pe: i, epoch: epoch, events: make([]Event, capacity)}
+	}
+	return s, nil
+}
+
+// PE returns the buffer for a rank (nil-safe for a nil Set, so call sites
+// can record unconditionally).
+func (s *Set) PE(rank int) *Buffer {
+	if s == nil || rank < 0 || rank >= len(s.buffers) {
+		return nil
+	}
+	return s.buffers[rank]
+}
+
+// Merged returns every PE's events merged into timestamp order.
+func (s *Set) Merged() []Event {
+	var all []Event
+	for _, b := range s.buffers {
+		all = append(all, b.Events()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}
+
+// Dump writes the merged timeline.
+func (s *Set) Dump(w io.Writer) error {
+	for _, e := range s.Merged() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	var dropped uint64
+	for _, b := range s.buffers {
+		dropped += b.Dropped()
+	}
+	if dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(%d older events dropped)\n", dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByKind tallies retained events per kind across all PEs.
+func (s *Set) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, b := range s.buffers {
+		for _, e := range b.Events() {
+			out[e.Kind]++
+		}
+	}
+	return out
+}

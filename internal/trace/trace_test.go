@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewSetValidation(t *testing.T) {
+	if _, err := NewSet(0, 8); err == nil {
+		t.Error("pes=0 accepted")
+	}
+	if _, err := NewSet(2, 0); err == nil {
+		t.Error("capacity=0 accepted")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	s, err := NewSet(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.PE(0)
+	b.Record(StealOK, 1, 5)
+	b.Record(TaskExec, 7, 100)
+	if b.Len() != 2 || b.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+	evs := b.Events()
+	if evs[0].Kind != StealOK || evs[0].A != 1 || evs[0].B != 5 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != TaskExec || evs[1].PE != 0 {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+	if evs[1].At < evs[0].At {
+		t.Error("timestamps not monotonic")
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	s, err := NewSet(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.PE(0)
+	for i := 0; i < 10; i++ {
+		b.Record(TaskExec, int64(i), 0)
+	}
+	if b.Len() != 4 || b.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+	evs := b.Events()
+	for i, e := range evs {
+		if e.A != int64(6+i) {
+			t.Errorf("event %d: A=%d, want %d (oldest retained first)", i, e.A, 6+i)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Set
+	b := s.PE(0) // nil set -> nil buffer
+	b.Record(TaskExec, 1, 2)
+	if b.Len() != 0 {
+		t.Error("nil buffer recorded")
+	}
+	real, _ := NewSet(1, 4)
+	if real.PE(9) != nil {
+		t.Error("out-of-range PE not nil")
+	}
+}
+
+func TestMergedAndDump(t *testing.T) {
+	s, err := NewSet(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PE(0).Record(Release, 0, 4)
+	s.PE(1).Record(StealOK, 0, 2)
+	s.PE(0).Record(Acquire, 0, 1)
+	merged := s.Merged()
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].At < merged[i-1].At {
+			t.Error("merge not time-ordered")
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"release", "steal-ok", "acquire"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	counts := s.CountByKind()
+	if counts[Release] != 1 || counts[StealOK] != 1 || counts[Acquire] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

@@ -1,0 +1,103 @@
+package uts
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sws/internal/pool"
+	"sws/internal/task"
+)
+
+// Workload wires a UTS tree into a task pool. Each task is one tree node:
+// executing it samples the child count from the node's digest and spawns
+// one task per child — the recursive expression of parallelism from the
+// paper's execution model (§2.1). Counters are process-local atomics
+// (every PE in a local-transport world shares them; under a multi-process
+// deployment each process reports its own share).
+type Workload struct {
+	Params Params
+
+	// NodeWork, if nonzero, adds simulated per-node search work (a
+	// yielding wall-clock spin, like BPC's task durations). The paper's
+	// UTS nodes are nearly pure traversal (~0.1 µs); this knob makes the
+	// workload latency-sensitive on hosts where real SHA-1 work would
+	// saturate the cores and mask communication effects.
+	NodeWork time.Duration
+
+	// handle is set by Register; PEs in one process share the Workload
+	// and register concurrently, so access is atomic. The value is
+	// deterministic (same registry order on every PE).
+	handle     atomic.Uint32
+	registered atomic.Bool
+
+	nodes  atomic.Uint64
+	leaves atomic.Uint64
+}
+
+// NewWorkload validates the parameters and returns a workload.
+func NewWorkload(p Params) (*Workload, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workload{Params: p}, nil
+}
+
+// Register installs the node task on the registry. Must be called on
+// every PE in the same order (SPMD).
+func (w *Workload) Register(reg *pool.Registry) error {
+	h, err := reg.Register("uts.node", w.runNode)
+	if err != nil {
+		return err
+	}
+	if w.registered.Load() && task.Handle(w.handle.Load()) != h {
+		return errors.New("uts: inconsistent registration order across PEs")
+	}
+	w.handle.Store(uint32(h))
+	w.registered.Store(true)
+	return nil
+}
+
+// Seed enqueues the root on rank 0.
+func (w *Workload) Seed(p *pool.Pool, rank int) error {
+	if !w.registered.Load() {
+		return errors.New("uts: workload not registered")
+	}
+	if rank != 0 {
+		return nil
+	}
+	return p.Add(task.Handle(w.handle.Load()), Root(w.Params).Encode())
+}
+
+func (w *Workload) runNode(tc *pool.TaskCtx, payload []byte) error {
+	n, err := DecodeNode(payload)
+	if err != nil {
+		return err
+	}
+	w.nodes.Add(1)
+	if w.NodeWork > 0 {
+		start := time.Now()
+		for time.Since(start) < w.NodeWork {
+			runtime.Gosched()
+		}
+	}
+	kids := w.Params.NumChildren(n)
+	if kids == 0 {
+		w.leaves.Add(1)
+		return nil
+	}
+	h := task.Handle(w.handle.Load())
+	for i := 0; i < kids; i++ {
+		if err := tc.Spawn(h, Child(n, i).Encode()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Nodes returns the number of nodes this process has executed.
+func (w *Workload) Nodes() uint64 { return w.nodes.Load() }
+
+// Leaves returns the number of leaves this process has executed.
+func (w *Workload) Leaves() uint64 { return w.leaves.Load() }

@@ -1,0 +1,93 @@
+package wsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if StealHalfPolicy.String() != "steal-half" ||
+		StealOnePolicy.String() != "steal-one" ||
+		StealAllPolicy.String() != "steal-all" {
+		t.Error("policy strings wrong")
+	}
+	if Policy(42).String() == "" {
+		t.Error("unknown policy string empty")
+	}
+}
+
+func TestStealOnePlan(t *testing.T) {
+	p := StealOnePolicy
+	if p.PlanLen(5) != 5 {
+		t.Errorf("PlanLen(5) = %d", p.PlanLen(5))
+	}
+	for i := 0; i < 5; i++ {
+		if p.Block(5, i) != 1 || p.Offset(5, i) != i {
+			t.Errorf("attempt %d: block=%d offset=%d", i, p.Block(5, i), p.Offset(5, i))
+		}
+	}
+	if p.Block(5, 5) != 0 || p.Offset(5, 6) != 5 {
+		t.Error("exhaustion wrong")
+	}
+}
+
+func TestStealAllPlan(t *testing.T) {
+	p := StealAllPolicy
+	if p.PlanLen(7) != 1 || p.PlanLen(0) != 0 {
+		t.Error("PlanLen wrong")
+	}
+	if p.Block(7, 0) != 7 || p.Offset(7, 0) != 0 {
+		t.Error("first attempt wrong")
+	}
+	if p.Block(7, 1) != 0 || p.Offset(7, 1) != 7 {
+		t.Error("second attempt wrong")
+	}
+}
+
+// Property: for every policy, the plan partitions the block exactly.
+func TestPolicyPartitionProperty(t *testing.T) {
+	for _, p := range []Policy{StealHalfPolicy, StealOnePolicy, StealAllPolicy} {
+		p := p
+		f := func(n16 uint16) bool {
+			n := int(n16 % 2048)
+			total := 0
+			for i := 0; ; i++ {
+				k := p.Block(n, i)
+				if k == 0 {
+					return total == n && i == p.PlanLen(n) && p.Offset(n, i) == n
+				}
+				if k < 0 || p.Offset(n, i) != total {
+					return false
+				}
+				total += k
+				if i > n+1 {
+					return false
+				}
+			}
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+}
+
+// MaxBlock must guarantee PlanLen(MaxBlock(slots)) <= slots.
+func TestMaxBlockBound(t *testing.T) {
+	for _, p := range []Policy{StealHalfPolicy, StealOnePolicy, StealAllPolicy} {
+		for _, slots := range []int{1, 2, 8, 32, 512} {
+			mb := p.MaxBlock(slots)
+			if mb < 1 {
+				t.Errorf("%v slots=%d: MaxBlock=%d", p, slots, mb)
+				continue
+			}
+			// Clamp huge bounds to something checkable.
+			n := mb
+			if n > 1<<20 {
+				n = 1 << 20
+			}
+			if got := p.PlanLen(n); got > slots {
+				t.Errorf("%v slots=%d: PlanLen(MaxBlock=%d) = %d > %d", p, slots, mb, got, slots)
+			}
+		}
+	}
+}

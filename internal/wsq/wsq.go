@@ -1,0 +1,218 @@
+// Package wsq defines the common contract for the two work-stealing task
+// queues in this repository (the SDC baseline in internal/sdc and the SWS
+// queue in internal/core), plus the steal-half arithmetic they share.
+//
+// Keeping the contract in a leaf package lets the pool runtime drive
+// either protocol, and lets the benchmarks swap protocols with a flag —
+// exactly the comparison the paper's evaluation performs.
+package wsq
+
+import (
+	"fmt"
+
+	"sws/internal/task"
+)
+
+// Outcome classifies a steal attempt.
+type Outcome int
+
+const (
+	// Stolen: tasks were claimed and copied.
+	Stolen Outcome = iota
+	// Empty: the victim advertised no stealable work.
+	Empty
+	// Disabled: the victim's queue was locked/disabled (SWS: invalid
+	// stealval; SDC: lock contention exceeded the abort threshold).
+	Disabled
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Stolen:
+		return "stolen"
+	case Empty:
+		return "empty"
+	case Disabled:
+		return "disabled"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Queue is one PE's view of its own task queue plus the ability to steal
+// from any peer's symmetric queue. Owner methods (Push, Pop, Release,
+// Acquire, Progress) must be called only from the owning PE's goroutine;
+// Steal is initiator-side and touches only the victim's heap.
+type Queue interface {
+	// Push enqueues a task at the head of the local portion.
+	Push(d task.Desc) error
+	// Pop dequeues the newest task from the local portion (LIFO). It
+	// returns ok=false when the local portion is empty — callers then
+	// Acquire or steal.
+	Pop() (d task.Desc, ok bool, err error)
+	// Release moves roughly half of the local tasks to the shared
+	// portion. It reports the number of tasks exposed (0 if the shared
+	// portion was not empty or there was nothing to move).
+	Release() (int, error)
+	// Acquire moves roughly half of the shared, unclaimed tasks back to
+	// the local portion, reporting how many moved.
+	Acquire() (int, error)
+	// Progress reclaims queue space occupied by completed steals. Cheap;
+	// called periodically by the runtime.
+	Progress() error
+	// Steal attempts to steal from victim's queue, returning the stolen
+	// descriptors on success.
+	Steal(victim int) ([]task.Desc, Outcome, error)
+	// LocalCount returns the number of tasks in the local portion.
+	LocalCount() int
+	// SharedAvail returns the owner's view of unclaimed shared tasks.
+	SharedAvail() int
+}
+
+// Policy selects the volume a steal claims from a shared block. The
+// paper uses steal-half throughout ("work stealing systems have been shown
+// to perform best by stealing half of the available work", §2); StealOne
+// and StealAll exist for the ablation benches.
+//
+// A policy defines a deterministic *plan* over a block of n tasks: attempt
+// i (0-based) claims Block(n, i) tasks starting Offset(n, i) tasks past
+// the block's tail. Determinism is what lets an SWS thief derive its claim
+// purely from the fetched attempt counter.
+type Policy int
+
+const (
+	// StealHalfPolicy takes max(1, remaining/2) per attempt (default).
+	StealHalfPolicy Policy = iota
+	// StealOnePolicy takes one task per attempt.
+	StealOnePolicy
+	// StealAllPolicy takes the whole block in the first attempt.
+	StealAllPolicy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case StealHalfPolicy:
+		return "steal-half"
+	case StealOnePolicy:
+		return "steal-one"
+	case StealAllPolicy:
+		return "steal-all"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Block returns the size of steal attempt i (0-based) against a block
+// that initially held n tasks, or 0 when the plan is exhausted. Under the
+// default policy, n=150 yields {75,37,19,9,5,2,1,1,1} (§4's example).
+func (p Policy) Block(n, i int) int {
+	switch p {
+	case StealOnePolicy:
+		if i < n {
+			return 1
+		}
+		return 0
+	case StealAllPolicy:
+		if i == 0 {
+			return n
+		}
+		return 0
+	default:
+		r := n
+		for ; i > 0 && r > 0; i-- {
+			r -= half(r)
+		}
+		if r <= 0 {
+			return 0
+		}
+		return half(r)
+	}
+}
+
+// Offset returns the displacement from the block's tail at which attempt
+// i begins: the total volume of attempts 0..i-1.
+func (p Policy) Offset(n, i int) int {
+	switch p {
+	case StealOnePolicy:
+		if i > n {
+			return n
+		}
+		return i
+	case StealAllPolicy:
+		if i == 0 {
+			return 0
+		}
+		return n
+	default:
+		r := n
+		for ; i > 0 && r > 0; i-- {
+			r -= half(r)
+		}
+		return n - r
+	}
+}
+
+// PlanLen returns the number of attempts that exhaust a block of n tasks
+// (9 for n=150 under steal-half).
+func (p Policy) PlanLen(n int) int {
+	switch p {
+	case StealOnePolicy:
+		return n
+	case StealAllPolicy:
+		if n > 0 {
+			return 1
+		}
+		return 0
+	default:
+		count := 0
+		for r := n; r > 0; r -= half(r) {
+			count++
+		}
+		return count
+	}
+}
+
+// MaxBlock bounds the largest advertisable block so that PlanLen(n) never
+// exceeds the completion-array slot budget.
+func (p Policy) MaxBlock(slots int) int {
+	switch p {
+	case StealOnePolicy:
+		return slots
+	case StealAllPolicy:
+		return 1 << 30 // one slot is always enough
+	default:
+		// PlanLen grows logarithmically: find the largest n with
+		// PlanLen(n) <= slots. Halving from 2^k takes ~k+2 attempts.
+		n := 1
+		for p.PlanLen(n*2) <= slots {
+			n *= 2
+			if n >= 1<<30 {
+				break
+			}
+		}
+		return n
+	}
+}
+
+// StealHalf is Policy.Block under the paper's default policy, kept as a
+// named function because it is the schedule the paper's example walks.
+func StealHalf(n, i int) int { return StealHalfPolicy.Block(n, i) }
+
+// StealOffset is Policy.Offset under the default policy.
+func StealOffset(n, i int) int { return StealHalfPolicy.Offset(n, i) }
+
+// PlanLen is Policy.PlanLen under the default policy.
+func PlanLen(n int) int { return StealHalfPolicy.PlanLen(n) }
+
+// MaxPlanLen is an upper bound on the default policy's PlanLen for any
+// block size the queues can advertise (itasks is at most 19 bits).
+// Halving from 2^19 reaches 1 in 19 steps; a handful of trailing 1-task
+// steals follow. 32 leaves slack and keeps completion arrays small.
+const MaxPlanLen = 32
+
+func half(r int) int {
+	if r == 1 {
+		return 1
+	}
+	return r / 2
+}

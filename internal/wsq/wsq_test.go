@@ -1,0 +1,127 @@
+package wsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The paper's worked example (§4): 150 initial tasks yield the steal
+// sequence {75,37,19,9,5,2,1,1,1}.
+func TestStealHalfPaperExample(t *testing.T) {
+	want := []int{75, 37, 19, 9, 5, 2, 1, 1, 1}
+	for i, w := range want {
+		if got := StealHalf(150, i); got != w {
+			t.Errorf("StealHalf(150, %d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := StealHalf(150, len(want)); got != 0 {
+		t.Errorf("StealHalf(150, 9) = %d, want 0 (exhausted)", got)
+	}
+	if got := PlanLen(150); got != 9 {
+		t.Errorf("PlanLen(150) = %d, want 9", got)
+	}
+}
+
+// The paper's example continues: after 2 steals the next block starts at
+// offset 75+37=112 and takes 19 tasks.
+func TestStealOffsetPaperExample(t *testing.T) {
+	if got := StealOffset(150, 2); got != 112 {
+		t.Errorf("StealOffset(150, 2) = %d, want 112", got)
+	}
+	if got := StealOffset(150, 0); got != 0 {
+		t.Errorf("StealOffset(150, 0) = %d, want 0", got)
+	}
+	if got := StealOffset(150, 9); got != 150 {
+		t.Errorf("StealOffset(150, 9) = %d, want 150", got)
+	}
+}
+
+func TestStealHalfEdges(t *testing.T) {
+	if got := StealHalf(0, 0); got != 0 {
+		t.Errorf("StealHalf(0,0) = %d", got)
+	}
+	if got := StealHalf(1, 0); got != 1 {
+		t.Errorf("StealHalf(1,0) = %d, want 1", got)
+	}
+	if got := StealHalf(2, 0); got != 1 {
+		t.Errorf("StealHalf(2,0) = %d, want 1", got)
+	}
+	if got := StealHalf(2, 1); got != 1 {
+		t.Errorf("StealHalf(2,1) = %d, want 1", got)
+	}
+	if got := PlanLen(0); got != 0 {
+		t.Errorf("PlanLen(0) = %d", got)
+	}
+	if got := PlanLen(1); got != 1 {
+		t.Errorf("PlanLen(1) = %d", got)
+	}
+}
+
+// Property: the steal plan partitions the block exactly — sizes are
+// positive, sum to n, and offsets telescope.
+func TestStealPlanPartitionProperty(t *testing.T) {
+	f := func(n16 uint16) bool {
+		n := int(n16)
+		total := 0
+		for i := 0; ; i++ {
+			k := StealHalf(n, i)
+			if k == 0 {
+				return total == n && i == PlanLen(n) && StealOffset(n, i) == n
+			}
+			if k < 0 || StealOffset(n, i) != total {
+				return false
+			}
+			total += k
+			if i > MaxPlanLen {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: each steal takes at most half the remainder (rounded down,
+// except the final single task), so the plan is geometric.
+func TestStealHalfNeverExceedsHalf(t *testing.T) {
+	f := func(n16 uint16) bool {
+		n := int(n16)
+		r := n
+		for i := 0; r > 0; i++ {
+			k := StealHalf(n, i)
+			if r > 1 && k > r/2 {
+				return false
+			}
+			if r == 1 && k != 1 {
+				return false
+			}
+			r -= k
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MaxPlanLen must bound PlanLen for the largest advertisable block
+// (19-bit itasks).
+func TestMaxPlanLenBound(t *testing.T) {
+	if got := PlanLen(1 << 19); got > MaxPlanLen {
+		t.Errorf("PlanLen(2^19) = %d exceeds MaxPlanLen %d", got, MaxPlanLen)
+	}
+	// And is tight-ish: within 2x.
+	if got := PlanLen(1 << 19); got < MaxPlanLen/2 {
+		t.Logf("PlanLen(2^19) = %d (bound %d)", got, MaxPlanLen)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Stolen.String() != "stolen" || Empty.String() != "empty" || Disabled.String() != "disabled" {
+		t.Error("Outcome strings wrong")
+	}
+	if Outcome(99).String() == "" {
+		t.Error("unknown outcome has empty string")
+	}
+}

@@ -1,0 +1,234 @@
+// Package sws is a Go reproduction of "Optimizing Work Stealing
+// Communication with Structured Atomic Operations" (Cartier, Dinan,
+// Larkins — ICPP 2021): a PGAS task-pool runtime whose steal protocol
+// discovers and claims work with a single remote atomic fetch-add on a
+// packed 64-bit queue descriptor (the "stealval"), halving the
+// communication of the conventional Scioto SDC protocol.
+//
+// The package is the public facade over the implementation packages:
+//
+//   - internal/shmem — an OpenSHMEM-like symmetric-heap emulation
+//     (goroutine PEs with an injected latency model, or real TCP);
+//   - internal/core — the SWS queue (the paper's contribution);
+//   - internal/sdc — the baseline six-communication steal protocol;
+//   - internal/pool — the Scioto-style task-pool runtime;
+//   - internal/bpc, internal/uts — the paper's benchmark workloads;
+//   - internal/bench — the harness that regenerates every table and
+//     figure of the paper's evaluation.
+//
+// A minimal program:
+//
+//	cfg := sws.Config{PEs: 4}
+//	var hits atomic.Int64
+//	res, err := sws.Run(cfg, sws.Job{
+//		Register: func(reg *sws.Registry) (sws.Handle, error) {
+//			return reg.Register("hello", func(tc *sws.TaskCtx, payload []byte) error {
+//				hits.Add(1)
+//				return nil
+//			})
+//		},
+//		Seed: func(p *sws.Pool, h sws.Handle, rank int) error {
+//			if rank != 0 {
+//				return nil
+//			}
+//			return p.Add(h, nil)
+//		},
+//	})
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package sws
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sws/internal/pool"
+	"sws/internal/shmem"
+	"sws/internal/stats"
+	"sws/internal/task"
+	"sws/internal/trace"
+)
+
+// Re-exported building blocks. The aliases keep user code to a single
+// import while the implementation stays in internal packages.
+type (
+	// Registry maps task names to portable handles (SPMD registration).
+	Registry = pool.Registry
+	// Pool is one PE's participation in the global task pool.
+	Pool = pool.Pool
+	// TaskCtx is passed to every task function.
+	TaskCtx = pool.TaskCtx
+	// TaskFunc is a task body.
+	TaskFunc = pool.Func
+	// Handle is a portable task-function identifier.
+	Handle = task.Handle
+	// Protocol selects the steal protocol (SWS or SDC).
+	Protocol = pool.Protocol
+	// LatencyModel is the injected communication cost model.
+	LatencyModel = shmem.LatencyModel
+	// Transport selects the PGAS substrate.
+	Transport = shmem.TransportKind
+	// PEStats are per-PE runtime counters.
+	PEStats = stats.PE
+	// Trace records per-PE scheduling events (see NewTrace).
+	Trace = trace.Set
+	// TraceEvent is one recorded scheduling event.
+	TraceEvent = trace.Event
+)
+
+// Protocol and transport constants.
+const (
+	SWS = pool.SWS
+	SDC = pool.SDC
+	// SWSFused is SWS with single-round-trip steals (programmable-NIC
+	// emulation; the Portals-offload ablation beyond the paper).
+	SWSFused = pool.SWSFused
+
+	TransportLocal = shmem.TransportLocal
+	TransportTCP   = shmem.TransportTCP
+)
+
+// Args packs small integer arguments into a task payload.
+func Args(vals ...uint64) []byte { return task.Args(vals...) }
+
+// ParseArgs unpacks a payload written by Args.
+func ParseArgs(payload []byte, n int) ([]uint64, error) { return task.ParseArgs(payload, n) }
+
+// NewRegistry returns an empty task registry.
+func NewRegistry() *Registry { return pool.NewRegistry() }
+
+// NewTrace builds per-PE event buffers to attach to Config.Trace; after
+// Run, inspect it with Merged, CountByKind, or Dump.
+func NewTrace(pes, capacity int) (*Trace, error) { return trace.NewSet(pes, capacity) }
+
+// Config describes a run of the task pool.
+type Config struct {
+	// PEs is the number of processing elements (default 4).
+	PEs int
+	// Protocol selects SWS (default) or the SDC baseline.
+	Protocol Protocol
+	// Transport selects the substrate (default: in-process shared memory
+	// with the latency model; TransportTCP uses real sockets).
+	Transport Transport
+	// Latency injects communication costs (zero by default; see
+	// bench.DefaultLatency for the benchmark model).
+	Latency LatencyModel
+	// HeapBytes is the symmetric heap per PE (default 16 MiB).
+	HeapBytes int
+	// QueueCapacity is the task queue size in slots (default 8192).
+	QueueCapacity int
+	// PayloadCap is the per-task payload capacity in bytes (default 24).
+	PayloadCap int
+	// NoEpochs disables completion epochs (SWS only).
+	NoEpochs bool
+	// NoDamping disables steal damping (SWS only).
+	NoDamping bool
+	// StealTries is the number of victims tried per search round.
+	StealTries int
+	// Seed makes victim selection reproducible.
+	Seed int64
+	// Trace, if non-nil, records per-PE scheduling events.
+	Trace *Trace
+}
+
+// Job is the SPMD body of a run: Register installs task functions
+// (identically on every PE) and returns the handle Seed uses to enqueue
+// the initial work. Seed runs on every PE; guard on rank to seed
+// specific queues.
+type Job struct {
+	Register func(reg *Registry) (Handle, error)
+	Seed     func(p *Pool, h Handle, rank int) error
+	// Finish, if non-nil, runs on every PE after global termination —
+	// typically to read results out of the global address space. A
+	// barrier separates Run from Finish, so all one-sided accumulations
+	// performed by tasks are visible.
+	Finish func(p *Pool, rank int) error
+}
+
+// Result aggregates a completed run.
+type Result struct {
+	// Elapsed is the slowest PE's wall time between the start and
+	// termination barriers (the paper's whole-program timing).
+	Elapsed time.Duration
+	// PEs holds per-PE counters, indexed by rank.
+	PEs []PEStats
+	// Total is the element-wise sum over PEs.
+	Total PEStats
+	// Throughput is executed tasks per second.
+	Throughput float64
+}
+
+// Run executes the job on a fresh world and gathers statistics.
+func Run(cfg Config, job Job) (*Result, error) {
+	if job.Register == nil {
+		return nil, errors.New("sws: Job.Register is nil")
+	}
+	if cfg.PEs == 0 {
+		cfg.PEs = 4
+	}
+	if cfg.HeapBytes == 0 {
+		cfg.HeapBytes = 16 << 20
+	}
+	world, err := shmem.NewWorld(shmem.Config{
+		NumPEs:    cfg.PEs,
+		HeapBytes: cfg.HeapBytes,
+		Latency:   cfg.Latency,
+		Transport: cfg.Transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perPE := make([]PEStats, cfg.PEs)
+	elapsed := make([]time.Duration, cfg.PEs)
+	err = world.Run(func(c *shmem.Ctx) error {
+		reg := pool.NewRegistry()
+		h, err := job.Register(reg)
+		if err != nil {
+			return fmt.Errorf("sws: register on PE %d: %w", c.Rank(), err)
+		}
+		p, err := pool.New(c, reg, pool.Config{
+			Protocol:      cfg.Protocol,
+			QueueCapacity: cfg.QueueCapacity,
+			PayloadCap:    cfg.PayloadCap,
+			NoEpochs:      cfg.NoEpochs,
+			NoDamping:     cfg.NoDamping,
+			StealTries:    cfg.StealTries,
+			Seed:          cfg.Seed,
+			Trace:         cfg.Trace,
+		})
+		if err != nil {
+			return err
+		}
+		if job.Seed != nil {
+			if err := job.Seed(p, h, c.Rank()); err != nil {
+				return fmt.Errorf("sws: seed on PE %d: %w", c.Rank(), err)
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		perPE[c.Rank()] = p.Stats()
+		elapsed[c.Rank()] = p.Elapsed()
+		if job.Finish != nil {
+			if err := job.Finish(p, c.Rank()); err != nil {
+				return fmt.Errorf("sws: finish on PE %d: %w", c.Rank(), err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{PEs: perPE}
+	for rank, pe := range perPE {
+		res.Total.Add(pe)
+		if elapsed[rank] > res.Elapsed {
+			res.Elapsed = elapsed[rank]
+		}
+	}
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Total.TasksExecuted) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
