@@ -66,11 +66,20 @@ func BenchmarkFig6StealLatency(b *testing.B) {
 
 // benchOneStealConfig times n steals of the given volume.
 func benchOneStealConfig(n int, proto string, payloadCap, vol int, lat shmem.LatencyModel) (time.Duration, error) {
+	return benchStealConfig(n, proto, payloadCap, vol, lat, false)
+}
+
+// benchStealConfig is benchOneStealConfig with an explicit toggle for the
+// per-op latency histograms, so their overhead can be measured.
+func benchStealConfig(n int, proto string, payloadCap, vol int, lat shmem.LatencyModel, noOpLatency bool) (time.Duration, error) {
 	capacity := 8 * vol
 	if capacity < 64 {
 		capacity = 64
 	}
-	w, err := shmem.NewWorld(shmem.Config{NumPEs: 2, HeapBytes: capacity*(payloadCap+64) + (1 << 16), Latency: lat})
+	w, err := shmem.NewWorld(shmem.Config{
+		NumPEs: 2, HeapBytes: capacity*(payloadCap+64) + (1 << 16), Latency: lat,
+		NoOpLatency: noOpLatency,
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -150,6 +159,31 @@ func benchOneStealConfig(n int, proto string, payloadCap, vol int, lat shmem.Lat
 		return nil
 	})
 	return total, err
+}
+
+// BenchmarkOpLatencyOverhead measures the cost of the per-op latency
+// histograms on the steal fast path: the same single-steal microbenchmark
+// with recording on (the default) vs off (shmem.Config.NoOpLatency).
+// Compare the ns/steal metrics of the two sub-benchmarks; the acceptance
+// bar is <5% (recording is one atomic add plus two clock reads, against a
+// steal that pays multiple injected-latency round trips).
+func BenchmarkOpLatencyOverhead(b *testing.B) {
+	lat := bench.DefaultLatency()
+	for _, cfg := range []struct {
+		name  string
+		noLat bool
+	}{
+		{"recording", false},
+		{"disabled", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			d, err := benchStealConfig(b.N, "sws", 16, 16, lat, cfg.noLat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(d.Nanoseconds())/float64(b.N), "ns/steal")
+		})
+	}
 }
 
 // BenchmarkTable2Workloads characterizes the benchmark workloads

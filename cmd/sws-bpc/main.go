@@ -38,6 +38,7 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed      = flag.Int64("seed", 1, "victim-selection seed")
 	)
+	obsf := cli.RegisterObsFlags(nil)
 	flag.Parse()
 
 	params := bpc.Params{Depth: *depth, NConsumers: *ncons, ConsumerWork: *tc, ProducerWork: *tp}
@@ -58,8 +59,14 @@ func main() {
 		cfg := bench.Fig7(params, counts, *reps)
 		cfg.Base.Latency = lat
 		cfg.Base.Seed = *seed
+		if err := obsf.Start(); err != nil {
+			fatal(err)
+		}
 		res, err := bench.RunSweep(cfg)
 		if err != nil {
+			fatal(err)
+		}
+		if err := obsf.Finish(nil); err != nil {
 			fatal(err)
 		}
 		if err := cli.Emit(os.Stdout, append(res.Panels(), res.RuntimeTable()), *csv); err != nil {
@@ -72,14 +79,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	pcfg := pool.Config{PayloadCap: 24, Metrics: obsf.Gatherer()}
+	if pcfg.Trace, err = obsf.NewTrace(*pes); err != nil {
+		fatal(err)
+	}
+	if err := obsf.Start(); err != nil {
+		fatal(err)
+	}
 	run, err := bench.RunOnce(bench.RunConfig{
 		PEs:      *pes,
 		Protocol: proto,
 		Latency:  lat,
 		Seed:     *seed,
-		Pool:     pool.Config{PayloadCap: 24},
+		Pool:     pcfg,
 	}, func() (bench.Workload, error) { return bpc.NewWorkload(params) })
 	if err != nil {
+		fatal(err)
+	}
+	if err := obsf.Finish(pcfg.Trace); err != nil {
 		fatal(err)
 	}
 	if err := cli.Emit(os.Stdout, []*bench.Table{bench.SingleRunTable(params.String(), run)}, *csv); err != nil {

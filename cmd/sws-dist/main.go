@@ -24,9 +24,11 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"time"
 
 	"sws/internal/bpc"
+	"sws/internal/obs"
 	"sws/internal/pool"
 	"sws/internal/shmem"
 	"sws/internal/task"
@@ -39,6 +41,8 @@ func main() {
 		depth     = flag.Int("depth", 14, "binary recursion depth (2^depth leaves)")
 		protoName = flag.String("protocol", "sws", "steal protocol: sws or sdc")
 		workload  = flag.String("workload", "tree", "workload: tree, uts, or bpc")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/pprof; rank r listens on port+r (e.g. :9090 puts rank 2 on :9092)")
 
 		worker = flag.Bool("worker", false, "internal: run as a worker process")
 		rank   = flag.Int("rank", -1, "internal: worker rank")
@@ -56,18 +60,18 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q (want tree, uts, or bpc)", *workload))
 	}
 	if *worker {
-		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload); err != nil {
+		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload, *metricsAddr); err != nil {
 			fatal(fmt.Errorf("rank %d: %w", *rank, err))
 		}
 		return
 	}
-	if err := launch(*n, *depth, *protoName, *workload); err != nil {
+	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr); err != nil {
 		fatal(err)
 	}
 }
 
 // launch spawns one worker process per rank and waits for all of them.
-func launch(n, depth int, protoName, workload string) error {
+func launch(n, depth int, protoName, workload, metricsAddr string) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one PE, got %d", n)
 	}
@@ -82,10 +86,15 @@ func launch(n, depth int, protoName, workload string) error {
 	fmt.Printf("launching %d worker processes (coordinator %s)\n", n, coord)
 	procs := make([]*exec.Cmd, n)
 	for rank := 0; rank < n; rank++ {
+		addr, err := rankMetricsAddr(metricsAddr, rank)
+		if err != nil {
+			return err
+		}
 		cmd := exec.Command(self,
 			"-worker", "-rank", fmt.Sprint(rank), "-n", fmt.Sprint(n),
 			"-coordinator", coord, "-depth", fmt.Sprint(depth),
-			"-protocol", protoName, "-workload", workload)
+			"-protocol", protoName, "-workload", workload,
+			"-metrics-addr", addr)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -102,6 +111,26 @@ func launch(n, depth int, protoName, workload string) error {
 	return firstErr
 }
 
+// rankMetricsAddr offsets the metrics port by rank so each worker process
+// gets its own endpoint. Port 0 (ephemeral) is passed through unchanged.
+func rankMetricsAddr(base string, rank int) (string, error) {
+	if base == "" {
+		return "", nil
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return "", fmt.Errorf("bad -metrics-addr %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("bad -metrics-addr port %q: %w", portStr, err)
+	}
+	if port == 0 {
+		return base, nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+rank)), nil
+}
+
 // pickCoordinator reserves a loopback port for the rendezvous.
 func pickCoordinator() (string, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -115,7 +144,17 @@ func pickCoordinator() (string, error) {
 
 // runWorker is one PE's process: join the world, run the pool, publish
 // per-rank counts into rank 0's heap, and let rank 0 report.
-func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload string) error {
+func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload, metricsAddr string) error {
+	var gatherer *obs.Gatherer
+	if metricsAddr != "" {
+		gatherer = obs.NewGatherer()
+		srv, err := obs.Serve(metricsAddr, gatherer)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rank %d: metrics on http://%s/metrics\n", rank, srv.Addr())
+	}
 	w, err := shmem.Join(shmem.DistConfig{
 		Rank:        rank,
 		NumPEs:      n,
@@ -134,7 +173,7 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 		reg := pool.NewRegistry()
 		var expect uint64 // expected world task total (0 = unknown)
 		var seed func(p *pool.Pool) error
-		pcfg := pool.Config{Protocol: proto, Seed: int64(n)}
+		pcfg := pool.Config{Protocol: proto, Seed: int64(n), Metrics: gatherer}
 		switch workload {
 		case "uts":
 			wl, err := uts.NewWorkload(uts.Small)

@@ -37,6 +37,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "victim-selection seed")
 		traceN    = flag.Int("trace", 0, "dump the last N scheduling events per PE after a single run")
 	)
+	obsf := cli.RegisterObsFlags(nil)
 	flag.Parse()
 
 	params, err := parseTree(*tree)
@@ -57,8 +58,14 @@ func main() {
 		cfg := bench.Fig8(params, counts, *reps)
 		cfg.Base.Latency = lat
 		cfg.Base.Seed = *seed
+		if err := obsf.Start(); err != nil {
+			fatal(err)
+		}
 		res, err := bench.RunSweep(cfg)
 		if err != nil {
+			fatal(err)
+		}
+		if err := obsf.Finish(nil); err != nil {
 			fatal(err)
 		}
 		if err := cli.Emit(os.Stdout, append(res.Panels(), res.RuntimeTable()), *csv); err != nil {
@@ -75,13 +82,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pcfg := pool.Config{PayloadCap: uts.PayloadSize}
+	pcfg := pool.Config{PayloadCap: uts.PayloadSize, Metrics: obsf.Gatherer()}
 	var tr *trace.Set
 	if *traceN > 0 {
 		if tr, err = trace.NewSet(*pes, *traceN); err != nil {
 			fatal(err)
 		}
 		pcfg.Trace = tr
+	} else if pcfg.Trace, err = obsf.NewTrace(*pes); err != nil {
+		fatal(err)
+	}
+	if err := obsf.Start(); err != nil {
+		fatal(err)
 	}
 	run, err := bench.RunOnce(bench.RunConfig{
 		PEs:      *pes,
@@ -91,6 +103,9 @@ func main() {
 		Pool:     pcfg,
 	}, func() (bench.Workload, error) { return wl, nil })
 	if err != nil {
+		fatal(err)
+	}
+	if err := obsf.Finish(pcfg.Trace); err != nil {
 		fatal(err)
 	}
 	if tr != nil {

@@ -240,7 +240,7 @@ func SingleRunTable(name string, run stats.Run) *Table {
 	if tot.TasksExecuted > 0 {
 		avg = tot.ExecTime / time.Duration(tot.TasksExecuted)
 	}
-	return &Table{
+	t := &Table{
 		Title:  fmt.Sprintf("%s (%s, %d PEs)", name, run.Protocol, len(run.PEs)),
 		Header: []string{"metric", "value"},
 		Rows: [][]string{
@@ -255,6 +255,28 @@ func SingleRunTable(name string, run stats.Run) *Table {
 			{"releases/acquires", fmt.Sprintf("%d/%d", tot.Releases, tot.Acquires)},
 		},
 	}
+	for _, key := range latencyRowKeys {
+		snap, ok := tot.Lat[key]
+		if !ok || snap.Empty() {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			key + " p50/p95/p99",
+			fmt.Sprintf("%s/%s/%s",
+				fmtDurFine(snap.Quantile(0.50)),
+				fmtDurFine(snap.Quantile(0.95)),
+				fmtDurFine(snap.Quantile(0.99))),
+		})
+	}
+	return t
+}
+
+// latencyRowKeys selects which per-op histograms SingleRunTable surfaces:
+// the pool-level scheduling ops plus the shmem ops on the steal path.
+var latencyRowKeys = []string{
+	"exec", "steal", "acquire", "release",
+	"shmem/fetch-add/remote", "shmem/get/remote",
+	"shmem/compare-swap/remote", "shmem/fetch-add-get/remote",
 }
 
 // JSON renders the table as a JSON object with title, note, header, and

@@ -560,6 +560,10 @@ func (q *Queue) Acquire() (int, error) {
 	return moved, nil
 }
 
+// Epoch returns the monotonic completion-epoch counter (owner-side read;
+// call only from the owning PE's goroutine).
+func (q *Queue) Epoch() int { return q.curEpoch }
+
 // OwnerStats reports queue-owner activity for diagnostics.
 type OwnerStats struct {
 	Releases, Acquires, ResetPolls uint64

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},         // [1, 2)
+		{2, 2}, {3, 2}, // [2, 4)
+		{4, 3}, {7, 3}, // [4, 8)
+		{255, 8}, {256, 9}, // edges of [128,256) / [256,512)
+		{1 << 20, 21},                    // exactly a bound goes up
+		{(1 << 20) - 1, 20},              // just under stays down
+		{int64(1) << 62, NumBuckets - 1}, // clamps to top bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose [lo, hi) bounds contain it
+	// (except the clamped top bucket).
+	for _, ns := range []int64{0, 1, 3, 9, 100, 12345, 1e6, 5e8} {
+		b := bucketOf(ns)
+		if ns < BucketLo(b) || (b < NumBuckets-1 && ns >= BucketHi(b)) {
+			t.Errorf("ns=%d in bucket %d outside [%d, %d)", ns, b, BucketLo(b), BucketHi(b))
+		}
+	}
+}
+
+func TestHistRecordAndSnapshot(t *testing.T) {
+	var h Hist
+	h.Record(0)
+	h.Record(time.Nanosecond)
+	h.Record(100 * time.Nanosecond) // bucket 7: [64, 128)
+	h.RecordN(3*time.Microsecond, 5)
+	s := h.Snapshot()
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[7] != 1 {
+		t.Errorf("unexpected low buckets: %v", s.Counts[:10])
+	}
+	if b := bucketOf(3000); s.Counts[b] != 5 {
+		t.Errorf("bucket %d = %d, want 5", b, s.Counts[b])
+	}
+}
+
+func TestHistConcurrentRecording(t *testing.T) {
+	var h Hist
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(1 << 30)))
+				if i%1000 == 0 {
+					_ = h.Snapshot() // concurrent snapshots must be safe
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d (lost updates)", got, workers*per)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// A known uniform distribution over [0, 1ms): quantile estimates must
+	// land within one power-of-two bucket of truth (factor-of-2 accuracy
+	// is the design contract of log-bucketed histograms).
+	var h Hist
+	const n = 100000
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(time.Millisecond))))
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		truth := q * float64(time.Millisecond)
+		got := float64(s.Quantile(q))
+		if got < truth/2 || got > truth*2 {
+			t.Errorf("Quantile(%g) = %v, want within 2x of %v",
+				q, time.Duration(got), time.Duration(truth))
+		}
+	}
+	// Quantiles are monotone in q.
+	if s.Quantile(0.5) > s.Quantile(0.95) || s.Quantile(0.95) > s.Quantile(0.99) {
+		t.Errorf("quantiles not monotone: p50=%v p95=%v p99=%v",
+			s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99))
+	}
+}
+
+func TestQuantileDegenerate(t *testing.T) {
+	var empty HistSnap
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	var h Hist
+	h.RecordN(1500*time.Nanosecond, 10) // all in bucket [1024, 2048)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		got := s.Quantile(q)
+		if got < 1024 || got > 2048 {
+			t.Errorf("single-bucket Quantile(%g) = %v outside [1024ns, 2048ns]", q, got)
+		}
+	}
+	if m := s.Mean(); m < 1024 || m > 2048 {
+		t.Errorf("Mean = %v outside bucket bounds", m)
+	}
+	if mx := s.Max(); mx != 2048 {
+		t.Errorf("Max = %v, want 2048ns", mx)
+	}
+}
+
+func TestSnapshotAddSub(t *testing.T) {
+	var h Hist
+	h.Record(10 * time.Nanosecond)
+	a := h.Snapshot()
+	h.Record(20 * time.Microsecond)
+	b := h.Snapshot()
+	d := b.Sub(a)
+	if d.Count() != 1 {
+		t.Fatalf("Sub count = %d, want 1", d.Count())
+	}
+	sum := a
+	sum.Add(d)
+	if sum != b {
+		t.Errorf("a + (b-a) != b")
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	var h Hist
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i))
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension, e.g. {K: "pe", V: "3"}.
+type Label struct {
+	K, V string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+// Metric is one sample produced by a source during a gather pass.
+type Metric struct {
+	Name   string
+	Help   string
+	Kind   string // "counter" or "gauge"
+	Labels []Label
+	Value  float64
+}
+
+// SourceFunc emits the current values of one component's metrics. Sources
+// are called on every scrape, concurrently with the run they observe, so
+// they must read only concurrency-safe state (atomics, Hist snapshots).
+type SourceFunc func(e *Emitter)
+
+// Gatherer collects metric sources and renders scrape responses. Safe for
+// concurrent registration and gathering.
+type Gatherer struct {
+	mu      sync.Mutex
+	sources []SourceFunc
+}
+
+// NewGatherer returns an empty Gatherer.
+func NewGatherer() *Gatherer { return &Gatherer{} }
+
+// Register adds a source. Sources persist for the Gatherer's lifetime;
+// per-run components (pools) should register once per construction.
+func (g *Gatherer) Register(s SourceFunc) {
+	if g == nil || s == nil {
+		return
+	}
+	g.mu.Lock()
+	g.sources = append(g.sources, s)
+	g.mu.Unlock()
+}
+
+// Gather runs every source and returns the samples in a deterministic
+// order (by name, then label values).
+func (g *Gatherer) Gather() []Metric {
+	g.mu.Lock()
+	sources := append([]SourceFunc(nil), g.sources...)
+	g.mu.Unlock()
+	e := &Emitter{}
+	for _, s := range sources {
+		s(e)
+	}
+	sort.SliceStable(e.metrics, func(i, j int) bool {
+		a, b := e.metrics[i], e.metrics[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelKey(a.Labels) < labelKey(b.Labels)
+	})
+	return e.metrics
+}
+
+func labelKey(ls []Label) string {
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.K + "=" + l.V
+	}
+	return strings.Join(parts, ",")
+}
+
+// Emitter accumulates metrics during one gather pass.
+type Emitter struct {
+	metrics []Metric
+}
+
+// Counter emits a monotonically increasing value.
+func (e *Emitter) Counter(name, help string, v float64, labels ...Label) {
+	e.metrics = append(e.metrics, Metric{Name: name, Help: help, Kind: "counter", Labels: labels, Value: v})
+}
+
+// Gauge emits an instantaneous value.
+func (e *Emitter) Gauge(name, help string, v float64, labels ...Label) {
+	e.metrics = append(e.metrics, Metric{Name: name, Help: help, Kind: "gauge", Labels: labels, Value: v})
+}
+
+// Quantiles emits p50/p95/p99 of a histogram snapshot in seconds (as
+// gauges labelled quantile=...), plus a _count counter, under the given
+// base name. Empty snapshots emit nothing, keeping scrapes compact.
+func (e *Emitter) Quantiles(name, help string, s HistSnap, labels ...Label) {
+	n := s.Count()
+	if n == 0 {
+		return
+	}
+	for _, q := range []struct {
+		label string
+		q     float64
+	}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}} {
+		ls := append(append([]Label(nil), labels...), L("quantile", q.label))
+		e.Gauge(name, help, s.Quantile(q.q).Seconds(), ls...)
+	}
+	e.Counter(name+"_count", help+" (sample count)", float64(n), labels...)
+}
+
+// escapeLabel escapes a Prometheus label value.
+var escapeLabel = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WritePrometheus renders all gathered metrics in the Prometheus text
+// exposition format (version 0.0.4).
+func (g *Gatherer) WritePrometheus(w io.Writer) error {
+	var lastName string
+	for _, m := range g.Gather() {
+		if m.Name != lastName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		var sb strings.Builder
+		sb.WriteString(m.Name)
+		if len(m.Labels) > 0 {
+			sb.WriteByte('{')
+			for i, l := range m.Labels {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				fmt.Fprintf(&sb, `%s="%s"`, l.K, escapeLabel.Replace(l.V))
+			}
+			sb.WriteByte('}')
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", sb.String(), m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders all gathered metrics as a JSON array of objects, for
+// ad-hoc tooling that prefers structured scrapes over Prometheus text.
+func (g *Gatherer) WriteJSON(w io.Writer) error {
+	type jm struct {
+		Name   string            `json:"name"`
+		Kind   string            `json:"kind"`
+		Labels map[string]string `json:"labels,omitempty"`
+		Value  float64           `json:"value"`
+	}
+	ms := g.Gather()
+	out := make([]jm, len(ms))
+	for i, m := range ms {
+		var ls map[string]string
+		if len(m.Labels) > 0 {
+			ls = make(map[string]string, len(m.Labels))
+			for _, l := range m.Labels {
+				ls[l.K] = l.V
+			}
+		}
+		out[i] = jm{Name: m.Name, Kind: m.Kind, Labels: ls, Value: m.Value}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

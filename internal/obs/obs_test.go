@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testGatherer() *Gatherer {
+	g := NewGatherer()
+	var h Hist
+	h.RecordN(3*time.Microsecond, 100)
+	snap := h.Snapshot()
+	g.Register(func(e *Emitter) {
+		e.Counter("sws_steals_total", "Steal attempts.", 42, L("pe", "0"), L("outcome", "ok"))
+		e.Gauge("sws_queue_local_depth", "Local queue depth.", 7, L("pe", "0"))
+		e.Quantiles("sws_op_latency_seconds", "Op latency.", snap, L("op", "put"))
+	})
+	return g
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := testGatherer().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE sws_steals_total counter",
+		`sws_steals_total{pe="0",outcome="ok"} 42`,
+		`sws_queue_local_depth{pe="0"} 7`,
+		`sws_op_latency_seconds{op="put",quantile="0.5"}`,
+		"sws_op_latency_seconds_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := testGatherer().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		Name   string            `json:"name"`
+		Labels map[string]string `json:"labels"`
+		Value  float64           `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	found := false
+	for _, m := range got {
+		if m.Name == "sws_steals_total" && m.Labels["pe"] == "0" && m.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON output missing sws_steals_total sample:\n%s", sb.String())
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", testGatherer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "sws_steals_total") {
+		t.Errorf("/metrics missing counters:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, "sws_queue_local_depth") {
+		t.Errorf("/metrics.json missing gauge:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "memstats") {
+		t.Errorf("/debug/vars missing memstats")
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles")
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartCPUProfile(dir + "/cpu.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeapProfile(dir + "/mem.out"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package pool
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"sws/internal/obs"
+	"sws/internal/shmem"
+)
+
+// liveView mirrors the pool's hot-path counters into atomics so the
+// metrics endpoint can read them while the PE goroutine is running. The
+// canonical stats.PE counters stay plain (single-writer, read post-run);
+// the mirror exists so live scrapes never race with the scheduler loop.
+type liveView struct {
+	tasksExecuted, tasksSpawned                        atomic.Uint64
+	stealsOK, stealsEmpty, stealsDisabled, tasksStolen atomic.Uint64
+	releases, acquires                                 atomic.Uint64
+	remoteSent, remoteRecv                             atomic.Uint64
+
+	// Gauges refreshed periodically by the scheduler loop.
+	qLocal, qShared, epoch atomic.Int64
+	terminated             atomic.Int64
+}
+
+// metricsSource returns the per-PE emitter registered with
+// Config.Metrics. Everything it reads is an atomic or a Hist snapshot,
+// so scrapes are safe at any point during the run.
+func (p *Pool) metricsSource() obs.SourceFunc {
+	pe := obs.L("pe", strconv.Itoa(p.ctx.Rank()))
+	proto := obs.L("protocol", p.cfg.Protocol.String())
+	lv := p.live
+	return func(e *obs.Emitter) {
+		e.Counter("sws_pool_tasks_executed_total", "Tasks executed by this PE.",
+			float64(lv.tasksExecuted.Load()), pe, proto)
+		e.Counter("sws_pool_tasks_spawned_total", "Tasks spawned by this PE.",
+			float64(lv.tasksSpawned.Load()), pe, proto)
+		for _, o := range []struct {
+			name string
+			v    uint64
+		}{
+			{"ok", lv.stealsOK.Load()},
+			{"empty", lv.stealsEmpty.Load()},
+			{"disabled", lv.stealsDisabled.Load()},
+		} {
+			e.Counter("sws_pool_steals_total", "Steal attempts by outcome.",
+				float64(o.v), pe, proto, obs.L("outcome", o.name))
+		}
+		e.Counter("sws_pool_tasks_stolen_total", "Tasks obtained by stealing.",
+			float64(lv.tasksStolen.Load()), pe, proto)
+		e.Counter("sws_pool_releases_total", "Local->shared queue transfers.",
+			float64(lv.releases.Load()), pe, proto)
+		e.Counter("sws_pool_acquires_total", "Shared->local queue transfers.",
+			float64(lv.acquires.Load()), pe, proto)
+		e.Counter("sws_pool_remote_spawns_total", "Remote spawns sent.",
+			float64(lv.remoteSent.Load()), pe, proto, obs.L("dir", "sent"))
+		e.Counter("sws_pool_remote_spawns_total", "Remote spawns received.",
+			float64(lv.remoteRecv.Load()), pe, proto, obs.L("dir", "recv"))
+		e.Gauge("sws_pool_queue_depth", "Queue depth by portion (refreshed periodically).",
+			float64(lv.qLocal.Load()), pe, proto, obs.L("portion", "local"))
+		e.Gauge("sws_pool_queue_depth", "Queue depth by portion (refreshed periodically).",
+			float64(lv.qShared.Load()), pe, proto, obs.L("portion", "shared"))
+		e.Gauge("sws_pool_epoch", "Completion-epoch number (SWS protocols).",
+			float64(lv.epoch.Load()), pe, proto)
+		e.Gauge("sws_pool_terminated", "1 once this PE observed global termination.",
+			float64(lv.terminated.Load()), pe, proto)
+
+		for _, h := range []struct {
+			op   string
+			hist *obs.Hist
+		}{
+			{"exec", &p.lat.exec},
+			{"steal", &p.lat.steal},
+			{"search", &p.lat.search},
+			{"acquire", &p.lat.acquire},
+			{"release", &p.lat.release},
+		} {
+			e.Quantiles("sws_pool_op_latency_seconds", "Scheduling-op latency quantiles.",
+				h.hist.Snapshot(), pe, proto, obs.L("op", h.op))
+		}
+
+		// Shmem-level communication counters and per-op latency.
+		cs := p.ctx.Counters()
+		snap := cs.Snapshot()
+		for _, op := range shmem.Ops() {
+			if n := snap.Of(op); n > 0 {
+				e.Counter("sws_shmem_remote_ops_total", "Remote one-sided operations by kind.",
+					float64(n), pe, obs.L("op", op.String()))
+			}
+		}
+		e.Counter("sws_shmem_local_ops_total", "Self-targeted one-sided operations.",
+			float64(snap.Local), pe)
+		e.Counter("sws_shmem_bytes_total", "Payload bytes moved by puts.",
+			float64(snap.BytesPut), pe, obs.L("dir", "put"))
+		e.Counter("sws_shmem_bytes_total", "Payload bytes moved by gets.",
+			float64(snap.BytesGot), pe, obs.L("dir", "got"))
+		for key, s := range cs.LatencySnapshots() {
+			op, target, _ := strings.Cut(key, "/")
+			e.Quantiles("sws_shmem_op_latency_seconds", "One-sided op latency quantiles.",
+				s, pe, obs.L("op", op), obs.L("target", target))
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"sws/internal/core"
+	"sws/internal/obs"
 	"sws/internal/ptimer"
 	"sws/internal/sdc"
 	"sws/internal/shmem"
@@ -141,8 +142,14 @@ type Config struct {
 	// MailboxSlots sizes the remote-spawn inbox ring. Default 256.
 	MailboxSlots int
 	// Trace, if non-nil, records per-PE scheduling events into its ring
-	// buffers (see internal/trace). Nil disables tracing entirely.
+	// buffers (see internal/trace). Nil disables tracing entirely. The
+	// pool also attaches the buffer to its shmem context, so blocking
+	// comm ops appear on the same timeline.
 	Trace *trace.Set
+	// Metrics, if non-nil, receives a per-PE metrics source exposing live
+	// counters, queue depths, epoch numbers, and latency quantiles for
+	// the obs HTTP endpoint. Nil disables live mirroring entirely.
+	Metrics *obs.Gatherer
 }
 
 func (c *Config) setDefaults() {
@@ -235,9 +242,27 @@ type Pool struct {
 	elapsed time.Duration
 	ran     bool
 
+	// lat holds this PE's scheduling-op latency histograms (always
+	// recorded; each record is one atomic add).
+	lat poolLat
+	// live mirrors key counters into atomics for the metrics endpoint;
+	// nil unless Config.Metrics was set.
+	live *liveView
+	// coreQ is the queue as *core.Queue when the protocol is SWS-family,
+	// for epoch introspection; nil under SDC.
+	coreQ *core.Queue
+	// prevProbes tracks termination-detection passes for trace events.
+	prevProbes uint64
+
 	// Victim-policy state.
 	rrNext int
 	sticky int
+}
+
+// poolLat groups the pool-level latency histograms: task execution,
+// successful steals, failed searches, and shared-queue transfers.
+type poolLat struct {
+	exec, steal, search, acquire, release obs.Hist
 }
 
 // TaskCtx is the handle passed to task functions.
@@ -286,6 +311,7 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 	p.tc = TaskCtx{p: p}
 	p.sticky = -1
 	p.tr = cfg.Trace.PE(ctx.Rank())
+	ctx.AttachTrace(p.tr)
 	var err error
 	switch cfg.Protocol {
 	case SWS, SWSFused:
@@ -318,6 +344,11 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 	}
 	if p.mbox, err = newMailbox(ctx, codec, cfg.MailboxSlots, cfg.PushTimeout); err != nil {
 		return nil, err
+	}
+	p.coreQ, _ = p.q.(*core.Queue)
+	if cfg.Metrics != nil {
+		p.live = &liveView{}
+		cfg.Metrics.Register(p.metricsSource())
 	}
 	return p, nil
 }
@@ -355,6 +386,10 @@ func (p *Pool) SpawnOn(pe int, h task.Handle, payload []byte) error {
 	}
 	p.st.RemoteSpawnsSent++
 	p.tr.Record(trace.RemoteSpawn, int64(pe), 0)
+	if p.live != nil {
+		p.live.tasksSpawned.Add(1)
+		p.live.remoteSent.Add(1)
+	}
 	return nil
 }
 
@@ -365,7 +400,23 @@ func (p *Pool) addTask(d task.Desc) error {
 		return err
 	}
 	p.st.TasksSpawned++
+	if p.live != nil {
+		p.live.tasksSpawned.Add(1)
+	}
 	return p.det.TaskSpawned(1)
+}
+
+// recordEpochFlip notes a new completion epoch on the trace timeline and
+// the live epoch gauge (SWS-family queues only; SDC has no epochs).
+func (p *Pool) recordEpochFlip(moved int64) {
+	if p.coreQ == nil {
+		return
+	}
+	epoch := int64(p.coreQ.Epoch())
+	p.tr.Record(trace.EpochFlip, epoch, moved)
+	if p.live != nil {
+		p.live.epoch.Store(epoch)
+	}
 }
 
 func (p *Pool) push(d task.Desc) error {
@@ -419,17 +470,27 @@ func (p *Pool) Run() error {
 		}
 		// Expose work when the shared portion has run dry (§3.1: release
 		// is invoked when the runtime discovers the imbalance).
+		t0 := time.Now()
 		released, err := p.q.Release()
 		if err != nil {
 			return err
 		}
 		if released > 0 {
+			p.lat.release.Record(p.cal.Since(t0))
 			p.st.Releases++
 			p.tr.Record(trace.Release, 0, int64(released))
+			p.recordEpochFlip(int64(released))
+			if p.live != nil {
+				p.live.releases.Add(1)
+			}
 		}
 		if iter%64 == 0 {
 			if err := p.q.Progress(); err != nil {
 				return err
+			}
+			if p.live != nil {
+				p.live.qLocal.Store(int64(p.q.LocalCount()))
+				p.live.qShared.Store(int64(p.q.SharedAvail()))
 			}
 		}
 		// Remotely spawned tasks arrive through the inbox; drain them
@@ -441,6 +502,9 @@ func (p *Pool) Run() error {
 		if got > 0 {
 			p.st.RemoteSpawnsRecv += uint64(got)
 			p.tr.Record(trace.InboxDrain, 0, int64(got))
+			if p.live != nil {
+				p.live.remoteRecv.Add(uint64(got))
+			}
 			continue
 		}
 		d, ok, err := p.q.Pop()
@@ -458,13 +522,19 @@ func (p *Pool) Run() error {
 			continue
 		}
 		// Local portion empty: pull shared work back.
+		t0 = time.Now()
 		moved, err := p.q.Acquire()
 		if err != nil {
 			return err
 		}
 		if moved > 0 {
+			p.lat.acquire.Record(p.cal.Since(t0))
 			p.st.Acquires++
 			p.tr.Record(trace.Acquire, 0, int64(moved))
+			p.recordEpochFlip(int64(moved))
+			if p.live != nil {
+				p.live.acquires.Add(1)
+			}
 			continue
 		}
 		// Queue empty: search for work.
@@ -479,8 +549,19 @@ func (p *Pool) Run() error {
 		if err != nil {
 			return err
 		}
+		if pr := p.det.Probes; pr != p.prevProbes {
+			p.prevProbes = pr
+			var flag int64
+			if done {
+				flag = 1
+			}
+			p.tr.Record(trace.TermWave, int64(pr), flag)
+		}
 		if done {
 			p.tr.Record(trace.Terminated, 0, 0)
+			if p.live != nil {
+				p.live.terminated.Store(1)
+			}
 			break
 		}
 		// Idle PEs keep searching aggressively (the paper's model has
@@ -510,7 +591,11 @@ func (p *Pool) execute(d task.Desc) error {
 	el := p.cal.Since(t0)
 	p.st.ExecTime += el
 	p.st.TasksExecuted++
+	p.lat.exec.Record(el)
 	p.tr.Record(trace.TaskExec, int64(d.Handle), int64(el))
+	if p.live != nil {
+		p.live.tasksExecuted.Add(1)
+	}
 	return p.det.TaskExecuted(1)
 }
 
@@ -535,7 +620,12 @@ func (p *Pool) search() (bool, error) {
 			p.st.StealsSuccessful++
 			p.st.TasksStolen += uint64(len(tasks))
 			p.st.StealTime += el
+			p.lat.steal.Record(el)
 			p.tr.Record(trace.StealOK, int64(v), int64(len(tasks)))
+			if p.live != nil {
+				p.live.stealsOK.Add(1)
+				p.live.tasksStolen.Add(uint64(len(tasks)))
+			}
 			if p.cfg.Victim == VictimSticky {
 				p.sticky = v
 			}
@@ -548,11 +638,19 @@ func (p *Pool) search() (bool, error) {
 		case wsq.Empty:
 			p.st.StealsEmpty++
 			p.st.SearchTime += el
+			p.lat.search.Record(el)
 			p.tr.Record(trace.StealEmpty, int64(v), 0)
+			if p.live != nil {
+				p.live.stealsEmpty.Add(1)
+			}
 		case wsq.Disabled:
 			p.st.StealsDisabled++
 			p.st.SearchTime += el
+			p.lat.search.Record(el)
 			p.tr.Record(trace.StealDisabled, int64(v), 0)
+			if p.live != nil {
+				p.live.stealsDisabled.Add(1)
+			}
 		}
 	}
 	return false, nil
@@ -619,8 +717,28 @@ func (p *Pool) randomVictim() int {
 	return v
 }
 
-// Stats returns this PE's counters. Valid after Run.
-func (p *Pool) Stats() stats.PE { return p.st }
+// Stats returns this PE's counters, including the per-op latency
+// distributions (pool-level scheduling ops plus the shmem per-op
+// histograms under "shmem/" keys). Valid after Run.
+func (p *Pool) Stats() stats.PE {
+	st := p.st
+	st.Lat = make(map[string]obs.HistSnap)
+	for name, h := range map[string]*obs.Hist{
+		"exec":    &p.lat.exec,
+		"steal":   &p.lat.steal,
+		"search":  &p.lat.search,
+		"acquire": &p.lat.acquire,
+		"release": &p.lat.release,
+	} {
+		if s := h.Snapshot(); !s.Empty() {
+			st.Lat[name] = s
+		}
+	}
+	for k, v := range p.ctx.Counters().LatencySnapshots() {
+		st.Lat["shmem/"+k] = v
+	}
+	return st
+}
 
 // Elapsed returns this PE's wall time inside Run (between the barriers).
 func (p *Pool) Elapsed() time.Duration { return p.elapsed }

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
+	"sws/internal/obs"
 	"sws/internal/shmem"
 	"sws/internal/task"
 	"sws/internal/trace"
@@ -434,5 +436,123 @@ func TestTracing(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "exec") {
 		t.Error("dump missing exec events")
+	}
+}
+
+// TestMetricsAndLatency runs a small workload with a Gatherer attached and
+// checks that (a) the live metrics endpoint data includes pool counters and
+// shmem per-op latency quantiles, and (b) Stats().Lat carries non-empty
+// pool-level and shmem-level histograms.
+func TestMetricsAndLatency(t *testing.T) {
+	g := obs.NewGatherer()
+	var latKeys sync.Map
+	runWorld(t, 3, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			if args[0] == 0 {
+				return nil
+			}
+			for i := 0; i < 2; i++ {
+				if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p, err := New(c, reg, Config{Seed: 7, Metrics: g})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, task.Args(uint64(10))); err != nil {
+				return err
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		for k, s := range p.Stats().Lat {
+			if !s.Empty() {
+				latKeys.Store(k, true)
+			}
+		}
+		return nil
+	})
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sws_pool_tasks_executed_total",
+		"sws_pool_steals_total",
+		`outcome="ok"`,
+		`sws_pool_queue_depth{pe="0"`,
+		"sws_pool_op_latency_seconds",
+		"sws_pool_terminated",
+		"sws_shmem_remote_ops_total",
+		"sws_shmem_op_latency_seconds",
+		`quantile="0.99"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	for _, want := range []string{"exec", "steal"} {
+		if _, ok := latKeys.Load(want); !ok {
+			t.Errorf("Stats().Lat missing non-empty %q histogram", want)
+		}
+	}
+	foundShmem := false
+	latKeys.Range(func(k, _ any) bool {
+		if strings.HasPrefix(k.(string), "shmem/") {
+			foundShmem = true
+			return false
+		}
+		return true
+	})
+	if !foundShmem {
+		t.Error("Stats().Lat has no shmem/ op histograms")
+	}
+}
+
+// TestNoOpLatencyDisables checks the shmem recording opt-out used by the
+// overhead benchmark: with NoOpLatency set no shmem histograms populate.
+func TestNoOpLatencyDisables(t *testing.T) {
+	w, err := shmem.NewWorld(shmem.Config{
+		NumPEs: 2, HeapBytes: 1 << 20, Transport: shmem.TransportLocal,
+		NoOpLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *shmem.Ctx) error {
+		sym, err := c.Alloc(64)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if _, err := c.FetchAdd64((c.Rank()+1)%c.NumPEs(), sym, 1); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if n := len(c.Counters().LatencySnapshots()); n != 0 {
+			return fmt.Errorf("NoOpLatency still recorded %d histograms", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

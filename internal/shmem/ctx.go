@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"sws/internal/trace"
 )
 
 // Ctx is a PE's handle to the world: its identity, its symmetric heap, and
@@ -16,6 +18,12 @@ type Ctx struct {
 	self     *peState
 	counters Counters
 
+	// rec enables per-op latency histograms (Config.NoOpLatency inverts).
+	rec bool
+	// tr, when attached, receives a trace.CommOp event per blocking
+	// remote operation (the runtime attaches its per-PE buffer).
+	tr *trace.Buffer
+
 	// allocCursor is this PE's symmetric-allocation bump pointer. All PEs
 	// must perform the same sequence of Alloc calls (SPMD style), which
 	// makes the returned offsets symmetric, as with shmem_malloc.
@@ -26,7 +34,33 @@ func (w *World) newCtx(rank int) *Ctx {
 	// The first words of every heap are reserved for runtime internals
 	// (distributed barrier state); user allocations start past them so
 	// addresses stay symmetric across deployment modes.
-	return &Ctx{w: w, rank: rank, self: w.pes[rank], allocCursor: reservedHeapBytes}
+	return &Ctx{w: w, rank: rank, self: w.pes[rank], rec: !w.cfg.NoOpLatency, allocCursor: reservedHeapBytes}
+}
+
+// AttachTrace attaches a per-PE trace buffer; subsequent blocking remote
+// operations record trace.CommOp events (A = op code, B = duration ns)
+// into it. Pass nil to detach.
+func (c *Ctx) AttachTrace(b *trace.Buffer) { c.tr = b }
+
+// latStart begins timing one operation (zero time when recording is off).
+func (c *Ctx) latStart() time.Time {
+	if !c.rec {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// latEnd records one operation's latency sample, and — for remote ops
+// with a trace attached — a comm-op timeline event.
+func (c *Ctx) latEnd(op Op, remote bool, t0 time.Time) {
+	if !c.rec {
+		return
+	}
+	d := time.Since(t0)
+	c.counters.recordLat(op, remote, d)
+	if remote {
+		c.tr.Record(trace.CommOp, int64(op), int64(d))
+	}
 }
 
 // Rank returns this PE's rank in [0, NumPEs).
@@ -100,11 +134,16 @@ func (c *Ctx) Put(pe int, addr Addr, src []byte) error {
 			return err
 		}
 		c.counters.countLocal()
+		t0 := c.latStart()
 		c.self.copyIn(addr, src)
+		c.latEnd(OpPut, false, t0)
 		return nil
 	}
 	c.counters.countRemote(OpPut, len(src))
-	return c.w.transport.put(c.rank, pe, addr, src)
+	t0 := c.latStart()
+	err := c.w.transport.put(c.rank, pe, addr, src)
+	c.latEnd(OpPut, true, t0)
+	return err
 }
 
 // Get copies len(dst) bytes from PE pe's heap at addr into dst.
@@ -114,11 +153,16 @@ func (c *Ctx) Get(pe int, addr Addr, dst []byte) error {
 			return err
 		}
 		c.counters.countLocal()
+		t0 := c.latStart()
 		c.self.copyOut(addr, dst)
+		c.latEnd(OpGet, false, t0)
 		return nil
 	}
 	c.counters.countRemote(OpGet, len(dst))
-	return c.w.transport.get(c.rank, pe, addr, dst)
+	t0 := c.latStart()
+	err := c.w.transport.get(c.rank, pe, addr, dst)
+	c.latEnd(OpGet, true, t0)
+	return err
 }
 
 // FetchAdd64 atomically adds delta to the word at addr on PE pe and
@@ -130,10 +174,16 @@ func (c *Ctx) FetchAdd64(pe int, addr Addr, delta uint64) (uint64, error) {
 			return 0, err
 		}
 		c.counters.countLocal()
-		return atomic.AddUint64(c.self.word(i), delta) - delta, nil
+		t0 := c.latStart()
+		v := atomic.AddUint64(c.self.word(i), delta) - delta
+		c.latEnd(OpFetchAdd, false, t0)
+		return v, nil
 	}
 	c.counters.countRemote(OpFetchAdd, 0)
-	return c.w.transport.fetchAdd64(c.rank, pe, addr, delta)
+	t0 := c.latStart()
+	v, err := c.w.transport.fetchAdd64(c.rank, pe, addr, delta)
+	c.latEnd(OpFetchAdd, true, t0)
+	return v, err
 }
 
 // Swap64 atomically replaces the word at addr on PE pe with val and
@@ -145,10 +195,16 @@ func (c *Ctx) Swap64(pe int, addr Addr, val uint64) (uint64, error) {
 			return 0, err
 		}
 		c.counters.countLocal()
-		return atomic.SwapUint64(c.self.word(i), val), nil
+		t0 := c.latStart()
+		v := atomic.SwapUint64(c.self.word(i), val)
+		c.latEnd(OpSwap, false, t0)
+		return v, nil
 	}
 	c.counters.countRemote(OpSwap, 0)
-	return c.w.transport.swap64(c.rank, pe, addr, val)
+	t0 := c.latStart()
+	v, err := c.w.transport.swap64(c.rank, pe, addr, val)
+	c.latEnd(OpSwap, true, t0)
+	return v, err
 }
 
 // CompareSwap64 atomically replaces the word at addr on PE pe with new if
@@ -160,18 +216,24 @@ func (c *Ctx) CompareSwap64(pe int, addr Addr, old, new uint64) (uint64, error) 
 			return 0, err
 		}
 		c.counters.countLocal()
+		t0 := c.latStart()
 		for {
 			cur := atomic.LoadUint64(c.self.word(i))
 			if cur != old {
+				c.latEnd(OpCompareSwap, false, t0)
 				return cur, nil
 			}
 			if atomic.CompareAndSwapUint64(c.self.word(i), old, new) {
+				c.latEnd(OpCompareSwap, false, t0)
 				return old, nil
 			}
 		}
 	}
 	c.counters.countRemote(OpCompareSwap, 0)
-	return c.w.transport.compareSwap64(c.rank, pe, addr, old, new)
+	t0 := c.latStart()
+	v, err := c.w.transport.compareSwap64(c.rank, pe, addr, old, new)
+	c.latEnd(OpCompareSwap, true, t0)
+	return v, err
 }
 
 // Load64 atomically fetches the word at addr on PE pe.
@@ -182,10 +244,16 @@ func (c *Ctx) Load64(pe int, addr Addr) (uint64, error) {
 			return 0, err
 		}
 		c.counters.countLocal()
-		return atomic.LoadUint64(c.self.word(i)), nil
+		t0 := c.latStart()
+		v := atomic.LoadUint64(c.self.word(i))
+		c.latEnd(OpLoad, false, t0)
+		return v, nil
 	}
 	c.counters.countRemote(OpLoad, 0)
-	return c.w.transport.load64(c.rank, pe, addr)
+	t0 := c.latStart()
+	v, err := c.w.transport.load64(c.rank, pe, addr)
+	c.latEnd(OpLoad, true, t0)
+	return v, err
 }
 
 // Store64 atomically stores val to the word at addr on PE pe and blocks
@@ -197,11 +265,16 @@ func (c *Ctx) Store64(pe int, addr Addr, val uint64) error {
 			return err
 		}
 		c.counters.countLocal()
+		t0 := c.latStart()
 		atomic.StoreUint64(c.self.word(i), val)
+		c.latEnd(OpStore, false, t0)
 		return nil
 	}
 	c.counters.countRemote(OpStore, 0)
-	return c.w.transport.store64(c.rank, pe, addr, val)
+	t0 := c.latStart()
+	err := c.w.transport.store64(c.rank, pe, addr, val)
+	c.latEnd(OpStore, true, t0)
+	return err
 }
 
 // --- Non-blocking one-sided operations ------------------------------------

@@ -83,12 +83,16 @@ func (c *Ctx) FetchAddGet(pe int, addr Addr, delta uint64, id uint64) (uint64, [
 			return 0, nil, err
 		}
 		c.counters.countLocal()
+		t0 := c.latStart()
 		old := atomic.AddUint64(c.self.word(i), delta) - delta
 		data, err := c.w.applyFused(c.self, old, id)
+		c.latEnd(OpFetchAddGet, false, t0)
 		return old, data, err
 	}
 	c.counters.countRemote(OpFetchAddGet, 0)
+	t0 := c.latStart()
 	old, data, err := c.w.transport.fetchAddGet(c.rank, pe, addr, delta, id)
+	c.latEnd(OpFetchAddGet, true, t0)
 	if err == nil {
 		c.counters.bytesGot.Add(uint64(len(data)))
 	}

@@ -88,6 +88,10 @@ type Config struct {
 	Transport TransportKind
 	// Fault, if non-nil, intercepts operations for fault injection.
 	Fault FaultInjector
+	// NoOpLatency disables the per-op latency histograms (two monotonic
+	// clock reads per blocking operation). On by default; the toggle
+	// exists so the overhead benchmark can quantify the cost.
+	NoOpLatency bool
 }
 
 func (c *Config) setDefaults() error {

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"sws/internal/obs"
 )
 
 // PE holds one processing element's counters for one run.
@@ -36,6 +38,13 @@ type PE struct {
 	StealTime  time.Duration
 	SearchTime time.Duration
 	ExecTime   time.Duration
+
+	// Lat holds per-operation latency distributions recorded during the
+	// run, keyed by operation name: the pool-level "exec", "steal",
+	// "search", "acquire", "release", and the shmem per-op keys prefixed
+	// "shmem/" (e.g. "shmem/fetch-add/remote"). Merged bucket-wise by Add,
+	// so Run.Total carries whole-run distributions.
+	Lat map[string]obs.HistSnap
 }
 
 // Add accumulates o into s.
@@ -54,6 +63,16 @@ func (s *PE) Add(o PE) {
 	s.StealTime += o.StealTime
 	s.SearchTime += o.SearchTime
 	s.ExecTime += o.ExecTime
+	if len(o.Lat) > 0 {
+		if s.Lat == nil {
+			s.Lat = make(map[string]obs.HistSnap, len(o.Lat))
+		}
+		for k, v := range o.Lat {
+			h := s.Lat[k]
+			h.Add(v)
+			s.Lat[k] = h
+		}
+	}
 }
 
 // Run aggregates one whole-pool execution.
@@ -88,6 +107,28 @@ type Summary struct {
 	RelSD    float64 // SD / Mean (Fig 7d/8d's "SD" series)
 	RelRange float64 // (Max-Min) / Mean (Fig 7d/8d's "Range" series)
 	Median   float64
+	// P50/P95/P99 are sample percentiles (linear interpolation between
+	// order statistics; P50 equals Median).
+	P50, P95, P99 float64
+}
+
+// percentile returns the q-th percentile (q in [0, 1]) of an ascending
+// sorted sample using linear interpolation between closest ranks.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // Summarize computes a Summary over xs. An empty sample yields a zero
@@ -128,6 +169,9 @@ func Summarize(xs []float64) Summary {
 	} else {
 		s.Median = (sorted[mid-1] + sorted[mid]) / 2
 	}
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
 	return s
 }
 
@@ -142,6 +186,6 @@ func Durations(ds []time.Duration) []float64 {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.6g sd=%.3g min=%.6g max=%.6g relSD=%.2f%% relRange=%.2f%%",
-		s.N, s.Mean, s.SD, s.Min, s.Max, 100*s.RelSD, 100*s.RelRange)
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.3g min=%.6g max=%.6g p50=%.6g p95=%.6g p99=%.6g relSD=%.2f%% relRange=%.2f%%",
+		s.N, s.Mean, s.SD, s.Min, s.Max, s.P50, s.P95, s.P99, 100*s.RelSD, 100*s.RelRange)
 }

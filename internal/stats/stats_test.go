@@ -2,9 +2,12 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"sws/internal/obs"
 )
 
 func TestPEAdd(t *testing.T) {
@@ -48,6 +51,52 @@ func TestSummarizeKnown(t *testing.T) {
 	}
 	if math.Abs(s.RelRange-7.0/5.0) > 1e-12 {
 		t.Errorf("relRange = %v", s.RelRange)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	// 1..100: interpolated percentiles of the order statistics.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.P50-50.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 50.5", s.P50)
+	}
+	if math.Abs(s.P95-95.05) > 1e-9 {
+		t.Errorf("P95 = %v, want 95.05", s.P95)
+	}
+	if math.Abs(s.P99-99.01) > 1e-9 {
+		t.Errorf("P99 = %v, want 99.01", s.P99)
+	}
+	if math.Abs(s.P50-s.Median) > 1e-9 {
+		t.Errorf("P50 %v != Median %v", s.P50, s.Median)
+	}
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("String() missing %q: %s", want, s.String())
+		}
+	}
+}
+
+func TestPEAddLat(t *testing.T) {
+	var a PE
+	var h obs.Hist
+	h.Record(100 * time.Nanosecond)
+	x := PE{Lat: map[string]obs.HistSnap{"steal": h.Snapshot()}}
+	y := PE{Lat: map[string]obs.HistSnap{"steal": h.Snapshot(), "exec": h.Snapshot()}}
+	a.Add(x)
+	a.Add(y)
+	if got := a.Lat["steal"].Count(); got != 2 {
+		t.Errorf("merged steal count = %d, want 2", got)
+	}
+	if got := a.Lat["exec"].Count(); got != 1 {
+		t.Errorf("merged exec count = %d, want 1", got)
+	}
+	// Merging must not mutate the sources.
+	if x.Lat["steal"].Count() != 1 || y.Lat["steal"].Count() != 1 {
+		t.Error("Add mutated source Lat maps")
 	}
 }
 

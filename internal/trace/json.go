@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSON emits the merged timeline in the Chrome Trace Event JSON
+// format, loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Layout: one process ("sws world"), one track (thread) per PE. Events
+// with a recorded duration — task executions and blocking comm ops —
+// render as complete ("X") slices ending at their recorded timestamp;
+// everything else renders as a thread-scoped instant. Each successful
+// steal additionally emits a flow arrow from the victim's track to the
+// thief's, so cross-PE work movement is visible on the timeline.
+func (s *Set) WriteJSON(w io.Writer) error {
+	if s == nil {
+		return fmt.Errorf("trace: WriteJSON on nil Set")
+	}
+	type jsonEvent struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"` // microseconds
+		Dur  float64        `json:"dur,omitempty"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		ID   int            `json:"id,omitempty"`
+		BP   string         `json:"bp,omitempty"`
+		S    string         `json:"s,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	us := func(d int64) float64 { return float64(d) / 1e3 } // ns -> µs
+	var evs []jsonEvent
+	evs = append(evs, jsonEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "sws world"},
+	})
+	for pe := 0; pe < s.NumPEs(); pe++ {
+		evs = append(evs,
+			jsonEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: pe,
+				Args: map[string]any{"name": fmt.Sprintf("PE %d", pe)}},
+			jsonEvent{Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: pe,
+				Args: map[string]any{"sort_index": pe}},
+		)
+	}
+	flowID := 0
+	for _, e := range s.Merged() {
+		ts := int64(e.At)
+		switch e.Kind {
+		case TaskExec:
+			// B is the execution duration; the event was recorded at
+			// completion, so the slice starts dur earlier.
+			start := ts - e.B
+			if start < 0 {
+				start = 0
+			}
+			evs = append(evs, jsonEvent{
+				Name: "exec", Cat: "task", Ph: "X",
+				Ts: us(start), Dur: us(e.B), Pid: 0, Tid: e.PE,
+				Args: map[string]any{"task": e.A},
+			})
+		case CommOp:
+			start := ts - e.B
+			if start < 0 {
+				start = 0
+			}
+			evs = append(evs, jsonEvent{
+				Name: "comm-op", Cat: "comm", Ph: "X",
+				Ts: us(start), Dur: us(e.B), Pid: 0, Tid: e.PE,
+				Args: map[string]any{"op": e.A, "ns": e.B},
+			})
+		case StealOK:
+			// Instant on the thief plus a flow arrow victim -> thief.
+			flowID++
+			victim := int(e.A)
+			evs = append(evs,
+				jsonEvent{Name: "steal", Cat: "steal", Ph: "i", S: "t",
+					Ts: us(ts), Pid: 0, Tid: e.PE,
+					Args: map[string]any{"victim": victim, "tasks": e.B}},
+				jsonEvent{Name: "steal", Cat: "steal", Ph: "s", ID: flowID,
+					Ts: us(ts), Pid: 0, Tid: victim},
+				jsonEvent{Name: "steal", Cat: "steal", Ph: "f", BP: "e", ID: flowID,
+					Ts: us(ts), Pid: 0, Tid: e.PE},
+			)
+		default:
+			evs = append(evs, jsonEvent{
+				Name: e.Kind.String(), Cat: "sched", Ph: "i", S: "t",
+				Ts: us(ts), Pid: 0, Tid: e.PE,
+				Args: map[string]any{"a": e.A, "b": e.B},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}{evs, "ms"})
+}
+
+// WriteJSONFile writes the Perfetto-loadable timeline to path.
+func (s *Set) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %s: %w", path, err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// syntheticSet builds a deterministic two-PE timeline:
+// PE 0 executes a task and releases; PE 1 steals from PE 0, runs a comm
+// op, and the world terminates.
+func syntheticSet(t *testing.T) *Set {
+	t.Helper()
+	s, err := NewSet(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PE(0).RecordAt(10*time.Microsecond, TaskExec, 3, int64(5*time.Microsecond))
+	s.PE(0).RecordAt(12*time.Microsecond, Release, 0, 4)
+	s.PE(1).RecordAt(15*time.Microsecond, CommOp, 2, int64(2*time.Microsecond))
+	s.PE(1).RecordAt(20*time.Microsecond, StealOK, 0, 2)
+	s.PE(1).RecordAt(30*time.Microsecond, Terminated, 0, 0)
+	return s
+}
+
+// chromeTrace mirrors the JSON shape WriteJSON emits.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		ID   int            `json:"id"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := syntheticSet(t).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	// One thread_name metadata event per PE (one track per PE).
+	tracks := map[int]string{}
+	for _, e := range tr.TraceEvents {
+		if e.Name == "thread_name" && e.Ph == "M" {
+			tracks[e.Tid] = e.Args["name"].(string)
+		}
+	}
+	if len(tracks) != 2 || tracks[0] != "PE 0" || tracks[1] != "PE 1" {
+		t.Errorf("tracks = %v, want PE 0 and PE 1", tracks)
+	}
+
+	// The exec slice: complete event, dur 5µs, ending at ts=10µs.
+	var sawExec, sawComm, sawFlowS, sawFlowF, sawStealInstant, sawTerm bool
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Name == "exec" && e.Ph == "X":
+			sawExec = true
+			if e.Dur != 5 || e.Ts != 5 || e.Tid != 0 {
+				t.Errorf("exec slice ts=%v dur=%v tid=%d, want ts=5 dur=5 tid=0", e.Ts, e.Dur, e.Tid)
+			}
+		case e.Name == "comm-op" && e.Ph == "X":
+			sawComm = true
+			if e.Tid != 1 || e.Dur != 2 {
+				t.Errorf("comm-op slice tid=%d dur=%v, want tid=1 dur=2", e.Tid, e.Dur)
+			}
+		case e.Name == "steal" && e.Ph == "s":
+			sawFlowS = true
+			if e.Tid != 0 {
+				t.Errorf("steal flow start on tid=%d, want victim 0", e.Tid)
+			}
+		case e.Name == "steal" && e.Ph == "f":
+			sawFlowF = true
+			if e.Tid != 1 {
+				t.Errorf("steal flow end on tid=%d, want thief 1", e.Tid)
+			}
+		case e.Name == "steal" && e.Ph == "i":
+			sawStealInstant = true
+		case e.Name == "terminated" && e.Ph == "i":
+			sawTerm = true
+		}
+	}
+	for name, saw := range map[string]bool{
+		"exec": sawExec, "comm-op": sawComm, "flow-start": sawFlowS,
+		"flow-end": sawFlowF, "steal-instant": sawStealInstant, "terminated": sawTerm,
+	} {
+		if !saw {
+			t.Errorf("missing %s event:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	a, b := new(bytes.Buffer), new(bytes.Buffer)
+	set := syntheticSet(t)
+	if err := set.WriteJSON(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.WriteJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteJSON output differs between calls on the same Set")
+	}
+}
+
+func TestMergedTieBreakDeterministic(t *testing.T) {
+	s, err := NewSet(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical timestamps on all three PEs, recorded out of rank order.
+	at := 5 * time.Microsecond
+	s.PE(2).RecordAt(at, StealEmpty, 0, 0)
+	s.PE(0).RecordAt(at, StealEmpty, 1, 0)
+	s.PE(1).RecordAt(at, StealEmpty, 2, 0)
+	s.PE(1).RecordAt(at, Release, 0, 1) // same PE, same At: recording order
+	m := s.Merged()
+	if len(m) != 4 {
+		t.Fatalf("merged %d events, want 4", len(m))
+	}
+	wantPE := []int{0, 1, 1, 2}
+	for i, e := range m {
+		if e.PE != wantPE[i] {
+			t.Fatalf("merged order %v: event %d from PE %d, want PE %d", m, i, e.PE, wantPE[i])
+		}
+	}
+	if m[1].Kind != StealEmpty || m[2].Kind != Release {
+		t.Errorf("same-PE tie not in recording order: %v then %v", m[1].Kind, m[2].Kind)
+	}
+}

@@ -37,6 +37,15 @@ const (
 	InboxDrain
 	// Terminated: global termination observed.
 	Terminated
+	// CommOp: a blocking one-sided communication completed. A = op code
+	// (shmem.Op), B = duration ns.
+	CommOp
+	// EpochFlip: the queue started a new completion epoch. A = epoch
+	// number, B = tasks in the new shared block.
+	EpochFlip
+	// TermWave: a termination-detection summation pass finished.
+	// A = cumulative probe count, B = 1 if it declared termination.
+	TermWave
 	numKinds
 )
 
@@ -51,6 +60,9 @@ var kindNames = [numKinds]string{
 	RemoteSpawn:   "remote-spawn",
 	InboxDrain:    "inbox-drain",
 	Terminated:    "terminated",
+	CommOp:        "comm-op",
+	EpochFlip:     "epoch-flip",
+	TermWave:      "term-wave",
 }
 
 func (k Kind) String() string {
@@ -86,8 +98,18 @@ func (b *Buffer) Record(k Kind, a, bval int64) {
 	if b == nil || len(b.events) == 0 {
 		return
 	}
+	b.RecordAt(time.Since(b.epoch), k, a, bval)
+}
+
+// RecordAt appends an event with an explicit timestamp relative to the
+// Set's epoch — for replaying externally timed events and for building
+// synthetic timelines in tests.
+func (b *Buffer) RecordAt(at time.Duration, k Kind, a, bval int64) {
+	if b == nil || len(b.events) == 0 {
+		return
+	}
 	b.events[b.n%uint64(len(b.events))] = Event{
-		At: time.Since(b.epoch), PE: b.pe, Kind: k, A: a, B: bval,
+		At: at, PE: b.pe, Kind: k, A: a, B: bval,
 	}
 	b.n++
 }
@@ -155,14 +177,30 @@ func (s *Set) PE(rank int) *Buffer {
 	return s.buffers[rank]
 }
 
-// Merged returns every PE's events merged into timestamp order.
+// Merged returns every PE's events merged into timestamp order. Ties on
+// the timestamp break by PE (and the per-PE order is the recording
+// order), so the merged timeline — and everything derived from it, like
+// Dump and WriteJSON — is deterministic.
 func (s *Set) Merged() []Event {
 	var all []Event
 	for _, b := range s.buffers {
 		all = append(all, b.Events()...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].At < all[j].At })
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].PE < all[j].PE
+	})
 	return all
+}
+
+// NumPEs returns the number of per-PE buffers in the set.
+func (s *Set) NumPEs() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.buffers)
 }
 
 // Dump writes the merged timeline.
