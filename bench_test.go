@@ -15,6 +15,7 @@ import (
 	"sws/internal/core"
 	"sws/internal/pool"
 	"sws/internal/shmem"
+	"sws/internal/stats"
 	"sws/internal/task"
 	"sws/internal/uts"
 	"sws/internal/wsq"
@@ -403,4 +404,195 @@ func BenchmarkFusedSteal(b *testing.B) {
 			b.ReportMetric(float64(d.Nanoseconds())/float64(b.N), "ns/steal")
 		})
 	}
+}
+
+// BenchmarkStealWire measures the steal hot path — claim (fetch-add),
+// block copy (get), completion notify (store-NBI) — per transport, with
+// allocations visible under -benchmem. Zero latency model so the numbers
+// isolate the wire path (marshalling, buffering, payload staging) that the
+// batched/pooled transport work targets. b.N counts individual steals.
+func BenchmarkStealWire(b *testing.B) {
+	for _, kind := range []shmem.TransportKind{shmem.TransportLocal, shmem.TransportTCP} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			benchStealWire(b, kind)
+		})
+	}
+}
+
+func benchStealWire(b *testing.B, kind shmem.TransportKind) {
+	b.Helper()
+	b.ReportAllocs()
+	const batch = 128
+	rounds := (b.N + batch - 1) / batch
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: 2, HeapBytes: 1 << 20, Transport: kind})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stealTime time.Duration
+	err = w.Run(func(c *shmem.Ctx) error {
+		q, err := core.NewQueue(c, core.Options{
+			Capacity: 2048, PayloadCap: 16, Epochs: true, Policy: wsq.StealOnePolicy,
+		})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < rounds; r++ {
+			if c.Rank() == 0 {
+				for i := 0; i < 2*batch; i++ {
+					if err := q.Push(task.Desc{}); err != nil {
+						return err
+					}
+				}
+				if n, err := q.Release(); err != nil {
+					return err
+				} else if n != batch {
+					return fmt.Errorf("release shared %d, want %d", n, batch)
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				for {
+					if _, ok, err := q.Pop(); err != nil {
+						return err
+					} else if !ok {
+						break
+					}
+				}
+				if _, err := q.Acquire(); err != nil {
+					return err
+				}
+				if err := q.Progress(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			start := time.Now()
+			for i := 0; i < batch; i++ {
+				tasks, out, err := q.Steal(0)
+				if err != nil {
+					return err
+				}
+				if out != wsq.Stolen || len(tasks) != 1 {
+					return fmt.Errorf("steal %d: out=%v n=%d", i, out, len(tasks))
+				}
+			}
+			if err := c.Quiet(); err != nil {
+				return err
+			}
+			stealTime += time.Since(start)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(stealTime.Nanoseconds())/float64(rounds*batch), "ns/steal")
+}
+
+// BenchmarkStealCoalescing contrasts the steal-path latency distribution
+// with NBI/ack coalescing on (defaults: AckBatch 64, background flusher)
+// and off (AckBatch 1, no flusher — every async op is flushed and acked
+// individually, the pre-coalescing wire behaviour). Metrics are per-steal
+// wall-time percentiles; see EXPERIMENTS.md ("Wire path") for the recipe
+// and discussion.
+func BenchmarkStealCoalescing(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cfg  shmem.Config
+	}{
+		{"coalesced", shmem.Config{NumPEs: 2, HeapBytes: 1 << 20, Transport: shmem.TransportTCP}},
+		{"uncoalesced", shmem.Config{NumPEs: 2, HeapBytes: 1 << 20, Transport: shmem.TransportTCP,
+			AckBatch: 1, FlushInterval: -1}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) { benchStealCoalescing(b, tc.cfg) })
+	}
+}
+
+func benchStealCoalescing(b *testing.B, cfg shmem.Config) {
+	b.Helper()
+	const batch = 128
+	rounds := (b.N + batch - 1) / batch
+	w, err := shmem.NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	durs := make([]time.Duration, 0, rounds*batch)
+	err = w.Run(func(c *shmem.Ctx) error {
+		q, err := core.NewQueue(c, core.Options{
+			Capacity: 2048, PayloadCap: 16, Epochs: true, Policy: wsq.StealOnePolicy,
+		})
+		if err != nil {
+			return err
+		}
+		for r := 0; r < rounds; r++ {
+			if c.Rank() == 0 {
+				for i := 0; i < 2*batch; i++ {
+					if err := q.Push(task.Desc{}); err != nil {
+						return err
+					}
+				}
+				if _, err := q.Release(); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				for {
+					if _, ok, err := q.Pop(); err != nil {
+						return err
+					} else if !ok {
+						break
+					}
+				}
+				if _, err := q.Acquire(); err != nil {
+					return err
+				}
+				if err := q.Progress(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			for i := 0; i < batch; i++ {
+				start := time.Now()
+				tasks, out, err := q.Steal(0)
+				if err != nil {
+					return err
+				}
+				durs = append(durs, time.Since(start))
+				if out != wsq.Stolen || len(tasks) != 1 {
+					return fmt.Errorf("steal %d: out=%v n=%d", i, out, len(tasks))
+				}
+			}
+			if err := c.Quiet(); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := stats.Summarize(stats.Durations(durs))
+	b.ReportMetric(s.P50*1e9, "p50-ns/steal")
+	b.ReportMetric(s.P99*1e9, "p99-ns/steal")
 }

@@ -129,6 +129,11 @@ type Queue struct {
 	// scratch is the owner-side slot staging buffer (one slot).
 	scratch []byte
 
+	// stealBuf and stealSpans are thief-side staging reused across Steal
+	// calls (a Queue handle is driven by one goroutine, so reuse is safe).
+	stealBuf   []byte
+	stealSpans [2]shmem.Span
+
 	// ownerStats are maintained by owner operations for introspection.
 	releases, acquires, resetPolls uint64
 }

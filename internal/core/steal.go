@@ -15,8 +15,9 @@ import (
 //     victim's stealval. The fetched prior value both *discovers* the work
 //     (tail, itasks, epoch, validity) and *claims* a specific block: no
 //     other thief can obtain the same asteals value.
-//  2. One blocking get copies the claimed block (two gets if the block
-//     wraps the circular buffer).
+//  2. One blocking get copies the claimed block — a single vectored get
+//     (GetV) when the block wraps the circular buffer, so wrapping costs
+//     no extra round trip.
 //  3. One non-blocking atomic store writes the block size into the
 //     victim's completion array slot for this epoch and attempt, signalling
 //     that the copy is done. The thief does not wait for it.
@@ -123,19 +124,30 @@ func (q *Queue) decodeBlock(victim int, data []byte, k int) ([]task.Desc, error)
 // no extra communication is required — §4, example point 1).
 func (q *Queue) copyBlock(victim int, start uint64, k int) ([]task.Desc, error) {
 	slotSize := q.codec.SlotSize()
-	buf := make([]byte, k*slotSize)
+	if cap(q.stealBuf) < k*slotSize {
+		q.stealBuf = make([]byte, k*slotSize)
+	}
+	buf := q.stealBuf[:k*slotSize]
 	spans, n, err := q.ring.Spans(start, k)
 	if err != nil {
 		return nil, err
 	}
-	got := 0
-	for i := 0; i < n; i++ {
-		sp := spans[i]
+	if n == 1 {
+		sp := spans[0]
 		addr := q.tasksAddr + shmem.Addr(sp.Start*slotSize)
-		if err := q.ctx.Get(victim, addr, buf[got:got+sp.Count*slotSize]); err != nil {
+		if err := q.ctx.Get(victim, addr, buf); err != nil {
 			return nil, err
 		}
-		got += sp.Count * slotSize
+	} else {
+		for i := 0; i < n; i++ {
+			q.stealSpans[i] = shmem.Span{
+				Addr: q.tasksAddr + shmem.Addr(spans[i].Start*slotSize),
+				N:    spans[i].Count * slotSize,
+			}
+		}
+		if err := q.ctx.GetV(victim, q.stealSpans[:n], buf); err != nil {
+			return nil, err
+		}
 	}
 	tasks := make([]task.Desc, k)
 	for i := range tasks {

@@ -1,0 +1,32 @@
+package shmem
+
+import "sync"
+
+// payloadPool recycles payload staging buffers across the transports' hot
+// paths (wire marshalling, NBI put staging, vectored-get span tables) so
+// steady-state operation performs no per-op heap allocation. Buffers move
+// as *[]byte so Get/Put do not themselves allocate a slice header.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a pooled buffer sliced to length n.
+func getBuf(n int) *[]byte {
+	bp := payloadPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func putBuf(bp *[]byte) { payloadPool.Put(bp) }
+
+// growScratch resizes a caller-owned scratch buffer to length n, reusing
+// its backing array when capacity allows, and returns the sized slice.
+func growScratch(s *[]byte, n int) []byte {
+	if cap(*s) < n {
+		*s = make([]byte, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}

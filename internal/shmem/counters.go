@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sws/internal/obs"
+	"sws/internal/trace"
 )
 
 // Op identifies a one-sided operation kind for counting and fault injection.
@@ -23,6 +24,7 @@ const (
 	OpAddNBI
 	OpPutNBI
 	OpFetchAddGet
+	OpGetV
 	numOps
 )
 
@@ -38,7 +40,13 @@ var opNames = [...]string{
 	OpAddNBI:      "atomic-add-nbi",
 	OpPutNBI:      "put-nbi",
 	OpFetchAddGet: "fetch-add-get",
+	OpGetV:        "getv",
 }
+
+// The trace package renders CommOp timeline events by op code; give it the
+// authoritative code→name table so Perfetto slices carry readable names
+// for every op, including ones added after the trace format shipped.
+func init() { trace.SetCommOpNames(opNames[:]) }
 
 func (o Op) String() string {
 	if o >= 0 && int(o) < len(opNames) {
@@ -130,7 +138,7 @@ func (c *Counters) countRemote(op Op, payload int) {
 	switch op {
 	case OpPut, OpPutNBI:
 		c.bytesPut.Add(uint64(payload))
-	case OpGet:
+	case OpGet, OpGetV:
 		c.bytesGot.Add(uint64(payload))
 	}
 }

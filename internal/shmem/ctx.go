@@ -165,6 +165,45 @@ func (c *Ctx) Get(pe int, addr Addr, dst []byte) error {
 	return err
 }
 
+// GetV gathers the given spans of PE pe's heap into dst, in order, in ONE
+// blocking round trip (a vectored get). len(dst) must equal the spans'
+// total length. A circular-buffer block that wraps the physical end of
+// the buffer is the motivating case: two spans, still one communication,
+// preserving the protocols' comms-per-steal bounds unconditionally.
+func (c *Ctx) GetV(pe int, spans []Span, dst []byte) error {
+	total := 0
+	for _, sp := range spans {
+		if sp.N < 0 {
+			return fmt.Errorf("shmem: GetV span with negative length %d", sp.N)
+		}
+		total += sp.N
+	}
+	if total != len(dst) {
+		return fmt.Errorf("shmem: GetV spans cover %d bytes, dst holds %d", total, len(dst))
+	}
+	if pe == c.rank {
+		for _, sp := range spans {
+			if err := c.self.checkRange(sp.Addr, sp.N); err != nil {
+				return err
+			}
+		}
+		c.counters.countLocal()
+		t0 := c.latStart()
+		off := 0
+		for _, sp := range spans {
+			c.self.copyOut(sp.Addr, dst[off:off+sp.N])
+			off += sp.N
+		}
+		c.latEnd(OpGetV, false, t0)
+		return nil
+	}
+	c.counters.countRemote(OpGetV, len(dst))
+	t0 := c.latStart()
+	err := c.w.transport.getv(c.rank, pe, spans, dst)
+	c.latEnd(OpGetV, true, t0)
+	return err
+}
+
 // FetchAdd64 atomically adds delta to the word at addr on PE pe and
 // returns the previous value.
 func (c *Ctx) FetchAdd64(pe int, addr Addr, delta uint64) (uint64, error) {

@@ -33,6 +33,14 @@ type DistConfig struct {
 	BarrierTimeout time.Duration
 	// RendezvousTimeout bounds the address exchange (default 30s).
 	RendezvousTimeout time.Duration
+	// DialTimeout, SockBufBytes, AckBatch, and FlushInterval tune the
+	// peer-to-peer wire path exactly as the same-named Config knobs do
+	// (dial bound, bufio sizing, ack/inject coalescing watermark, and
+	// background flush period).
+	DialTimeout   time.Duration
+	SockBufBytes  int
+	AckBatch      int
+	FlushInterval time.Duration
 }
 
 func (c *DistConfig) setDefaults() error {
@@ -55,6 +63,18 @@ func (c *DistConfig) setDefaults() error {
 	if c.RendezvousTimeout == 0 {
 		c.RendezvousTimeout = 30 * time.Second
 	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.SockBufBytes == 0 {
+		c.SockBufBytes = 16 << 10
+	}
+	if c.AckBatch < 1 {
+		c.AckBatch = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 200 * time.Microsecond
+	}
 	return nil
 }
 
@@ -72,11 +92,15 @@ func Join(cfg DistConfig) (*World, error) {
 	}
 	w := &World{
 		cfg: Config{
-			NumPEs:    cfg.NumPEs,
-			HeapBytes: cfg.HeapBytes,
-			Latency:   cfg.Latency,
-			Transport: TransportTCP,
-			Fault:     cfg.Fault,
+			NumPEs:        cfg.NumPEs,
+			HeapBytes:     cfg.HeapBytes,
+			Latency:       cfg.Latency,
+			Transport:     TransportTCP,
+			Fault:         cfg.Fault,
+			DialTimeout:   cfg.DialTimeout,
+			SockBufBytes:  cfg.SockBufBytes,
+			AckBatch:      cfg.AckBatch,
+			FlushInterval: cfg.FlushInterval,
 		},
 		localRank: cfg.Rank,
 	}
@@ -118,13 +142,7 @@ func (w *World) runLocalRank(body func(*Ctx) error) error {
 // service loop for the local rank, plus the rendezvous that fills in every
 // peer's address.
 func newDistTransport(w *World, cfg DistConfig) (*tcpTransport, error) {
-	t := &tcpTransport{
-		w:     w,
-		sync_: make(map[connKey]*syncConn),
-		async: make(map[connKey]*asyncConn),
-	}
-	t.listeners = make([]net.Listener, cfg.NumPEs)
-	t.addrs = make([]string, cfg.NumPEs)
+	t := tcpShell(w, cfg.NumPEs)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -146,6 +164,7 @@ func newDistTransport(w *World, cfg DistConfig) (*tcpTransport, error) {
 		return nil, fmt.Errorf("shmem: rendezvous table lists %q for rank %d, want %q",
 			t.addrs[cfg.Rank], cfg.Rank, self)
 	}
+	t.startFlusher()
 	return t, nil
 }
 

@@ -207,3 +207,55 @@ func TestDistNBIQuiet(t *testing.T) {
 		}
 	}
 }
+
+// A vectored get must cross process-style boundaries intact: the span
+// table travels in the request payload and the gather comes back in one
+// response.
+func TestDistGetV(t *testing.T) {
+	errs := joinWorld(t, 2, func(c *Ctx) error {
+		addr, err := c.Alloc(128)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			buf := make([]byte, 128)
+			for i := range buf {
+				buf[i] = byte(i ^ 0x5a)
+			}
+			if err := c.Put(1, addr, buf); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			spans := []Span{{Addr: addr + 96, N: 32}, {Addr: addr, N: 16}}
+			got := make([]byte, 48)
+			before := c.Counters().Snapshot()
+			if err := c.GetV(1, spans, got); err != nil {
+				return err
+			}
+			d := c.Counters().Snapshot().Sub(before)
+			if d.Of(OpGetV) != 1 || d.Total() != 1 {
+				return fmt.Errorf("dist GetV counted as %v, want one getv", d)
+			}
+			for i := 0; i < 32; i++ {
+				if got[i] != byte((96+i)^0x5a) {
+					return fmt.Errorf("byte %d = %#x, want %#x", i, got[i], byte((96+i)^0x5a))
+				}
+			}
+			for i := 0; i < 16; i++ {
+				if got[32+i] != byte(i^0x5a) {
+					return fmt.Errorf("byte %d = %#x, want %#x", 32+i, got[32+i], byte(i^0x5a))
+				}
+			}
+		}
+		return c.Barrier()
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -26,11 +26,9 @@ import (
 // data" (e.g. the word shows nothing claimable).
 type FusedRange func(old uint64) (ranges [2]FusedSpan, n int)
 
-// FusedSpan is one contiguous heap range.
-type FusedSpan struct {
-	Addr Addr
-	N    int
-}
+// FusedSpan is one contiguous heap range (an alias of the transport-level
+// Span, so fused handlers and vectored gets speak the same geometry).
+type FusedSpan = Span
 
 // fusedRegistry holds the world's handlers.
 type fusedRegistry struct {
@@ -100,8 +98,18 @@ func (c *Ctx) FetchAddGet(pe int, addr Addr, delta uint64, id uint64) (uint64, [
 }
 
 // applyFused runs the handler against a target heap and gathers the
-// selected bytes (the "NIC-side" half of a fused op).
+// selected bytes (the "NIC-side" half of a fused op). The returned slice
+// is freshly allocated and owned by the caller.
 func (w *World) applyFused(pe *peState, old uint64, id uint64) ([]byte, error) {
+	return w.applyFusedInto(pe, old, id, nil)
+}
+
+// applyFusedInto is applyFused gathering into buf's backing array when its
+// capacity suffices (one pass, no per-span staging — the wrapped-block
+// case is a single vectored gather). The returned slice aliases buf only
+// if cap(buf) covered the spans' total; transports that own a reusable
+// response scratch pass it here to keep the fused path allocation-free.
+func (w *World) applyFusedInto(pe *peState, old uint64, id uint64, buf []byte) ([]byte, error) {
 	f, ok := w.fused.lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("shmem: fused handler %d not registered", id)
@@ -110,15 +118,19 @@ func (w *World) applyFused(pe *peState, old uint64, id uint64) ([]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([]byte, 0, total)
+	out := buf
+	if cap(out) < total {
+		out = make([]byte, total)
+	}
+	out = out[:total]
+	off := 0
 	for i := 0; i < n; i++ {
 		sp := ranges[i]
 		if err := pe.checkRange(sp.Addr, sp.N); err != nil {
 			return nil, fmt.Errorf("shmem: fused handler %d produced bad range: %w", id, err)
 		}
-		buf := make([]byte, sp.N)
-		pe.copyOut(sp.Addr, buf)
-		out = append(out, buf...)
+		pe.copyOut(sp.Addr, out[off:off+sp.N])
+		off += sp.N
 	}
 	return out, nil
 }

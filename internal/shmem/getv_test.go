@@ -1,0 +1,130 @@
+package shmem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// A vectored get must return exactly the bytes individual gets would, in
+// span order, on every transport — one blocking communication total.
+func TestGetVGather(t *testing.T) {
+	transports(t, func(t *testing.T, kind TransportKind) {
+		run(t, Config{NumPEs: 2, Transport: kind}, func(c *Ctx) error {
+			addr, err := c.Alloc(256)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 1 {
+				buf := make([]byte, 256)
+				for i := range buf {
+					buf[i] = byte(i*7 + 3)
+				}
+				if err := c.Put(1, addr, buf); err != nil {
+					return err
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				// Wrapped-block shape: tail half first, then head.
+				spans := []Span{
+					{Addr: addr + 192, N: 64},
+					{Addr: addr + 16, N: 48},
+				}
+				before := c.Counters().Snapshot()
+				got := make([]byte, 112)
+				if err := c.GetV(1, spans, got); err != nil {
+					return err
+				}
+				d := c.Counters().Snapshot().Sub(before)
+				if d.Of(OpGetV) != 1 || d.Total() != 1 {
+					return fmt.Errorf("GetV counted as %v, want one getv", d)
+				}
+				if d.BytesGot != 112 {
+					return fmt.Errorf("GetV counted %d bytes got, want 112", d.BytesGot)
+				}
+				want := make([]byte, 112)
+				if err := c.Get(1, spans[0].Addr, want[:64]); err != nil {
+					return err
+				}
+				if err := c.Get(1, spans[1].Addr, want[64:]); err != nil {
+					return err
+				}
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("GetV gathered %x, individual gets %x", got, want)
+				}
+				// Single-span and empty-span degenerate shapes.
+				one := make([]byte, 32)
+				if err := c.GetV(1, []Span{{Addr: addr, N: 32}}, one); err != nil {
+					return err
+				}
+				if err := c.GetV(1, nil, nil); err != nil {
+					return err
+				}
+			}
+			if c.Rank() == 1 {
+				// Self-targeted GetV is a local gather, no communication.
+				before := c.Counters().Snapshot()
+				got := make([]byte, 24)
+				spans := []Span{{Addr: addr + 8, N: 16}, {Addr: addr + 100, N: 8}}
+				if err := c.GetV(1, spans, got); err != nil {
+					return err
+				}
+				d := c.Counters().Snapshot().Sub(before)
+				if d.Total() != 0 {
+					return fmt.Errorf("self GetV issued remote ops: %v", d)
+				}
+				want := make([]byte, 24)
+				if err := c.Get(1, spans[0].Addr, want[:16]); err != nil {
+					return err
+				}
+				if err := c.Get(1, spans[1].Addr, want[16:]); err != nil {
+					return err
+				}
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("self GetV gathered %x, want %x", got, want)
+				}
+			}
+			return c.Barrier()
+		})
+	})
+}
+
+// Malformed vectored gets must fail cleanly, not corrupt the destination
+// world.
+func TestGetVErrors(t *testing.T) {
+	transports(t, func(t *testing.T, kind TransportKind) {
+		run(t, Config{NumPEs: 2, Transport: kind}, func(c *Ctx) error {
+			addr, err := c.Alloc(64)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				dst := make([]byte, 32)
+				// Spans not covering dst.
+				if err := c.GetV(1, []Span{{Addr: addr, N: 16}}, dst); err == nil {
+					return fmt.Errorf("mismatched dst length accepted")
+				}
+				// Negative span length.
+				if err := c.GetV(1, []Span{{Addr: addr, N: -1}}, nil); err == nil {
+					return fmt.Errorf("negative span accepted")
+				}
+				// Span beyond the heap.
+				huge := Span{Addr: 1 << 40, N: 32}
+				if err := c.GetV(1, []Span{huge}, dst); err == nil {
+					return fmt.Errorf("out-of-heap span accepted")
+				}
+				// The connection must still work after a rejected op.
+				if err := c.GetV(1, []Span{{Addr: addr, N: 32}}, dst); err != nil {
+					return fmt.Errorf("GetV after rejected op: %w", err)
+				}
+			}
+			return c.Barrier()
+		})
+	})
+}

@@ -29,8 +29,8 @@ type nbiOp struct {
 	op    Op
 	from  int
 	addr  Addr
-	val   uint64 // for storeNBI / addNBI
-	data  []byte // for putNBI (owned copy)
+	val   uint64  // for storeNBI / addNBI
+	data  *[]byte // for putNBI (pooled copy, recycled by the applier)
 	delay time.Duration
 	dup   bool
 }
@@ -66,6 +66,9 @@ func (a *nbiApplier) run() {
 		if op.dup {
 			a.apply(op)
 		}
+		if op.data != nil {
+			putBuf(op.data)
+		}
 		a.w.pes[op.from].nbiPending.Add(-1)
 	}
 }
@@ -85,8 +88,8 @@ func (a *nbiApplier) apply(op nbiOp) {
 			a.w.fail(err)
 		}
 	case OpPutNBI:
-		if err := a.target.checkRange(op.addr, len(op.data)); err == nil {
-			a.target.copyIn(op.addr, op.data)
+		if err := a.target.checkRange(op.addr, len(*op.data)); err == nil {
+			a.target.copyIn(op.addr, *op.data)
 		} else {
 			a.w.fail(err)
 		}
@@ -135,6 +138,36 @@ func (t *localTransport) get(from, to int, addr Addr, dst []byte) error {
 	d, _ := t.inject(OpGet, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + d)
 	pe.copyOut(addr, dst)
+	return nil
+}
+
+func (t *localTransport) getv(from, to int, spans []Span, dst []byte) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, sp := range spans {
+		if err := pe.checkRange(sp.Addr, sp.N); err != nil {
+			return err
+		}
+		total += sp.N
+	}
+	if total != len(dst) {
+		return fmt.Errorf("shmem: getv spans cover %d bytes, dst holds %d", total, len(dst))
+	}
+	var first Addr
+	if len(spans) > 0 {
+		first = spans[0].Addr
+	}
+	d, _ := t.inject(OpGetV, from, to, first)
+	// One round trip covers the whole gather, however many spans.
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + d)
+	off := 0
+	for _, sp := range spans {
+		pe.copyOut(sp.Addr, dst[off:off+sp.N])
+		off += sp.N
+	}
 	return nil
 }
 
@@ -265,8 +298,10 @@ func (t *localTransport) addNBI(from, to int, addr Addr, delta uint64) error {
 
 func (t *localTransport) putNBI(from, to int, addr Addr, src []byte) error {
 	d, dup := t.inject(OpPutNBI, from, to, addr)
-	data := make([]byte, len(src))
-	copy(data, src)
+	// The injection must own a copy of src (the caller may reuse it the
+	// moment we return); stage it in a pooled buffer the applier recycles.
+	data := getBuf(len(src))
+	copy(*data, src)
 	return t.enqueueNBI(nbiOp{op: OpPutNBI, from: from, addr: addr, data: data, delay: d, dup: dup}, to)
 }
 

@@ -92,6 +92,27 @@ type Config struct {
 	// clock reads per blocking operation). On by default; the toggle
 	// exists so the overhead benchmark can quantify the cost.
 	NoOpLatency bool
+
+	// DialTimeout bounds connection establishment on the TCP transports
+	// (per-PE service connections). Default 10s.
+	DialTimeout time.Duration
+	// SockBufBytes sizes the per-connection bufio buffers on the TCP
+	// transports. Default 16 KiB.
+	SockBufBytes int
+	// AckBatch caps how many async operations may ride behind one flush
+	// on a TCP connection, in both directions: the initiator coalesces
+	// NBI injects (flushing on this watermark, before any blocking op to
+	// the same target, and in Quiet), and the target coalesces the
+	// corresponding completion acks into count frames (flushing on the
+	// watermark or when its request stream goes idle). 1 disables
+	// coalescing. Default 64.
+	AckBatch int
+	// FlushInterval is the period of the TCP transports' background
+	// flusher, which pushes out coalesced NBI injects that never reach
+	// the AckBatch watermark — bounding how stale a fire-and-forget
+	// notification can go without the initiator calling Quiet. Negative
+	// disables the background flusher (tests). Default 200µs.
+	FlushInterval time.Duration
 }
 
 func (c *Config) setDefaults() error {
@@ -105,6 +126,18 @@ func (c *Config) setDefaults() error {
 		return fmt.Errorf("shmem: HeapBytes must be >= %d, got %d", WordSize, c.HeapBytes)
 	}
 	c.HeapBytes = (c.HeapBytes + WordSize - 1) &^ (WordSize - 1)
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.SockBufBytes == 0 {
+		c.SockBufBytes = 16 << 10
+	}
+	if c.AckBatch < 1 {
+		c.AckBatch = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 200 * time.Microsecond
+	}
 	return nil
 }
 

@@ -129,3 +129,86 @@ func TestUnalignedRanges(t *testing.T) {
 		return c.Barrier()
 	})
 }
+
+// Vectored gets racing coalesced NBI traffic and Quiet on every PE: the
+// sync and async paths share initiator state (flush-before-blocking-op,
+// the background flusher, count-frame acks), so interleaving them hard is
+// what shakes out ordering and accounting bugs. Run under -race.
+func TestStressGetVNBIQuiet(t *testing.T) {
+	transports(t, func(t *testing.T, kind TransportKind) {
+		const n = 4
+		const rounds = 60
+		const burst = 20
+		run(t, Config{NumPEs: n, Transport: kind, AckBatch: 8}, func(c *Ctx) error {
+			// Layout: a static pattern region plus one accumulator word
+			// per peer writer.
+			pat, err := c.Alloc(256)
+			if err != nil {
+				return err
+			}
+			acc, err := c.Alloc(8 * n)
+			if err != nil {
+				return err
+			}
+			me := c.Rank()
+			buf := make([]byte, 256)
+			for i := range buf {
+				buf[i] = byte(me*31 + i)
+			}
+			if err := c.Put(me, pat, buf); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			victim := (me + 1) % n
+			src := (me + 2) % n
+			got := make([]byte, 96)
+			for r := 0; r < rounds; r++ {
+				for b := 0; b < burst; b++ {
+					if err := c.Add64NBI(victim, acc+Addr(8*me), 1); err != nil {
+						return err
+					}
+				}
+				spans := []Span{
+					{Addr: pat + Addr((r*8)%160), N: 64},
+					{Addr: pat + Addr((r*4)%200), N: 32},
+				}
+				if err := c.GetV(src, spans, got); err != nil {
+					return err
+				}
+				for i := 0; i < 64; i++ {
+					if want := byte(src*31 + int(spans[0].Addr-pat) + i); got[i] != want {
+						return fmt.Errorf("round %d span0 byte %d = %#x, want %#x", r, i, got[i], want)
+					}
+				}
+				for i := 0; i < 32; i++ {
+					if want := byte(src*31 + int(spans[1].Addr-pat) + i); got[64+i] != want {
+						return fmt.Errorf("round %d span1 byte %d = %#x, want %#x", r, i, got[64+i], want)
+					}
+				}
+				if r%7 == 3 {
+					if err := c.Quiet(); err != nil {
+						return err
+					}
+				}
+			}
+			if err := c.Quiet(); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// Every writer's bursts must have landed exactly once each.
+			writer := (me + n - 1) % n
+			v, err := c.Load64(me, acc+Addr(8*writer))
+			if err != nil {
+				return err
+			}
+			if v != rounds*burst {
+				return fmt.Errorf("accumulator from PE %d = %d, want %d", writer, v, rounds*burst)
+			}
+			return c.Barrier()
+		})
+	})
+}

@@ -23,15 +23,24 @@ import (
 //   - an async connection carrying pipelined non-blocking operations whose
 //     acks are drained by a reader goroutine into the initiator's
 //     nbiPending counter (consumed by Quiet).
+//
+// The wire path is allocation-free in steady state: each connection owns
+// header scratch and reusable payload staging, response payloads for get
+// and getv are read directly into the caller's destination, and async
+// traffic is coalesced — injections buffer until Config.AckBatch ops (or a
+// blocking op, Quiet, or the background flusher) force them out, and the
+// server acks batches with a single count frame instead of a byte per op.
 type tcpTransport struct {
 	w         *World
 	listeners []net.Listener
 	addrs     []string
 
-	mu    sync.Mutex
-	sync_ map[connKey]*syncConn
-	async map[connKey]*asyncConn
+	mu          sync.Mutex
+	sync_       map[connKey]*syncConn
+	async       map[connKey]*asyncConn
+	asyncByFrom [][]*asyncConn // per initiator rank, for Quiet/flusher sweeps
 
+	stop   chan struct{}
 	closed atomic.Bool
 	wg     sync.WaitGroup
 }
@@ -46,37 +55,73 @@ const (
 	connAsync byte = 1
 )
 
+// spanWireSize is one getv span table entry: addr uint64, n uint32.
+const spanWireSize = 12
+
 // Wire format. All integers little-endian.
 //
 // Connection preamble (initiator -> server):
 //   kind uint8, from uint32
 // Request:
 //   op uint8, addr uint64, val1 uint64, val2 uint64, plen uint32, payload
+//   (for OpGetV: val1 = span count, val2 = total bytes, payload = span
+//   table of (addr uint64, n uint32) entries)
 // Sync response:
 //   status uint8, val uint64, plen uint32, payload
 //   (status 0 = ok; otherwise payload is an error string)
-// Async ack (server -> initiator): one byte per applied op.
+// Async ack (server -> initiator): count uint32 per batch of applied ops.
+
+const (
+	reqHdrSize = 29
+	rspHdrSize = 13
+)
 
 type syncConn struct {
-	mu sync.Mutex
-	rw *bufio.ReadWriter
-	c  net.Conn
+	mu   sync.Mutex
+	rw   *bufio.ReadWriter
+	c    net.Conn
+	whdr [reqHdrSize]byte // request header scratch (guarded by mu)
+	rhdr [rspHdrSize]byte // response header scratch (guarded by mu)
 }
 
 type asyncConn struct {
-	mu sync.Mutex // serializes writers
-	w  *bufio.Writer
-	c  net.Conn
+	mu        sync.Mutex // serializes writers
+	w         *bufio.Writer
+	c         net.Conn
+	whdr      [reqHdrSize]byte // request header scratch (guarded by mu)
+	unflushed int              // ops buffered since the last flush (guarded by mu)
+}
+
+func (ac *asyncConn) flush() error {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.flushLocked()
+}
+
+func (ac *asyncConn) flushLocked() error {
+	if ac.unflushed == 0 {
+		return nil
+	}
+	ac.unflushed = 0
+	return ac.w.Flush()
+}
+
+// tcpShell builds the common transport skeleton shared by the in-process
+// constructor and the multi-process (dist) one.
+func tcpShell(w *World, numPEs int) *tcpTransport {
+	return &tcpTransport{
+		w:           w,
+		sync_:       make(map[connKey]*syncConn),
+		async:       make(map[connKey]*asyncConn),
+		asyncByFrom: make([][]*asyncConn, numPEs),
+		stop:        make(chan struct{}),
+		listeners:   make([]net.Listener, numPEs),
+		addrs:       make([]string, numPEs),
+	}
 }
 
 func newTCPTransport(w *World) (*tcpTransport, error) {
-	t := &tcpTransport{
-		w:     w,
-		sync_: make(map[connKey]*syncConn),
-		async: make(map[connKey]*asyncConn),
-	}
-	t.listeners = make([]net.Listener, len(w.pes))
-	t.addrs = make([]string, len(w.pes))
+	t := tcpShell(w, len(w.pes))
 	for i := range w.pes {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -88,7 +133,47 @@ func newTCPTransport(w *World) (*tcpTransport, error) {
 		t.wg.Add(1)
 		go t.serve(i, ln)
 	}
+	t.startFlusher()
 	return t, nil
+}
+
+// startFlusher launches the background goroutine that periodically flushes
+// every initiator-side async connection. Coalescing buffers completion
+// notifications, and an owner polling a completion word has no reverse
+// channel to request a flush — the flusher bounds how stale a buffered
+// notification can get when neither the watermark nor a blocking op forces
+// it out.
+func (t *tcpTransport) startFlusher() {
+	ivl := t.w.cfg.FlushInterval
+	if ivl <= 0 {
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		tick := time.NewTicker(ivl)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+			}
+			t.mu.Lock()
+			for _, acs := range t.asyncByFrom {
+				for _, ac := range acs {
+					if err := ac.flush(); err != nil {
+						if !t.closed.Load() {
+							t.w.fail(fmt.Errorf("shmem/tcp: background flush: %w", err))
+						}
+						t.mu.Unlock()
+						return
+					}
+				}
+			}
+			t.mu.Unlock()
+		}
+	}()
 }
 
 func (t *tcpTransport) serve(rank int, ln net.Listener) {
@@ -106,20 +191,41 @@ func (t *tcpTransport) serve(rank int, ln net.Listener) {
 	}
 }
 
-// handle services one connection against this PE's heap.
+// handle services one connection against this PE's heap. All scratch is
+// per-connection, so the service loop allocates nothing in steady state.
 func (t *tcpTransport) handle(rank int, conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := bufio.NewReaderSize(conn, t.w.cfg.SockBufBytes)
+	w := bufio.NewWriterSize(conn, t.w.cfg.SockBufBytes)
 	var pre [5]byte
 	if _, err := io.ReadFull(r, pre[:]); err != nil {
 		return // peer vanished before preamble; nothing to clean up
 	}
 	kind := pre[0]
 	pe := t.w.pes[rank]
+	ackBatch := t.w.cfg.AckBatch
+	var (
+		reqHdr  [reqHdrSize]byte
+		rspHdr  [rspHdrSize]byte
+		ackFrm  [4]byte
+		reqBuf  []byte // request payload staging
+		rspBuf  []byte // response payload staging (get/getv/fused gather)
+		pending int    // applied async ops not yet acked
+	)
+	flushAcks := func() error {
+		if pending == 0 {
+			return nil
+		}
+		binary.LittleEndian.PutUint32(ackFrm[:], uint32(pending))
+		pending = 0
+		if _, err := w.Write(ackFrm[:]); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
 	for {
-		op, addr, v1, v2, payload, err := readRequest(r)
+		op, addr, v1, v2, payload, err := readRequest(r, reqHdr[:], &reqBuf)
 		if err != nil {
 			if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				t.w.fail(fmt.Errorf("shmem/tcp: PE %d read request: %w", rank, err))
@@ -129,11 +235,11 @@ func (t *tcpTransport) handle(rank int, conn net.Conn) {
 		status := byte(0)
 		var rv uint64
 		var rp []byte
-		if aerr := t.applyOp(pe, op, addr, v1, v2, payload, &rv, &rp); aerr != nil {
+		if aerr := t.applyOp(pe, op, addr, v1, v2, payload, &rv, &rp, &rspBuf); aerr != nil {
 			status, rp = 1, []byte(aerr.Error())
 		}
 		if kind == connSync {
-			if err := writeResponse(w, status, rv, rp); err != nil {
+			if err := writeResponse(w, rspHdr[:], status, rv, rp); err != nil {
 				t.w.fail(fmt.Errorf("shmem/tcp: PE %d write response: %w", rank, err))
 				return
 			}
@@ -141,16 +247,23 @@ func (t *tcpTransport) handle(rank int, conn net.Conn) {
 			if status != 0 {
 				t.w.fail(fmt.Errorf("shmem/tcp: PE %d async op failed: %s", rank, rp))
 			}
-			if err := w.WriteByte(1); err != nil || w.Flush() != nil {
-				return
+			// Coalesce acks: flush on the watermark or when the request
+			// stream goes idle (nothing more buffered to apply first).
+			pending++
+			if pending >= ackBatch || r.Buffered() == 0 {
+				if err := flushAcks(); err != nil {
+					return
+				}
 			}
 		}
 	}
 }
 
 // applyOp executes a one-sided op on the local heap, exactly as the local
-// transport's initiator/applier would.
-func (t *tcpTransport) applyOp(pe *peState, op Op, addr Addr, v1, v2 uint64, payload []byte, rv *uint64, rp *[]byte) error {
+// transport's initiator/applier would. Response payloads are staged in
+// *scratch (grown as needed, reused across ops); *rp may alias it and is
+// only valid until the next applyOp on this connection.
+func (t *tcpTransport) applyOp(pe *peState, op Op, addr Addr, v1, v2 uint64, payload []byte, rv *uint64, rp *[]byte, scratch *[]byte) error {
 	switch op {
 	case OpFetchAddGet:
 		i, err := pe.checkWord(addr)
@@ -158,9 +271,12 @@ func (t *tcpTransport) applyOp(pe *peState, op Op, addr Addr, v1, v2 uint64, pay
 			return err
 		}
 		old := atomic.AddUint64(pe.word(i), v1) - v1
-		data, err := t.w.applyFused(pe, old, v2)
+		data, err := t.w.applyFusedInto(pe, old, v2, (*scratch)[:0])
 		if err != nil {
 			return err
+		}
+		if data != nil {
+			*scratch = data // keep any growth for the next op
 		}
 		*rv = old
 		*rp = data
@@ -174,8 +290,35 @@ func (t *tcpTransport) applyOp(pe *peState, op Op, addr Addr, v1, v2 uint64, pay
 		if err := pe.checkRange(addr, n); err != nil {
 			return err
 		}
-		buf := make([]byte, n)
+		buf := growScratch(scratch, n)
 		pe.copyOut(addr, buf)
+		*rp = buf
+	case OpGetV:
+		nspans := int(v1)
+		if nspans < 0 || len(payload) != nspans*spanWireSize {
+			return fmt.Errorf("shmem/tcp: getv span table is %d bytes, want %d", len(payload), nspans*spanWireSize)
+		}
+		total := int(v2)
+		if total < 0 {
+			return fmt.Errorf("shmem/tcp: getv negative total %d", total)
+		}
+		buf := growScratch(scratch, total)
+		off := 0
+		for i := 0; i < nspans; i++ {
+			sa := Addr(binary.LittleEndian.Uint64(payload[i*spanWireSize:]))
+			sn := int(binary.LittleEndian.Uint32(payload[i*spanWireSize+8:]))
+			if err := pe.checkRange(sa, sn); err != nil {
+				return err
+			}
+			if off+sn > total {
+				return fmt.Errorf("shmem/tcp: getv spans overflow total %d", total)
+			}
+			pe.copyOut(sa, buf[off:off+sn])
+			off += sn
+		}
+		if off != total {
+			return fmt.Errorf("shmem/tcp: getv spans cover %d bytes, header claims %d", off, total)
+		}
 		*rp = buf
 	case OpFetchAdd:
 		i, err := pe.checkWord(addr)
@@ -229,9 +372,12 @@ func (t *tcpTransport) applyOp(pe *peState, op Op, addr Addr, v1, v2 uint64, pay
 	return nil
 }
 
-func readRequest(r *bufio.Reader) (Op, Addr, uint64, uint64, []byte, error) {
-	var hdr [29]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readRequest reads one request using the caller's header scratch; a
+// payload, if present, is staged in *payloadBuf (grown as needed) and the
+// returned slice aliases it until the next call.
+func readRequest(r *bufio.Reader, hdr []byte, payloadBuf *[]byte) (Op, Addr, uint64, uint64, []byte, error) {
+	hdr = hdr[:reqHdrSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, 0, 0, 0, nil, err
 	}
 	op := Op(hdr[0])
@@ -241,7 +387,7 @@ func readRequest(r *bufio.Reader) (Op, Addr, uint64, uint64, []byte, error) {
 	plen := binary.LittleEndian.Uint32(hdr[25:29])
 	var payload []byte
 	if plen > 0 {
-		payload = make([]byte, plen)
+		payload = growScratch(payloadBuf, int(plen))
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return 0, 0, 0, 0, nil, err
 		}
@@ -249,14 +395,17 @@ func readRequest(r *bufio.Reader) (Op, Addr, uint64, uint64, []byte, error) {
 	return op, addr, v1, v2, payload, nil
 }
 
-func writeRequest(w *bufio.Writer, op Op, addr Addr, v1, v2 uint64, payload []byte) error {
-	var hdr [29]byte
+// writeRequest buffers one request using the caller's header scratch. It
+// does NOT flush: sync callers flush before awaiting the response, async
+// callers coalesce (watermark, blocking op, Quiet, or background flusher).
+func writeRequest(w *bufio.Writer, hdr []byte, op Op, addr Addr, v1, v2 uint64, payload []byte) error {
+	hdr = hdr[:reqHdrSize]
 	hdr[0] = byte(op)
 	binary.LittleEndian.PutUint64(hdr[1:9], uint64(addr))
 	binary.LittleEndian.PutUint64(hdr[9:17], v1)
 	binary.LittleEndian.PutUint64(hdr[17:25], v2)
 	binary.LittleEndian.PutUint32(hdr[25:29], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -264,15 +413,15 @@ func writeRequest(w *bufio.Writer, op Op, addr Addr, v1, v2 uint64, payload []by
 			return err
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
-func writeResponse(w *bufio.Writer, status byte, val uint64, payload []byte) error {
-	var hdr [13]byte
+func writeResponse(w *bufio.Writer, hdr []byte, status byte, val uint64, payload []byte) error {
+	hdr = hdr[:rspHdrSize]
 	hdr[0] = status
 	binary.LittleEndian.PutUint64(hdr[1:9], val)
 	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -283,9 +432,14 @@ func writeResponse(w *bufio.Writer, status byte, val uint64, payload []byte) err
 	return w.Flush()
 }
 
-func readResponse(r *bufio.Reader) (byte, uint64, []byte, error) {
-	var hdr [13]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readResponse reads one response using the caller's header scratch. When
+// the op succeeded and the payload length matches len(into), the payload is
+// read directly into into (the caller's destination buffer) — the zero-copy
+// fast path for get/getv. Otherwise (error strings, fused payloads whose
+// length the caller doesn't know) it allocates.
+func readResponse(r *bufio.Reader, hdr []byte, into []byte) (byte, uint64, []byte, error) {
+	hdr = hdr[:rspHdrSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, 0, nil, err
 	}
 	status := hdr[0]
@@ -293,7 +447,11 @@ func readResponse(r *bufio.Reader) (byte, uint64, []byte, error) {
 	plen := binary.LittleEndian.Uint32(hdr[9:13])
 	var payload []byte
 	if plen > 0 {
-		payload = make([]byte, plen)
+		if status == 0 && len(into) == int(plen) {
+			payload = into
+		} else {
+			payload = make([]byte, plen)
+		}
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return 0, 0, nil, err
 		}
@@ -305,7 +463,7 @@ func (t *tcpTransport) dial(from, to int, kind byte) (net.Conn, error) {
 	if to < 0 || to >= len(t.addrs) {
 		return nil, fmt.Errorf("shmem/tcp: target PE %d out of range [0, %d)", to, len(t.addrs))
 	}
-	conn, err := net.DialTimeout("tcp", t.addrs[to], 10*time.Second)
+	conn, err := net.DialTimeout("tcp", t.addrs[to], t.w.cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("shmem/tcp: dial PE %d: %w", to, err)
 	}
@@ -332,8 +490,10 @@ func (t *tcpTransport) syncConn(from, to int) (*syncConn, error) {
 		return nil, err
 	}
 	sc := &syncConn{
-		rw: bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
-		c:  conn,
+		rw: bufio.NewReadWriter(
+			bufio.NewReaderSize(conn, t.w.cfg.SockBufBytes),
+			bufio.NewWriterSize(conn, t.w.cfg.SockBufBytes)),
+		c: conn,
 	}
 	t.mu.Lock()
 	if prior, ok := t.sync_[key]; ok {
@@ -358,7 +518,7 @@ func (t *tcpTransport) asyncConn(from, to int) (*asyncConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	ac := &asyncConn{w: bufio.NewWriter(conn), c: conn}
+	ac := &asyncConn{w: bufio.NewWriterSize(conn, t.w.cfg.SockBufBytes), c: conn}
 	t.mu.Lock()
 	if prior, ok := t.async[key]; ok {
 		t.mu.Unlock()
@@ -366,46 +526,78 @@ func (t *tcpTransport) asyncConn(from, to int) (*asyncConn, error) {
 		return prior, nil
 	}
 	t.async[key] = ac
+	t.asyncByFrom[from] = append(t.asyncByFrom[from], ac)
 	t.mu.Unlock()
-	// Drain acks into the initiator's pending counter.
+	// Drain count-frame acks into the initiator's pending counter.
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
-		r := bufio.NewReader(conn)
-		buf := make([]byte, 256)
+		r := bufio.NewReaderSize(conn, 64)
+		var frame [4]byte
 		for {
-			n, err := r.Read(buf)
-			if n > 0 {
-				t.w.pes[from].nbiPending.Add(-int64(n))
-			}
-			if err != nil {
+			if _, err := io.ReadFull(r, frame[:]); err != nil {
 				if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 					t.w.fail(fmt.Errorf("shmem/tcp: ack reader %d->%d: %w", from, to, err))
 				}
 				return
 			}
+			t.w.pes[from].nbiPending.Add(-int64(binary.LittleEndian.Uint32(frame[:])))
 		}
 	}()
 	return ac, nil
 }
 
+// flushAsyncTo flushes the initiator's buffered injections to one target.
+func (t *tcpTransport) flushAsyncTo(from, to int) error {
+	t.mu.Lock()
+	ac := t.async[connKey{from, to, connAsync}]
+	t.mu.Unlock()
+	if ac == nil {
+		return nil
+	}
+	return ac.flush()
+}
+
+// flushFrom flushes every async connection this initiator has open.
+func (t *tcpTransport) flushFrom(from int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ac := range t.asyncByFrom[from] {
+		if err := ac.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // roundTrip performs one blocking request/response on the sync connection.
-func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, payload []byte) (uint64, []byte, error) {
+// respInto, if non-nil, receives a success payload of exactly matching
+// length without an intermediate copy.
+func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, payload, respInto []byte) (uint64, []byte, error) {
 	if f := t.w.cfg.Fault; f != nil {
 		d, _ := f.Before(op, from, to, addr)
 		charge(d)
 	}
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(payload)))
+	// A blocking op must not overtake this initiator's coalesced
+	// injections to the same target: flush them first so buffering never
+	// reorders a completion notification after a later round trip.
+	if err := t.flushAsyncTo(from, to); err != nil {
+		return 0, nil, fmt.Errorf("shmem/tcp: flushing before %v to PE %d: %w", op, to, err)
+	}
 	sc, err := t.syncConn(from, to)
 	if err != nil {
 		return 0, nil, err
 	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if err := writeRequest(sc.rw.Writer, op, addr, v1, v2, payload); err != nil {
+	if err := writeRequest(sc.rw.Writer, sc.whdr[:], op, addr, v1, v2, payload); err != nil {
 		return 0, nil, fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
 	}
-	status, val, rp, err := readResponse(sc.rw.Reader)
+	if err := sc.rw.Writer.Flush(); err != nil {
+		return 0, nil, fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+	}
+	status, val, rp, err := readResponse(sc.rw.Reader, sc.rhdr[:], respInto)
 	if err != nil {
 		return 0, nil, fmt.Errorf("shmem/tcp: %v response from PE %d: %w", op, to, err)
 	}
@@ -415,7 +607,10 @@ func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, 
 	return val, rp, nil
 }
 
-// injectAsync pipelines one non-blocking request.
+// injectAsync pipelines one non-blocking request. The write lands in the
+// connection's buffer; it is flushed once AckBatch ops accumulate, or
+// earlier by a blocking op to the same target, Quiet, or the background
+// flusher.
 func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, payload []byte) error {
 	dup := false
 	if f := t.w.cfg.Fault; f != nil {
@@ -438,65 +633,108 @@ func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, pa
 	t.w.pes[from].nbiPending.Add(n)
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
-	if err := writeRequest(ac.w, op, addr, v1, 0, payload); err != nil {
+	if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, payload); err != nil {
 		t.w.pes[from].nbiPending.Add(-n)
 		return fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
 	}
 	if dup {
-		if err := writeRequest(ac.w, op, addr, v1, 0, payload); err != nil {
+		if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, payload); err != nil {
 			t.w.pes[from].nbiPending.Add(-1)
 			return fmt.Errorf("shmem/tcp: duplicate %v to PE %d: %w", op, to, err)
+		}
+	}
+	ac.unflushed += int(n)
+	if ac.unflushed >= t.w.cfg.AckBatch {
+		if err := ac.flushLocked(); err != nil {
+			return fmt.Errorf("shmem/tcp: flushing %v to PE %d: %w", op, to, err)
 		}
 	}
 	return nil
 }
 
 func (t *tcpTransport) put(from, to int, addr Addr, src []byte) error {
-	_, _, err := t.roundTrip(from, to, OpPut, addr, 0, 0, src)
+	_, _, err := t.roundTrip(from, to, OpPut, addr, 0, 0, src, nil)
 	return err
 }
 
 func (t *tcpTransport) get(from, to int, addr Addr, dst []byte) error {
 	// Charge bandwidth for the returned payload (request carries none).
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.bandwidth(len(dst)))
-	_, rp, err := t.roundTrip(from, to, OpGet, addr, uint64(len(dst)), 0, nil)
+	_, rp, err := t.roundTrip(from, to, OpGet, addr, uint64(len(dst)), 0, nil, dst)
 	if err != nil {
 		return err
 	}
 	if len(rp) != len(dst) {
 		return fmt.Errorf("shmem/tcp: get from PE %d returned %d bytes, want %d", to, len(rp), len(dst))
 	}
-	copy(dst, rp)
+	if len(dst) > 0 && &rp[0] != &dst[0] {
+		copy(dst, rp)
+	}
+	return nil
+}
+
+func (t *tcpTransport) getv(from, to int, spans []Span, dst []byte) error {
+	total := 0
+	for _, sp := range spans {
+		if sp.N < 0 {
+			return fmt.Errorf("shmem/tcp: getv span with negative length %d", sp.N)
+		}
+		total += sp.N
+	}
+	if total != len(dst) {
+		return fmt.Errorf("shmem/tcp: getv spans cover %d bytes, dst holds %d", total, len(dst))
+	}
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.bandwidth(len(dst)))
+	var first Addr
+	if len(spans) > 0 {
+		first = spans[0].Addr // fault injectors key on the leading address
+	}
+	tbl := getBuf(len(spans) * spanWireSize)
+	for i, sp := range spans {
+		binary.LittleEndian.PutUint64((*tbl)[i*spanWireSize:], uint64(sp.Addr))
+		binary.LittleEndian.PutUint32((*tbl)[i*spanWireSize+8:], uint32(sp.N))
+	}
+	_, rp, err := t.roundTrip(from, to, OpGetV, first, uint64(len(spans)), uint64(total), *tbl, dst)
+	putBuf(tbl)
+	if err != nil {
+		return err
+	}
+	if len(rp) != len(dst) {
+		return fmt.Errorf("shmem/tcp: getv from PE %d returned %d bytes, want %d", to, len(rp), len(dst))
+	}
+	if len(dst) > 0 && &rp[0] != &dst[0] {
+		copy(dst, rp)
+	}
 	return nil
 }
 
 func (t *tcpTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpFetchAdd, addr, delta, 0, nil)
+	v, _, err := t.roundTrip(from, to, OpFetchAdd, addr, delta, 0, nil, nil)
 	return v, err
 }
 
 func (t *tcpTransport) swap64(from, to int, addr Addr, val uint64) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpSwap, addr, val, 0, nil)
+	v, _, err := t.roundTrip(from, to, OpSwap, addr, val, 0, nil, nil)
 	return v, err
 }
 
 func (t *tcpTransport) compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpCompareSwap, addr, old, new, nil)
+	v, _, err := t.roundTrip(from, to, OpCompareSwap, addr, old, new, nil, nil)
 	return v, err
 }
 
 func (t *tcpTransport) load64(from, to int, addr Addr) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpLoad, addr, 0, 0, nil)
+	v, _, err := t.roundTrip(from, to, OpLoad, addr, 0, 0, nil, nil)
 	return v, err
 }
 
 func (t *tcpTransport) store64(from, to int, addr Addr, val uint64) error {
-	_, _, err := t.roundTrip(from, to, OpStore, addr, val, 0, nil)
+	_, _, err := t.roundTrip(from, to, OpStore, addr, val, 0, nil, nil)
 	return err
 }
 
 func (t *tcpTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
-	return t.roundTrip(from, to, OpFetchAddGet, addr, delta, id, nil)
+	return t.roundTrip(from, to, OpFetchAddGet, addr, delta, id, nil, nil)
 }
 
 func (t *tcpTransport) storeNBI(from, to int, addr Addr, val uint64) error {
@@ -513,13 +751,34 @@ func (t *tcpTransport) putNBI(from, to int, addr Addr, src []byte) error {
 
 func (t *tcpTransport) quiet(from int) error {
 	pe := t.w.pes[from]
-	return t.w.spinUntil(func() bool { return pe.nbiPending.Load() == 0 })
+	// Flush our buffered injections, then wait for their acks. The spin
+	// periodically re-flushes to cover injections raced in by concurrent
+	// goroutines on this PE after the initial sweep.
+	var ferr error
+	polls := 0
+	err := t.w.spinUntil(func() bool {
+		if pe.nbiPending.Load() == 0 {
+			return true
+		}
+		polls++
+		if polls&1023 == 1 {
+			if ferr = t.flushFrom(from); ferr != nil {
+				return true
+			}
+		}
+		return false
+	})
+	if ferr != nil {
+		return ferr
+	}
+	return err
 }
 
 func (t *tcpTransport) close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
+	close(t.stop)
 	var errs []error
 	for _, ln := range t.listeners {
 		if ln != nil {

@@ -1,5 +1,14 @@
 package shmem
 
+// Span is one contiguous symmetric-heap byte range. Vectored operations
+// (GetV) and fused-op handlers describe their targets as spans; a
+// circular-buffer block that wraps the physical end of the buffer is two
+// spans but still one communication.
+type Span struct {
+	Addr Addr
+	N    int
+}
+
 // transport executes one-sided operations against remote heaps. The `from`
 // rank identifies the initiator (for NBI completion tracking); `to` is the
 // target PE whose heap is accessed. Self-targeted operations never reach
@@ -7,6 +16,9 @@ package shmem
 type transport interface {
 	put(from, to int, addr Addr, src []byte) error
 	get(from, to int, addr Addr, dst []byte) error
+	// getv gathers the spans, in order, into dst (whose length must equal
+	// the spans' total) in ONE blocking round trip.
+	getv(from, to int, spans []Span, dst []byte) error
 	fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error)
 	swap64(from, to int, addr Addr, val uint64) (uint64, error)
 	compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error)

@@ -5,7 +5,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 )
+
+// commOpNames maps a CommOp event's op code (Event.A) to a readable name
+// in the exported JSON. The shmem package installs its op table at init;
+// codes outside the table render as "op-<code>".
+var commOpNames atomic.Value // []string
+
+// SetCommOpNames installs the op-code→name table used when rendering
+// CommOp events. Names must be indexed by op code.
+func SetCommOpNames(names []string) {
+	table := make([]string, len(names))
+	copy(table, names)
+	commOpNames.Store(table)
+}
+
+func commOpName(code int64) string {
+	names, _ := commOpNames.Load().([]string)
+	if code >= 0 && int(code) < len(names) && names[code] != "" {
+		return names[code]
+	}
+	return fmt.Sprintf("op-%d", code)
+}
 
 // WriteJSON emits the merged timeline in the Chrome Trace Event JSON
 // format, loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
@@ -71,7 +93,7 @@ func (s *Set) WriteJSON(w io.Writer) error {
 			evs = append(evs, jsonEvent{
 				Name: "comm-op", Cat: "comm", Ph: "X",
 				Ts: us(start), Dur: us(e.B), Pid: 0, Tid: e.PE,
-				Args: map[string]any{"op": e.A, "ns": e.B},
+				Args: map[string]any{"op": commOpName(e.A), "code": e.A, "ns": e.B},
 			})
 		case StealOK:
 			// Instant on the thief plus a flow arrow victim -> thief.
