@@ -385,6 +385,22 @@ func (q *Queue) completionSlotAddr(p, b int) shmem.Addr {
 	return q.completionAddr + shmem.Addr((p*q.maxSlots+b)*shmem.WordSize)
 }
 
+// StealvalAddr exposes the queue's stealval heap address so conformance
+// tests can script protocol steps (a manual fetch-add claim) exactly as a
+// remote thief would issue them, on any transport.
+func (q *Queue) StealvalAddr() shmem.Addr { return q.stealvalAddr }
+
+// CompletionSlotAddr exposes the completion slot address for (epoch,
+// attempt), for the same scripted-protocol tests. The slot parity is
+// epoch mod MaxEpochs (V1 has a single parity).
+func (q *Queue) CompletionSlotAddr(epoch, attempt int) shmem.Addr {
+	p := 0
+	if q.format != FormatV1 {
+		p = epoch % MaxEpochs
+	}
+	return q.completionSlotAddr(p, attempt)
+}
+
 // Progress reclaims space for the longest prefix of completed steals,
 // scanning draining epochs oldest-first (§4.2). Purely local reads of the
 // completion arrays.
@@ -446,11 +462,17 @@ func (q *Queue) waitParityFree(p int) error {
 			return nil
 		}
 		q.resetPolls++
+		if werr := q.ctx.Err(); werr != nil {
+			return werr
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("core: reset stalled %v waiting for completion epoch parity %d (lost thief?)",
 				q.opts.ResetPoll, p)
 		}
-		time.Sleep(time.Microsecond)
+		// Scheduler-visible yield: a thief's completion store is what ends
+		// this wait, and under the sim transport it only lands if the
+		// owner hands the lockstep token back.
+		q.ctx.Relax()
 	}
 }
 

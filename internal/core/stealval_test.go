@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"testing/quick"
+
+	"sws/internal/wsq"
 )
 
 func TestFormatString(t *testing.T) {
@@ -146,6 +148,135 @@ func TestPackUnpackProperty(t *testing.T) {
 	}
 	if err := quick.Check(fV2, &quick.Config{MaxCount: 5000}); err != nil {
 		t.Error("v2:", err)
+	}
+}
+
+// Edge cases around the asteals field's 24-bit ceiling. Because asteals
+// occupies the TOP bits of the word, saturating it and adding one more
+// unit carries out of bit 63 and vanishes — the owner fields below are
+// arithmetically unreachable, no matter how many thieves pile on.
+func TestAstealsSaturationEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Format
+		v    Stealval
+	}{
+		{"v1 busy queue", FormatV1, Stealval{Valid: true, ITasks: 150, Tail: 500}},
+		{"v1 tail at max", FormatV1, Stealval{Valid: true, ITasks: 1, Tail: MaxTailV1}},
+		{"v2 epoch 1", FormatV2, Stealval{Valid: true, Epoch: 1, ITasks: 150, Tail: 500}},
+		{"v2 tail at max", FormatV2, Stealval{Valid: true, Epoch: 0, ITasks: 1, Tail: MaxTailV2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w, err := c.f.Pack(c.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Saturate: 2^24-1 thief increments.
+			sat := w + (uint64(astealsMask) << AstealsShift)
+			got := c.f.Unpack(sat)
+			if got.Asteals != astealsMask {
+				t.Fatalf("saturated asteals = %d, want %d", got.Asteals, uint32(astealsMask))
+			}
+			if got.ITasks != c.v.ITasks || got.Tail != c.v.Tail || got.Valid != c.v.Valid || got.Epoch != c.v.Epoch {
+				t.Fatalf("saturation leaked into owner fields: %+v", got)
+			}
+			// One more increment carries out of bit 63: asteals wraps to 0,
+			// the low 40 bits are bit-for-bit untouched.
+			over := sat + AstealsUnit
+			if over&(AstealsUnit-1) != w&(AstealsUnit-1) {
+				t.Fatalf("asteals overflow corrupted low bits: %#x vs %#x", over, w)
+			}
+			got = c.f.Unpack(over)
+			if got.Asteals != 0 {
+				t.Fatalf("overflowed asteals = %d, want 0", got.Asteals)
+			}
+			if got.ITasks != c.v.ITasks || got.Tail != c.v.Tail || got.Valid != c.v.Valid || got.Epoch != c.v.Epoch {
+				t.Fatalf("overflow corrupted owner fields: %+v", got)
+			}
+		})
+	}
+}
+
+// A valid stealval advertising zero shared tasks (nshared == 0) is the
+// state every queue publishes between Release cycles. It must round-trip,
+// and the steal plan for it must be empty at every attempt index — a
+// thief that fetch-adds such a word finds plan exhausted immediately.
+func TestZeroSharedValidWord(t *testing.T) {
+	for _, f := range []Format{FormatV1, FormatV2} {
+		for _, tail := range []int{0, 1, 4095} {
+			v := Stealval{Valid: true, ITasks: 0, Tail: tail}
+			w, err := f.Pack(v)
+			if err != nil {
+				t.Fatalf("%v tail=%d: %v", f, tail, err)
+			}
+			got := f.Unpack(w)
+			if got != v {
+				t.Fatalf("%v tail=%d: round trip %+v != %+v", f, tail, got, v)
+			}
+			if !got.Valid {
+				t.Fatalf("%v: zero-itasks word decoded invalid", f)
+			}
+		}
+	}
+	if wsq.PlanLen(0) != 0 {
+		t.Fatalf("PlanLen(0) = %d, want 0 (no stealable blocks in an empty set)", wsq.PlanLen(0))
+	}
+	for i := 0; i < 5; i++ {
+		if k := wsq.StealHalf(0, i); k != 0 {
+			t.Fatalf("StealHalf(0, %d) = %d, want 0", i, k)
+		}
+	}
+}
+
+// Tail-index wrap: the packed tail is a ring index that wraps at the
+// field boundary. Words whose tail sits at the last representable index,
+// and raw words with every tail bit set, must mask cleanly and never
+// bleed into the adjacent itasks bits.
+func TestPackedTailWrapEdges(t *testing.T) {
+	type tc struct {
+		name string
+		f    Format
+		tail int
+	}
+	cases := []tc{
+		{"v1 max tail", FormatV1, MaxTailV1},
+		{"v1 max-1", FormatV1, MaxTailV1 - 1},
+		{"v2 max tail", FormatV2, MaxTailV2},
+		{"v2 max-1", FormatV2, MaxTailV2 - 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := Stealval{Valid: true, ITasks: 3, Tail: c.tail}
+			w, err := c.f.Pack(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := c.f.Unpack(w)
+			if got.Tail != c.tail {
+				t.Fatalf("tail %d decoded as %d", c.tail, got.Tail)
+			}
+			if got.ITasks != 3 {
+				t.Fatalf("max tail bled into itasks: %+v", got)
+			}
+			// One past the max must be rejected by Pack, not silently wrapped.
+			v.Tail = c.tail + (c.f.maxTail() - c.tail) + 1
+			if _, err := c.f.Pack(v); err == nil {
+				t.Fatalf("Pack accepted tail %d beyond field max %d", v.Tail, c.f.maxTail())
+			}
+		})
+	}
+	// Raw words with all tail bits set decode to exactly maxTail — the
+	// mask cannot produce an out-of-ring index.
+	for _, f := range []Format{FormatV1, FormatV2} {
+		raw := ^uint64(0)
+		v := f.Unpack(raw)
+		if v.Tail != f.maxTail() {
+			t.Fatalf("%v: all-ones word decodes tail %d, want %d", f, v.Tail, f.maxTail())
+		}
+		if v.ITasks > f.maxITasks() {
+			t.Fatalf("%v: all-ones word decodes itasks %d beyond max", f, v.ITasks)
+		}
 	}
 }
 

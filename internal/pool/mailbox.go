@@ -102,7 +102,7 @@ func (m *mailbox) send(pe int, d task.Desc) error {
 			return fmt.Errorf("pool: PE %d inbox slot %d stayed full for %v (receiver not draining?)",
 				pe, slot, m.sendTimeout)
 		}
-		time.Sleep(2 * time.Microsecond)
+		m.ctx.Relax()
 	}
 	if err := m.ctx.Put(pe, m.slotData(slot), buf); err != nil {
 		return err

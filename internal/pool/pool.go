@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"time"
 
 	"sws/internal/core"
@@ -446,7 +445,7 @@ func (p *Pool) push(d task.Desc) error {
 			return fmt.Errorf("pool: queue full for %v (capacity %d too small for this workload): %w",
 				p.cfg.PushTimeout, p.cfg.QueueCapacity, err)
 		}
-		time.Sleep(5 * time.Microsecond)
+		p.ctx.Relax()
 	}
 }
 
@@ -515,10 +514,10 @@ func (p *Pool) Run() error {
 			if err := p.execute(d); err != nil {
 				return err
 			}
-			// One yield per task keeps oversubscribed worlds fair:
-			// thieves get to run between a busy PE's tasks, which is what
-			// dedicated cores would give them.
-			runtime.Gosched()
+			// One scheduling point per task keeps oversubscribed worlds
+			// fair: thieves get to run between a busy PE's tasks, which is
+			// what dedicated cores would give them.
+			p.ctx.Relax()
 			continue
 		}
 		// Local portion empty: pull shared work back.
@@ -565,14 +564,10 @@ func (p *Pool) Run() error {
 			break
 		}
 		// Idle PEs keep searching aggressively (the paper's model has
-		// idle processes continuously looking for work); yield to keep
-		// oversubscribed worlds live, with an occasional real sleep.
+		// idle processes continuously looking for work); Relax keeps
+		// oversubscribed worlds live and is the sim's scheduling point.
 		idle++
-		if idle%256 == 0 {
-			time.Sleep(20 * time.Microsecond)
-		} else {
-			runtime.Gosched()
-		}
+		p.ctx.Relax()
 	}
 	p.elapsed = time.Since(start)
 	return p.ctx.Barrier()

@@ -28,6 +28,10 @@ type Ctx struct {
 	// must perform the same sequence of Alloc calls (SPMD style), which
 	// makes the returned offsets symmetric, as with shmem_malloc.
 	allocCursor Addr
+
+	// relaxes counts Relax calls, for the occasional-sleep backoff used
+	// outside the simulation transport.
+	relaxes uint64
 }
 
 func (w *World) newCtx(rank int) *Ctx {
@@ -118,12 +122,36 @@ func (c *Ctx) Barrier() error {
 	if err := c.Quiet(); err != nil {
 		return err
 	}
+	if st, ok := c.w.transport.(*simTransport); ok {
+		// Under the sim the barrier must be scheduler-visible: a parked
+		// sync.Cond wait would hold the lockstep token forever.
+		return st.barrier(c.rank)
+	}
 	return c.w.barrier.wait()
 }
 
 // Quiet blocks until all non-blocking operations issued by this PE have
 // been applied at their targets.
 func (c *Ctx) Quiet() error { return c.w.transport.quiet(c.rank) }
+
+// Relax is a scheduling point for poll loops: code that spins on local
+// state it expects a remote PE to change (queue slots, mailbox flags,
+// completion words) must call Relax once per empty iteration. Outside the
+// simulation transport it is a cheap yield with occasional sleep; under
+// TransportSim it hands the lockstep token back to the scheduler — a spin
+// loop without it would stall virtual time forever.
+func (c *Ctx) Relax() {
+	if st, ok := c.w.transport.(*simTransport); ok {
+		st.relax(c.rank)
+		return
+	}
+	c.relaxes++
+	if c.relaxes%64 == 0 {
+		time.Sleep(time.Microsecond)
+	} else {
+		yield()
+	}
+}
 
 // --- Blocking one-sided operations ---------------------------------------
 
@@ -409,6 +437,10 @@ func (c *Ctx) WaitUntil64(addr Addr, cmp Cmp, operand uint64, timeout time.Durat
 	i, err := c.self.checkWord(addr)
 	if err != nil {
 		return 0, err
+	}
+	if st, ok := c.w.transport.(*simTransport); ok {
+		// Park in the scheduler; the wait resolves in virtual time.
+		return st.waitLocal(c.rank, addr, cmp, operand, timeout)
 	}
 	var deadline time.Time
 	if timeout > 0 {

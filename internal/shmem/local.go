@@ -105,12 +105,12 @@ func (t *localTransport) pe(to int) (*peState, error) {
 	return t.w.pes[to], nil
 }
 
-// inject runs the fault hook (if any) and returns the extra delay/dup.
-func (t *localTransport) inject(op Op, from, to int, addr Addr) (time.Duration, bool) {
+// inject runs the fault hook (if any) and returns its verdict.
+func (t *localTransport) inject(op Op, from, to int, addr Addr) Verdict {
 	if f := t.w.cfg.Fault; f != nil {
 		return f.Before(op, from, to, addr)
 	}
-	return 0, false
+	return Verdict{}
 }
 
 func (t *localTransport) put(from, to int, addr Addr, src []byte) error {
@@ -121,8 +121,11 @@ func (t *localTransport) put(from, to int, addr Addr, src []byte) error {
 	if err := pe.checkRange(addr, len(src)); err != nil {
 		return err
 	}
-	d, _ := t.inject(OpPut, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(src)) + d)
+	v := t.inject(OpPut, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(src)) + v.Delay)
+	if err := v.failure(); err != nil {
+		return err
+	}
 	pe.copyIn(addr, src)
 	return nil
 }
@@ -135,8 +138,11 @@ func (t *localTransport) get(from, to int, addr Addr, dst []byte) error {
 	if err := pe.checkRange(addr, len(dst)); err != nil {
 		return err
 	}
-	d, _ := t.inject(OpGet, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + d)
+	v := t.inject(OpGet, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
+	if err := v.failure(); err != nil {
+		return err
+	}
 	pe.copyOut(addr, dst)
 	return nil
 }
@@ -160,9 +166,12 @@ func (t *localTransport) getv(from, to int, spans []Span, dst []byte) error {
 	if len(spans) > 0 {
 		first = spans[0].Addr
 	}
-	d, _ := t.inject(OpGetV, from, to, first)
+	v := t.inject(OpGetV, from, to, first)
 	// One round trip covers the whole gather, however many spans.
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + d)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
+	if err := v.failure(); err != nil {
+		return err
+	}
 	off := 0
 	for _, sp := range spans {
 		pe.copyOut(sp.Addr, dst[off:off+sp.N])
@@ -180,8 +189,11 @@ func (t *localTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint
 	if err != nil {
 		return 0, err
 	}
-	d, _ := t.inject(OpFetchAdd, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	v := t.inject(OpFetchAdd, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, err
+	}
 	return atomic.AddUint64(pe.word(i), delta) - delta, nil
 }
 
@@ -194,8 +206,11 @@ func (t *localTransport) swap64(from, to int, addr Addr, val uint64) (uint64, er
 	if err != nil {
 		return 0, err
 	}
-	d, _ := t.inject(OpSwap, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	v := t.inject(OpSwap, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, err
+	}
 	return atomic.SwapUint64(pe.word(i), val), nil
 }
 
@@ -208,8 +223,11 @@ func (t *localTransport) compareSwap64(from, to int, addr Addr, old, new uint64)
 	if err != nil {
 		return 0, err
 	}
-	d, _ := t.inject(OpCompareSwap, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	v := t.inject(OpCompareSwap, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, err
+	}
 	// Emulate SHMEM's fetching compare-and-swap: returns the prior value.
 	for {
 		cur := atomic.LoadUint64(pe.word(i))
@@ -231,14 +249,18 @@ func (t *localTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id u
 	if err != nil {
 		return 0, nil, err
 	}
-	d, _ := t.inject(OpFetchAddGet, from, to, addr)
+	fv := t.inject(OpFetchAddGet, from, to, addr)
+	if err := fv.failure(); err != nil {
+		t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + fv.Delay)
+		return 0, nil, err
+	}
 	old := atomic.AddUint64(pe.word(i), delta) - delta
 	data, err := t.w.applyFused(pe, old, id)
 	if err != nil {
 		return 0, nil, err
 	}
 	// One round trip covers the claim and the dependent payload.
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(data)) + d)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(data)) + fv.Delay)
 	return old, data, nil
 }
 
@@ -251,8 +273,11 @@ func (t *localTransport) load64(from, to int, addr Addr) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	d, _ := t.inject(OpLoad, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	v := t.inject(OpLoad, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, err
+	}
 	return atomic.LoadUint64(pe.word(i)), nil
 }
 
@@ -265,8 +290,11 @@ func (t *localTransport) store64(from, to int, addr Addr, val uint64) error {
 	if err != nil {
 		return err
 	}
-	d, _ := t.inject(OpStore, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + d)
+	v := t.inject(OpStore, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return err
+	}
 	atomic.StoreUint64(pe.word(i), val)
 	return nil
 }
@@ -282,27 +310,34 @@ func (t *localTransport) enqueueNBI(op nbiOp, to int) error {
 }
 
 func (t *localTransport) storeNBI(from, to int, addr Addr, val uint64) error {
-	d, dup := t.inject(OpStoreNBI, from, to, addr)
-	return t.enqueueNBI(nbiOp{op: OpStoreNBI, from: from, addr: addr, val: val, delay: d, dup: dup}, to)
+	v := t.inject(OpStoreNBI, from, to, addr)
+	if v.dropped() {
+		// Silently lost in the fabric: nothing pending, Quiet unaffected.
+		return nil
+	}
+	return t.enqueueNBI(nbiOp{op: OpStoreNBI, from: from, addr: addr, val: val, delay: v.Delay, dup: v.Duplicate}, to)
 }
 
 func (t *localTransport) addNBI(from, to int, addr Addr, delta uint64) error {
-	d, dup := t.inject(OpAddNBI, from, to, addr)
-	if dup {
-		// Duplicating an add is not idempotent; reliable fabrics never
-		// blindly retry atomics. Ignore the duplication request.
-		dup = false
+	v := t.inject(OpAddNBI, from, to, addr)
+	if v.dropped() {
+		return nil
 	}
-	return t.enqueueNBI(nbiOp{op: OpAddNBI, from: from, addr: addr, val: delta, delay: d, dup: dup}, to)
+	// Duplicating an add is not idempotent; reliable fabrics never
+	// blindly retry atomics. Ignore any duplication verdict.
+	return t.enqueueNBI(nbiOp{op: OpAddNBI, from: from, addr: addr, val: delta, delay: v.Delay, dup: false}, to)
 }
 
 func (t *localTransport) putNBI(from, to int, addr Addr, src []byte) error {
-	d, dup := t.inject(OpPutNBI, from, to, addr)
+	v := t.inject(OpPutNBI, from, to, addr)
+	if v.dropped() {
+		return nil
+	}
 	// The injection must own a copy of src (the caller may reuse it the
 	// moment we return); stage it in a pooled buffer the applier recycles.
 	data := getBuf(len(src))
 	copy(*data, src)
-	return t.enqueueNBI(nbiOp{op: OpPutNBI, from: from, addr: addr, data: data, delay: d, dup: dup}, to)
+	return t.enqueueNBI(nbiOp{op: OpPutNBI, from: from, addr: addr, data: data, delay: v.Delay, dup: v.Duplicate}, to)
 }
 
 func (t *localTransport) quiet(from int) error {

@@ -61,6 +61,13 @@ const (
 	// the target heap. Latency is whatever the real sockets provide
 	// (plus the model, if configured).
 	TransportTCP
+	// TransportSim runs the world under a deterministic lockstep
+	// scheduler with a virtual clock: every latency, delivery, and
+	// schedule decision is drawn from one PRNG (Config.Sim.Seed), so a
+	// whole multi-PE run replays bit-identically from the seed. See
+	// SimOptions. PE bodies must block only through shmem primitives
+	// (including Ctx.Relax in poll loops).
+	TransportSim
 )
 
 func (k TransportKind) String() string {
@@ -69,6 +76,8 @@ func (k TransportKind) String() string {
 		return "local"
 	case TransportTCP:
 		return "tcp"
+	case TransportSim:
+		return "sim"
 	default:
 		return fmt.Sprintf("TransportKind(%d)", int(k))
 	}
@@ -88,6 +97,9 @@ type Config struct {
 	Transport TransportKind
 	// Fault, if non-nil, intercepts operations for fault injection.
 	Fault FaultInjector
+	// Sim configures the deterministic simulation transport; ignored by
+	// the other transports.
+	Sim SimOptions
 	// NoOpLatency disables the per-op latency histograms (two monotonic
 	// clock reads per blocking operation). On by default; the toggle
 	// exists so the overhead benchmark can quantify the cost.
@@ -201,6 +213,8 @@ func NewWorld(cfg Config) (*World, error) {
 			return nil, fmt.Errorf("shmem: starting tcp transport: %w", err)
 		}
 		w.transport = t
+	case TransportSim:
+		w.transport = newSimTransport(w)
 	default:
 		return nil, fmt.Errorf("shmem: unknown transport %v", cfg.Transport)
 	}
@@ -245,6 +259,7 @@ func (w *World) Run(body func(*Ctx) error) error {
 		return w.runLocalRank(body)
 	}
 	errs := make([]error, w.cfg.NumPEs)
+	sim, _ := w.transport.(*simTransport)
 	var wg sync.WaitGroup
 	for rank := 0; rank < w.cfg.NumPEs; rank++ {
 		wg.Add(1)
@@ -256,6 +271,17 @@ func (w *World) Run(body func(*Ctx) error) error {
 					w.fail(errs[rank])
 				}
 			}()
+			if sim != nil {
+				// Lockstep handshake: wait for the scheduler's start grant,
+				// and tell it when this PE's body is finished (after any
+				// failure has been recorded, so the scheduler can unpark
+				// the surviving PEs promptly).
+				if err := sim.peStart(rank); err != nil {
+					errs[rank] = err
+					return
+				}
+				defer sim.peDone(rank)
+			}
 			ctx := w.newCtx(rank)
 			errs[rank] = body(ctx)
 			if errs[rank] != nil {

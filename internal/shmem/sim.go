@@ -1,0 +1,888 @@
+package shmem
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements TransportSim: a deterministic simulation transport
+// in the FoundationDB tradition. A single scheduler goroutine owns a
+// virtual clock and runs the world in lockstep — at most one PE goroutine
+// executes at any moment; every other PE is parked inside a transport
+// operation, a barrier, a WaitUntil64, or a Relax yield point. Every
+// latency, delivery time, and schedule decision is drawn from one PRNG
+// seeded by SimOptions.Seed, so an entire multi-PE pool run — steals,
+// epoch flips, termination waves — replays bit-identically from the seed.
+//
+// PE code running under the sim must block only through shmem primitives
+// (blocking ops, Quiet, Barrier, WaitUntil64, or Ctx.Relax in poll loops):
+// a raw spin on local memory is invisible to the scheduler and holds the
+// lockstep token forever. The runtime packages (core, pool, term) satisfy
+// this by routing their poll loops through Ctx.Relax.
+
+// SimOptions configures the deterministic simulation transport
+// (TransportSim). The zero value gets usable defaults.
+type SimOptions struct {
+	// Seed drives every random decision of the simulation: operation
+	// latencies, yield jitter, schedule choices in chaos mode, and the
+	// fault stream (when the injector is seeded from the same value).
+	// Seed 0 is a fixed seed, not a time-derived one.
+	Seed int64
+	// MinLatency/MaxLatency bound the virtual latency drawn per remote
+	// operation and per NBI delivery. Defaults 2µs and 8µs (virtual).
+	MinLatency time.Duration
+	MaxLatency time.Duration
+	// YieldCost is the virtual time a Relax hop or NBI injection costs,
+	// keeping the clock advancing through poll loops. Default 1µs.
+	YieldCost time.Duration
+	// MaxVirtualTime aborts the run (world failure with a scheduler state
+	// dump) when the virtual clock exceeds it — the livelock detector.
+	// Default 5s of virtual time.
+	MaxVirtualTime time.Duration
+	// MaxSteps aborts the run after this many scheduler decisions,
+	// bounding real time even when virtual time advances slowly.
+	// Default 4,000,000.
+	MaxSteps uint64
+	// Chaos randomizes the schedule choice among near-simultaneous
+	// candidates instead of always picking the earliest, exploring more
+	// interleavings per seed.
+	Chaos bool
+	// Choices, when non-empty, forces the first len(Choices) schedule
+	// decisions: decision i picks candidate Choices[i] mod the number of
+	// eligible candidates. After the prefix is consumed the scheduler
+	// falls back to its normal (or chaos) policy. This is the bounded
+	// systematic mode: enumerating short prefixes enumerates the protocol
+	// interleavings around a point of interest.
+	Choices []byte
+	// Log, if non-nil, receives the deterministic event log: one line per
+	// scheduler action (grants, op applications, NBI deliveries, barrier
+	// releases). Byte-identical across runs with identical inputs.
+	Log io.Writer
+}
+
+func (o *SimOptions) setDefaults() {
+	if o.MinLatency == 0 {
+		o.MinLatency = 2 * time.Microsecond
+	}
+	if o.MaxLatency < o.MinLatency {
+		o.MaxLatency = 4 * o.MinLatency
+	}
+	if o.YieldCost <= 0 {
+		o.YieldCost = time.Microsecond
+	}
+	if o.MaxVirtualTime == 0 {
+		o.MaxVirtualTime = 5 * time.Second
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 4_000_000
+	}
+}
+
+// Scheduler request kinds.
+const (
+	simReqStart = iota // PE goroutine handshake before running its body
+	simReqOp           // blocking one-sided operation
+	simReqNBI          // non-blocking injection (fire and forget)
+	simReqQuiet
+	simReqWait // WaitUntil64 on local memory
+	simReqRelax
+	simReqBarrier
+	simReqDone // PE body finished (handshake, so logs drain before close)
+)
+
+type simReq struct {
+	kind    int
+	rank    int
+	op      Op
+	to      int
+	addr    Addr
+	v1, v2  uint64
+	id      uint64 // fused-op id for OpFetchAddGet
+	buf     []byte // src for put, dst for get/getv/fetchAddGet payloads
+	spans   []Span
+	cmp     Cmp
+	timeout time.Duration
+}
+
+type simReply struct {
+	val  uint64
+	data []byte
+	err  error
+}
+
+// Per-PE scheduler states.
+const (
+	simPERunning = iota
+	simPEBlockedOp   // parked in a blocking op / start / relax / barrier wake
+	simPEBlockedCond // parked in quiet or wait-until
+	simPEBarrier     // arrived at the barrier, waiting for the others
+	simPEDone
+)
+
+var simStateNames = [...]string{"running", "blocked-op", "blocked-cond", "barrier", "done"}
+
+type simPE struct {
+	state    int
+	req      simReq
+	readyAt  uint64 // virtual wake time for simPEBlockedOp
+	deadline uint64 // virtual timeout for simReqWait (0 = none)
+	failErr  error  // fault verdict for the parked blocking op
+	vclock   uint64 // PE-local virtual clock
+	pending  int    // NBI deliveries in flight from this PE
+}
+
+type simEvent struct {
+	at         uint64
+	seq        uint64
+	op         Op
+	from, to   int
+	addr       Addr
+	val        uint64
+	data       []byte
+	drop       bool
+	pendingDec bool
+}
+
+type simEventHeap []simEvent
+
+func (h simEventHeap) Len() int { return len(h) }
+func (h simEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simEventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *simEventHeap) Push(x any)        { *h = append(*h, x.(simEvent)) }
+func (h *simEventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type simTransport struct {
+	w    *World
+	opts SimOptions
+
+	reqs    chan simReq
+	replies []chan simReply
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+
+	// Everything below is owned by the scheduler goroutine.
+	rng      *rand.Rand
+	pes      []simPE
+	events   simEventHeap
+	now      uint64 // virtual time, ns
+	seq      uint64
+	steps    uint64
+	running  int
+	done     int
+	forced   []byte
+	barGen   uint64
+	failMode bool
+	log      *bufio.Writer
+	logErr   error
+}
+
+func newSimTransport(w *World) *simTransport {
+	opts := w.cfg.Sim
+	opts.setDefaults()
+	n := w.cfg.NumPEs
+	t := &simTransport{
+		w:       w,
+		opts:    opts,
+		reqs:    make(chan simReq, 4*n+64),
+		replies: make([]chan simReply, n),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		pes:     make([]simPE, n),
+		running: n,
+		forced:  opts.Choices,
+	}
+	for i := range t.replies {
+		t.replies[i] = make(chan simReply, 1)
+	}
+	if opts.Log != nil {
+		t.log = bufio.NewWriterSize(opts.Log, 1<<16)
+	}
+	// Stagger the start grants deterministically BEFORE any request can
+	// arrive: the PE goroutines all launch at once, so their start
+	// requests arrive in nondeterministic order, and nothing about
+	// handling them may depend on that order.
+	for i := range t.pes {
+		t.pes[i].readyAt = t.drawLatency()
+	}
+	go t.run()
+	return t
+}
+
+// --- PE-side API (any PE goroutine) ---------------------------------------
+
+func (t *simTransport) send(r simReq) {
+	select {
+	case t.reqs <- r:
+	case <-t.stopped:
+	}
+}
+
+func (t *simTransport) call(r simReq) simReply {
+	select {
+	case t.reqs <- r:
+	case <-t.stopped:
+		return simReply{err: fmt.Errorf("shmem/sim: transport closed")}
+	}
+	select {
+	case rep := <-t.replies[r.rank]:
+		return rep
+	case <-t.stopped:
+		return simReply{err: fmt.Errorf("shmem/sim: transport closed")}
+	}
+}
+
+func (t *simTransport) peStart(rank int) error {
+	return t.call(simReq{kind: simReqStart, rank: rank}).err
+}
+
+func (t *simTransport) peDone(rank int) {
+	t.call(simReq{kind: simReqDone, rank: rank})
+}
+
+func (t *simTransport) relax(rank int) {
+	t.call(simReq{kind: simReqRelax, rank: rank})
+}
+
+func (t *simTransport) barrier(rank int) error {
+	return t.call(simReq{kind: simReqBarrier, rank: rank}).err
+}
+
+var errSimWaitTimeout = fmt.Errorf("shmem/sim: wait timed out")
+
+func (t *simTransport) waitLocal(rank int, addr Addr, cmp Cmp, operand uint64, timeout time.Duration) (uint64, error) {
+	if _, err := cmp.eval(0, operand); err != nil {
+		return 0, err
+	}
+	if _, err := t.w.pes[rank].checkWord(addr); err != nil {
+		return 0, err
+	}
+	rep := t.call(simReq{kind: simReqWait, rank: rank, addr: addr, cmp: cmp, v1: operand, timeout: timeout})
+	if rep.err == errSimWaitTimeout {
+		return 0, fmt.Errorf("shmem: WaitUntil64(%#x %v %d) timed out after %v (last value %d)",
+			uint64(addr), cmp, operand, timeout, rep.val)
+	}
+	return rep.val, rep.err
+}
+
+// --- transport interface ---------------------------------------------------
+
+func (t *simTransport) blocking(from int, op Op, to int, addr Addr, v1, v2, id uint64, buf []byte, spans []Span) simReply {
+	return t.call(simReq{kind: simReqOp, rank: from, op: op, to: to, addr: addr, v1: v1, v2: v2, id: id, buf: buf, spans: spans})
+}
+
+func (t *simTransport) put(from, to int, addr Addr, src []byte) error {
+	return t.blocking(from, OpPut, to, addr, 0, 0, 0, src, nil).err
+}
+
+func (t *simTransport) get(from, to int, addr Addr, dst []byte) error {
+	return t.blocking(from, OpGet, to, addr, 0, 0, 0, dst, nil).err
+}
+
+func (t *simTransport) getv(from, to int, spans []Span, dst []byte) error {
+	return t.blocking(from, OpGetV, to, 0, 0, 0, 0, dst, spans).err
+}
+
+func (t *simTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error) {
+	rep := t.blocking(from, OpFetchAdd, to, addr, delta, 0, 0, nil, nil)
+	return rep.val, rep.err
+}
+
+func (t *simTransport) swap64(from, to int, addr Addr, val uint64) (uint64, error) {
+	rep := t.blocking(from, OpSwap, to, addr, val, 0, 0, nil, nil)
+	return rep.val, rep.err
+}
+
+func (t *simTransport) compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error) {
+	rep := t.blocking(from, OpCompareSwap, to, addr, old, new, 0, nil, nil)
+	return rep.val, rep.err
+}
+
+func (t *simTransport) load64(from, to int, addr Addr) (uint64, error) {
+	rep := t.blocking(from, OpLoad, to, addr, 0, 0, 0, nil, nil)
+	return rep.val, rep.err
+}
+
+func (t *simTransport) store64(from, to int, addr Addr, val uint64) error {
+	return t.blocking(from, OpStore, to, addr, val, 0, 0, nil, nil).err
+}
+
+func (t *simTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
+	rep := t.blocking(from, OpFetchAddGet, to, addr, delta, 0, id, nil, nil)
+	return rep.val, rep.data, rep.err
+}
+
+func (t *simTransport) storeNBI(from, to int, addr Addr, val uint64) error {
+	t.send(simReq{kind: simReqNBI, rank: from, op: OpStoreNBI, to: to, addr: addr, v1: val})
+	return nil
+}
+
+func (t *simTransport) addNBI(from, to int, addr Addr, delta uint64) error {
+	t.send(simReq{kind: simReqNBI, rank: from, op: OpAddNBI, to: to, addr: addr, v1: delta})
+	return nil
+}
+
+func (t *simTransport) putNBI(from, to int, addr Addr, src []byte) error {
+	data := make([]byte, len(src))
+	copy(data, src)
+	t.send(simReq{kind: simReqNBI, rank: from, op: OpPutNBI, to: to, addr: addr, buf: data})
+	return nil
+}
+
+func (t *simTransport) quiet(from int) error {
+	return t.call(simReq{kind: simReqQuiet, rank: from}).err
+}
+
+func (t *simTransport) close() error {
+	t.once.Do(func() { close(t.stop) })
+	<-t.stopped
+	return t.logErr
+}
+
+// --- Scheduler (single goroutine) ------------------------------------------
+
+func (t *simTransport) run() {
+	defer close(t.stopped)
+	for {
+		if t.w.failed.Load() && !t.failMode {
+			t.enterFailMode()
+		}
+		if t.done == len(t.pes) {
+			t.drainEvents()
+			select {
+			case r := <-t.reqs:
+				t.handle(r)
+			case <-t.stop:
+				t.flushLog()
+				return
+			}
+			continue
+		}
+		if t.running > 0 {
+			select {
+			case r := <-t.reqs:
+				t.handle(r)
+			case <-t.stop:
+				t.flushLog()
+				return
+			}
+			continue
+		}
+		t.step()
+	}
+}
+
+func (t *simTransport) nextSeq() uint64 { t.seq++; return t.seq }
+
+func (t *simTransport) drawLatency() uint64 {
+	lo, hi := uint64(t.opts.MinLatency), uint64(t.opts.MaxLatency)
+	if hi <= lo {
+		return lo
+	}
+	return lo + uint64(t.rng.Int63n(int64(hi-lo+1)))
+}
+
+func (t *simTransport) drawYield() uint64 {
+	y := int64(t.opts.YieldCost)
+	return uint64(y) + uint64(t.rng.Int63n(y+1))
+}
+
+func delayNS(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
+func (t *simTransport) inject(op Op, from, to int, addr Addr) Verdict {
+	if f := t.w.cfg.Fault; f != nil {
+		return f.Before(op, from, to, addr)
+	}
+	return Verdict{}
+}
+
+func (t *simTransport) worldErr() error {
+	if err := t.w.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("shmem/sim: world failed")
+}
+
+func (t *simTransport) handle(r simReq) {
+	if t.failMode {
+		switch r.kind {
+		case simReqDone:
+			t.pes[r.rank].state = simPEDone
+			t.running--
+			t.done++
+			t.replies[r.rank] <- simReply{}
+		case simReqNBI:
+			// Swallowed; the world is already dead.
+		default:
+			t.replies[r.rank] <- simReply{err: t.worldErr()}
+		}
+		return
+	}
+	pe := &t.pes[r.rank]
+	switch r.kind {
+	case simReqStart:
+		// readyAt was staggered at construction (arrival order of start
+		// requests is nondeterministic, so no draws here).
+		pe.state = simPEBlockedOp
+		pe.req = r
+		t.running--
+	case simReqDone:
+		pe.state = simPEDone
+		pe.vclock = t.now
+		t.running--
+		t.done++
+		t.logf("%d %d don pe=%d\n", t.nextSeq(), t.now, r.rank)
+		t.replies[r.rank] <- simReply{}
+	case simReqOp:
+		v := t.inject(r.op, r.rank, r.to, r.addr)
+		pe.state = simPEBlockedOp
+		pe.req = r
+		pe.readyAt = pe.vclock + t.drawLatency() + delayNS(v.Delay)
+		pe.failErr = v.failure()
+		t.running--
+	case simReqNBI:
+		t.handleNBI(r)
+	case simReqQuiet, simReqWait:
+		pe.state = simPEBlockedCond
+		pe.req = r
+		pe.deadline = 0
+		if r.kind == simReqWait && r.timeout > 0 {
+			pe.deadline = pe.vclock + uint64(r.timeout)
+		}
+		t.running--
+	case simReqRelax:
+		pe.state = simPEBlockedOp
+		pe.req = r
+		pe.readyAt = pe.vclock + t.drawYield()
+		t.running--
+	case simReqBarrier:
+		pe.state = simPEBarrier
+		pe.req = r
+		t.running--
+		t.maybeReleaseBarrier()
+	}
+}
+
+func (t *simTransport) handleNBI(r simReq) {
+	pe := &t.pes[r.rank]
+	if r.to < 0 || r.to >= len(t.w.pes) {
+		t.failWorld(fmt.Sprintf("NBI %v from PE %d targets PE %d out of range", r.op, r.rank, r.to))
+		return
+	}
+	v := t.inject(r.op, r.rank, r.to, r.addr)
+	if r.op == OpAddNBI {
+		v.Duplicate = false // atomics are never blindly retransmitted
+	}
+	pe.vclock += uint64(t.opts.YieldCost) // injection overhead
+	drop := v.dropped()
+	at := pe.vclock + t.drawLatency() + delayNS(v.Delay)
+	pe.pending++
+	ev := simEvent{at: at, seq: t.nextSeq(), op: r.op, from: r.rank, to: r.to,
+		addr: r.addr, val: r.v1, data: r.buf, drop: drop, pendingDec: true}
+	heap.Push(&t.events, ev)
+	t.logf("%d %d nbi %v %d->%d a=%#x v=%d at=%d drop=%t dup=%t\n",
+		ev.seq, t.now, r.op, r.rank, r.to, uint64(r.addr), r.v1, at, drop, v.Duplicate && !drop)
+	if v.Duplicate && !drop {
+		dup := ev
+		dup.seq = t.nextSeq()
+		dup.at = pe.vclock + t.drawLatency()
+		dup.pendingDec = false
+		heap.Push(&t.events, dup)
+	}
+}
+
+func (t *simTransport) maybeReleaseBarrier() {
+	arrived := 0
+	for i := range t.pes {
+		if t.pes[i].state == simPEBarrier {
+			arrived++
+		}
+	}
+	if arrived < len(t.pes) {
+		return
+	}
+	t.barGen++
+	t.logf("%d %d bar gen=%d\n", t.nextSeq(), t.now, t.barGen)
+	// Release one at a time: each PE gets a staggered wake so at most one
+	// runs at once (drawn in rank order — deterministic).
+	for i := range t.pes {
+		pe := &t.pes[i]
+		pe.state = simPEBlockedOp
+		pe.req = simReq{kind: simReqBarrier, rank: i}
+		pe.readyAt = t.now + t.drawYield()
+	}
+}
+
+// step makes exactly one scheduler decision: deliver the chosen event or
+// wake the chosen PE.
+func (t *simTransport) step() {
+	t.steps++
+	isEvent, rank, at, ok := t.choose()
+	if !ok {
+		t.failWorld("deadlock: no deliverable events and every PE is parked")
+		return
+	}
+	if at > uint64(t.opts.MaxVirtualTime) {
+		t.failWorld(fmt.Sprintf("virtual-time budget %v exceeded (livelock?)", t.opts.MaxVirtualTime))
+		return
+	}
+	if t.steps > t.opts.MaxSteps {
+		t.failWorld(fmt.Sprintf("step budget %d exceeded (livelock?)", t.opts.MaxSteps))
+		return
+	}
+	if at > t.now {
+		t.now = at
+	}
+	if isEvent {
+		t.deliver()
+		return
+	}
+	t.wake(rank)
+}
+
+// choose picks the next action: the earliest of the pending delivery (heap
+// top) and each eligible PE, unless a forced-choice prefix or chaos mode
+// overrides the pick among near-simultaneous candidates.
+func (t *simTransport) choose() (isEvent bool, rank int, at uint64, ok bool) {
+	type cand struct {
+		isEvent bool
+		rank    int
+		at      uint64
+	}
+	var cands []cand
+	if len(t.events) > 0 {
+		cands = append(cands, cand{isEvent: true, at: t.events[0].at})
+	}
+	for i := range t.pes {
+		pe := &t.pes[i]
+		switch pe.state {
+		case simPEBlockedOp:
+			cands = append(cands, cand{rank: i, at: pe.readyAt})
+		case simPEBlockedCond:
+			if t.condSatisfied(pe) {
+				cands = append(cands, cand{rank: i, at: t.now})
+			} else if pe.deadline > 0 {
+				cands = append(cands, cand{rank: i, at: pe.deadline})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return false, 0, 0, false
+	}
+	best := 0
+	for i, c := range cands[1:] {
+		if c.at < cands[best].at {
+			best = i + 1
+		}
+	}
+	pick := best
+	if len(t.forced) > 0 || t.opts.Chaos {
+		// Reorder only among candidates close to the frontier; letting a
+		// far-future timeout jump the clock would fire it before the
+		// deliveries that satisfy it.
+		window := cands[best].at + 4*uint64(t.opts.MaxLatency)
+		near := make([]int, 0, len(cands))
+		for i, c := range cands {
+			if c.at <= window {
+				near = append(near, i)
+			}
+		}
+		if len(t.forced) > 0 {
+			pick = near[int(t.forced[0])%len(near)]
+			t.forced = t.forced[1:]
+		} else {
+			pick = near[t.rng.Intn(len(near))]
+		}
+	}
+	c := cands[pick]
+	return c.isEvent, c.rank, c.at, true
+}
+
+func (t *simTransport) condSatisfied(pe *simPE) bool {
+	switch pe.req.kind {
+	case simReqQuiet:
+		return pe.pending == 0
+	case simReqWait:
+		i, _ := t.w.pes[pe.req.rank].checkWord(pe.req.addr) // validated PE-side
+		v := atomic.LoadUint64(t.w.pes[pe.req.rank].word(i))
+		ok, _ := pe.req.cmp.eval(v, pe.req.v1) // cmp validated PE-side
+		return ok
+	}
+	return false
+}
+
+// deliver pops and applies the earliest pending NBI delivery.
+func (t *simTransport) deliver() {
+	ev := heap.Pop(&t.events).(simEvent)
+	if ev.at > t.now {
+		t.now = ev.at
+	}
+	if ev.drop {
+		t.logf("%d %d dlv %v %d->%d a=%#x dropped\n", t.nextSeq(), t.now, ev.op, ev.from, ev.to, uint64(ev.addr))
+	} else {
+		target := t.w.pes[ev.to]
+		switch ev.op {
+		case OpStoreNBI:
+			if i, err := target.checkWord(ev.addr); err == nil {
+				atomic.StoreUint64(target.word(i), ev.val)
+			} else {
+				t.failWorld(err.Error())
+				return
+			}
+		case OpAddNBI:
+			if i, err := target.checkWord(ev.addr); err == nil {
+				atomic.AddUint64(target.word(i), ev.val)
+			} else {
+				t.failWorld(err.Error())
+				return
+			}
+		case OpPutNBI:
+			if err := target.checkRange(ev.addr, len(ev.data)); err == nil {
+				target.copyIn(ev.addr, ev.data)
+			} else {
+				t.failWorld(err.Error())
+				return
+			}
+		}
+		t.logf("%d %d dlv %v %d->%d a=%#x v=%d\n", t.nextSeq(), t.now, ev.op, ev.from, ev.to, uint64(ev.addr), ev.val)
+	}
+	if ev.pendingDec {
+		t.pes[ev.from].pending--
+	}
+}
+
+// drainEvents applies all remaining deliveries once every PE is done, so
+// the log is complete and deterministic before close.
+func (t *simTransport) drainEvents() {
+	for len(t.events) > 0 && !t.failMode {
+		t.deliver()
+	}
+}
+
+// wake resumes one parked PE: applies its blocking op (if any), replies,
+// and marks it running.
+func (t *simTransport) wake(rank int) {
+	pe := &t.pes[rank]
+	pe.vclock = t.now
+	var rep simReply
+	switch pe.state {
+	case simPEBlockedOp:
+		switch pe.req.kind {
+		case simReqStart:
+			t.logf("%d %d sta pe=%d\n", t.nextSeq(), t.now, rank)
+		case simReqRelax, simReqBarrier:
+			// Nothing to apply.
+		case simReqOp:
+			if pe.failErr != nil {
+				rep = simReply{err: pe.failErr}
+				t.logf("%d %d op %v %d->%d a=%#x err=%v\n",
+					t.nextSeq(), t.now, pe.req.op, rank, pe.req.to, uint64(pe.req.addr), pe.failErr)
+			} else {
+				rep = t.applyOp(pe.req)
+				t.logf("%d %d op %v %d->%d a=%#x v=%d -> %d\n",
+					t.nextSeq(), t.now, pe.req.op, rank, pe.req.to, uint64(pe.req.addr), pe.req.v1, rep.val)
+			}
+			pe.failErr = nil
+		}
+	case simPEBlockedCond:
+		switch pe.req.kind {
+		case simReqQuiet:
+			t.logf("%d %d qui pe=%d\n", t.nextSeq(), t.now, rank)
+		case simReqWait:
+			i, _ := t.w.pes[rank].checkWord(pe.req.addr)
+			v := atomic.LoadUint64(t.w.pes[rank].word(i))
+			if ok, _ := pe.req.cmp.eval(v, pe.req.v1); ok {
+				rep = simReply{val: v}
+				t.logf("%d %d wtu pe=%d a=%#x -> %d\n", t.nextSeq(), t.now, rank, uint64(pe.req.addr), v)
+			} else {
+				rep = simReply{val: v, err: errSimWaitTimeout}
+				t.logf("%d %d wtu pe=%d a=%#x timeout\n", t.nextSeq(), t.now, rank, uint64(pe.req.addr))
+			}
+		}
+	default:
+		t.failWorld(fmt.Sprintf("woke PE %d in state %s", rank, simStateNames[pe.state]))
+		return
+	}
+	pe.state = simPERunning
+	t.running++
+	t.replies[rank] <- rep
+}
+
+// applyOp executes a blocking one-sided operation against the target heap.
+func (t *simTransport) applyOp(r simReq) simReply {
+	if r.to < 0 || r.to >= len(t.w.pes) {
+		return simReply{err: fmt.Errorf("shmem: target PE %d out of range [0, %d)", r.to, len(t.w.pes))}
+	}
+	pe := t.w.pes[r.to]
+	switch r.op {
+	case OpPut:
+		if err := pe.checkRange(r.addr, len(r.buf)); err != nil {
+			return simReply{err: err}
+		}
+		pe.copyIn(r.addr, r.buf)
+		return simReply{}
+	case OpGet:
+		if err := pe.checkRange(r.addr, len(r.buf)); err != nil {
+			return simReply{err: err}
+		}
+		pe.copyOut(r.addr, r.buf)
+		return simReply{}
+	case OpGetV:
+		total := 0
+		for _, sp := range r.spans {
+			if err := pe.checkRange(sp.Addr, sp.N); err != nil {
+				return simReply{err: err}
+			}
+			total += sp.N
+		}
+		if total != len(r.buf) {
+			return simReply{err: fmt.Errorf("shmem: getv spans cover %d bytes, dst holds %d", total, len(r.buf))}
+		}
+		off := 0
+		for _, sp := range r.spans {
+			pe.copyOut(sp.Addr, r.buf[off:off+sp.N])
+			off += sp.N
+		}
+		return simReply{}
+	case OpFetchAdd:
+		i, err := pe.checkWord(r.addr)
+		if err != nil {
+			return simReply{err: err}
+		}
+		return simReply{val: atomic.AddUint64(pe.word(i), r.v1) - r.v1}
+	case OpSwap:
+		i, err := pe.checkWord(r.addr)
+		if err != nil {
+			return simReply{err: err}
+		}
+		return simReply{val: atomic.SwapUint64(pe.word(i), r.v1)}
+	case OpCompareSwap:
+		i, err := pe.checkWord(r.addr)
+		if err != nil {
+			return simReply{err: err}
+		}
+		for {
+			cur := atomic.LoadUint64(pe.word(i))
+			if cur != r.v1 {
+				return simReply{val: cur}
+			}
+			if atomic.CompareAndSwapUint64(pe.word(i), r.v1, r.v2) {
+				return simReply{val: r.v1}
+			}
+		}
+	case OpLoad:
+		i, err := pe.checkWord(r.addr)
+		if err != nil {
+			return simReply{err: err}
+		}
+		return simReply{val: atomic.LoadUint64(pe.word(i))}
+	case OpStore:
+		i, err := pe.checkWord(r.addr)
+		if err != nil {
+			return simReply{err: err}
+		}
+		atomic.StoreUint64(pe.word(i), r.v1)
+		return simReply{}
+	case OpFetchAddGet:
+		i, err := pe.checkWord(r.addr)
+		if err != nil {
+			return simReply{err: err}
+		}
+		old := atomic.AddUint64(pe.word(i), r.v1) - r.v1
+		data, err := t.w.applyFused(pe, old, r.id)
+		if err != nil {
+			return simReply{err: err}
+		}
+		return simReply{val: old, data: data}
+	default:
+		return simReply{err: fmt.Errorf("shmem/sim: unexpected blocking op %v", r.op)}
+	}
+}
+
+// failWorld records a scheduler-detected failure (deadlock, livelock,
+// bad NBI) with a full state dump and unblocks every parked PE.
+func (t *simTransport) failWorld(msg string) {
+	err := fmt.Errorf("shmem/sim: %s (seed=%d vt=%v step=%d)\n%s",
+		msg, t.opts.Seed, time.Duration(t.now), t.steps, t.stateDump())
+	t.logf("%d %d fail %s\n", t.nextSeq(), t.now, msg)
+	t.w.fail(err)
+	t.enterFailMode()
+}
+
+// enterFailMode wakes every parked PE with the world error so bodies
+// unwind; determinism no longer matters once the world has failed.
+func (t *simTransport) enterFailMode() {
+	t.failMode = true
+	t.events = nil
+	err := t.worldErr()
+	for i := range t.pes {
+		pe := &t.pes[i]
+		switch pe.state {
+		case simPEBlockedOp, simPEBlockedCond, simPEBarrier:
+			pe.state = simPERunning
+			t.running++
+			t.replies[i] <- simReply{err: err}
+		}
+	}
+	t.flushLog()
+}
+
+func (t *simTransport) stateDump() string {
+	s := fmt.Sprintf("scheduler: vt=%v steps=%d events=%d running=%d done=%d\n",
+		time.Duration(t.now), t.steps, len(t.events), t.running, t.done)
+	for i := range t.pes {
+		pe := &t.pes[i]
+		s += fmt.Sprintf("  PE %d: %s", i, simStateNames[pe.state])
+		switch pe.state {
+		case simPEBlockedOp:
+			if pe.req.kind == simReqOp {
+				s += fmt.Sprintf(" op=%v to=%d a=%#x ready=%v", pe.req.op, pe.req.to, uint64(pe.req.addr), time.Duration(pe.readyAt))
+			} else {
+				s += fmt.Sprintf(" kind=%d ready=%v", pe.req.kind, time.Duration(pe.readyAt))
+			}
+		case simPEBlockedCond:
+			if pe.req.kind == simReqQuiet {
+				s += fmt.Sprintf(" quiet pending=%d", pe.pending)
+			} else {
+				s += fmt.Sprintf(" wait a=%#x %v %d deadline=%v", uint64(pe.req.addr), pe.req.cmp, pe.req.v1, time.Duration(pe.deadline))
+			}
+		}
+		s += fmt.Sprintf(" vclock=%v pending=%d\n", time.Duration(pe.vclock), pe.pending)
+	}
+	return s
+}
+
+func (t *simTransport) logf(format string, args ...any) {
+	if t.log == nil {
+		return
+	}
+	if _, err := fmt.Fprintf(t.log, format, args...); err != nil && t.logErr == nil {
+		t.logErr = err
+	}
+}
+
+func (t *simTransport) flushLog() {
+	if t.log == nil {
+		return
+	}
+	if err := t.log.Flush(); err != nil && t.logErr == nil {
+		t.logErr = err
+	}
+}

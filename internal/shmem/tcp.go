@@ -575,8 +575,11 @@ func (t *tcpTransport) flushFrom(from int) error {
 // length without an intermediate copy.
 func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, payload, respInto []byte) (uint64, []byte, error) {
 	if f := t.w.cfg.Fault; f != nil {
-		d, _ := f.Before(op, from, to, addr)
-		charge(d)
+		v := f.Before(op, from, to, addr)
+		charge(v.Delay)
+		if err := v.failure(); err != nil {
+			return 0, nil, fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+		}
 	}
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(payload)))
 	// A blocking op must not overtake this initiator's coalesced
@@ -614,9 +617,14 @@ func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, 
 func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, payload []byte) error {
 	dup := false
 	if f := t.w.cfg.Fault; f != nil {
-		var d time.Duration
-		d, dup = f.Before(op, from, to, addr)
-		charge(d)
+		v := f.Before(op, from, to, addr)
+		charge(v.Delay)
+		if v.dropped() {
+			// Silently lost before reaching the wire: nothing pending,
+			// Quiet unaffected.
+			return nil
+		}
+		dup = v.Duplicate
 		if op == OpAddNBI {
 			dup = false // atomics are never blindly retransmitted
 		}

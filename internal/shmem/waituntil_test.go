@@ -53,8 +53,12 @@ func TestWaitUntil64Comparisons(t *testing.T) {
 				return fmt.Errorf("%v %d: %w", cs.cmp, cs.operand, err)
 			}
 		}
-		// Unsatisfiable comparisons must time out, not hang.
-		if _, err := c.WaitUntil64(addr, CmpGT, 100, 5*time.Millisecond); err == nil {
+		// Unsatisfiable comparisons must time out, not hang. The timeout is
+		// comfortably above the poller's wake granularity so a slow CI
+		// machine cannot turn this into a hang-vs-timeout coin flip; the
+		// zero-wall-clock variant of this test runs under the sim transport
+		// (TestSimWaitUntilTimeout), where the timeout is virtual.
+		if _, err := c.WaitUntil64(addr, CmpGT, 100, 50*time.Millisecond); err == nil {
 			return fmt.Errorf("unsatisfiable wait returned")
 		}
 		// Bad address must be rejected.

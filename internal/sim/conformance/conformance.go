@@ -1,0 +1,573 @@
+// Package conformance is the transport-agnostic protocol conformance
+// suite: the paper's correctness invariants, written as checkable oracles
+// against the public core/pool APIs, runnable unchanged on the local, tcp,
+// and sim transports.
+//
+// The oracles:
+//
+//   - StealCommBounds — a successful steal is at most 3 one-sided
+//     communications, at most 2 blocking (fetch-add + get + NBI store);
+//     an empty steal is at most 1 (§4.1, Table 1).
+//   - StealvalConsistency — every stealval a thief observes decodes into
+//     mutually consistent fields: valid epochs in range, itasks and tail
+//     within the queue geometry (§4, Figures 3–4).
+//   - ExactlyOnce — under full pool churn, every spawned task executes
+//     exactly once.
+//   - EpochSafeAcquire — the owner's acquire proceeds without polling
+//     while a steal is still in flight against the previous epoch (§4.2).
+//   - AstealsBounded — with damping, thieves hammering an exhausted queue
+//     leave asteals bounded by plan + threshold + #thieves (§4.3).
+//   - TerminationQuiescence — the pool terminates only after global
+//     quiescence: all queues empty, every spawned task executed.
+//
+// All cross-PE synchronization inside the oracles goes through shmem
+// primitives (flag words + WaitUntil64 + Relax), never Go channels, so
+// each test means the same thing on a real transport and under the sim
+// scheduler.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sws/internal/core"
+	"sws/internal/pool"
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/wsq"
+)
+
+// Factory builds a world on one transport. Fault may be nil.
+type Factory struct {
+	Name string
+	New  func(numPEs int, fault shmem.FaultInjector) (*shmem.World, error)
+}
+
+// waitTimeout bounds every flag wait in the suite. Under the sim
+// transport it is virtual time.
+const waitTimeout = 30 * time.Second
+
+// RunAll runs the whole suite against one transport factory.
+func RunAll(t *testing.T, f Factory) {
+	t.Run("steal-comm-bounds", func(t *testing.T) { StealCommBounds(t, f) })
+	t.Run("stealval-consistency", func(t *testing.T) { StealvalConsistency(t, f) })
+	t.Run("exactly-once", func(t *testing.T) { ExactlyOnce(t, f) })
+	t.Run("epoch-safe-acquire", func(t *testing.T) { EpochSafeAcquire(t, f) })
+	t.Run("asteals-bounded", func(t *testing.T) { AstealsBounded(t, f) })
+	t.Run("termination-quiescence", func(t *testing.T) { TerminationQuiescence(t, f) })
+}
+
+func run(t *testing.T, f Factory, numPEs int, body func(*shmem.Ctx) error) {
+	t.Helper()
+	w, err := f.New(numPEs, nil)
+	if err != nil {
+		t.Fatalf("building %s world: %v", f.Name, err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatalf("%s world: %v", f.Name, err)
+	}
+}
+
+// dummyTask returns a descriptor with a payload tag, for queue-level tests
+// that never execute tasks.
+func dummyTask(i int) task.Desc {
+	return task.Desc{Handle: 1, Payload: task.Args(uint64(i))}
+}
+
+// StealCommBounds asserts the paper's headline counts (Table 1): a
+// successful SWS steal issues at most 3 one-sided communications of which
+// at most 2 block; an unsuccessful (empty) steal issues at most 1.
+func StealCommBounds(t *testing.T, f Factory) {
+	run(t, f, 2, func(ctx *shmem.Ctx) error {
+		// Damping off: the comm-count contract under test is the plain
+		// fetch-add path.
+		opts := core.Options{Epochs: true}
+		q, err := core.NewQueue(ctx, opts)
+		if err != nil {
+			return err
+		}
+		ready := ctx.MustAlloc(shmem.WordSize)
+		done := ctx.MustAlloc(shmem.WordSize)
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		const pushed = 8
+		if ctx.Rank() == 0 {
+			for i := 0; i < pushed; i++ {
+				if err := q.Push(dummyTask(i)); err != nil {
+					return err
+				}
+			}
+			shared, err := q.Release()
+			if err != nil {
+				return err
+			}
+			if shared == 0 {
+				return fmt.Errorf("release shared nothing")
+			}
+			// Flag lands in the thief's heap: WaitUntil64 watches local memory.
+			if err := ctx.Store64(1, ready, uint64(shared)); err != nil {
+				return err
+			}
+			if _, err := ctx.WaitUntil64(done, shmem.CmpEQ, 1, waitTimeout); err != nil {
+				return err
+			}
+			return ctx.Barrier()
+		}
+		// Thief.
+		shared, err := ctx.WaitUntil64(ready, shmem.CmpNE, 0, waitTimeout)
+		if err != nil {
+			return err
+		}
+		stolen := 0
+		for attempt := 0; attempt < 32; attempt++ {
+			before := ctx.Counters().Snapshot()
+			tasks, outcome, err := q.Steal(0)
+			if err != nil {
+				return err
+			}
+			d := ctx.Counters().Snapshot().Sub(before)
+			switch outcome {
+			case wsq.Stolen:
+				if d.Total() > 3 {
+					return fmt.Errorf("successful steal used %d communications, paper bound is 3 (%v)", d.Total(), d)
+				}
+				if d.Blocking() > 2 {
+					return fmt.Errorf("successful steal used %d blocking communications, paper bound is 2 (%v)", d.Blocking(), d)
+				}
+				if d.Of(shmem.OpFetchAdd) != 1 {
+					return fmt.Errorf("successful steal issued %d fetch-adds, want exactly 1", d.Of(shmem.OpFetchAdd))
+				}
+				if d.Of(shmem.OpStoreNBI) != 1 {
+					return fmt.Errorf("successful steal issued %d completion stores, want exactly 1", d.Of(shmem.OpStoreNBI))
+				}
+				stolen += len(tasks)
+			case wsq.Empty, wsq.Disabled:
+				if d.Total() > 1 {
+					return fmt.Errorf("empty steal used %d communications, paper bound is 1 (%v)", d.Total(), d)
+				}
+			}
+			if outcome != wsq.Stolen && stolen > 0 {
+				break // block exhausted
+			}
+		}
+		if stolen == 0 {
+			return fmt.Errorf("thief stole nothing from a %d-task share", shared)
+		}
+		if uint64(stolen) > shared {
+			return fmt.Errorf("thief stole %d tasks from a %d-task share", stolen, shared)
+		}
+		if err := ctx.Store64(0, done, 1); err != nil {
+			return err
+		}
+		return ctx.Barrier()
+	})
+}
+
+// StealvalConsistency decodes every stealval observed while the owner
+// churns (push/pop/release/acquire) and checks field consistency: a valid
+// word has an epoch in [0, MaxEpochs), itasks within the queue capacity,
+// and a tail index inside the ring.
+func StealvalConsistency(t *testing.T, f Factory) {
+	const capacity = 256
+	run(t, f, 2, func(ctx *shmem.Ctx) error {
+		q, err := core.NewQueue(ctx, core.Options{Epochs: true, Capacity: capacity})
+		if err != nil {
+			return err
+		}
+		stop := ctx.MustAlloc(shmem.WordSize)
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			// Owner churn: repeatedly build up, share, drain, localize.
+			n := 0
+			for round := 0; round < 40; round++ {
+				for i := 0; i < 6; i++ {
+					if err := q.Push(dummyTask(n)); err != nil {
+						return err
+					}
+					n++
+				}
+				if _, err := q.Release(); err != nil {
+					return err
+				}
+				for {
+					_, ok, err := q.Pop()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+				}
+				if _, err := q.Acquire(); err != nil {
+					return err
+				}
+				ctx.Relax()
+			}
+			if err := ctx.Store64(0, stop, 1); err != nil {
+				return err
+			}
+			return ctx.Barrier()
+		}
+		// Thief: interleave read-only probes of the packed word with real
+		// steals, checking every decoded view.
+		format := q.Format()
+		checks := 0
+		for {
+			v, err := ctx.Load64(0, q.StealvalAddr())
+			if err != nil {
+				return err
+			}
+			sv := format.Unpack(v)
+			if sv.Valid {
+				if sv.Epoch < 0 || sv.Epoch >= core.MaxEpochs {
+					return fmt.Errorf("valid stealval %#x decodes epoch %d outside [0, %d)", v, sv.Epoch, core.MaxEpochs)
+				}
+				if sv.ITasks < 0 || sv.ITasks > capacity {
+					return fmt.Errorf("stealval %#x advertises itasks %d beyond capacity %d", v, sv.ITasks, capacity)
+				}
+				if sv.Tail < 0 || sv.Tail >= capacity {
+					return fmt.Errorf("stealval %#x advertises tail %d outside ring [0, %d)", v, sv.Tail, capacity)
+				}
+			}
+			if _, _, err := q.Steal(0); err != nil {
+				return err
+			}
+			checks++
+			s, err := ctx.Load64(0, stop)
+			if err != nil {
+				return err
+			}
+			if s == 1 && checks >= 50 {
+				break
+			}
+			ctx.Relax()
+		}
+		return ctx.Barrier()
+	})
+}
+
+// ExactlyOnce runs a full pool workload — a splitting task tree — and
+// counts executions through one-sided atomics into rank 0's heap: the
+// total must equal the tree size exactly (no lost tasks, no double
+// execution).
+func ExactlyOnce(t *testing.T, f Factory) {
+	const depth = 5 // 2^(depth+1)-1 = 63 tasks
+	const wantTasks = 1<<(depth+1) - 1
+	run(t, f, 4, func(ctx *shmem.Ctx) error {
+		reg := pool.NewRegistry()
+		var h task.Handle
+		execAddr := ctx.MustAlloc(shmem.WordSize)
+		h = reg.MustRegister("split", func(tc *pool.TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			// Every node counts itself at rank 0 with one blocking
+			// fetch-add: double execution or loss shifts the total.
+			if _, err := tc.Shmem().FetchAdd64(0, execAddr, 1); err != nil {
+				return err
+			}
+			if args[0] == 0 {
+				return nil
+			}
+			for i := 0; i < 2; i++ {
+				if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p, err := pool.New(ctx, reg, pool.Config{Protocol: pool.SWS, Seed: 7})
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			if err := p.Add(h, task.Args(depth)); err != nil {
+				return err
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			got, err := ctx.Load64(0, execAddr)
+			if err != nil {
+				return err
+			}
+			if got != wantTasks {
+				return fmt.Errorf("exactly-once violated: %d executions of %d spawned tasks", got, wantTasks)
+			}
+		}
+		return ctx.Barrier()
+	})
+}
+
+// EpochSafeAcquire scripts §4.2's scenario directly against the queue:
+// a thief claims a block and stalls before completing; the owner drains
+// its local portion and acquires. With completion epochs the acquire must
+// proceed immediately — zero reset polls — because the in-flight claim
+// drains against the *previous* epoch's completion array.
+func EpochSafeAcquire(t *testing.T, f Factory) {
+	run(t, f, 2, func(ctx *shmem.Ctx) error {
+		q, err := core.NewQueue(ctx, core.Options{Epochs: true})
+		if err != nil {
+			return err
+		}
+		claimed := ctx.MustAlloc(shmem.WordSize)  // thief -> owner: claim made
+		acquired := ctx.MustAlloc(shmem.WordSize) // owner -> thief: acquire done
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			for i := 0; i < 8; i++ {
+				if err := q.Push(dummyTask(i)); err != nil {
+					return err
+				}
+			}
+			shared, err := q.Release()
+			if err != nil {
+				return err
+			}
+			if shared == 0 {
+				return fmt.Errorf("release shared nothing")
+			}
+			// Wait for the thief's in-flight claim (fetch-add done, no
+			// completion store yet).
+			if _, err := ctx.WaitUntil64(claimed, shmem.CmpEQ, 1, waitTimeout); err != nil {
+				return err
+			}
+			// Drain the local portion so Acquire has something to do.
+			for {
+				_, ok, err := q.Pop()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+			}
+			epochBefore := q.Epoch()
+			moved, err := q.Acquire()
+			if err != nil {
+				return err
+			}
+			st := q.Stats()
+			if st.ResetPolls != 0 {
+				return fmt.Errorf("acquire polled %d times while a steal was in flight — epochs must make it wait-free (§4.2)", st.ResetPolls)
+			}
+			if q.Epoch() == epochBefore {
+				return fmt.Errorf("acquire did not open a fresh epoch")
+			}
+			if moved == 0 {
+				return fmt.Errorf("acquire localized nothing despite unclaimed shared tasks")
+			}
+			// Signal into the thief's heap, where its WaitUntil64 watches.
+			if err := ctx.Store64(1, acquired, 1); err != nil {
+				return err
+			}
+			// The thief's late completion store must still drain the old
+			// epoch: poll Progress until only the current record remains.
+			for q.Stats().Epochs > 1 {
+				if err := q.Progress(); err != nil {
+					return err
+				}
+				if werr := ctx.Err(); werr != nil {
+					return werr
+				}
+				ctx.Relax()
+			}
+			return ctx.Barrier()
+		}
+		// Thief: claim manually so the completion store can be withheld
+		// while the owner acquires — the exact §4.2 window.
+		old, err := ctx.FetchAdd64(0, q.StealvalAddr(), core.AstealsUnit)
+		if err != nil {
+			return err
+		}
+		v := q.Format().Unpack(old)
+		if !v.Valid {
+			return fmt.Errorf("thief fetched invalid stealval %#x", old)
+		}
+		if v.Asteals != 0 {
+			return fmt.Errorf("thief expected first claim, got asteals=%d", v.Asteals)
+		}
+		k := wsq.StealHalf(v.ITasks, int(v.Asteals))
+		if err := ctx.Store64(0, claimed, 1); err != nil {
+			return err
+		}
+		if _, err := ctx.WaitUntil64(acquired, shmem.CmpEQ, 1, waitTimeout); err != nil {
+			return err
+		}
+		// Late completion: addressed by the epoch *in the fetched value*,
+		// not the owner's (already advanced) current epoch.
+		if err := ctx.Store64NBI(0, q.CompletionSlotAddr(v.Epoch, int(v.Asteals)), uint64(k)); err != nil {
+			return err
+		}
+		if err := ctx.Quiet(); err != nil {
+			return err
+		}
+		return ctx.Barrier()
+	})
+}
+
+// AstealsBounded has two thieves hammer an exhausted queue with damping
+// enabled: empty-mode probes are read-only, so the asteals counter must
+// stay bounded by plan + DampThreshold + #thieves (§4.3).
+func AstealsBounded(t *testing.T, f Factory) {
+	const thieves = 2
+	const threshold = 4
+	run(t, f, thieves+1, func(ctx *shmem.Ctx) error {
+		q, err := core.NewQueue(ctx, core.Options{Epochs: true, Damping: true, DampThreshold: threshold})
+		if err != nil {
+			return err
+		}
+		doneCnt := ctx.MustAlloc(shmem.WordSize)
+		ready := ctx.MustAlloc(shmem.WordSize)
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			for i := 0; i < 8; i++ {
+				if err := q.Push(dummyTask(i)); err != nil {
+					return err
+				}
+			}
+			shared, err := q.Release()
+			if err != nil {
+				return err
+			}
+			// Start flags land in each thief's heap (WaitUntil64 is local).
+			for r := 1; r <= thieves; r++ {
+				if err := ctx.Store64(r, ready, 1); err != nil {
+					return err
+				}
+			}
+			if _, err := ctx.WaitUntil64(doneCnt, shmem.CmpEQ, thieves, waitTimeout); err != nil {
+				return err
+			}
+			w, err := ctx.Load64(0, q.StealvalAddr())
+			if err != nil {
+				return err
+			}
+			v := q.Format().Unpack(w)
+			plan := wsq.PlanLen(shared)
+			bound := uint32(plan + threshold + thieves)
+			if v.Asteals > bound {
+				return fmt.Errorf("asteals %d exceeds damping bound %d (plan %d + threshold %d + %d thieves)",
+					v.Asteals, bound, plan, threshold, thieves)
+			}
+			return ctx.Barrier()
+		}
+		// Thieves: hammer well past the point damping must kick in.
+		if _, err := ctx.WaitUntil64(ready, shmem.CmpEQ, 1, waitTimeout); err != nil {
+			return err
+		}
+		for i := 0; i < 60; i++ {
+			if _, _, err := q.Steal(0); err != nil {
+				return err
+			}
+			ctx.Relax()
+		}
+		if !q.EmptyMode(0) {
+			return fmt.Errorf("thief %d never entered empty-mode after 60 steals of an exhausted queue", ctx.Rank())
+		}
+		// In empty-mode a further attempt is a single read-only probe.
+		before := ctx.Counters().Snapshot()
+		if _, _, err := q.Steal(0); err != nil {
+			return err
+		}
+		d := ctx.Counters().Snapshot().Sub(before)
+		if d.Of(shmem.OpFetchAdd) != 0 {
+			return fmt.Errorf("empty-mode steal still issued a fetch-add (damping must probe read-only)")
+		}
+		if d.Total() > 1 {
+			return fmt.Errorf("empty-mode steal used %d communications, want at most 1 probe", d.Total())
+		}
+		if _, err := ctx.FetchAdd64(0, doneCnt, 1); err != nil {
+			return err
+		}
+		return ctx.Barrier()
+	})
+}
+
+// TerminationQuiescence runs a pool workload and checks that when Run
+// returns (the detector declared global termination) every queue is
+// empty and the executed-task total equals the spawned total: termination
+// only after global quiescence.
+func TerminationQuiescence(t *testing.T, f Factory) {
+	const depth = 4 // 2^(depth+1)-1 = 31 tasks
+	run(t, f, 4, func(ctx *shmem.Ctx) error {
+		spawned := ctx.MustAlloc(shmem.WordSize)
+		executed := ctx.MustAlloc(shmem.WordSize)
+		reg := pool.NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *pool.TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			if _, err := tc.Shmem().FetchAdd64(0, executed, 1); err != nil {
+				return err
+			}
+			if args[0] == 0 {
+				return nil
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := tc.Shmem().FetchAdd64(0, spawned, 1); err != nil {
+					return err
+				}
+				if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p, err := pool.New(ctx, reg, pool.Config{Protocol: pool.SWS, Seed: 11})
+		if err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			if _, err := ctx.FetchAdd64(0, spawned, 1); err != nil {
+				return err
+			}
+			if err := p.Add(h, task.Args(depth)); err != nil {
+				return err
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		// Run returned: termination was declared. The local queue must be
+		// quiescent on every PE.
+		if n := p.Queue().LocalCount(); n != 0 {
+			return fmt.Errorf("PE %d terminated with %d local tasks", ctx.Rank(), n)
+		}
+		if n := p.Queue().SharedAvail(); n != 0 {
+			return fmt.Errorf("PE %d terminated with %d unclaimed shared tasks", ctx.Rank(), n)
+		}
+		if err := ctx.Barrier(); err != nil {
+			return err
+		}
+		if ctx.Rank() == 0 {
+			s, err := ctx.Load64(0, spawned)
+			if err != nil {
+				return err
+			}
+			e, err := ctx.Load64(0, executed)
+			if err != nil {
+				return err
+			}
+			if s != e {
+				return fmt.Errorf("terminated before quiescence: %d spawned, %d executed", s, e)
+			}
+			if e != 1<<(depth+1)-1 {
+				return fmt.Errorf("executed %d tasks, want %d", e, 1<<(depth+1)-1)
+			}
+		}
+		return ctx.Barrier()
+	})
+}

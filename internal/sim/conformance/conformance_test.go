@@ -1,0 +1,62 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"sws/internal/shmem"
+)
+
+// factories builds the three transports the suite must hold on: the
+// in-process local transport, the loopback TCP transport, and the
+// deterministic simulation transport.
+func factories() []Factory {
+	return []Factory{
+		{
+			Name: "local",
+			New: func(numPEs int, fault shmem.FaultInjector) (*shmem.World, error) {
+				return shmem.NewWorld(shmem.Config{
+					NumPEs:    numPEs,
+					HeapBytes: 1 << 20,
+					Transport: shmem.TransportLocal,
+					Fault:     fault,
+				})
+			},
+		},
+		{
+			Name: "tcp",
+			New: func(numPEs int, fault shmem.FaultInjector) (*shmem.World, error) {
+				return shmem.NewWorld(shmem.Config{
+					NumPEs:    numPEs,
+					HeapBytes: 1 << 20,
+					Transport: shmem.TransportTCP,
+					Fault:     fault,
+				})
+			},
+		},
+		{
+			Name: "sim",
+			New: func(numPEs int, fault shmem.FaultInjector) (*shmem.World, error) {
+				return shmem.NewWorld(shmem.Config{
+					NumPEs:      numPEs,
+					HeapBytes:   1 << 20,
+					Transport:   shmem.TransportSim,
+					NoOpLatency: true,
+					Fault:       fault,
+					Sim: shmem.SimOptions{
+						Seed:           1,
+						MaxVirtualTime: 30 * time.Second,
+					},
+				})
+			},
+		},
+	}
+}
+
+// TestConformance runs every protocol oracle against every transport.
+func TestConformance(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) { RunAll(t, f) })
+	}
+}

@@ -1,0 +1,278 @@
+// Package sim is the deterministic simulation harness for the SWS
+// work-stealing runtime, in the FoundationDB tradition: a whole multi-PE
+// pool run — steals, epoch flips, termination waves — executes under the
+// shmem simulation transport (shmem.TransportSim), where every delivery,
+// delay, and schedule decision is drawn from a single PRNG. A run is
+// bit-reproducible from its seed, so any failure a seed sweep finds can
+// be replayed exactly with one command.
+//
+// The package provides three layers:
+//
+//   - Run executes one seeded BPC workload under the sim transport and
+//     checks the exactly-once oracle, returning the deterministic event
+//     log.
+//   - Sweep and Systematic explore schedules: thousands of random seeds,
+//     or a bounded enumeration of forced schedule-choice prefixes around
+//     the steal/acquire/release interleavings.
+//   - Minimize shrinks a failing configuration (PEs, depth, width) while
+//     it keeps failing, and ReproLine prints the one-line repro command.
+//
+// The conformance suite built on the same substrate lives in
+// internal/sim/conformance.
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sws/internal/bpc"
+	"sws/internal/pool"
+	"sws/internal/shmem"
+)
+
+// Params configures one simulated run: a BPC workload (zero task
+// durations, so all time is protocol time) on a sim-transport world.
+type Params struct {
+	// PEs is the number of simulated processing elements. Default 4.
+	PEs int
+	// Depth is the BPC producer-chain length. Default 6.
+	Depth int
+	// Width is the number of consumers per producer. Default 12.
+	Width int
+	// Seed drives the entire simulation (schedule, latencies, and any
+	// seeded fault injector constructed from it).
+	Seed int64
+	// Chaos randomizes schedule choice among near-simultaneous candidates
+	// (more interleavings per seed).
+	Chaos bool
+	// Choices forces a schedule-decision prefix (bounded systematic mode).
+	Choices []byte
+	// Protocol selects the queue protocol. Default pool.SWS.
+	Protocol pool.Protocol
+	// Fault, if non-nil, is built once per run from the seed, letting
+	// fault streams replay along with the schedule.
+	Fault func(seed int64) shmem.FaultInjector
+	// MaxVirtualTime bounds the run in virtual time (livelock detector).
+	// Default 2s.
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the run in scheduler decisions. Default 2,000,000.
+	MaxSteps uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.PEs == 0 {
+		p.PEs = 4
+	}
+	if p.Depth == 0 {
+		p.Depth = 6
+	}
+	if p.Width == 0 {
+		p.Width = 12
+	}
+	if p.MaxVirtualTime == 0 {
+		p.MaxVirtualTime = 2 * time.Second
+	}
+	if p.MaxSteps == 0 {
+		p.MaxSteps = 2_000_000
+	}
+	return p
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("seed=%d pes=%d depth=%d width=%d chaos=%t", p.Seed, p.PEs, p.Depth, p.Width, p.Chaos)
+}
+
+// Run executes one simulated BPC run and returns the deterministic event
+// log. The error is non-nil if the world failed (deadlock, livelock
+// budget, a PE body error) or the exactly-once oracle is violated:
+// executed producers+consumers must equal Depth*(Width+1).
+func Run(p Params) ([]byte, error) {
+	p = p.withDefaults()
+	var log bytes.Buffer
+	var fault shmem.FaultInjector
+	if p.Fault != nil {
+		fault = p.Fault(p.Seed)
+	}
+	w, err := shmem.NewWorld(shmem.Config{
+		NumPEs:      p.PEs,
+		HeapBytes:   4 << 20,
+		Transport:   shmem.TransportSim,
+		NoOpLatency: true,
+		Fault:       fault,
+		Sim: shmem.SimOptions{
+			Seed:           p.Seed,
+			Chaos:          p.Chaos,
+			Choices:        p.Choices,
+			MaxVirtualTime: p.MaxVirtualTime,
+			MaxSteps:       p.MaxSteps,
+			Log:            &log,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Zero task durations: bpc's spin() returns immediately, so the whole
+	// run is protocol communication — exactly what the sim explores.
+	wl, err := bpc.NewWorkload(bpc.Params{Depth: p.Depth, NConsumers: p.Width})
+	if err != nil {
+		return nil, err
+	}
+	err = w.Run(func(ctx *shmem.Ctx) error {
+		reg := pool.NewRegistry()
+		if err := wl.Register(reg); err != nil {
+			return err
+		}
+		pl, err := pool.New(ctx, reg, pool.Config{Protocol: p.Protocol, Seed: p.Seed})
+		if err != nil {
+			return err
+		}
+		if err := wl.Seed(pl, ctx.Rank()); err != nil {
+			return err
+		}
+		return pl.Run()
+	})
+	if err != nil {
+		return log.Bytes(), err
+	}
+	want := wl.Params.TotalTasks()
+	got := wl.Producers() + wl.Consumers()
+	if got != want {
+		return log.Bytes(), fmt.Errorf("sim: exactly-once violated: executed %d tasks (%d producers, %d consumers), want %d",
+			got, wl.Producers(), wl.Consumers(), want)
+	}
+	return log.Bytes(), nil
+}
+
+// Failure records one failing configuration found by the explorer.
+type Failure struct {
+	Params Params
+	Err    error
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%v: %v\nrepro: %s", f.Params, f.Err, ReproLine(f.Params))
+}
+
+// Sweep runs n seeds starting at startSeed (each otherwise configured as
+// base) and returns the failures, sorted by seed. Runs execute in
+// parallel across CPUs; each run is individually deterministic.
+func Sweep(base Params, startSeed int64, n int) []Failure {
+	type job struct {
+		seed int64
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var failures []Failure
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p := base
+				p.Seed = j.seed
+				if _, err := Run(p); err != nil {
+					mu.Lock()
+					failures = append(failures, Failure{Params: p.withDefaults(), Err: err})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- job{seed: startSeed + int64(i)}
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Params.Seed < failures[j].Params.Seed })
+	return failures
+}
+
+// Systematic explores forced schedule-choice prefixes: every prefix of
+// length horizon over alphabet [0, fanout) is run on base (fanout^horizon
+// runs — keep both small). Because early decisions happen around the
+// initial steal/acquire/release churn, short prefixes enumerate exactly
+// the protocol interleavings seed sampling may miss.
+func Systematic(base Params, horizon, fanout int) []Failure {
+	if horizon < 1 || fanout < 1 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < horizon; i++ {
+		total *= fanout
+	}
+	var failures []Failure
+	prefix := make([]byte, horizon)
+	for k := 0; k < total; k++ {
+		x := k
+		for i := range prefix {
+			prefix[i] = byte(x % fanout)
+			x /= fanout
+		}
+		p := base
+		p.Choices = append([]byte(nil), prefix...)
+		if _, err := Run(p); err != nil {
+			failures = append(failures, Failure{Params: p.withDefaults(), Err: err})
+		}
+	}
+	return failures
+}
+
+// Minimize greedily shrinks a failing configuration — fewer PEs, shorter
+// producer chain, narrower fan-out — re-running after each candidate
+// reduction and keeping it only if the run still fails. The result is the
+// smallest configuration (under this greedy order) that still reproduces
+// a failure from the same seed.
+func Minimize(f Failure) Failure {
+	cur := f.Params.withDefaults()
+	stillFails := func(p Params) (error, bool) {
+		_, err := Run(p)
+		return err, err != nil
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, cand := range []Params{
+			{PEs: cur.PEs / 2}, {PEs: cur.PEs - 1},
+			{Depth: cur.Depth / 2}, {Depth: cur.Depth - 1},
+			{Width: cur.Width / 2}, {Width: cur.Width - 1},
+		} {
+			next := cur
+			if cand.PEs > 0 && cand.PEs >= 2 && cand.PEs < cur.PEs {
+				next.PEs = cand.PEs
+			} else if cand.Depth > 0 && cand.Depth < cur.Depth {
+				next.Depth = cand.Depth
+			} else if cand.Width > 0 && cand.Width < cur.Width {
+				next.Width = cand.Width
+			} else {
+				continue
+			}
+			if err, bad := stillFails(next); bad {
+				cur = next
+				f = Failure{Params: next, Err: err}
+				improved = true
+				break
+			}
+		}
+	}
+	return f
+}
+
+// ReproLine returns the one-line command that replays a configuration
+// through the TestReplaySeed entry point.
+func ReproLine(p Params) string {
+	p = p.withDefaults()
+	s := fmt.Sprintf("go test ./internal/sim -run 'TestReplaySeed' -sim.seed=%d -sim.pes=%d -sim.depth=%d -sim.width=%d",
+		p.Seed, p.PEs, p.Depth, p.Width)
+	if p.Chaos {
+		s += " -sim.chaos"
+	}
+	return s
+}

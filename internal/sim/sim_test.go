@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sws/internal/shmem"
+)
+
+// Explorer knobs, settable from the command line. ReproLine prints the
+// matching invocation for any failing configuration.
+var (
+	flagSeed  = flag.Int64("sim.seed", 1, "base seed for sim runs / sweeps")
+	flagSeeds = flag.Int("sim.seeds", 64, "number of seeds TestSeedSweep explores")
+	flagPEs   = flag.Int("sim.pes", 4, "simulated PEs")
+	flagDepth = flag.Int("sim.depth", 6, "BPC producer-chain depth")
+	flagWidth = flag.Int("sim.width", 12, "BPC consumers per producer")
+	flagChaos = flag.Bool("sim.chaos", false, "randomize schedule among near-simultaneous candidates")
+)
+
+func flagParams() Params {
+	return Params{
+		PEs:   *flagPEs,
+		Depth: *flagDepth,
+		Width: *flagWidth,
+		Seed:  *flagSeed,
+		Chaos: *flagChaos,
+	}
+}
+
+// TestSameSeedByteIdentical is the headline acceptance criterion: the
+// same seed produces byte-identical event logs across two full 4-PE BPC
+// pool runs under the sim transport.
+func TestSameSeedByteIdentical(t *testing.T) {
+	p := Params{PEs: 4, Depth: 6, Width: 12, Seed: 42}
+	log1, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	log2, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if len(log1) == 0 {
+		t.Fatal("empty event log")
+	}
+	if !bytes.Equal(log1, log2) {
+		d := firstDiff(log1, log2)
+		t.Fatalf("same seed produced different event logs (first divergence at byte %d):\nrun1: %s\nrun2: %s",
+			d, excerpt(log1, d), excerpt(log2, d))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func excerpt(b []byte, at int) string {
+	lo, hi := at-80, at+80
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return string(b[lo:hi])
+}
+
+// TestSeedsDiffer: different seeds must explore different schedules.
+func TestSeedsDiffer(t *testing.T) {
+	log1, err := Run(Params{PEs: 4, Depth: 4, Width: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, err := Run(Params{PEs: 4, Depth: 4, Width: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(log1, log2) {
+		t.Fatal("seeds 1 and 2 produced identical event logs — schedule not seed-driven")
+	}
+}
+
+// TestChaosRun: chaos mode must complete and stay exactly-once.
+func TestChaosRun(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		if _, err := Run(Params{PEs: 4, Depth: 4, Width: 8, Seed: seed, Chaos: true}); err != nil {
+			t.Fatalf("chaos seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestReplaySeed is the repro entry point printed by ReproLine: it runs
+// exactly the configuration given by the -sim.* flags.
+func TestReplaySeed(t *testing.T) {
+	p := flagParams()
+	if _, err := Run(p); err != nil {
+		t.Fatalf("replay %v failed:\n%v", p, err)
+	}
+}
+
+// TestSeedSweep sweeps -sim.seeds seeds starting at -sim.seed. On
+// failure it prints each failing seed's repro line and, when
+// SIM_ARTIFACT_DIR is set (CI), writes them to failing-seeds.txt so the
+// workflow can upload them as an artifact.
+func TestSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	base := flagParams()
+	failures := Sweep(base, *flagSeed, *flagSeeds)
+	if len(failures) == 0 {
+		return
+	}
+	var report strings.Builder
+	for _, f := range failures {
+		min := Minimize(f)
+		fmt.Fprintf(&report, "%v\n", min)
+	}
+	if dir := os.Getenv("SIM_ARTIFACT_DIR"); dir != "" {
+		_ = os.MkdirAll(dir, 0o755)
+		path := filepath.Join(dir, "failing-seeds.txt")
+		if werr := os.WriteFile(path, []byte(report.String()), 0o644); werr != nil {
+			t.Logf("writing artifact %s: %v", path, werr)
+		} else {
+			t.Logf("failing seeds written to %s", path)
+		}
+	}
+	t.Fatalf("%d of %d seeds failed:\n%s", len(failures), *flagSeeds, report.String())
+}
+
+// TestSystematicSmoke enumerates every forced schedule prefix of length 4
+// over 3 candidate choices on a small world — the bounded systematic mode
+// around the initial steal/acquire/release interleavings.
+func TestSystematicSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("systematic sweep skipped in -short mode")
+	}
+	failures := Systematic(Params{PEs: 3, Depth: 3, Width: 4, Seed: *flagSeed}, 4, 3)
+	if len(failures) > 0 {
+		t.Fatalf("%d forced-prefix runs failed; first: %v", len(failures), failures[0])
+	}
+}
+
+// TestExplorerCatchesInjectedFault is the harness's own acceptance test:
+// inject a seeded fault on purpose (dropping one-sided NBI stores, which
+// carry steal-completion notifications and termination flags), verify the
+// explorer catches it, that the printed seed replays the failure, and
+// that minimization shrinks the configuration.
+func TestExplorerCatchesInjectedFault(t *testing.T) {
+	base := Params{
+		PEs: 4, Depth: 4, Width: 8,
+		// Every NBI store vanishes: completion notifications never land,
+		// termination flags never arrive — the world must detectably
+		// stall (virtual-time budget or reset-stall error), never
+		// terminate early or double-execute.
+		Fault: func(seed int64) shmem.FaultInjector {
+			return &shmem.DropFaults{Fraction: 1.0, Ops: []shmem.Op{shmem.OpStoreNBI}, Seed: seed}
+		},
+		MaxVirtualTime: 100_000_000, // 100ms virtual: fail fast
+		MaxSteps:       300_000,
+	}
+	failures := Sweep(base, 1, 4)
+	if len(failures) == 0 {
+		t.Fatal("explorer missed a fault that drops every completion/termination store")
+	}
+	f := failures[0]
+	t.Logf("caught: %v", f.Err)
+	t.Logf("repro:  %s", ReproLine(f.Params))
+
+	// The printed seed must replay deterministically.
+	p := f.Params
+	_, err1 := Run(p)
+	if err1 == nil {
+		t.Fatal("replay of failing seed passed")
+	}
+	_, err2 := Run(p)
+	if err2 == nil || err1.Error() != err2.Error() {
+		t.Fatalf("failure does not replay identically:\nfirst:  %v\nsecond: %v", err1, err2)
+	}
+
+	// Minimization must not lose the failure.
+	min := Minimize(f)
+	if min.Err == nil {
+		t.Fatal("minimized configuration does not fail")
+	}
+	if min.Params.PEs > f.Params.PEs || min.Params.Depth > f.Params.Depth || min.Params.Width > f.Params.Width {
+		t.Fatalf("minimization grew the configuration: %v -> %v", f.Params, min.Params)
+	}
+	t.Logf("minimized: %v", min.Params)
+}
