@@ -37,6 +37,7 @@ func main() {
 		rtt       = flag.Duration("rtt", bench.DefaultLatency().BlockingRTT, "injected blocking round-trip latency")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed      = flag.Int64("seed", 1, "victim-selection seed")
+		workers   = flag.Int("workers", 1, "executor goroutines per PE (two-level scheduling when >1)")
 	)
 	obsf := cli.RegisterObsFlags(nil)
 	flag.Parse()
@@ -59,6 +60,7 @@ func main() {
 		cfg := bench.Fig7(params, counts, *reps)
 		cfg.Base.Latency = lat
 		cfg.Base.Seed = *seed
+		cfg.Base.Pool.Workers = *workers
 		if err := obsf.Start(); err != nil {
 			fatal(err)
 		}
@@ -79,7 +81,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pcfg := pool.Config{PayloadCap: 24, Metrics: obsf.Gatherer()}
+	pcfg := pool.Config{PayloadCap: 24, Metrics: obsf.Gatherer(), Workers: *workers}
 	if pcfg.Trace, err = obsf.NewTrace(*pes); err != nil {
 		fatal(err)
 	}

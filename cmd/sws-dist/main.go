@@ -41,6 +41,7 @@ func main() {
 		depth     = flag.Int("depth", 14, "binary recursion depth (2^depth leaves)")
 		protoName = flag.String("protocol", "sws", "steal protocol: sws or sdc")
 		workload  = flag.String("workload", "tree", "workload: tree, uts, or bpc")
+		workers   = flag.Int("workers", 1, "executor goroutines per PE (two-level scheduling when >1)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/pprof; rank r listens on port+r (e.g. :9090 puts rank 2 on :9092)")
 
@@ -60,18 +61,18 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q (want tree, uts, or bpc)", *workload))
 	}
 	if *worker {
-		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload, *metricsAddr); err != nil {
+		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload, *metricsAddr, *workers); err != nil {
 			fatal(fmt.Errorf("rank %d: %w", *rank, err))
 		}
 		return
 	}
-	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr); err != nil {
+	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers); err != nil {
 		fatal(err)
 	}
 }
 
 // launch spawns one worker process per rank and waits for all of them.
-func launch(n, depth int, protoName, workload, metricsAddr string) error {
+func launch(n, depth int, protoName, workload, metricsAddr string, workers int) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one PE, got %d", n)
 	}
@@ -94,6 +95,7 @@ func launch(n, depth int, protoName, workload, metricsAddr string) error {
 			"-worker", "-rank", fmt.Sprint(rank), "-n", fmt.Sprint(n),
 			"-coordinator", coord, "-depth", fmt.Sprint(depth),
 			"-protocol", protoName, "-workload", workload,
+			"-workers", fmt.Sprint(workers),
 			"-metrics-addr", addr)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
@@ -144,7 +146,7 @@ func pickCoordinator() (string, error) {
 
 // runWorker is one PE's process: join the world, run the pool, publish
 // per-rank counts into rank 0's heap, and let rank 0 report.
-func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload, metricsAddr string) error {
+func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload, metricsAddr string, workers int) error {
 	var gatherer *obs.Gatherer
 	if metricsAddr != "" {
 		gatherer = obs.NewGatherer()
@@ -173,7 +175,7 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 		reg := pool.NewRegistry()
 		var expect uint64 // expected world task total (0 = unknown)
 		var seed func(p *pool.Pool) error
-		pcfg := pool.Config{Protocol: proto, Seed: int64(n), Metrics: gatherer}
+		pcfg := pool.Config{Protocol: proto, Seed: int64(n), Metrics: gatherer, Workers: workers}
 		switch workload {
 		case "uts":
 			wl, err := uts.NewWorkload(uts.Small)

@@ -35,6 +35,7 @@ func main() {
 		rtt       = flag.Duration("rtt", bench.DefaultLatency().BlockingRTT, "injected blocking round-trip latency")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed      = flag.Int64("seed", 1, "victim-selection seed")
+		workers   = flag.Int("workers", 1, "executor goroutines per PE (two-level scheduling when >1)")
 		traceN    = flag.Int("trace", 0, "dump the last N scheduling events per PE after a single run")
 	)
 	obsf := cli.RegisterObsFlags(nil)
@@ -58,6 +59,7 @@ func main() {
 		cfg := bench.Fig8(params, counts, *reps)
 		cfg.Base.Latency = lat
 		cfg.Base.Seed = *seed
+		cfg.Base.Pool.Workers = *workers
 		if err := obsf.Start(); err != nil {
 			fatal(err)
 		}
@@ -82,7 +84,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pcfg := pool.Config{PayloadCap: uts.PayloadSize, Metrics: obsf.Gatherer()}
+	pcfg := pool.Config{PayloadCap: uts.PayloadSize, Metrics: obsf.Gatherer(), Workers: *workers}
 	var tr *trace.Set
 	if *traceN > 0 {
 		if tr, err = trace.NewSet(*pes, *traceN); err != nil {

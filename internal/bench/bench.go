@@ -253,7 +253,17 @@ func SingleRunTable(name string, run stats.Run) *Table {
 			{"steal time (sum)", fmtDur(tot.StealTime)},
 			{"search time (sum)", fmtDur(tot.SearchTime)},
 			{"releases/acquires", fmt.Sprintf("%d/%d", tot.Releases, tot.Acquires)},
+			{"idle iterations", fmt.Sprint(tot.IdleIters)},
 		},
+	}
+	// Multi-worker runs carry a per-worker breakdown; surface it so the
+	// intra-PE load balance is visible alongside the PE totals.
+	for _, w := range tot.Workers {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("pe %d worker %d", w.PE, w.ID),
+			fmt.Sprintf("exec %d, spawn %d, exec time %s, idle %d",
+				w.TasksExecuted, w.TasksSpawned, fmtDur(w.ExecTime), w.IdleIters),
+		})
 	}
 	for _, key := range latencyRowKeys {
 		snap, ok := tot.Lat[key]

@@ -66,6 +66,20 @@ func (p *Pool) metricsSource() obs.SourceFunc {
 		e.Gauge("sws_pool_terminated", "1 once this PE observed global termination.",
 			float64(lv.terminated.Load()), pe, proto)
 
+		// Multi-worker PEs: per-worker breakdown straight from the worker
+		// atomics (always safe to scrape mid-run).
+		if p.exec != nil {
+			for _, ws := range p.exec.workers {
+				wl := obs.L("worker", strconv.Itoa(ws.id))
+				e.Counter("sws_pool_worker_tasks_executed_total", "Tasks executed per worker.",
+					float64(ws.executed.Load()), pe, proto, wl)
+				e.Counter("sws_pool_worker_tasks_spawned_total", "Tasks spawned per worker.",
+					float64(ws.spawned.Load()), pe, proto, wl)
+				e.Counter("sws_pool_worker_idle_iterations_total", "Empty ring polls per worker.",
+					float64(ws.idleIters.Load()), pe, proto, wl)
+			}
+		}
+
 		for _, h := range []struct {
 			op   string
 			hist *obs.Hist

@@ -17,7 +17,6 @@ package pool
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"sws/internal/core"
@@ -132,9 +131,22 @@ type Config struct {
 	// GroupSize is the locality-group width for VictimHierarchical
 	// (consecutive ranks form a group; default 4).
 	GroupSize int
-	// Seed makes victim selection reproducible; each PE derives its own
-	// stream from Seed and its rank.
+	// Seed makes victim selection reproducible; each worker goroutine
+	// derives its own independent stream from Seed, the PE's rank, and
+	// its worker id.
 	Seed int64
+	// Workers is the number of worker goroutines this PE runs. The
+	// default 1 reproduces the paper's single-threaded PE exactly; larger
+	// values add executor workers that share work through an intra-PE
+	// ring (internal/ldeque) while the owner worker alone drives the
+	// inter-PE SWS protocol. Requires a transport whose PEs may issue
+	// operations from multiple goroutines (local, tcp — not sim).
+	Workers int
+	// LocalQueueCap bounds the intra-PE ring of a multi-worker PE
+	// (rounded up to a power of two). Default 4*Workers, minimum 16: the
+	// ring is kept shallow on purpose so surplus work lives in the
+	// protocol queue where thieves can see it.
+	LocalQueueCap int
 	// PushTimeout bounds how long stolen tasks or spawns may wait for
 	// queue space held by in-flight steal completions. Default 10s.
 	PushTimeout time.Duration
@@ -169,6 +181,15 @@ func (c *Config) setDefaults() {
 	}
 	if c.GroupSize == 0 {
 		c.GroupSize = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.LocalQueueCap == 0 {
+		c.LocalQueueCap = 4 * c.Workers
+		if c.LocalQueueCap < 16 {
+			c.LocalQueueCap = 16
+		}
 	}
 }
 
@@ -229,11 +250,20 @@ type Pool struct {
 	ctx  *shmem.Ctx
 	cfg  Config
 	reg  *Registry
-	q    wsq.Queue
 	det  *term.Detector
 	mbox *mailbox
 	cal  ptimer.Calibration
-	rng  *rand.Rand
+
+	// q is the protocol layer, wrapped in an owner-serialization guard;
+	// rawQ is the unwrapped queue (for Queue() and epoch introspection).
+	q    wsq.Queue
+	rawQ wsq.Queue
+
+	// vic picks steal targets for the search layer.
+	vic *victimSelector
+	// exec is the execution layer of a multi-worker PE; nil when
+	// Workers == 1 (the classic single-goroutine loop).
+	exec *execLayer
 
 	tc      TaskCtx
 	st      stats.PE
@@ -252,10 +282,41 @@ type Pool struct {
 	coreQ *core.Queue
 	// prevProbes tracks termination-detection passes for trace events.
 	prevProbes uint64
+}
 
-	// Victim-policy state.
-	rrNext int
-	sticky int
+// guardedQueue wraps the protocol queue's owner methods in a
+// wsq.OwnerGuard, turning any violation of the owner-serialization
+// contract (two goroutines inside owner ops at once) into an immediate
+// panic instead of silent queue corruption. Steal and the read-side
+// counters pass through.
+type guardedQueue struct {
+	wsq.Queue
+	g wsq.OwnerGuard
+}
+
+func (q *guardedQueue) Push(d task.Desc) error {
+	defer q.g.Enter("Push")()
+	return q.Queue.Push(d)
+}
+
+func (q *guardedQueue) Pop() (task.Desc, bool, error) {
+	defer q.g.Enter("Pop")()
+	return q.Queue.Pop()
+}
+
+func (q *guardedQueue) Release() (int, error) {
+	defer q.g.Enter("Release")()
+	return q.Queue.Release()
+}
+
+func (q *guardedQueue) Acquire() (int, error) {
+	defer q.g.Enter("Acquire")()
+	return q.Queue.Acquire()
+}
+
+func (q *guardedQueue) Progress() error {
+	defer q.g.Enter("Progress")()
+	return q.Queue.Progress()
 }
 
 // poolLat groups the pool-level latency histograms: task execution,
@@ -267,6 +328,11 @@ type poolLat struct {
 // TaskCtx is the handle passed to task functions.
 type TaskCtx struct {
 	p *Pool
+	// w identifies the executing worker on a multi-worker PE; nil in the
+	// classic single-worker mode. Spawns route through it so they are
+	// counted and enqueued on the intra-PE tier instead of the (owner
+	// serialized) protocol queue.
+	w *workerState
 }
 
 // Rank returns the executing PE's rank.
@@ -282,6 +348,9 @@ func (tc *TaskCtx) Shmem() *shmem.Ctx { return tc.p.ctx }
 
 // Spawn enqueues a new task on the executing PE's queue.
 func (tc *TaskCtx) Spawn(h task.Handle, payload []byte) error {
+	if tc.w != nil {
+		return tc.p.workerSpawn(tc.w, h, payload)
+	}
 	return tc.p.addTask(task.Desc{Handle: h, Payload: payload})
 }
 
@@ -290,6 +359,9 @@ func (tc *TaskCtx) Spawn(h task.Handle, payload []byte) error {
 // possible "although with more overhead"); prefer Spawn and let stealing
 // move the work unless placement genuinely matters.
 func (tc *TaskCtx) SpawnOn(pe int, h task.Handle, payload []byte) error {
+	if tc.w != nil {
+		return tc.p.workerSpawnOn(tc.w, pe, h, payload)
+	}
 	return tc.p.SpawnOn(pe, h, payload)
 }
 
@@ -300,21 +372,39 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 	if reg == nil || len(reg.funcs) == 0 {
 		return nil, errors.New("pool: registry is empty")
 	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("pool: Workers %d < 1", cfg.Workers)
+	}
 	p := &Pool{
 		ctx: ctx,
 		cfg: cfg,
 		reg: reg,
 		cal: ptimer.Calibrate(),
-		rng: rand.New(rand.NewSource(cfg.Seed + int64(ctx.Rank())*0x9E3779B9)),
 	}
 	p.tc = TaskCtx{p: p}
-	p.sticky = -1
 	p.tr = cfg.Trace.PE(ctx.Rank())
 	ctx.AttachTrace(p.tr)
+	if cfg.Workers > 1 {
+		// The execution layer shares the ctx (and any trace buffer)
+		// across worker goroutines; both must opt in, and the transport
+		// must support it (the lockstep sim does not).
+		if err := ctx.EnableMultiWorker(); err != nil {
+			return nil, fmt.Errorf("pool: Workers=%d: %w", cfg.Workers, err)
+		}
+		p.tr.EnableConcurrent()
+		p.exec = newExecLayer(p, cfg.Workers, cfg.LocalQueueCap)
+	}
+	// Worker 0's random stream drives victim selection (single-worker
+	// PEs are all worker 0).
+	vrng := rngStream(cfg.Seed, ctx.Rank(), 0)
+	if p.exec != nil {
+		vrng = p.exec.workers[0].rng
+	}
+	p.vic = newVictimSelector(cfg.Victim, cfg.GroupSize, ctx.Rank(), ctx.NumPEs(), vrng)
 	var err error
 	switch cfg.Protocol {
 	case SWS, SWSFused:
-		p.q, err = core.NewQueue(ctx, core.Options{
+		p.rawQ, err = core.NewQueue(ctx, core.Options{
 			Capacity:   cfg.QueueCapacity,
 			PayloadCap: cfg.PayloadCap,
 			Epochs:     !cfg.NoEpochs,
@@ -323,7 +413,7 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 			Fused:      cfg.Protocol == SWSFused,
 		})
 	case SDC:
-		p.q, err = sdc.NewQueue(ctx, sdc.Options{
+		p.rawQ, err = sdc.NewQueue(ctx, sdc.Options{
 			Capacity:   cfg.QueueCapacity,
 			PayloadCap: cfg.PayloadCap,
 			Policy:     cfg.StealPolicy,
@@ -334,6 +424,7 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.q = &guardedQueue{Queue: p.rawQ}
 	if p.det, err = term.New(ctx); err != nil {
 		return nil, err
 	}
@@ -344,7 +435,7 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 	if p.mbox, err = newMailbox(ctx, codec, cfg.MailboxSlots, cfg.PushTimeout); err != nil {
 		return nil, err
 	}
-	p.coreQ, _ = p.q.(*core.Queue)
+	p.coreQ, _ = p.rawQ.(*core.Queue)
 	if cfg.Metrics != nil {
 		p.live = &liveView{}
 		cfg.Metrics.Register(p.metricsSource())
@@ -354,7 +445,7 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 
 // Queue exposes the underlying work-stealing queue (for diagnostics and
 // microbenchmarks).
-func (p *Pool) Queue() wsq.Queue { return p.q }
+func (p *Pool) Queue() wsq.Queue { return p.rawQ }
 
 // Shmem exposes the PGAS context, for collective allocations and global
 // address space use around a run.
@@ -449,130 +540,6 @@ func (p *Pool) push(d task.Desc) error {
 	}
 }
 
-// Run processes tasks until global termination. It begins and ends with a
-// barrier; whole-run timing covers the span between them, matching the
-// paper's whole-program timers.
-func (p *Pool) Run() error {
-	if p.ran {
-		return errors.New("pool: Run called twice")
-	}
-	p.ran = true
-	if err := p.ctx.Barrier(); err != nil {
-		return err
-	}
-	start := time.Now()
-	iter, idle := 0, 0
-	for {
-		iter++
-		if err := p.ctx.Err(); err != nil {
-			return fmt.Errorf("pool: world failed: %w", err)
-		}
-		// Expose work when the shared portion has run dry (§3.1: release
-		// is invoked when the runtime discovers the imbalance).
-		t0 := time.Now()
-		released, err := p.q.Release()
-		if err != nil {
-			return err
-		}
-		if released > 0 {
-			p.lat.release.Record(p.cal.Since(t0))
-			p.st.Releases++
-			p.tr.Record(trace.Release, 0, int64(released))
-			p.recordEpochFlip(int64(released))
-			if p.live != nil {
-				p.live.releases.Add(1)
-			}
-		}
-		if iter%64 == 0 {
-			if err := p.q.Progress(); err != nil {
-				return err
-			}
-			if p.live != nil {
-				p.live.qLocal.Store(int64(p.q.LocalCount()))
-				p.live.qShared.Store(int64(p.q.SharedAvail()))
-			}
-		}
-		// Remotely spawned tasks arrive through the inbox; drain them
-		// into the local queue (already counted as spawned by senders).
-		got, err := p.mbox.drain(p.push)
-		if err != nil {
-			return err
-		}
-		if got > 0 {
-			p.st.RemoteSpawnsRecv += uint64(got)
-			p.tr.Record(trace.InboxDrain, 0, int64(got))
-			if p.live != nil {
-				p.live.remoteRecv.Add(uint64(got))
-			}
-			continue
-		}
-		d, ok, err := p.q.Pop()
-		if err != nil {
-			return err
-		}
-		if ok {
-			if err := p.execute(d); err != nil {
-				return err
-			}
-			// One scheduling point per task keeps oversubscribed worlds
-			// fair: thieves get to run between a busy PE's tasks, which is
-			// what dedicated cores would give them.
-			p.ctx.Relax()
-			continue
-		}
-		// Local portion empty: pull shared work back.
-		t0 = time.Now()
-		moved, err := p.q.Acquire()
-		if err != nil {
-			return err
-		}
-		if moved > 0 {
-			p.lat.acquire.Record(p.cal.Since(t0))
-			p.st.Acquires++
-			p.tr.Record(trace.Acquire, 0, int64(moved))
-			p.recordEpochFlip(int64(moved))
-			if p.live != nil {
-				p.live.acquires.Add(1)
-			}
-			continue
-		}
-		// Queue empty: search for work.
-		found, err := p.search()
-		if err != nil {
-			return err
-		}
-		if found {
-			continue
-		}
-		done, err := p.det.Check()
-		if err != nil {
-			return err
-		}
-		if pr := p.det.Probes; pr != p.prevProbes {
-			p.prevProbes = pr
-			var flag int64
-			if done {
-				flag = 1
-			}
-			p.tr.Record(trace.TermWave, int64(pr), flag)
-		}
-		if done {
-			p.tr.Record(trace.Terminated, 0, 0)
-			if p.live != nil {
-				p.live.terminated.Store(1)
-			}
-			break
-		}
-		// Idle PEs keep searching aggressively (the paper's model has
-		// idle processes continuously looking for work); Relax keeps
-		// oversubscribed worlds live and is the sim's scheduling point.
-		idle++
-		p.ctx.Relax()
-	}
-	p.elapsed = time.Since(start)
-	return p.ctx.Barrier()
-}
-
 // execute runs one task.
 func (p *Pool) execute(d task.Desc) error {
 	fn, err := p.reg.fn(d.Handle)
@@ -592,124 +559,6 @@ func (p *Pool) execute(d task.Desc) error {
 		p.live.tasksExecuted.Add(1)
 	}
 	return p.det.TaskExecuted(1)
-}
-
-// search makes up to StealTries steal attempts against random victims,
-// enqueueing any stolen tasks locally. It reports whether work was found.
-func (p *Pool) search() (bool, error) {
-	n := p.ctx.NumPEs()
-	if n == 1 {
-		return false, nil
-	}
-	for i := 0; i < p.cfg.StealTries; i++ {
-		v := p.victim(i)
-		t0 := time.Now()
-		tasks, out, err := p.q.Steal(v)
-		el := p.cal.Since(t0)
-		if err != nil {
-			return false, err
-		}
-		p.st.StealsAttempted++
-		switch out {
-		case wsq.Stolen:
-			p.st.StealsSuccessful++
-			p.st.TasksStolen += uint64(len(tasks))
-			p.st.StealTime += el
-			p.lat.steal.Record(el)
-			p.tr.Record(trace.StealOK, int64(v), int64(len(tasks)))
-			if p.live != nil {
-				p.live.stealsOK.Add(1)
-				p.live.tasksStolen.Add(uint64(len(tasks)))
-			}
-			if p.cfg.Victim == VictimSticky {
-				p.sticky = v
-			}
-			for _, d := range tasks {
-				if err := p.push(d); err != nil {
-					return false, err
-				}
-			}
-			return true, nil
-		case wsq.Empty:
-			p.st.StealsEmpty++
-			p.st.SearchTime += el
-			p.lat.search.Record(el)
-			p.tr.Record(trace.StealEmpty, int64(v), 0)
-			if p.live != nil {
-				p.live.stealsEmpty.Add(1)
-			}
-		case wsq.Disabled:
-			p.st.StealsDisabled++
-			p.st.SearchTime += el
-			p.lat.search.Record(el)
-			p.tr.Record(trace.StealDisabled, int64(v), 0)
-			if p.live != nil {
-				p.live.stealsDisabled.Add(1)
-			}
-		}
-	}
-	return false, nil
-}
-
-// victim picks the next steal target under the configured policy. The
-// attempt index lets hierarchical selection alternate between the local
-// group and the whole world.
-func (p *Pool) victim(try int) int {
-	switch p.cfg.Victim {
-	case VictimRoundRobin:
-		p.rrNext++
-		v := (p.ctx.Rank() + p.rrNext) % p.ctx.NumPEs()
-		if v == p.ctx.Rank() {
-			p.rrNext++
-			v = (v + 1) % p.ctx.NumPEs()
-		}
-		return v
-	case VictimSticky:
-		// Re-try the last productive victim first; fall back to random.
-		if p.sticky >= 0 {
-			v := p.sticky
-			p.sticky = -1 // consumed; search() re-arms it on success
-			return v
-		}
-		return p.randomVictim()
-	case VictimHierarchical:
-		if try%2 == 0 {
-			if v, ok := p.groupVictim(); ok {
-				return v
-			}
-		}
-		return p.randomVictim()
-	default:
-		return p.randomVictim()
-	}
-}
-
-// groupVictim picks a random peer in this PE's locality group, reporting
-// ok=false when the group contains no other PE.
-func (p *Pool) groupVictim() (int, bool) {
-	g := p.cfg.GroupSize
-	lo := (p.ctx.Rank() / g) * g
-	hi := lo + g
-	if hi > p.ctx.NumPEs() {
-		hi = p.ctx.NumPEs()
-	}
-	if hi-lo < 2 {
-		return 0, false
-	}
-	v := lo + p.rng.Intn(hi-lo-1)
-	if v >= p.ctx.Rank() {
-		v++
-	}
-	return v, true
-}
-
-// randomVictim picks a uniformly random PE other than this one.
-func (p *Pool) randomVictim() int {
-	v := p.rng.Intn(p.ctx.NumPEs() - 1)
-	if v >= p.ctx.Rank() {
-		v++
-	}
-	return v
 }
 
 // Stats returns this PE's counters, including the per-op latency

@@ -1,0 +1,217 @@
+// Scheduler layer: the per-PE decision loop, decomposed into small
+// explicit steps. Each step is one scheduling decision — expose work,
+// reclaim protocol space, drain the remote-spawn inbox, run a local task,
+// pull shared work back, steal, probe termination — over the protocol
+// layer (wsq.Queue) underneath. Run dispatches to the single-worker loop
+// (the paper's one-goroutine PE, preserved op-for-op) or the multi-worker
+// loop in worker.go, where the same steps are driven by the owner worker
+// while executors consume the intra-PE tier.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sws/internal/trace"
+)
+
+// Run processes tasks until global termination. It begins and ends with a
+// barrier; whole-run timing covers the span between them, matching the
+// paper's whole-program timers.
+func (p *Pool) Run() error {
+	if p.ran {
+		return errors.New("pool: Run called twice")
+	}
+	p.ran = true
+	if err := p.ctx.Barrier(); err != nil {
+		return err
+	}
+	start := time.Now()
+	var err error
+	if p.exec != nil {
+		err = p.runMulti()
+	} else {
+		err = p.runSingle()
+	}
+	if err != nil {
+		return err
+	}
+	p.elapsed = time.Since(start)
+	return p.ctx.Barrier()
+}
+
+// runSingle is the classic one-goroutine scheduler loop. The step order —
+// release, periodic progress, inbox drain, local pop, acquire, search,
+// termination check — and every communication it performs are identical
+// to the pre-layering monolith, which is what keeps Workers=1 sim runs
+// bit-compatible.
+func (p *Pool) runSingle() error {
+	iter := 0
+	for {
+		iter++
+		if err := p.ctx.Err(); err != nil {
+			return fmt.Errorf("pool: world failed: %w", err)
+		}
+		if err := p.stepRelease(); err != nil {
+			return err
+		}
+		if err := p.stepProgress(iter); err != nil {
+			return err
+		}
+		handled, err := p.stepDrainInbox()
+		if err != nil {
+			return err
+		}
+		if handled {
+			continue
+		}
+		handled, err = p.stepExecuteLocal()
+		if err != nil {
+			return err
+		}
+		if handled {
+			continue
+		}
+		handled, err = p.stepAcquire()
+		if err != nil {
+			return err
+		}
+		if handled {
+			continue
+		}
+		found, err := p.search()
+		if err != nil {
+			return err
+		}
+		if found {
+			continue
+		}
+		done, err := p.stepCheckTermination()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		// Idle PEs keep searching aggressively (the paper's model has
+		// idle processes continuously looking for work); Relax keeps
+		// oversubscribed worlds live and is the sim's scheduling point.
+		p.st.IdleIters++
+		p.ctx.Relax()
+	}
+}
+
+// stepRelease exposes work to thieves when the shared portion has run dry
+// (§3.1: release is invoked when the runtime discovers the imbalance).
+func (p *Pool) stepRelease() error {
+	t0 := time.Now()
+	released, err := p.q.Release()
+	if err != nil {
+		return err
+	}
+	if released > 0 {
+		p.lat.release.Record(p.cal.Since(t0))
+		p.st.Releases++
+		p.tr.Record(trace.Release, 0, int64(released))
+		p.recordEpochFlip(int64(released))
+		if p.live != nil {
+			p.live.releases.Add(1)
+		}
+	}
+	return nil
+}
+
+// stepProgress periodically reclaims queue space held by completed steals
+// and refreshes the live queue-depth gauges.
+func (p *Pool) stepProgress(iter int) error {
+	if iter%64 != 0 {
+		return nil
+	}
+	if err := p.q.Progress(); err != nil {
+		return err
+	}
+	if p.live != nil {
+		p.live.qLocal.Store(int64(p.q.LocalCount()))
+		p.live.qShared.Store(int64(p.q.SharedAvail()))
+	}
+	return nil
+}
+
+// stepDrainInbox moves remotely spawned tasks from the inbox into the
+// local queue (already counted as spawned by their senders), reporting
+// whether any arrived.
+func (p *Pool) stepDrainInbox() (bool, error) {
+	got, err := p.mbox.drain(p.push)
+	if err != nil {
+		return false, err
+	}
+	if got == 0 {
+		return false, nil
+	}
+	p.st.RemoteSpawnsRecv += uint64(got)
+	p.tr.Record(trace.InboxDrain, 0, int64(got))
+	if p.live != nil {
+		p.live.remoteRecv.Add(uint64(got))
+	}
+	return true, nil
+}
+
+// stepExecuteLocal pops and runs the newest local task (LIFO), reporting
+// whether one ran.
+func (p *Pool) stepExecuteLocal() (bool, error) {
+	d, ok, err := p.q.Pop()
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := p.execute(d); err != nil {
+		return false, err
+	}
+	// One scheduling point per task keeps oversubscribed worlds fair:
+	// thieves get to run between a busy PE's tasks, which is what
+	// dedicated cores would give them.
+	p.ctx.Relax()
+	return true, nil
+}
+
+// stepAcquire pulls shared work back once the local portion is empty,
+// reporting whether anything moved.
+func (p *Pool) stepAcquire() (bool, error) {
+	t0 := time.Now()
+	moved, err := p.q.Acquire()
+	if err != nil || moved == 0 {
+		return false, err
+	}
+	p.lat.acquire.Record(p.cal.Since(t0))
+	p.st.Acquires++
+	p.tr.Record(trace.Acquire, 0, int64(moved))
+	p.recordEpochFlip(int64(moved))
+	if p.live != nil {
+		p.live.acquires.Add(1)
+	}
+	return true, nil
+}
+
+// stepCheckTermination runs one termination-detection probe, tracing
+// summation waves and the final termination event.
+func (p *Pool) stepCheckTermination() (bool, error) {
+	done, err := p.det.Check()
+	if err != nil {
+		return false, err
+	}
+	if pr := p.det.Probes; pr != p.prevProbes {
+		p.prevProbes = pr
+		var flag int64
+		if done {
+			flag = 1
+		}
+		p.tr.Record(trace.TermWave, int64(pr), flag)
+	}
+	if done {
+		p.tr.Record(trace.Terminated, 0, 0)
+		if p.live != nil {
+			p.live.terminated.Store(1)
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,178 @@
+// Search layer: victim selection and the steal loop. A PE that runs out
+// of local and acquirable work searches peers under the configured
+// VictimPolicy; the selector is a small self-contained state machine so
+// the policies are testable without bringing up a world.
+package pool
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"sws/internal/trace"
+	"sws/internal/wsq"
+)
+
+// splitmix64 is the SplitMix64 finalizer, used to derive well-separated
+// PCG seeds from (Config.Seed, rank, worker) tuples.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// rngStream returns the deterministic random stream for one worker
+// goroutine: independent per (seed, rank, worker id), reproducible across
+// runs. Worker 0 is the owner worker, whose stream also drives victim
+// selection.
+func rngStream(seed int64, rank, worker int) *rand.Rand {
+	s1 := splitmix64(uint64(seed) ^ splitmix64(uint64(rank)<<1|1))
+	s2 := splitmix64(s1 ^ splitmix64(uint64(worker)<<1|1))
+	return rand.New(rand.NewPCG(s1, s2))
+}
+
+// victimSelector picks steal targets for one thief under a VictimPolicy.
+// It is used only by the owner worker (victim choice is inter-PE work),
+// so it needs no synchronization.
+type victimSelector struct {
+	policy VictimPolicy
+	group  int // locality-group width for VictimHierarchical
+	rank   int // the thief's own rank (never returned)
+	n      int // world size
+	rng    *rand.Rand
+
+	rrNext int // round-robin cursor
+	sticky int // last productive victim, or -1
+}
+
+func newVictimSelector(policy VictimPolicy, group, rank, n int, rng *rand.Rand) *victimSelector {
+	return &victimSelector{policy: policy, group: group, rank: rank, n: n, rng: rng, sticky: -1}
+}
+
+// next picks the next steal target. The attempt index lets hierarchical
+// selection alternate between the local group and the whole world.
+func (s *victimSelector) next(try int) int {
+	switch s.policy {
+	case VictimRoundRobin:
+		s.rrNext++
+		v := (s.rank + s.rrNext) % s.n
+		if v == s.rank {
+			s.rrNext++
+			v = (v + 1) % s.n
+		}
+		return v
+	case VictimSticky:
+		// Re-try the last productive victim first; fall back to random.
+		// The sticky slot is consumed here and re-armed only by
+		// noteSuccess, so a victim that has gone dry (or died) is
+		// forgotten after one fruitless revisit.
+		if s.sticky >= 0 {
+			v := s.sticky
+			s.sticky = -1
+			return v
+		}
+		return s.randomVictim()
+	case VictimHierarchical:
+		if try%2 == 0 {
+			if v, ok := s.groupVictim(); ok {
+				return v
+			}
+		}
+		return s.randomVictim()
+	default:
+		return s.randomVictim()
+	}
+}
+
+// noteSuccess records a productive victim so sticky selection can revisit
+// it. A no-op under the other policies.
+func (s *victimSelector) noteSuccess(v int) {
+	if s.policy == VictimSticky {
+		s.sticky = v
+	}
+}
+
+// groupVictim picks a random peer in this PE's locality group (group
+// widths of consecutive ranks; the last group is truncated when the width
+// does not divide the world size), reporting ok=false when the group
+// contains no other PE.
+func (s *victimSelector) groupVictim() (int, bool) {
+	lo := (s.rank / s.group) * s.group
+	hi := lo + s.group
+	if hi > s.n {
+		hi = s.n
+	}
+	if hi-lo < 2 {
+		return 0, false
+	}
+	v := lo + s.rng.IntN(hi-lo-1)
+	if v >= s.rank {
+		v++
+	}
+	return v, true
+}
+
+// randomVictim picks a uniformly random PE other than this one.
+func (s *victimSelector) randomVictim() int {
+	v := s.rng.IntN(s.n - 1)
+	if v >= s.rank {
+		v++
+	}
+	return v
+}
+
+// search makes up to StealTries steal attempts against selected victims,
+// enqueueing any stolen tasks locally. It reports whether work was found.
+// Stolen tasks were counted as spawned by their original spawner, so they
+// are pushed without touching the termination counters.
+func (p *Pool) search() (bool, error) {
+	if p.ctx.NumPEs() == 1 {
+		return false, nil
+	}
+	for i := 0; i < p.cfg.StealTries; i++ {
+		v := p.vic.next(i)
+		t0 := time.Now()
+		tasks, out, err := p.q.Steal(v)
+		el := p.cal.Since(t0)
+		if err != nil {
+			return false, err
+		}
+		p.st.StealsAttempted++
+		switch out {
+		case wsq.Stolen:
+			p.st.StealsSuccessful++
+			p.st.TasksStolen += uint64(len(tasks))
+			p.st.StealTime += el
+			p.lat.steal.Record(el)
+			p.tr.Record(trace.StealOK, int64(v), int64(len(tasks)))
+			if p.live != nil {
+				p.live.stealsOK.Add(1)
+				p.live.tasksStolen.Add(uint64(len(tasks)))
+			}
+			p.vic.noteSuccess(v)
+			for _, d := range tasks {
+				if err := p.push(d); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		case wsq.Empty:
+			p.st.StealsEmpty++
+			p.st.SearchTime += el
+			p.lat.search.Record(el)
+			p.tr.Record(trace.StealEmpty, int64(v), 0)
+			if p.live != nil {
+				p.live.stealsEmpty.Add(1)
+			}
+		case wsq.Disabled:
+			p.st.StealsDisabled++
+			p.st.SearchTime += el
+			p.lat.search.Record(el)
+			p.tr.Record(trace.StealDisabled, int64(v), 0)
+			if p.live != nil {
+				p.live.stealsDisabled.Add(1)
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,150 @@
+package pool
+
+import (
+	"testing"
+)
+
+// selector builds a victimSelector directly (no world needed): the
+// selection policies are pure state machines over (rank, n, rng).
+func selector(policy VictimPolicy, group, rank, n int, seed int64) *victimSelector {
+	return newVictimSelector(policy, group, rank, n, rngStream(seed, rank, 0))
+}
+
+// Hierarchical selection with a group width that does not divide the
+// world size: the truncated last group must still self-exclude and stay
+// in range.
+func TestHierarchicalGroupNotDividing(t *testing.T) {
+	const n, group = 6, 4 // groups {0..3} and the truncated {4,5}
+	for rank := 0; rank < n; rank++ {
+		s := selector(VictimHierarchical, group, rank, n, 21)
+		lo := (rank / group) * group
+		hi := lo + group
+		if hi > n {
+			hi = n
+		}
+		for i := 0; i < 400; i += 2 { // even attempts prefer the group
+			v := s.next(i)
+			if v == rank {
+				t.Fatalf("rank %d picked self", rank)
+			}
+			if v < 0 || v >= n {
+				t.Fatalf("rank %d picked %d out of range", rank, v)
+			}
+			if v < lo || v >= hi {
+				t.Fatalf("rank %d even attempt left group [%d,%d): picked %d", rank, lo, hi, v)
+			}
+		}
+	}
+	// Rank 5's group is {4,5}: its only group victim is 4.
+	s := selector(VictimHierarchical, group, 5, n, 22)
+	for i := 0; i < 100; i += 2 {
+		if v := s.next(i); v != 4 {
+			t.Fatalf("rank 5 group victim = %d, want 4", v)
+		}
+	}
+}
+
+// GroupSize 1 means every PE is alone in its group; hierarchical
+// selection must fall back to uniform random over the world and still
+// cover every peer.
+func TestHierarchicalGroupSizeOne(t *testing.T) {
+	const n = 5
+	s := selector(VictimHierarchical, 1, 2, n, 31)
+	seen := make(map[int]bool)
+	for i := 0; i < 400; i++ {
+		v := s.next(i)
+		if v == 2 {
+			t.Fatal("picked self")
+		}
+		if v < 0 || v >= n {
+			t.Fatalf("picked %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n-1 {
+		t.Fatalf("covered %d victims, want %d", len(seen), n-1)
+	}
+}
+
+// Self-exclusion must hold for every policy at every rank, including the
+// boundary ranks of a truncated group.
+func TestVictimSelfExclusion(t *testing.T) {
+	for _, policy := range []VictimPolicy{VictimRandom, VictimRoundRobin, VictimSticky, VictimHierarchical} {
+		for _, n := range []int{2, 3, 7} {
+			for rank := 0; rank < n; rank++ {
+				s := selector(policy, 3, rank, n, 41)
+				for i := 0; i < 200; i++ {
+					if v := s.next(i); v == rank {
+						t.Fatalf("%v rank %d/%d picked self on attempt %d", policy, rank, n, i)
+					} else if v < 0 || v >= n {
+						t.Fatalf("%v rank %d/%d picked %d out of range", policy, rank, n, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A sticky victim that has gone dry (or whose PE has died) must be
+// forgotten after one fruitless revisit: the slot is consumed by next and
+// re-armed only by noteSuccess.
+func TestStickyForgetsDeadVictim(t *testing.T) {
+	const n = 8
+	s := selector(VictimSticky, 4, 0, n, 51)
+
+	// A productive steal arms the sticky slot; the very next attempt
+	// revisits that victim.
+	s.noteSuccess(5)
+	if v := s.next(0); v != 5 {
+		t.Fatalf("armed sticky picked %d, want 5", v)
+	}
+	// The revisit found nothing (no noteSuccess): the victim is forgotten
+	// and selection falls back to random — 5 may come up by chance, but
+	// not deterministically every time.
+	picked5 := 0
+	const tries = 200
+	for i := 0; i < tries; i++ {
+		if v := s.next(i); v == 5 {
+			picked5++
+		}
+	}
+	if picked5 == tries {
+		t.Fatal("sticky victim never forgotten: all fallback picks returned it")
+	}
+	// Re-arming works after forgetting.
+	s.noteSuccess(2)
+	if v := s.next(0); v != 2 {
+		t.Fatalf("re-armed sticky picked %d, want 2", v)
+	}
+
+	// noteSuccess is policy-gated: under other policies it must not
+	// change selection state.
+	r := selector(VictimRandom, 4, 0, n, 52)
+	r.noteSuccess(3)
+	if r.sticky != -1 {
+		t.Fatal("noteSuccess armed sticky under VictimRandom")
+	}
+}
+
+// Per-worker random streams must be independent and deterministic:
+// identical (seed, rank, worker) tuples agree, any differing coordinate
+// diverges.
+func TestRngStreams(t *testing.T) {
+	draw := func(seed int64, rank, worker int) [8]uint64 {
+		r := rngStream(seed, rank, worker)
+		var out [8]uint64
+		for i := range out {
+			out[i] = r.Uint64()
+		}
+		return out
+	}
+	base := draw(7, 1, 0)
+	if base != draw(7, 1, 0) {
+		t.Fatal("same tuple, different stream")
+	}
+	for _, other := range [][3]int64{{8, 1, 0}, {7, 2, 0}, {7, 1, 1}} {
+		if base == draw(other[0], int(other[1]), int(other[2])) {
+			t.Fatalf("tuple %v collided with (7,1,0)", other)
+		}
+	}
+}

@@ -80,7 +80,7 @@ func TestVictimSelectionCoverage(t *testing.T) {
 				}
 				seen := make(map[int]bool)
 				for i := 0; i < 200; i++ {
-					v := p.victim(i)
+					v := p.vic.next(i)
 					if v == c.Rank() {
 						return fmt.Errorf("%v picked self", vp)
 					}
@@ -114,7 +114,7 @@ func TestVictimHierarchicalBias(t *testing.T) {
 		inGroup := 0
 		const tries = 400
 		for i := 0; i < tries; i += 2 { // even attempts: group-preferred
-			v := p.victim(i)
+			v := p.vic.next(i)
 			if v == 1 {
 				return fmt.Errorf("picked self")
 			}
@@ -129,7 +129,7 @@ func TestVictimHierarchicalBias(t *testing.T) {
 		// Odd attempts are global: eventually reach outside the group.
 		sawOutside := false
 		for i := 1; i < tries; i += 2 {
-			if v := p.victim(i); v >= 4 {
+			if v := p.vic.next(i); v >= 4 {
 				sawOutside = true
 				break
 			}

@@ -1,0 +1,256 @@
+package pool
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"sws/internal/shmem"
+	"sws/internal/task"
+)
+
+// testWorkerCounts returns the Workers values the multi-worker tests run
+// at. SWS_TEST_WORKERS pins a single value (the CI matrix); otherwise the
+// default sweep covers single, dual, and quad.
+func testWorkerCounts(t *testing.T) []int {
+	t.Helper()
+	if s := os.Getenv("SWS_TEST_WORKERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("SWS_TEST_WORKERS=%q: want a positive integer", s)
+		}
+		return []int{n}
+	}
+	return []int{1, 2, 4}
+}
+
+// TestMultiWorkerExactlyOnce runs a binary task tree over multi-worker
+// PEs and checks every node executed exactly once — the invariant that
+// the intra-PE ring, the overflow staging, and the aggregated termination
+// accounting jointly guarantee. Runs under -race in CI.
+func TestMultiWorkerExactlyOnce(t *testing.T) {
+	const depth = 10 // 2^11 - 1 nodes
+	nodes := 1<<(depth+1) - 1
+	for _, workers := range testWorkerCounts(t) {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			seen := make([]atomic.Uint32, nodes)
+			runWorld(t, 4, shmem.TransportLocal, func(c *shmem.Ctx) error {
+				reg := NewRegistry()
+				var h task.Handle
+				h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+					args, err := task.ParseArgs(payload, 1)
+					if err != nil {
+						return err
+					}
+					id := args[0]
+					if n := seen[id].Add(1); n != 1 {
+						return fmt.Errorf("node %d executed %d times", id, n)
+					}
+					for _, kid := range []uint64{2*id + 1, 2*id + 2} {
+						if kid >= uint64(nodes) {
+							continue
+						}
+						if err := tc.Spawn(h, task.Args(kid)); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				p, err := New(c, reg, Config{Seed: 3, Workers: workers})
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					if err := p.Add(h, task.Args(0)); err != nil {
+						return err
+					}
+				}
+				return p.Run()
+			})
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("node %d executed %d times, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiWorkerRemoteSpawn drives the worker SpawnOn path: every
+// non-leaf node forwards one child to the next rank's inbox, so staged
+// outbox sends, inbox drains, and the publish-before-send ordering all
+// see traffic.
+func TestMultiWorkerRemoteSpawn(t *testing.T) {
+	const depth = 8
+	nodes := 1<<(depth+1) - 1
+	for _, workers := range testWorkerCounts(t) {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			seen := make([]atomic.Uint32, nodes)
+			runWorld(t, 4, shmem.TransportLocal, func(c *shmem.Ctx) error {
+				reg := NewRegistry()
+				var h task.Handle
+				h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+					args, err := task.ParseArgs(payload, 1)
+					if err != nil {
+						return err
+					}
+					id := args[0]
+					if n := seen[id].Add(1); n != 1 {
+						return fmt.Errorf("node %d executed %d times", id, n)
+					}
+					left, right := 2*id+1, 2*id+2
+					if left < uint64(nodes) {
+						if err := tc.Spawn(h, task.Args(left)); err != nil {
+							return err
+						}
+					}
+					if right < uint64(nodes) {
+						next := (tc.Rank() + 1) % tc.NumPEs()
+						if err := tc.SpawnOn(next, h, task.Args(right)); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				p, err := New(c, reg, Config{Seed: 5, Workers: workers})
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					if err := p.Add(h, task.Args(0)); err != nil {
+						return err
+					}
+				}
+				return p.Run()
+			})
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("node %d executed %d times, want 1", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiWorkerSimRejected: the deterministic simulation transport runs
+// PEs in single-goroutine lockstep, so multi-worker pools must be refused
+// at construction rather than deadlocking the virtual clock.
+func TestMultiWorkerSimRejected(t *testing.T) {
+	runWorld(t, 2, shmem.TransportSim, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		reg.MustRegister("nop", func(tc *TaskCtx, payload []byte) error { return nil })
+		if _, err := New(c, reg, Config{Workers: 2}); err == nil {
+			return fmt.Errorf("New accepted Workers=2 under the sim transport")
+		}
+		if c.MultiWorkerCapable() {
+			return fmt.Errorf("sim ctx claims multi-worker capability")
+		}
+		return nil
+	})
+}
+
+// TestMultiWorkerStats checks the per-worker breakdown: one row per
+// worker, rows summing to the PE totals, and the idle-iteration counter
+// surfacing in the merged stats.
+func TestMultiWorkerStats(t *testing.T) {
+	const workers = 4
+	const tasks = 500
+	var ran atomic.Uint64
+	runWorld(t, 2, shmem.TransportLocal, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		h := reg.MustRegister("tick", func(tc *TaskCtx, payload []byte) error {
+			ran.Add(1)
+			return nil
+		})
+		p, err := New(c, reg, Config{Seed: 1, Workers: workers})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := 0; i < tasks; i++ {
+				if err := p.Add(h, nil); err != nil {
+					return err
+				}
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err
+		}
+		st := p.Stats()
+		if len(st.Workers) != workers {
+			return fmt.Errorf("rank %d: %d worker rows, want %d", c.Rank(), len(st.Workers), workers)
+		}
+		var sumExec, sumSpawn uint64
+		for i, w := range st.Workers {
+			if w.PE != c.Rank() || w.ID != i {
+				return fmt.Errorf("worker row %d mislabeled: PE=%d ID=%d", i, w.PE, w.ID)
+			}
+			sumExec += w.TasksExecuted
+			sumSpawn += w.TasksSpawned
+		}
+		if sumExec != st.TasksExecuted {
+			return fmt.Errorf("worker exec sum %d != PE total %d", sumExec, st.TasksExecuted)
+		}
+		// Seeds are added by the owner outside the worker path, so the
+		// per-worker spawn sum may undercount the PE total, never exceed.
+		if sumSpawn > st.TasksSpawned {
+			return fmt.Errorf("worker spawn sum %d > PE total %d", sumSpawn, st.TasksSpawned)
+		}
+		return nil
+	})
+	if ran.Load() != tasks {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), tasks)
+	}
+}
+
+// TestMultiWorkerTCP exercises multi-worker PEs over the tcp transport,
+// where worker goroutines share per-connection serialized round trips.
+func TestMultiWorkerTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp world in -short mode")
+	}
+	const depth = 8
+	nodes := 1<<(depth+1) - 1
+	seen := make([]atomic.Uint32, nodes)
+	runWorld(t, 2, shmem.TransportTCP, func(c *shmem.Ctx) error {
+		reg := NewRegistry()
+		var h task.Handle
+		h = reg.MustRegister("node", func(tc *TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			id := args[0]
+			if n := seen[id].Add(1); n != 1 {
+				return fmt.Errorf("node %d executed %d times", id, n)
+			}
+			for _, kid := range []uint64{2*id + 1, 2*id + 2} {
+				if kid < uint64(nodes) {
+					if err := tc.Spawn(h, task.Args(kid)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		p, err := New(c, reg, Config{Seed: 8, Workers: 2})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if err := p.Add(h, task.Args(0)); err != nil {
+				return err
+			}
+		}
+		return p.Run()
+	})
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("node %d executed %d times, want 1", i, got)
+		}
+	}
+}

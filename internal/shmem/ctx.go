@@ -9,9 +9,13 @@ import (
 )
 
 // Ctx is a PE's handle to the world: its identity, its symmetric heap, and
-// the one-sided operations it may perform on any PE's heap. A Ctx is bound
-// to the goroutine running its PE's body and is not safe for concurrent
-// use by multiple goroutines.
+// the one-sided operations it may perform on any PE's heap. By default a
+// Ctx is bound to the goroutine running its PE's body and is not safe for
+// concurrent use by multiple goroutines; a multi-worker runtime may opt
+// into shared use with EnableMultiWorker, after which data-path operations
+// (puts, gets, atomics, Relax, Quiet, WaitUntil64) may be issued from any
+// of the PE's worker goroutines. Setup operations (Alloc, AttachTrace)
+// and Barrier remain owner-goroutine-only even then.
 type Ctx struct {
 	w        *World
 	rank     int
@@ -29,9 +33,15 @@ type Ctx struct {
 	// makes the returned offsets symmetric, as with shmem_malloc.
 	allocCursor Addr
 
+	// shared is set by EnableMultiWorker; it exists for introspection (the
+	// data paths are unconditionally safe once the trace buffer is
+	// concurrent-mode — counters and heap words are atomics).
+	shared bool
+
 	// relaxes counts Relax calls, for the occasional-sleep backoff used
-	// outside the simulation transport.
-	relaxes uint64
+	// outside the simulation transport. Atomic: in multi-worker mode any
+	// worker goroutine may Relax.
+	relaxes atomic.Uint64
 }
 
 func (w *World) newCtx(rank int) *Ctx {
@@ -45,6 +55,32 @@ func (w *World) newCtx(rank int) *Ctx {
 // operations record trace.CommOp events (A = op code, B = duration ns)
 // into it. Pass nil to detach.
 func (c *Ctx) AttachTrace(b *trace.Buffer) { c.tr = b }
+
+// MultiWorkerCapable reports whether this world's transport supports a PE
+// issuing operations from multiple goroutines. The deterministic
+// simulation transport does not: it runs PEs in lockstep, one scheduled
+// goroutine per PE, and a second goroutine entering the scheduler would
+// deadlock the virtual clock.
+func (c *Ctx) MultiWorkerCapable() bool {
+	_, sim := c.w.transport.(*simTransport)
+	return !sim
+}
+
+// EnableMultiWorker declares that multiple goroutines of this PE will
+// issue data-path operations on this Ctx (a multi-worker pool: one owner
+// plus executor workers). It must be called from the owner goroutine
+// before any worker goroutine starts. Heap words and communication
+// counters are atomics, so concurrent data-path operations are safe on
+// the local and tcp transports; any attached trace buffer must be put in
+// concurrent mode by the caller (trace.Buffer.EnableConcurrent). Returns
+// an error under the simulation transport — see MultiWorkerCapable.
+func (c *Ctx) EnableMultiWorker() error {
+	if !c.MultiWorkerCapable() {
+		return fmt.Errorf("shmem: transport runs PEs in single-goroutine lockstep; multi-worker PEs need the local or tcp transport")
+	}
+	c.shared = true
+	return nil
+}
 
 // latStart begins timing one operation (zero time when recording is off).
 func (c *Ctx) latStart() time.Time {
@@ -145,8 +181,7 @@ func (c *Ctx) Relax() {
 		st.relax(c.rank)
 		return
 	}
-	c.relaxes++
-	if c.relaxes%64 == 0 {
+	if c.relaxes.Add(1)%64 == 0 {
 		time.Sleep(time.Microsecond)
 	} else {
 		yield()

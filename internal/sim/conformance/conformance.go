@@ -28,6 +28,8 @@ package conformance
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -47,6 +49,23 @@ type Factory struct {
 // waitTimeout bounds every flag wait in the suite. Under the sim
 // transport it is virtual time.
 const waitTimeout = 30 * time.Second
+
+// poolWorkers returns the Workers count the pool-driven oracles run at:
+// SWS_TEST_WORKERS when set (the CI matrix), else 1. Transports that run
+// PEs in single-goroutine lockstep (sim) always fall back to 1 — the
+// oracles themselves are worker-count agnostic, so they must hold
+// unchanged at any setting.
+func poolWorkers(ctx *shmem.Ctx) int {
+	if !ctx.MultiWorkerCapable() {
+		return 1
+	}
+	if s := os.Getenv("SWS_TEST_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 1
+}
 
 // RunAll runs the whole suite against one transport factory.
 func RunAll(t *testing.T, f Factory) {
@@ -281,7 +300,7 @@ func ExactlyOnce(t *testing.T, f Factory) {
 			}
 			return nil
 		})
-		p, err := pool.New(ctx, reg, pool.Config{Protocol: pool.SWS, Seed: 7})
+		p, err := pool.New(ctx, reg, pool.Config{Protocol: pool.SWS, Seed: 7, Workers: poolWorkers(ctx)})
 		if err != nil {
 			return err
 		}
@@ -526,7 +545,7 @@ func TerminationQuiescence(t *testing.T, f Factory) {
 			}
 			return nil
 		})
-		p, err := pool.New(ctx, reg, pool.Config{Protocol: pool.SWS, Seed: 11})
+		p, err := pool.New(ctx, reg, pool.Config{Protocol: pool.SWS, Seed: 11, Workers: poolWorkers(ctx)})
 		if err != nil {
 			return err
 		}

@@ -39,12 +39,42 @@ type PE struct {
 	SearchTime time.Duration
 	ExecTime   time.Duration
 
+	// IdleIters counts scheduler iterations that found nothing to do —
+	// no local work, no acquirable shared work, no stealable victim — and
+	// ended in a relax. A high ratio of IdleIters to TasksExecuted means
+	// the PE spent the run starved rather than working.
+	IdleIters uint64
+
+	// Workers breaks a multi-worker PE's execution down by worker
+	// goroutine (worker 0 is the owner, which also performs all steal and
+	// search work). Empty for classic single-worker PEs.
+	Workers []Worker
+
 	// Lat holds per-operation latency distributions recorded during the
 	// run, keyed by operation name: the pool-level "exec", "steal",
 	// "search", "acquire", "release", and the shmem per-op keys prefixed
 	// "shmem/" (e.g. "shmem/fetch-add/remote"). Merged bucket-wise by Add,
 	// so Run.Total carries whole-run distributions.
 	Lat map[string]obs.HistSnap
+}
+
+// Worker is one worker goroutine's share of its PE's work, for the
+// per-worker breakdown of multi-worker runs.
+type Worker struct {
+	// PE and ID locate the worker: rank, then worker index within the PE
+	// (0 is the owner worker).
+	PE, ID int
+
+	TasksExecuted uint64
+	TasksSpawned  uint64
+	ExecTime      time.Duration
+	// StealTime/SearchTime are nonzero only for the owner worker, which
+	// performs all inter-PE protocol work on its workers' behalf.
+	StealTime  time.Duration
+	SearchTime time.Duration
+	// IdleIters counts executor loop iterations that found the intra-PE
+	// tier empty (owner: scheduler iterations with nothing to do).
+	IdleIters uint64
 }
 
 // Add accumulates o into s.
@@ -63,6 +93,10 @@ func (s *PE) Add(o PE) {
 	s.StealTime += o.StealTime
 	s.SearchTime += o.SearchTime
 	s.ExecTime += o.ExecTime
+	s.IdleIters += o.IdleIters
+	// Per-worker rows concatenate (each carries its PE), so Run.Total
+	// keeps the full breakdown.
+	s.Workers = append(s.Workers, o.Workers...)
 	if len(o.Lat) > 0 {
 		if s.Lat == nil {
 			s.Lat = make(map[string]obs.HistSnap, len(o.Lat))

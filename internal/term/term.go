@@ -79,6 +79,37 @@ func (d *Detector) Counts() (spawned, executed uint64) {
 	return d.spawned, d.executed
 }
 
+// Publish records aggregated count deltas from a multi-worker PE: the
+// owner worker sums its workers' per-worker atomic counters and publishes
+// the deltas in one call. Correctness requires two orderings from the
+// caller, both load-side:
+//
+//   - Workers must increment their spawned counter before the task
+//     becomes visible anywhere (before it enters the intra-PE tier), and
+//     their executed counter only after the task body returns.
+//   - The owner must read all workers' executed counters before reading
+//     their spawned counters. Then every executed task it counts has its
+//     spawn (and, transitively, the spawns of all its children created
+//     before it finished) included in the spawned sum, so the published
+//     pair never under-counts outstanding work.
+//
+// Publish itself stores spawned before executed, so a remote reader that
+// tears the pair sees either spawned ahead (not quiescent) or executed
+// ahead (treated as a torn snapshot and retried by Check). Tasks staged
+// for remote visibility (queue pushes, remote spawns) must be held back
+// until the Publish covering their spawn returns.
+func (d *Detector) Publish(spawned, executed int) error {
+	if spawned > 0 {
+		if err := d.TaskSpawned(spawned); err != nil {
+			return err
+		}
+	}
+	if executed > 0 {
+		return d.TaskExecuted(executed)
+	}
+	return nil
+}
+
 // Check is called by an idle PE. It returns true once global termination
 // has been detected. Rank 0 performs a summation pass per call; other
 // ranks poll their local flag (no communication).

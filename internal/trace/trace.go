@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -84,13 +85,31 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12v pe=%d %-14s a=%d b=%d", e.At, e.PE, e.Kind, e.A, e.B)
 }
 
-// Buffer is one PE's event ring. A single goroutine (the owning PE)
-// writes; reads happen after the run.
+// Buffer is one PE's event ring. By default a single goroutine (the
+// owning PE) writes and recording is unsynchronized; a multi-worker PE
+// calls EnableConcurrent before starting its workers, after which
+// recording takes a mutex. Reads happen after the run either way.
 type Buffer struct {
 	pe     int
 	epoch  time.Time
 	events []Event
 	n      uint64 // total recorded (may exceed len(events))
+
+	// mu, when non-nil, serializes writers (see EnableConcurrent). Left
+	// nil in the default single-writer mode so the hot path stays a few
+	// plain stores.
+	mu *sync.Mutex
+}
+
+// EnableConcurrent switches the buffer to mutex-guarded recording so the
+// worker goroutines of a multi-worker PE can all write to it. Call it
+// before the first concurrent Record; it is not itself safe to race with
+// recording. Nil-safe.
+func (b *Buffer) EnableConcurrent() {
+	if b == nil || b.mu != nil {
+		return
+	}
+	b.mu = &sync.Mutex{}
 }
 
 // Record appends an event, overwriting the oldest once the ring is full.
@@ -107,6 +126,10 @@ func (b *Buffer) Record(k Kind, a, bval int64) {
 func (b *Buffer) RecordAt(at time.Duration, k Kind, a, bval int64) {
 	if b == nil || len(b.events) == 0 {
 		return
+	}
+	if b.mu != nil {
+		b.mu.Lock()
+		defer b.mu.Unlock()
 	}
 	b.events[b.n%uint64(len(b.events))] = Event{
 		At: at, PE: b.pe, Kind: k, A: a, B: bval,

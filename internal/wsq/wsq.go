@@ -9,6 +9,7 @@ package wsq
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sws/internal/task"
 )
@@ -40,9 +41,22 @@ func (o Outcome) String() string {
 }
 
 // Queue is one PE's view of its own task queue plus the ability to steal
-// from any peer's symmetric queue. Owner methods (Push, Pop, Release,
-// Acquire, Progress) must be called only from the owning PE's goroutine;
-// Steal is initiator-side and touches only the victim's heap.
+// from any peer's symmetric queue.
+//
+// # Owner-serialization contract
+//
+// Owner methods (Push, Pop, Release, Acquire, Progress, and the read-side
+// LocalCount/SharedAvail) must be serialized: at most one goroutine may be
+// inside an owner method at a time, and successive calls must be ordered
+// by happens-before edges. In the classic one-goroutine-per-PE runtime
+// this holds trivially; a multi-worker PE must designate one owner worker
+// to perform all owner ops (the implementations keep owner-private state —
+// split points, epoch counters, steal plans — in plain fields on the
+// strength of this contract). Steal is initiator-side, touches only the
+// victim's symmetric heap through one-sided atomics, and may be called
+// concurrently with the victim's owner ops — that asymmetry is the whole
+// point of the protocol. Callers can enforce (and document violations of)
+// the contract with OwnerGuard.
 type Queue interface {
 	// Push enqueues a task at the head of the local portion.
 	Push(d task.Desc) error
@@ -67,6 +81,35 @@ type Queue interface {
 	LocalCount() int
 	// SharedAvail returns the owner's view of unclaimed shared tasks.
 	SharedAvail() int
+}
+
+// OwnerGuard detects violations of the owner-serialization contract: two
+// goroutines concurrently inside owner methods of the same queue. Wrap
+// each owner op in Enter:
+//
+//	defer guard.Enter("Push")()
+//
+// A violation panics with both op names — a scheduler bug, never a
+// recoverable condition, since an interleaved owner op can corrupt the
+// queue's owner-private state silently. The cost when uncontended is one
+// CAS and one store per op. The zero value is ready to use.
+type OwnerGuard struct {
+	// cur is nil when no owner op is in flight; otherwise it names the op.
+	cur atomic.Pointer[string]
+}
+
+// Enter marks the calling goroutine as the active owner and returns the
+// function that releases the guard; it panics if another owner op is
+// already in flight.
+func (g *OwnerGuard) Enter(op string) func() {
+	if !g.cur.CompareAndSwap(nil, &op) {
+		other := "unknown"
+		if p := g.cur.Load(); p != nil {
+			other = *p
+		}
+		panic(fmt.Sprintf("wsq: owner-serialization violated: %s raced with %s (multi-worker PEs must route owner ops through the owner worker)", op, other))
+	}
+	return func() { g.cur.Store(nil) }
 }
 
 // Policy selects the volume a steal claims from a shared block. The

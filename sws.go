@@ -126,6 +126,11 @@ type Config struct {
 	NoDamping bool
 	// StealTries is the number of victims tried per search round.
 	StealTries int
+	// Workers is the number of executor goroutines per PE (default 1).
+	// With Workers > 1 each PE schedules tasks over an intra-PE ring
+	// before falling back to the inter-PE steal protocol; requires the
+	// local or tcp transport.
+	Workers int
 	// Seed makes victim selection reproducible.
 	Seed int64
 	// Trace, if non-nil, records per-PE scheduling events.
@@ -194,6 +199,7 @@ func Run(cfg Config, job Job) (*Result, error) {
 			NoEpochs:      cfg.NoEpochs,
 			NoDamping:     cfg.NoDamping,
 			StealTries:    cfg.StealTries,
+			Workers:       cfg.Workers,
 			Seed:          cfg.Seed,
 			Trace:         cfg.Trace,
 		})
