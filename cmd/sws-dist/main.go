@@ -45,6 +45,10 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/pprof; rank r listens on port+r (e.g. :9090 puts rank 2 on :9092)")
 
+		opTimeout    = flag.Duration("op-timeout", 0, "per-operation transport deadline (0 = library default)")
+		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a peer is suspected (0 = library default)")
+		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a peer is declared dead (0 = library default)")
+
 		worker = flag.Bool("worker", false, "internal: run as a worker process")
 		rank   = flag.Int("rank", -1, "internal: worker rank")
 		coord  = flag.String("coordinator", "", "internal: rendezvous address")
@@ -60,19 +64,44 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown workload %q (want tree, uts, or bpc)", *workload))
 	}
+	lcfg := livenessFlags{opTimeout: *opTimeout, suspectAfter: *suspectAfter, deadAfter: *deadAfter}
 	if *worker {
-		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload, *metricsAddr, *workers); err != nil {
+		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload, *metricsAddr, *workers, lcfg); err != nil {
 			fatal(fmt.Errorf("rank %d: %w", *rank, err))
 		}
 		return
 	}
-	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers); err != nil {
+	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, lcfg); err != nil {
 		fatal(err)
 	}
 }
 
-// launch spawns one worker process per rank and waits for all of them.
-func launch(n, depth int, protoName, workload, metricsAddr string, workers int) error {
+// livenessFlags carries the failure-detector tuning from the launcher to
+// every worker process (zero values defer to the library defaults).
+type livenessFlags struct {
+	opTimeout, suspectAfter, deadAfter time.Duration
+}
+
+// grace is how long the launcher waits, after the first worker dies, for
+// the survivors to finish their degraded run before it kills stragglers:
+// the failure-detector window plus generous slack for one termination
+// wave and result reporting.
+func (l livenessFlags) grace() time.Duration {
+	da := l.deadAfter
+	if da == 0 {
+		da = 2 * time.Second // shmem library default
+	}
+	return 2*da + 10*time.Second
+}
+
+// launch spawns one worker process per rank and supervises them. A clean
+// run waits for every rank and returns nil. When any worker dies
+// unexpectedly the launcher does not hang on the rest: survivors get a
+// bounded grace window (failure-detector horizon plus one termination
+// wave) to finish their degraded run and report partial results, then
+// stragglers are killed; either way the launcher reports per-rank
+// diagnostics and returns an error so the process exits non-zero.
+func launch(n, depth int, protoName, workload, metricsAddr string, workers int, lcfg livenessFlags) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one PE, got %d", n)
 	}
@@ -86,6 +115,11 @@ func launch(n, depth int, protoName, workload, metricsAddr string, workers int) 
 	}
 	fmt.Printf("launching %d worker processes (coordinator %s)\n", n, coord)
 	procs := make([]*exec.Cmd, n)
+	type exitEvent struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exitEvent, n)
 	for rank := 0; rank < n; rank++ {
 		addr, err := rankMetricsAddr(metricsAddr, rank)
 		if err != nil {
@@ -96,18 +130,71 @@ func launch(n, depth int, protoName, workload, metricsAddr string, workers int) 
 			"-coordinator", coord, "-depth", fmt.Sprint(depth),
 			"-protocol", protoName, "-workload", workload,
 			"-workers", fmt.Sprint(workers),
-			"-metrics-addr", addr)
+			"-metrics-addr", addr,
+			"-op-timeout", lcfg.opTimeout.String(),
+			"-suspect-after", lcfg.suspectAfter.String(),
+			"-dead-after", lcfg.deadAfter.String())
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			return fmt.Errorf("starting rank %d: %w", rank, err)
 		}
+		fmt.Printf("rank %d started (pid %d)\n", rank, cmd.Process.Pid)
 		procs[rank] = cmd
+		go func(rank int, cmd *exec.Cmd) {
+			exits <- exitEvent{rank, cmd.Wait()}
+		}(rank, cmd)
 	}
+
+	exited := make([]bool, n)
+	errs := make([]error, n)
+	killed := make([]bool, n)
+	firstFail := -1
+	var deadline <-chan time.Time
+	for remaining := n; remaining > 0; {
+		select {
+		case ev := <-exits:
+			remaining--
+			exited[ev.rank] = true
+			errs[ev.rank] = ev.err
+			if ev.err != nil && firstFail < 0 {
+				firstFail = ev.rank
+				grace := lcfg.grace()
+				fmt.Fprintf(os.Stderr, "sws-dist: rank %d (pid %d) died: %v; waiting up to %v for survivors\n",
+					ev.rank, procs[ev.rank].Process.Pid, ev.err, grace)
+				deadline = time.After(grace)
+			}
+		case <-deadline:
+			deadline = nil
+			for r, cmd := range procs {
+				if !exited[r] {
+					killed[r] = true
+					fmt.Fprintf(os.Stderr, "sws-dist: rank %d (pid %d) still running past grace window, killing\n",
+						r, cmd.Process.Pid)
+					_ = cmd.Process.Kill()
+				}
+			}
+		}
+	}
+
 	var firstErr error
-	for rank, cmd := range procs {
-		if err := cmd.Wait(); err != nil && firstErr == nil {
+	for rank, err := range errs {
+		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("rank %d exited: %w", rank, err)
+		}
+	}
+	if firstErr == nil {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "sws-dist: run failed (first failure: rank %d); per-rank status:\n", firstFail)
+	for rank, cmd := range procs {
+		switch {
+		case killed[rank]:
+			fmt.Fprintf(os.Stderr, "  rank %d (pid %d): killed by supervisor after grace window\n", rank, cmd.Process.Pid)
+		case errs[rank] != nil:
+			fmt.Fprintf(os.Stderr, "  rank %d (pid %d): %v\n", rank, cmd.Process.Pid, errs[rank])
+		default:
+			fmt.Fprintf(os.Stderr, "  rank %d (pid %d): exited cleanly (degraded survivor)\n", rank, cmd.Process.Pid)
 		}
 	}
 	return firstErr
@@ -146,7 +233,7 @@ func pickCoordinator() (string, error) {
 
 // runWorker is one PE's process: join the world, run the pool, publish
 // per-rank counts into rank 0's heap, and let rank 0 report.
-func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload, metricsAddr string, workers int) error {
+func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload, metricsAddr string, workers int, lcfg livenessFlags) error {
 	var gatherer *obs.Gatherer
 	if metricsAddr != "" {
 		gatherer = obs.NewGatherer()
@@ -158,14 +245,21 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 		fmt.Fprintf(os.Stderr, "rank %d: metrics on http://%s/metrics\n", rank, srv.Addr())
 	}
 	w, err := shmem.Join(shmem.DistConfig{
-		Rank:        rank,
-		NumPEs:      n,
-		Coordinator: coord,
-		HeapBytes:   16 << 20,
+		Rank:         rank,
+		NumPEs:       n,
+		Coordinator:  coord,
+		HeapBytes:    16 << 20,
+		OpTimeout:    lcfg.opTimeout,
+		SuspectAfter: lcfg.suspectAfter,
+		DeadAfter:    lcfg.deadAfter,
 	})
 	if err != nil {
 		return err
 	}
+	// Printed after the rendezvous completes: from here on, killing this
+	// process leaves a world the survivors can detect and degrade around
+	// (the supervision smoke test keys on this line).
+	fmt.Printf("rank %d: joined world (pid %d)\n", rank, os.Getpid())
 	return w.Run(func(c *shmem.Ctx) error {
 		// A results array on rank 0: executed-task count per rank.
 		resultsAddr, err := c.Alloc(n * shmem.WordSize)
@@ -234,6 +328,14 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 			return err
 		}
 		st := p.Stats()
+		if st.Degraded {
+			// Peers died mid-run: the cross-rank result gather (stores into
+			// rank 0's heap fenced by barriers) cannot complete over partial
+			// membership, so each survivor reports what it knows locally.
+			fmt.Printf("rank %d (pid %d): DEGRADED survivor: executed %d tasks, %d dead PEs, ~%d tasks lost by ledger (%d written off locally) in %v\n",
+				c.Rank(), os.Getpid(), st.TasksExecuted, st.DeadPEs, st.TasksLost, st.TasksWrittenOff, time.Since(start).Round(time.Millisecond))
+			return nil
+		}
 		addr := resultsAddr + shmem.Addr(c.Rank()*shmem.WordSize)
 		if err := c.Store64(0, addr, st.TasksExecuted); err != nil {
 			return err

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildDist compiles the sws-dist binary once per test run.
+func buildDist(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "sws-dist")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building sws-dist: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// lineWatcher tees a process's output into a buffer while letting tests
+// wait for specific lines as they stream past.
+type lineWatcher struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func newLineWatcher() *lineWatcher {
+	return &lineWatcher{lines: make(chan string, 256)}
+}
+
+func (w *lineWatcher) consume(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		w.mu.Lock()
+		w.buf.WriteString(line)
+		w.buf.WriteByte('\n')
+		w.mu.Unlock()
+		select {
+		case w.lines <- line:
+		default:
+		}
+	}
+	close(w.lines)
+}
+
+func (w *lineWatcher) output() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// waitFor blocks until a line matching re streams past (returning its
+// submatches) or the deadline expires.
+func (w *lineWatcher) waitFor(t *testing.T, re *regexp.Regexp, timeout time.Duration) []string {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-w.lines:
+			if !ok {
+				t.Fatalf("output closed before matching %v; output so far:\n%s", re, w.output())
+			}
+			if m := re.FindStringSubmatch(line); m != nil {
+				return m
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %v; output so far:\n%s", re, w.output())
+		}
+	}
+}
+
+// TestDistSmoke runs a small fault-free 2-PE world end to end and expects
+// a clean exit with a verified task total.
+func TestDistSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process smoke test in -short mode")
+	}
+	bin := buildDist(t)
+	cmd := exec.Command(bin, "-n", "2", "-depth", "10")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("fault-free run failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("[OK]")) {
+		t.Fatalf("fault-free run did not verify its task total:\n%s", out)
+	}
+}
+
+// TestDistSurvivesSIGKILL launches a 4-PE world, SIGKILLs rank 1 once it
+// has joined, and requires the launcher to come down non-zero within the
+// supervision window — with per-rank diagnostics — instead of hanging.
+func TestDistSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process kill test in -short mode")
+	}
+	bin := buildDist(t)
+	const deadAfter = time.Second
+	cmd := exec.Command(bin,
+		"-n", "4", "-depth", "18",
+		"-op-timeout", "500ms",
+		"-suspect-after", "300ms",
+		"-dead-after", deadAfter.String())
+	watcher := newLineWatcher()
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout // interleave into one stream
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go watcher.consume(stdout)
+
+	// Wait until rank 1 has completed the rendezvous (so the survivors
+	// are not wedged waiting for it to appear), then kill it mid-run.
+	m := watcher.waitFor(t, regexp.MustCompile(`^rank 1: joined world \(pid (\d+)\)$`), 30*time.Second)
+	pid, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatalf("bad pid %q: %v", m[1], err)
+	}
+	time.Sleep(200 * time.Millisecond) // let the run get under way
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatalf("killing rank 1 (pid %d): %v", pid, err)
+	}
+	killedAt := time.Now()
+
+	// The launcher must exit non-zero on its own, within the failure
+	// detector's horizon plus the supervision grace window.
+	bound := 2*deadAfter + 10*time.Second + 20*time.Second
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(bound):
+		_ = cmd.Process.Kill()
+		t.Fatalf("launcher still running %v after SIGKILL of rank 1; output:\n%s", bound, watcher.output())
+	}
+	elapsed := time.Since(killedAt)
+	out := watcher.output()
+	if waitErr == nil {
+		t.Fatalf("launcher exited zero despite rank 1 being SIGKILLed; output:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(waitErr, &exitErr) {
+		t.Fatalf("launcher wait error is not an exit status: %v", waitErr)
+	}
+	if !regexp.MustCompile(`rank 1 .*(died|exited|killed)`).MatchString(out) {
+		t.Errorf("missing rank 1 failure diagnostic in output:\n%s", out)
+	}
+	t.Logf("launcher exited %v after kill (status %v)", elapsed.Round(time.Millisecond), exitErr)
+}

@@ -34,6 +34,13 @@ type Options struct {
 	// epoch before reporting an error (guards against lost thieves in
 	// fault-injection tests). Default 10s.
 	ResetPoll time.Duration
+	// ForceCloseGrace is how long a reset wait tolerates a stalled
+	// completion slot after a peer has been declared dead before force
+	// closing the epoch: the dead thief's completion store is never
+	// coming, so the owner writes the slot off itself (the claimed tasks
+	// are accounted as written off, at-least-once). Default 25ms; negative
+	// disables force-closing.
+	ForceCloseGrace time.Duration
 	// Policy selects the steal-volume schedule (default steal-half, the
 	// paper's policy; steal-one and steal-all exist for ablations).
 	Policy wsq.Policy
@@ -59,6 +66,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.ResetPoll == 0 {
 		o.ResetPoll = 10 * time.Second
+	}
+	if o.ForceCloseGrace == 0 {
+		o.ForceCloseGrace = 25 * time.Millisecond
 	}
 }
 
@@ -136,6 +146,9 @@ type Queue struct {
 
 	// ownerStats are maintained by owner operations for introspection.
 	releases, acquires, resetPolls uint64
+	// forceClosed/writtenOff track epochs force-closed after a thief died
+	// mid-steal and the tasks written off with them.
+	forceClosed, writtenOff uint64
 }
 
 // NewQueue collectively constructs the queue: every PE must call it with
@@ -441,8 +454,14 @@ func (q *Queue) Progress() error {
 
 // waitParityFree polls Progress until no draining record uses parity p
 // (V1: until every draining record is gone — the §4.1 wait-for-all).
+//
+// If a peer has been declared dead while the wait is stalled, the missing
+// completion store may never come: after ForceCloseGrace the owner force
+// closes the stalled slots itself (see forceCloseStalled) instead of
+// wedging the queue forever.
 func (q *Queue) waitParityFree(p int) error {
 	deadline := time.Now().Add(q.opts.ResetPoll)
+	var deadSince time.Time
 	for {
 		if err := q.Progress(); err != nil {
 			return err
@@ -465,6 +484,18 @@ func (q *Queue) waitParityFree(p int) error {
 		if werr := q.ctx.Err(); werr != nil {
 			return werr
 		}
+		if g := q.opts.ForceCloseGrace; g >= 0 {
+			if lv := q.ctx.Liveness(); lv != nil && lv.AnyDead() {
+				if deadSince.IsZero() {
+					deadSince = time.Now()
+				} else if time.Since(deadSince) > g {
+					if err := q.forceCloseStalled(); err != nil {
+						return err
+					}
+					continue // re-run Progress over the filled slots
+				}
+			}
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("core: reset stalled %v waiting for completion epoch parity %d (lost thief?)",
 				q.opts.ResetPoll, p)
@@ -474,6 +505,43 @@ func (q *Queue) waitParityFree(p int) error {
 		// owner hands the lockstep token back.
 		q.ctx.Relax()
 	}
+}
+
+// forceCloseStalled fills every stalled completion slot of every retired
+// epoch with its expected count, releasing the space a dead thief claimed
+// but never confirmed. The grace period in waitParityFree gives live
+// thieves (whose steals complete in a bounded number of round trips) time
+// to land their stores first; a slot force-closed under a still-running
+// live thief is prevented by that bound, not detected — degraded-mode
+// accounting is at-least-once by design.
+func (q *Queue) forceCloseStalled() error {
+	for i := range q.recs {
+		rec := &q.recs[i]
+		if !rec.retired() {
+			continue
+		}
+		closed := false
+		for b := rec.reclaimedBlocks; b < rec.claimedBlocks; b++ {
+			addr := q.completionSlotAddr(rec.parity, b)
+			w, err := q.ctx.Load64(q.ctx.Rank(), addr)
+			if err != nil {
+				return err
+			}
+			if w != 0 {
+				continue
+			}
+			want := q.policy.Block(rec.itasks, b)
+			if err := q.ctx.Store64(q.ctx.Rank(), addr, uint64(want)); err != nil {
+				return err
+			}
+			q.writtenOff += uint64(want)
+			closed = true
+		}
+		if closed {
+			q.forceClosed++
+		}
+	}
+	return nil
 }
 
 // startEpoch begins a new completion epoch: waits for its parity's
@@ -595,14 +663,21 @@ func (q *Queue) Epoch() int { return q.curEpoch }
 type OwnerStats struct {
 	Releases, Acquires, ResetPolls uint64
 	Epochs                         int // draining + current epoch records
+	// ForceClosed counts epochs force-closed after a thief died holding an
+	// unconfirmed claim; TasksWrittenOff is the tasks those claims covered
+	// (lost or executed-but-unconfirmed: at-least-once).
+	ForceClosed     uint64
+	TasksWrittenOff uint64
 }
 
 // Stats returns a snapshot of owner-side activity.
 func (q *Queue) Stats() OwnerStats {
 	return OwnerStats{
-		Releases:   q.releases,
-		Acquires:   q.acquires,
-		ResetPolls: q.resetPolls,
-		Epochs:     len(q.recs),
+		Releases:        q.releases,
+		Acquires:        q.acquires,
+		ResetPolls:      q.resetPolls,
+		Epochs:          len(q.recs),
+		ForceClosed:     q.forceClosed,
+		TasksWrittenOff: q.writtenOff,
 	}
 }

@@ -22,6 +22,12 @@ type liveView struct {
 	// Gauges refreshed periodically by the scheduler loop.
 	qLocal, qShared, epoch atomic.Int64
 	terminated             atomic.Int64
+
+	// Failure-handling counters (stay zero on fault-free runs).
+	stealTransportErrs, stealsQuarantined atomic.Uint64
+	quarantined                           atomic.Int64 // current victim count
+	degraded                              atomic.Int64
+	tasksLost                             atomic.Uint64
 }
 
 // metricsSource returns the per-PE emitter registered with
@@ -65,6 +71,30 @@ func (p *Pool) metricsSource() obs.SourceFunc {
 			float64(lv.epoch.Load()), pe, proto)
 		e.Gauge("sws_pool_terminated", "1 once this PE observed global termination.",
 			float64(lv.terminated.Load()), pe, proto)
+		e.Counter("sws_pool_steal_transport_errors_total",
+			"Steal attempts absorbed as transport failures (victim quarantined).",
+			float64(lv.stealTransportErrs.Load()), pe, proto)
+		e.Counter("sws_pool_steals_quarantined_total",
+			"Steal attempts skipped because the victim was quarantined.",
+			float64(lv.stealsQuarantined.Load()), pe, proto)
+		e.Gauge("sws_pool_quarantined_victims",
+			"Victims currently quarantined by this PE.",
+			float64(lv.quarantined.Load()), pe, proto)
+		e.Gauge("sws_pool_degraded",
+			"1 once this PE's run degraded to partial-membership termination.",
+			float64(lv.degraded.Load()), pe, proto)
+		e.Counter("sws_pool_tasks_lost_total",
+			"Ledger estimate of tasks lost to dead PEs (degraded termination).",
+			float64(lv.tasksLost.Load()), pe, proto)
+
+		// Failure-detector view of every peer (0 alive, 1 suspect, 2 dead).
+		if live := p.ctx.Liveness(); live != nil {
+			for r := 0; r < p.ctx.NumPEs(); r++ {
+				e.Gauge("sws_liveness_peer_state",
+					"Failure-detector state per peer (0=alive, 1=suspect, 2=dead).",
+					float64(live.State(r)), pe, obs.L("peer", strconv.Itoa(r)))
+			}
+		}
 
 		// Multi-worker PEs: per-worker breakdown straight from the worker
 		// atomics (always safe to scrape mid-run).

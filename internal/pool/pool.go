@@ -261,6 +261,9 @@ type Pool struct {
 
 	// vic picks steal targets for the search layer.
 	vic *victimSelector
+	// quar blacklists victims whose steals failed at the transport layer
+	// (zero value: inert until the first strike).
+	quar quarantine
 	// exec is the execution layer of a multi-worker PE; nil when
 	// Workers == 1 (the classic single-goroutine loop).
 	exec *execLayer
@@ -566,6 +569,17 @@ func (p *Pool) execute(d task.Desc) error {
 // histograms under "shmem/" keys). Valid after Run.
 func (p *Pool) Stats() stats.PE {
 	st := p.st
+	st.TasksLost = p.det.Lost
+	st.Degraded = p.det.Degraded
+	if p.coreQ != nil {
+		st.TasksWrittenOff = p.coreQ.Stats().TasksWrittenOff
+	}
+	if lv := p.ctx.Liveness(); lv != nil {
+		st.DeadPEs = uint64(lv.DeadCount())
+		if st.DeadPEs > 0 {
+			st.Degraded = true
+		}
+	}
 	st.Lat = make(map[string]obs.HistSnap)
 	for name, h := range map[string]*obs.Hist{
 		"exec":    &p.lat.exec,

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"sws/internal/shmem"
 	"sws/internal/trace"
 )
 
@@ -25,7 +26,12 @@ func (p *Pool) Run() error {
 	}
 	p.ran = true
 	if err := p.ctx.Barrier(); err != nil {
-		return err
+		if !errors.Is(err, shmem.ErrPeerDead) {
+			return err
+		}
+		// A peer died before the run started. All collective allocation
+		// happened in New; the barrier is only a timing fence, so the
+		// survivors proceed straight into a degraded run.
 	}
 	start := time.Now()
 	var err error
@@ -38,7 +44,19 @@ func (p *Pool) Run() error {
 		return err
 	}
 	p.elapsed = time.Since(start)
-	return p.ctx.Barrier()
+	if lv := p.ctx.Liveness(); lv != nil && lv.AnyDead() {
+		// The closing barrier can never complete over dead membership;
+		// the degraded termination broadcast already synchronized the
+		// survivors' decision to stop.
+		return nil
+	}
+	if err := p.ctx.Barrier(); err != nil && !errors.Is(err, shmem.ErrPeerDead) {
+		// A death declared while waiting here (kill racing the finish)
+		// poisons the barrier; the run's work is already complete, so a
+		// dead-peer unwind is not a failure.
+		return err
+	}
+	return nil
 }
 
 // runSingle is the classic one-goroutine scheduler loop. The step order —
@@ -149,6 +167,9 @@ func (p *Pool) stepDrainInbox() (bool, error) {
 	if got == 0 {
 		return false, nil
 	}
+	if err := p.det.NoteActivity(); err != nil {
+		return false, err
+	}
 	p.st.RemoteSpawnsRecv += uint64(got)
 	p.tr.Record(trace.InboxDrain, 0, int64(got))
 	if p.live != nil {
@@ -211,6 +232,10 @@ func (p *Pool) stepCheckTermination() (bool, error) {
 		p.tr.Record(trace.Terminated, 0, 0)
 		if p.live != nil {
 			p.live.terminated.Store(1)
+			if p.det.Degraded {
+				p.live.degraded.Store(1)
+				p.live.tasksLost.Store(p.det.Lost)
+			}
 		}
 	}
 	return done, nil

@@ -5,9 +5,11 @@
 package pool
 
 import (
+	"errors"
 	"math/rand/v2"
 	"time"
 
+	"sws/internal/shmem"
 	"sws/internal/trace"
 	"sws/internal/wsq"
 )
@@ -121,6 +123,79 @@ func (s *victimSelector) randomVictim() int {
 	return v
 }
 
+// quarantine blacklists victims whose steals failed at the transport
+// layer, so a PE does not burn its steal attempts (each a full timeout
+// against an unresponsive peer) re-probing a crashed victim. Entries decay
+// on an attempt-count clock — deterministic, no randomness, no wall time —
+// with the hold doubling per consecutive strike; a victim declared dead by
+// the failure detector is quarantined permanently. The zero value is
+// inert: fault-free runs never touch it beyond one nil-slice check.
+type quarantine struct {
+	until   []uint64 // attempt-clock tick until which the victim is skipped
+	strikes []uint8
+	clock   uint64
+}
+
+const (
+	quarantineBase    = 16   // attempts held after the first strike
+	quarantineMaxHold = 1024 // decay cap (strikes keep doubling up to this)
+)
+
+func (qr *quarantine) init(n int) {
+	if qr.until == nil {
+		qr.until = make([]uint64, n)
+		qr.strikes = make([]uint8, n)
+	}
+}
+
+// strike records a transport failure against victim v; permanent strikes
+// (dead victims) never decay.
+func (qr *quarantine) strike(v int, permanent bool) {
+	hold := uint64(quarantineBase) << qr.strikes[v]
+	if hold > quarantineMaxHold {
+		hold = quarantineMaxHold
+	}
+	if qr.strikes[v] < 8 {
+		qr.strikes[v]++
+	}
+	qr.until[v] = qr.clock + hold
+	if permanent {
+		qr.until[v] = ^uint64(0)
+	}
+}
+
+// blocked reports whether victim v is currently quarantined.
+func (qr *quarantine) blocked(v int) bool {
+	return qr.until != nil && qr.until[v] > qr.clock
+}
+
+// active counts currently quarantined victims (metrics).
+func (qr *quarantine) active() int {
+	n := 0
+	for _, u := range qr.until {
+		if u > qr.clock {
+			n++
+		}
+	}
+	return n
+}
+
+// stealFailure classifies a Steal error: transport-layer failures (dead or
+// unresponsive peer, injected drop/partition) quarantine the victim and
+// the search continues; anything else (protocol corruption, world failure)
+// stays fatal.
+func stealFailure(err error) (transient, dead bool) {
+	switch {
+	case errors.Is(err, shmem.ErrPeerDead):
+		return true, true
+	case errors.Is(err, shmem.ErrOpTimeout),
+		errors.Is(err, shmem.ErrDropped),
+		errors.Is(err, shmem.ErrPartitioned):
+		return true, false
+	}
+	return false, false
+}
+
 // search makes up to StealTries steal attempts against selected victims,
 // enqueueing any stolen tasks locally. It reports whether work was found.
 // Stolen tasks were counted as spawned by their original spawner, so they
@@ -131,11 +206,35 @@ func (p *Pool) search() (bool, error) {
 	}
 	for i := 0; i < p.cfg.StealTries; i++ {
 		v := p.vic.next(i)
+		p.quar.clock++
+		if p.quar.blocked(v) {
+			p.st.StealsQuarantined++
+			if p.live != nil {
+				p.live.stealsQuarantined.Add(1)
+			}
+			continue
+		}
 		t0 := time.Now()
 		tasks, out, err := p.q.Steal(v)
 		el := p.cal.Since(t0)
 		if err != nil {
-			return false, err
+			transient, dead := stealFailure(err)
+			if !transient {
+				return false, err
+			}
+			// The victim, not the world, is broken: quarantine it and keep
+			// searching. Its unexecuted work is accounted by degraded
+			// termination, not by wedging every thief on a corpse.
+			p.quar.init(p.ctx.NumPEs())
+			p.quar.strike(v, dead)
+			p.st.StealTransportErrs++
+			p.st.SearchTime += el
+			p.tr.Record(trace.PeerDeath, int64(v), 1)
+			if p.live != nil {
+				p.live.stealTransportErrs.Add(1)
+				p.live.quarantined.Store(int64(p.quar.active()))
+			}
+			continue
 		}
 		p.st.StealsAttempted++
 		switch out {
@@ -150,6 +249,12 @@ func (p *Pool) search() (bool, error) {
 				p.live.tasksStolen.Add(uint64(len(tasks)))
 			}
 			p.vic.noteSuccess(v)
+			// Publish activity before the stolen tasks become runnable so
+			// degraded-mode termination detection cannot read this PE as
+			// quiescent while it holds freshly stolen work.
+			if err := p.det.NoteActivity(); err != nil {
+				return false, err
+			}
 			for _, d := range tasks {
 				if err := p.push(d); err != nil {
 					return false, err

@@ -3,7 +3,6 @@ package shmem
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -13,6 +12,10 @@ import (
 type barrier interface {
 	wait() error
 	poison()
+	// poisonWith poisons the barrier with a specific cause (e.g. a peer
+	// declared dead); waiters unwind with it instead of the generic
+	// world-failure message.
+	poisonWith(err error)
 }
 
 // centralBarrier is a reusable sense-reversing barrier. It synchronizes
@@ -30,6 +33,7 @@ type centralBarrier struct {
 	arrived  int
 	phase    uint64
 	poisoned bool
+	perr     error
 }
 
 func newCentralBarrier(n int) *centralBarrier {
@@ -38,12 +42,20 @@ func newCentralBarrier(n int) *centralBarrier {
 	return b
 }
 
+// poisonedErr returns the cause to report; callers must hold b.mu.
+func (b *centralBarrier) poisonedErr() error {
+	if b.perr != nil {
+		return b.perr
+	}
+	return fmt.Errorf("shmem: barrier poisoned by world failure")
+}
+
 // wait blocks until all n PEs have called wait for the current phase.
 func (b *centralBarrier) wait() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
-		return fmt.Errorf("shmem: barrier poisoned by world failure")
+		return b.poisonedErr()
 	}
 	phase := b.phase
 	b.arrived++
@@ -57,26 +69,32 @@ func (b *centralBarrier) wait() error {
 		b.cond.Wait()
 	}
 	if b.poisoned {
-		return fmt.Errorf("shmem: barrier poisoned by world failure")
+		return b.poisonedErr()
 	}
 	return nil
 }
 
 // poison wakes all waiters with an error and fails all future waits.
-func (b *centralBarrier) poison() {
+func (b *centralBarrier) poison() { b.poisonWith(nil) }
+
+func (b *centralBarrier) poisonWith(err error) {
 	b.mu.Lock()
-	b.poisoned = true
+	if !b.poisoned {
+		b.poisoned = true
+		b.perr = err
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
 
 // Reserved symmetric-heap words for runtime internals (heap barrier
-// state). User allocations start after them on every world, keeping
-// addresses symmetric across deployment modes.
+// state, liveness heartbeat). User allocations start after them on every
+// world, keeping addresses symmetric across deployment modes.
 const (
 	barrierArriveAddr Addr = 0 * WordSize // arrival count on rank 0
 	barrierGenAddr    Addr = 1 * WordSize // generation on rank 0
-	reservedHeapBytes      = 8 * WordSize
+	// heartbeatAddr (2*WordSize) is defined in liveness.go.
+	reservedHeapBytes = 8 * WordSize
 )
 
 // heapBarrier is a sense-counting barrier over one-sided operations on
@@ -89,7 +107,9 @@ type heapBarrier struct {
 	gen     uint64
 	timeout time.Duration
 
-	poisoned atomic.Bool
+	mu       sync.Mutex
+	poisoned bool
+	perr     error
 }
 
 func newHeapBarrier(w *World, rank, n int, timeout time.Duration) *heapBarrier {
@@ -99,9 +119,36 @@ func newHeapBarrier(w *World, rank, n int, timeout time.Duration) *heapBarrier {
 	return &heapBarrier{w: w, rank: rank, n: n, timeout: timeout}
 }
 
-func (b *heapBarrier) wait() error {
-	if b.poisoned.Load() {
+// check returns the reason this barrier can no longer complete, if any:
+// explicit poisoning, a world failure, or a peer declared dead.
+func (b *heapBarrier) check() error {
+	b.mu.Lock()
+	poisoned, perr := b.poisoned, b.perr
+	b.mu.Unlock()
+	if poisoned {
+		if perr != nil {
+			return perr
+		}
 		return fmt.Errorf("shmem: barrier poisoned by world failure")
+	}
+	if b.w.failed.Load() {
+		return fmt.Errorf("shmem: barrier poisoned by world failure")
+	}
+	if b.w.live.AnyDead() {
+		dead := make([]int, 0, 1)
+		for r := 0; r < b.n; r++ {
+			if !b.w.live.Alive(r) {
+				dead = append(dead, r)
+			}
+		}
+		return fmt.Errorf("shmem: barrier cannot complete, PEs %v are dead: %w", dead, ErrPeerDead)
+	}
+	return nil
+}
+
+func (b *heapBarrier) wait() error {
+	if err := b.check(); err != nil {
+		return err
 	}
 	myGen := b.gen
 	prev, err := b.w.transport.fetchAdd64(b.rank, 0, barrierArriveAddr, 1)
@@ -131,14 +178,23 @@ func (b *heapBarrier) wait() error {
 			b.gen = g
 			return nil
 		}
-		if b.poisoned.Load() || b.w.failed.Load() {
-			return fmt.Errorf("shmem: barrier poisoned by world failure")
+		if err := b.check(); err != nil {
+			return err
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("shmem: barrier timed out after %v (peer process lost?)", b.timeout)
+			return fmt.Errorf("shmem: barrier expired after %v (peer process lost?): %w", b.timeout, ErrBarrierTimeout)
 		}
 		time.Sleep(5 * time.Microsecond)
 	}
 }
 
-func (b *heapBarrier) poison() { b.poisoned.Store(true) }
+func (b *heapBarrier) poison() { b.poisonWith(nil) }
+
+func (b *heapBarrier) poisonWith(err error) {
+	b.mu.Lock()
+	if !b.poisoned {
+		b.poisoned = true
+		b.perr = err
+	}
+	b.mu.Unlock()
+}

@@ -114,8 +114,13 @@ func (c *Ctx) Counters() *Counters { return &c.counters }
 
 // Err reports the world's fatal error, if any: another PE's body failed
 // or the transport died. Long-running loops should poll it so one PE's
-// failure unwinds the whole world instead of leaving peers spinning.
+// failure unwinds the whole world instead of leaving peers spinning. A
+// crash-injected PE sees an error wrapping ErrPEKilled so its own loops
+// unwind promptly (without failing the world — see World.Run).
 func (c *Ctx) Err() error {
+	if err := c.selfCheck(); err != nil {
+		return err
+	}
 	if !c.w.failed.Load() {
 		return nil
 	}
@@ -123,6 +128,45 @@ func (c *Ctx) Err() error {
 		return err
 	}
 	return fmt.Errorf("shmem: world failed")
+}
+
+// Liveness returns the world's membership view (failure detector).
+func (c *Ctx) Liveness() *Liveness { return c.w.live }
+
+// selfCheck fails operations issued by a crash-injected PE. The fast path
+// is a single atomic load that stays zero until the first failure event.
+func (c *Ctx) selfCheck() error {
+	lv := c.w.live
+	if lv.events.Load() == 0 {
+		return nil
+	}
+	if lv.killed[c.rank].Load() {
+		return fmt.Errorf("shmem: PE %d: %w", c.rank, ErrPEKilled)
+	}
+	return nil
+}
+
+// peerCheck gates a remote operation against the liveness view: a killed
+// initiator unwinds with ErrPEKilled, a dead target fails with ErrPeerDead,
+// and a crash-injected (not yet declared) target fails fast with
+// ErrOpTimeout. Inert (one atomic load) until the first failure event.
+func (c *Ctx) peerCheck(op Op, pe int) error {
+	lv := c.w.live
+	if lv.events.Load() == 0 {
+		return nil
+	}
+	if lv.killed[c.rank].Load() {
+		return opError(op, c.rank, pe, ErrPEKilled)
+	}
+	if pe >= 0 && pe < len(lv.states) {
+		if PeerState(lv.states[pe].Load()) == PeerDead {
+			return opError(op, c.rank, pe, ErrPeerDead)
+		}
+		if lv.killed[pe].Load() {
+			return opError(op, c.rank, pe, ErrOpTimeout)
+		}
+	}
+	return nil
 }
 
 // Alloc reserves n bytes of symmetric heap, aligned to WordSize, and
@@ -155,6 +199,9 @@ func (c *Ctx) MustAlloc(n int) Addr {
 // Barrier synchronizes all PEs. It also completes this PE's outstanding
 // non-blocking operations first (OpenSHMEM's barrier_all implies quiet).
 func (c *Ctx) Barrier() error {
+	if err := c.selfCheck(); err != nil {
+		return err
+	}
 	if err := c.Quiet(); err != nil {
 		return err
 	}
@@ -202,6 +249,9 @@ func (c *Ctx) Put(pe int, addr Addr, src []byte) error {
 		c.latEnd(OpPut, false, t0)
 		return nil
 	}
+	if err := c.peerCheck(OpPut, pe); err != nil {
+		return err
+	}
 	c.counters.countRemote(OpPut, len(src))
 	t0 := c.latStart()
 	err := c.w.transport.put(c.rank, pe, addr, src)
@@ -220,6 +270,9 @@ func (c *Ctx) Get(pe int, addr Addr, dst []byte) error {
 		c.self.copyOut(addr, dst)
 		c.latEnd(OpGet, false, t0)
 		return nil
+	}
+	if err := c.peerCheck(OpGet, pe); err != nil {
+		return err
 	}
 	c.counters.countRemote(OpGet, len(dst))
 	t0 := c.latStart()
@@ -260,6 +313,9 @@ func (c *Ctx) GetV(pe int, spans []Span, dst []byte) error {
 		c.latEnd(OpGetV, false, t0)
 		return nil
 	}
+	if err := c.peerCheck(OpGetV, pe); err != nil {
+		return err
+	}
 	c.counters.countRemote(OpGetV, len(dst))
 	t0 := c.latStart()
 	err := c.w.transport.getv(c.rank, pe, spans, dst)
@@ -281,6 +337,9 @@ func (c *Ctx) FetchAdd64(pe int, addr Addr, delta uint64) (uint64, error) {
 		c.latEnd(OpFetchAdd, false, t0)
 		return v, nil
 	}
+	if err := c.peerCheck(OpFetchAdd, pe); err != nil {
+		return 0, err
+	}
 	c.counters.countRemote(OpFetchAdd, 0)
 	t0 := c.latStart()
 	v, err := c.w.transport.fetchAdd64(c.rank, pe, addr, delta)
@@ -301,6 +360,9 @@ func (c *Ctx) Swap64(pe int, addr Addr, val uint64) (uint64, error) {
 		v := atomic.SwapUint64(c.self.word(i), val)
 		c.latEnd(OpSwap, false, t0)
 		return v, nil
+	}
+	if err := c.peerCheck(OpSwap, pe); err != nil {
+		return 0, err
 	}
 	c.counters.countRemote(OpSwap, 0)
 	t0 := c.latStart()
@@ -331,6 +393,9 @@ func (c *Ctx) CompareSwap64(pe int, addr Addr, old, new uint64) (uint64, error) 
 			}
 		}
 	}
+	if err := c.peerCheck(OpCompareSwap, pe); err != nil {
+		return 0, err
+	}
 	c.counters.countRemote(OpCompareSwap, 0)
 	t0 := c.latStart()
 	v, err := c.w.transport.compareSwap64(c.rank, pe, addr, old, new)
@@ -350,6 +415,9 @@ func (c *Ctx) Load64(pe int, addr Addr) (uint64, error) {
 		v := atomic.LoadUint64(c.self.word(i))
 		c.latEnd(OpLoad, false, t0)
 		return v, nil
+	}
+	if err := c.peerCheck(OpLoad, pe); err != nil {
+		return 0, err
 	}
 	c.counters.countRemote(OpLoad, 0)
 	t0 := c.latStart()
@@ -372,6 +440,9 @@ func (c *Ctx) Store64(pe int, addr Addr, val uint64) error {
 		c.latEnd(OpStore, false, t0)
 		return nil
 	}
+	if err := c.peerCheck(OpStore, pe); err != nil {
+		return err
+	}
 	c.counters.countRemote(OpStore, 0)
 	t0 := c.latStart()
 	err := c.w.transport.store64(c.rank, pe, addr, val)
@@ -388,6 +459,9 @@ func (c *Ctx) Store64NBI(pe int, addr Addr, val uint64) error {
 	if pe == c.rank {
 		return c.Store64(pe, addr, val)
 	}
+	if err := c.peerCheck(OpStoreNBI, pe); err != nil {
+		return err
+	}
 	c.counters.countRemote(OpStoreNBI, 0)
 	return c.w.transport.storeNBI(c.rank, pe, addr, val)
 }
@@ -398,6 +472,9 @@ func (c *Ctx) Add64NBI(pe int, addr Addr, delta uint64) error {
 		_, err := c.FetchAdd64(pe, addr, delta)
 		return err
 	}
+	if err := c.peerCheck(OpAddNBI, pe); err != nil {
+		return err
+	}
 	c.counters.countRemote(OpAddNBI, 0)
 	return c.w.transport.addNBI(c.rank, pe, addr, delta)
 }
@@ -406,6 +483,9 @@ func (c *Ctx) Add64NBI(pe int, addr Addr, delta uint64) error {
 func (c *Ctx) PutNBI(pe int, addr Addr, src []byte) error {
 	if pe == c.rank {
 		return c.Put(pe, addr, src)
+	}
+	if err := c.peerCheck(OpPutNBI, pe); err != nil {
+		return err
 	}
 	c.counters.countRemote(OpPutNBI, len(src))
 	return c.w.transport.putNBI(c.rank, pe, addr, src)
@@ -493,9 +573,15 @@ func (c *Ctx) WaitUntil64(addr Addr, cmp Cmp, operand uint64, timeout time.Durat
 		if werr := c.Err(); werr != nil {
 			return 0, werr
 		}
+		if c.w.live.AnyDead() {
+			// A peer that could have flipped this word is gone; unwind
+			// with a named error instead of spinning out the timeout.
+			return 0, fmt.Errorf("shmem: WaitUntil64(%#x %v %d) aborted, peer declared dead: %w",
+				uint64(addr), cmp, operand, ErrPeerDead)
+		}
 		if timeout > 0 && time.Now().After(deadline) {
-			return 0, fmt.Errorf("shmem: WaitUntil64(%#x %v %d) timed out after %v (last value %d)",
-				uint64(addr), cmp, operand, timeout, v)
+			return 0, fmt.Errorf("shmem: WaitUntil64(%#x %v %d) timed out after %v (last value %d): %w",
+				uint64(addr), cmp, operand, timeout, v, ErrOpTimeout)
 		}
 		if spins%64 == 63 {
 			time.Sleep(time.Microsecond)

@@ -3,6 +3,7 @@ package shmem
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -41,6 +42,18 @@ type DistConfig struct {
 	SockBufBytes  int
 	AckBatch      int
 	FlushInterval time.Duration
+	// OpTimeout and OpRetries bound blocking one-sided operations exactly
+	// as the same-named Config knobs do (per-attempt deadline, bounded
+	// retry with backoff). Negative disables.
+	OpTimeout time.Duration
+	OpRetries int
+	// HeartbeatInterval, SuspectAfter, and DeadAfter tune the failure
+	// detector exactly as the same-named Config knobs do. Each process
+	// publishes a heartbeat word on its own heap and probes its peers';
+	// a peer whose heartbeat stalls past DeadAfter is declared dead.
+	HeartbeatInterval time.Duration
+	SuspectAfter      time.Duration
+	DeadAfter         time.Duration
 }
 
 func (c *DistConfig) setDefaults() error {
@@ -92,28 +105,42 @@ func Join(cfg DistConfig) (*World, error) {
 	}
 	w := &World{
 		cfg: Config{
-			NumPEs:        cfg.NumPEs,
-			HeapBytes:     cfg.HeapBytes,
-			Latency:       cfg.Latency,
-			Transport:     TransportTCP,
-			Fault:         cfg.Fault,
-			DialTimeout:   cfg.DialTimeout,
-			SockBufBytes:  cfg.SockBufBytes,
-			AckBatch:      cfg.AckBatch,
-			FlushInterval: cfg.FlushInterval,
+			NumPEs:            cfg.NumPEs,
+			HeapBytes:         cfg.HeapBytes,
+			Latency:           cfg.Latency,
+			Transport:         TransportTCP,
+			Fault:             cfg.Fault,
+			DialTimeout:       cfg.DialTimeout,
+			SockBufBytes:      cfg.SockBufBytes,
+			AckBatch:          cfg.AckBatch,
+			FlushInterval:     cfg.FlushInterval,
+			OpTimeout:         cfg.OpTimeout,
+			OpRetries:         cfg.OpRetries,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			SuspectAfter:      cfg.SuspectAfter,
+			DeadAfter:         cfg.DeadAfter,
 		},
 		localRank: cfg.Rank,
 	}
+	w.cfg.livenessDefaults()
 	// Only the local PE's heap exists in this process.
 	w.pes = make([]*peState, cfg.NumPEs)
 	w.pes[cfg.Rank] = newPEState(cfg.Rank, cfg.HeapBytes)
+	w.live = newLiveness(w, cfg.NumPEs)
 
 	t, err := newDistTransport(w, cfg)
 	if err != nil {
 		return nil, err
 	}
 	w.transport = t
-	w.barrier = newHeapBarrier(w, cfg.Rank, cfg.NumPEs, cfg.BarrierTimeout)
+	hb := newHeapBarrier(w, cfg.Rank, cfg.NumPEs, cfg.BarrierTimeout)
+	w.barrier = hb
+	w.live.OnDeath(func(rank int) {
+		hb.poisonWith(fmt.Errorf("shmem: barrier member PE %d is dead: %w", rank, ErrPeerDead))
+	})
+	// The heartbeat prober starts now and stops with the transport; it is
+	// the only failure-detection input a multi-process world has.
+	w.live.startProber(cfg.Rank)
 	return w, nil
 }
 
@@ -129,8 +156,15 @@ func (w *World) runLocalRank(body func(*Ctx) error) error {
 		}()
 		err = body(w.newCtx(w.localRank))
 	}()
+	w.live.stopProber()
 	if err != nil {
-		w.fail(fmt.Errorf("shmem: PE %d failed: %w", w.localRank, err))
+		if errors.Is(err, ErrPEKilled) {
+			// A crash-injected PE's unwind is the expected outcome of the
+			// injection, not a runtime failure.
+			err = fmt.Errorf("shmem: PE %d killed: %w", w.localRank, err)
+		} else {
+			w.fail(fmt.Errorf("shmem: PE %d failed: %w", w.localRank, err))
+		}
 	}
 	if cerr := w.transport.close(); cerr != nil && err == nil {
 		err = fmt.Errorf("shmem: closing transport: %w", cerr)

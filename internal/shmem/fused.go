@@ -87,6 +87,9 @@ func (c *Ctx) FetchAddGet(pe int, addr Addr, delta uint64, id uint64) (uint64, [
 		c.latEnd(OpFetchAddGet, false, t0)
 		return old, data, err
 	}
+	if err := c.peerCheck(OpFetchAddGet, pe); err != nil {
+		return 0, nil, err
+	}
 	c.counters.countRemote(OpFetchAddGet, 0)
 	t0 := c.latStart()
 	old, data, err := c.w.transport.fetchAddGet(c.rank, pe, addr, delta, id)

@@ -1,0 +1,286 @@
+package shmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the liveness layer: a per-world membership view with
+// heartbeat-based failure detection. Every transport shares the same
+// Liveness; what differs is who drives it. Distributed worlds (Join) run a
+// wall-clock prober that remotely reads each peer's heartbeat word; the
+// deterministic simulation transport drives the same state machine from
+// virtual-time events so crash schedules replay bit-identically; in-process
+// worlds flip it explicitly through World.Kill (crash injection for tests).
+//
+// The layer is inert when nothing has failed: the per-op gate is a single
+// atomic load of an event counter that stays zero until the first kill or
+// death declaration, so fault-free runs take no extra branches, draw no
+// extra randomness, and stay byte-identical under the sim replay tests.
+
+// Error taxonomy for failure-tolerant callers. All transport-surfaced
+// failures wrap one of these (plus op kind, initiator, and target rank via
+// opError) so callers can errors.Is-classify transient vs fatal.
+var (
+	// ErrPeerDead marks an operation refused or unwound because the target
+	// (or a required peer) has been declared dead by the failure detector.
+	ErrPeerDead = errors.New("peer declared dead")
+	// ErrOpTimeout marks an operation that exhausted its deadline/retry
+	// budget against an unresponsive (but not yet declared dead) peer.
+	ErrOpTimeout = errors.New("operation timed out")
+	// ErrPEKilled marks operations issued by a PE that has itself been
+	// crash-injected (World.Kill or a sim kill schedule). A body error
+	// wrapping ErrPEKilled does not fail the world: survivors continue in
+	// degraded mode.
+	ErrPEKilled = errors.New("PE killed")
+	// ErrBarrierTimeout marks a barrier wait that expired without all
+	// peers arriving.
+	ErrBarrierTimeout = errors.New("barrier timed out")
+)
+
+// opError wraps a transport-surfaced error with the op kind, initiator, and
+// target rank, preserving errors.Is/As through the chain.
+func opError(op Op, from, to int, err error) error {
+	return fmt.Errorf("shmem: %v %d→%d: %w", op, from, to, err)
+}
+
+// PeerState is one peer's position in the failure detector's state machine.
+type PeerState int32
+
+const (
+	// PeerAlive: heartbeats (or explicit health evidence) current.
+	PeerAlive PeerState = iota
+	// PeerSuspect: no heartbeat progress for SuspectAfter; operations
+	// still attempted.
+	PeerSuspect
+	// PeerDead: no heartbeat progress for DeadAfter (or explicit
+	// declaration). Terminal: a dead peer never comes back.
+	PeerDead
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("PeerState(%d)", int32(s))
+	}
+}
+
+// heartbeatAddr is the reserved symmetric-heap word each PE bumps as its own
+// liveness beacon (distributed worlds only; it sits inside the existing
+// reserved region, so user allocations are unaffected).
+const heartbeatAddr Addr = 2 * WordSize
+
+// Liveness is the world's membership view. All methods are safe for
+// concurrent use; reads on the hot path are single atomic loads.
+type Liveness struct {
+	w *World
+
+	// states holds a PeerState per rank. Transitions are monotone
+	// (alive -> suspect -> dead); dead is terminal.
+	states []atomic.Int32
+	// killed marks crash-injected ranks: the rank's own operations fail
+	// with ErrPEKilled, and peers' operations against it fail fast with
+	// ErrOpTimeout until the detector declares it dead.
+	killed []atomic.Bool
+
+	// events counts kills plus death/suspect declarations. Zero means the
+	// whole layer is inert — the per-op gate checks only this.
+	events atomic.Uint64
+	// deadCount is the number of ranks in PeerDead.
+	deadCount atomic.Int64
+
+	mu      sync.Mutex
+	onDeath []func(rank int)
+
+	// Prober goroutine state (distributed worlds only).
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newLiveness(w *World, n int) *Liveness {
+	return &Liveness{
+		w:      w,
+		states: make([]atomic.Int32, n),
+		killed: make([]atomic.Bool, n),
+		stop:   make(chan struct{}),
+	}
+}
+
+// State returns the detector's view of rank.
+func (l *Liveness) State(rank int) PeerState {
+	if rank < 0 || rank >= len(l.states) {
+		return PeerDead
+	}
+	return PeerState(l.states[rank].Load())
+}
+
+// Alive reports whether rank has not been declared dead.
+func (l *Liveness) Alive(rank int) bool { return l.State(rank) != PeerDead }
+
+// Killed reports whether rank has been crash-injected (it may not yet be
+// declared dead).
+func (l *Liveness) Killed(rank int) bool {
+	return rank >= 0 && rank < len(l.killed) && l.killed[rank].Load()
+}
+
+// AnyDead reports whether any rank has been declared dead. One atomic load.
+func (l *Liveness) AnyDead() bool { return l.deadCount.Load() > 0 }
+
+// DeadCount returns the number of ranks declared dead.
+func (l *Liveness) DeadCount() int { return int(l.deadCount.Load()) }
+
+// LiveRanks appends the ranks not declared dead to dst and returns it.
+func (l *Liveness) LiveRanks(dst []int) []int {
+	for i := range l.states {
+		if PeerState(l.states[i].Load()) != PeerDead {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// OnDeath registers fn to run (once, asynchronously with respect to the
+// failing op) when a rank is declared dead. Registration must happen before
+// the world runs.
+func (l *Liveness) OnDeath(fn func(rank int)) {
+	l.mu.Lock()
+	l.onDeath = append(l.onDeath, fn)
+	l.mu.Unlock()
+}
+
+// Kill crash-injects rank: its own operations fail with ErrPEKilled and its
+// peers' operations against it fail fast, as if the OS process died. The
+// detector declares it dead after DeadAfter (immediately if DeadAfter <= 0
+// is configured). Intended for tests and supervision tooling.
+func (l *Liveness) Kill(rank int) {
+	if rank < 0 || rank >= len(l.killed) {
+		return
+	}
+	if l.killed[rank].Swap(true) {
+		return
+	}
+	l.events.Add(1)
+	l.markSuspect(rank) // suspicion is instant on explicit kill
+	if d := l.w.cfg.DeadAfter; d > 0 {
+		time.AfterFunc(d, func() { l.MarkDead(rank) })
+	} else {
+		l.MarkDead(rank)
+	}
+}
+
+// markSuspect moves rank to PeerSuspect unless it is already dead.
+func (l *Liveness) markSuspect(rank int) {
+	if l.states[rank].CompareAndSwap(int32(PeerAlive), int32(PeerSuspect)) {
+		l.events.Add(1)
+	}
+}
+
+// MarkDead declares rank dead (idempotent): peers' operations against it
+// fail with ErrPeerDead, barriers and WaitUntil64 waits unwind, and OnDeath
+// hooks fire.
+func (l *Liveness) MarkDead(rank int) {
+	if rank < 0 || rank >= len(l.states) {
+		return
+	}
+	for {
+		s := l.states[rank].Load()
+		if PeerState(s) == PeerDead {
+			return
+		}
+		if l.states[rank].CompareAndSwap(s, int32(PeerDead)) {
+			break
+		}
+	}
+	l.events.Add(1)
+	l.deadCount.Add(1)
+	l.mu.Lock()
+	hooks := append([]func(int){}, l.onDeath...)
+	l.mu.Unlock()
+	for _, fn := range hooks {
+		fn(rank)
+	}
+}
+
+// startProber launches the heartbeat loop for a distributed world: bump our
+// own beacon word and remotely read each peer's, declaring peers suspect
+// after SuspectAfter without progress and dead after DeadAfter. Read errors
+// count as lack of progress (a SIGKILLed process stops answering at all).
+func (l *Liveness) startProber(selfRank int) {
+	cfg := l.w.cfg
+	if cfg.HeartbeatInterval <= 0 || cfg.NumPEs < 2 {
+		return
+	}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		type peer struct {
+			lastVal    uint64
+			lastChange time.Time
+			seen       bool
+		}
+		peers := make([]peer, cfg.NumPEs)
+		start := time.Now()
+		for i := range peers {
+			peers[i].lastChange = start
+		}
+		tick := time.NewTicker(cfg.HeartbeatInterval)
+		defer tick.Stop()
+		var beat uint64
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-tick.C:
+			}
+			// Our own beacon: a local atomic store, visible to remote
+			// probers via one-sided loads.
+			beat++
+			if i, err := l.w.pes[selfRank].checkWord(heartbeatAddr); err == nil {
+				atomic.StoreUint64(l.w.pes[selfRank].word(i), beat)
+			}
+			now := time.Now()
+			for r := 0; r < cfg.NumPEs; r++ {
+				if r == selfRank || !l.Alive(r) {
+					continue
+				}
+				v, err := l.w.transport.load64(selfRank, r, heartbeatAddr)
+				p := &peers[r]
+				if err == nil && (!p.seen || v != p.lastVal) {
+					p.seen = true
+					p.lastVal = v
+					p.lastChange = now
+					continue
+				}
+				idle := now.Sub(p.lastChange)
+				if idle > cfg.DeadAfter {
+					l.events.Add(1) // ensure the gate opens even pre-hook
+					l.MarkDead(r)
+				} else if idle > cfg.SuspectAfter {
+					l.markSuspect(r)
+				}
+			}
+		}
+	}()
+}
+
+// stopProber terminates the heartbeat loop (idempotent).
+func (l *Liveness) stopProber() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.wg.Wait()
+}
+
+// Live returns the world's liveness view.
+func (w *World) Live() *Liveness { return w.live }
+
+// Kill crash-injects rank (see Liveness.Kill).
+func (w *World) Kill(rank int) { w.live.Kill(rank) }

@@ -1,0 +1,256 @@
+package shmem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spinUntilKilled parks a crash-injected PE's body until the injection
+// surfaces through Ctx.Err, then returns the error (which Run tolerates).
+func spinUntilKilled(c *Ctx) error {
+	for {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		c.Relax()
+	}
+}
+
+// TestKillUnwindsSurvivors crash-injects one PE of an in-process world and
+// requires every blocked collective and wait on the survivors to unwind
+// with an error naming the dead peer — no hangs, no generic failures.
+func TestKillUnwindsSurvivors(t *testing.T) {
+	transports(t, func(t *testing.T, kind TransportKind) {
+		w, err := NewWorld(Config{
+			NumPEs:    3,
+			Transport: kind,
+			DeadAfter: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *Ctx) error {
+			flag, err := c.Alloc(WordSize)
+			if err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			switch c.Rank() {
+			case 1:
+				return spinUntilKilled(c)
+			case 0:
+				w.Kill(1)
+				// The dead member can never arrive: the barrier must unwind
+				// with the named error once the detector declares it dead.
+				if err := c.Barrier(); !errors.Is(err, ErrPeerDead) {
+					return fmt.Errorf("barrier after kill: got %v, want ErrPeerDead", err)
+				}
+				// Same for a local wait on a word only the dead PE would flip.
+				if _, err := c.WaitUntil64(flag, CmpEQ, 1, time.Second); !errors.Is(err, ErrPeerDead) {
+					return fmt.Errorf("WaitUntil64 after kill: got %v, want ErrPeerDead", err)
+				}
+				return nil
+			default:
+				if err := c.Barrier(); !errors.Is(err, ErrPeerDead) {
+					return fmt.Errorf("barrier after kill: got %v, want ErrPeerDead", err)
+				}
+				return nil
+			}
+		})
+		// The killed PE's own unwind is reported but must be the only error.
+		if !errors.Is(err, ErrPEKilled) {
+			t.Fatalf("Run: got %v, want error wrapping ErrPEKilled", err)
+		}
+		if errors.Is(err, ErrPeerDead) {
+			t.Fatalf("a survivor leaked its unwind error: %v", err)
+		}
+	})
+}
+
+// TestKilledPeerOpsFailFast checks the per-op liveness gate: operations
+// against a crash-injected peer fail with ErrOpTimeout before the detector
+// declares it dead, with ErrPeerDead after, and both errors carry the op
+// kind and initiator→target ranks.
+func TestKilledPeerOpsFailFast(t *testing.T) {
+	transports(t, func(t *testing.T, kind TransportKind) {
+		w, err := NewWorld(Config{
+			NumPEs:    2,
+			Transport: kind,
+			DeadAfter: time.Hour, // declaration only via explicit MarkDead below
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Run(func(c *Ctx) error {
+			if c.Rank() == 1 {
+				return spinUntilKilled(c)
+			}
+			w.Kill(1)
+			if _, err := c.Load64(1, 0); !errors.Is(err, ErrOpTimeout) {
+				return fmt.Errorf("Load64 against killed peer: got %v, want ErrOpTimeout", err)
+			}
+			w.Live().MarkDead(1)
+			_, lerr := c.Load64(1, 0)
+			if !errors.Is(lerr, ErrPeerDead) {
+				return fmt.Errorf("Load64 against dead peer: got %v, want ErrPeerDead", lerr)
+			}
+			if !strings.Contains(lerr.Error(), "0→1") {
+				return fmt.Errorf("op error %q does not name initiator→target", lerr)
+			}
+			if !strings.Contains(lerr.Error(), OpLoad.String()) {
+				return fmt.Errorf("op error %q does not name the op kind", lerr)
+			}
+			return nil
+		})
+		if !errors.Is(err, ErrPEKilled) {
+			t.Fatalf("Run: got %v, want error wrapping ErrPEKilled", err)
+		}
+	})
+}
+
+// TestHeapBarrierTimeoutNamedError drives the distributed barrier directly
+// into its deadline and requires the named timeout error, not a hang or a
+// generic failure.
+func TestHeapBarrierTimeoutNamedError(t *testing.T) {
+	w, err := NewWorld(Config{NumPEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-member barrier over a 1-PE world: the second member never
+	// arrives, so wait must expire.
+	b := newHeapBarrier(w, 0, 2, 30*time.Millisecond)
+	start := time.Now()
+	werr := b.wait()
+	if !errors.Is(werr, ErrBarrierTimeout) {
+		t.Fatalf("heapBarrier.wait: got %v, want ErrBarrierTimeout", werr)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("barrier timeout took %v, want ~30ms", el)
+	}
+}
+
+// simKillWorld builds a sim world with explicit (virtual-time) detector
+// windows small enough to fit the default virtual-time budget.
+func simKillWorld(t *testing.T, numPEs int, seed int64, kills []SimKill, log *bytes.Buffer) *World {
+	t.Helper()
+	opts := SimOptions{Seed: seed, MaxVirtualTime: 2 * time.Second, Kill: kills}
+	if log != nil {
+		opts.Log = log
+	}
+	w, err := NewWorld(Config{
+		NumPEs:       numPEs,
+		HeapBytes:    1 << 16,
+		Transport:    TransportSim,
+		NoOpLatency:  true,
+		SuspectAfter: 200 * time.Microsecond,
+		DeadAfter:    500 * time.Microsecond,
+		Sim:          opts,
+	})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	return w
+}
+
+// simKillBody churns remote atomics until either this PE is killed (unwind
+// with the tolerated error) or a peer's death is detected (survivors stop).
+func simKillBody(c *Ctx) error {
+	n := c.NumPEs()
+	me := c.Rank()
+	counter := c.MustAlloc(WordSize)
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		if c.Liveness().AnyDead() {
+			return nil
+		}
+		if _, err := c.FetchAdd64((me+i)%n, counter, 1); err != nil {
+			if errors.Is(err, ErrPeerDead) || errors.Is(err, ErrOpTimeout) {
+				c.Relax()
+				continue
+			}
+			return err
+		}
+		c.Relax()
+	}
+}
+
+func runSimKill(t *testing.T, seed int64, kills []SimKill) []byte {
+	t.Helper()
+	var log bytes.Buffer
+	w := simKillWorld(t, 4, seed, kills, &log)
+	err := w.Run(simKillBody)
+	if len(kills) > 0 {
+		if !errors.Is(err, ErrPEKilled) {
+			t.Fatalf("seed %d: got %v, want error wrapping ErrPEKilled", seed, err)
+		}
+	} else if err != nil {
+		t.Fatalf("seed %d fault-free: %v", seed, err)
+	}
+	return log.Bytes()
+}
+
+// TestSimKillDeterministicReplay: the same seed and kill schedule must
+// produce a byte-identical event log — crash injection is part of the
+// deterministic schedule, not a source of nondeterminism.
+func TestSimKillDeterministicReplay(t *testing.T) {
+	kills := []SimKill{{Rank: 1, At: 300 * time.Microsecond}}
+	a := runSimKill(t, 7, kills)
+	b := runSimKill(t, 7, kills)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed+kill schedule produced different logs (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("event log is empty")
+	}
+	c := runSimKill(t, 7, []SimKill{{Rank: 2, At: 400 * time.Microsecond}})
+	if bytes.Equal(a, c) {
+		t.Fatal("different kill schedules produced identical logs")
+	}
+}
+
+// TestLivenessInertWhenFaultFree: configuring the failure detector must not
+// perturb a fault-free sim schedule — the liveness layer stays invisible
+// until the first failure event.
+func TestLivenessInertWhenFaultFree(t *testing.T) {
+	run := func(tuned bool) []byte {
+		var log bytes.Buffer
+		cfg := Config{
+			NumPEs:      4,
+			HeapBytes:   1 << 16,
+			Transport:   TransportSim,
+			NoOpLatency: true,
+			Sim:         SimOptions{Seed: 42, MaxVirtualTime: 2 * time.Second, Log: &log},
+		}
+		if tuned {
+			cfg.SuspectAfter = 123 * time.Microsecond
+			cfg.DeadAfter = 456 * time.Microsecond
+			cfg.HeartbeatInterval = 77 * time.Microsecond
+			cfg.OpTimeout = time.Second
+			cfg.OpRetries = 7
+		}
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(simChurn); err != nil {
+			t.Fatal(err)
+		}
+		return log.Bytes()
+	}
+	base := run(false)
+	tuned := run(true)
+	if !bytes.Equal(base, tuned) {
+		t.Fatalf("failure-detector tuning perturbed a fault-free schedule (%d vs %d bytes)", len(base), len(tuned))
+	}
+}

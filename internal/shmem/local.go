@@ -124,7 +124,7 @@ func (t *localTransport) put(from, to int, addr Addr, src []byte) error {
 	v := t.inject(OpPut, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(src)) + v.Delay)
 	if err := v.failure(); err != nil {
-		return err
+		return opError(OpPut, from, to, err)
 	}
 	pe.copyIn(addr, src)
 	return nil
@@ -141,7 +141,7 @@ func (t *localTransport) get(from, to int, addr Addr, dst []byte) error {
 	v := t.inject(OpGet, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
 	if err := v.failure(); err != nil {
-		return err
+		return opError(OpGet, from, to, err)
 	}
 	pe.copyOut(addr, dst)
 	return nil
@@ -170,7 +170,7 @@ func (t *localTransport) getv(from, to int, spans []Span, dst []byte) error {
 	// One round trip covers the whole gather, however many spans.
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
 	if err := v.failure(); err != nil {
-		return err
+		return opError(OpGetV, from, to, err)
 	}
 	off := 0
 	for _, sp := range spans {
@@ -192,7 +192,7 @@ func (t *localTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint
 	v := t.inject(OpFetchAdd, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
 	if err := v.failure(); err != nil {
-		return 0, err
+		return 0, opError(OpFetchAdd, from, to, err)
 	}
 	return atomic.AddUint64(pe.word(i), delta) - delta, nil
 }
@@ -209,7 +209,7 @@ func (t *localTransport) swap64(from, to int, addr Addr, val uint64) (uint64, er
 	v := t.inject(OpSwap, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
 	if err := v.failure(); err != nil {
-		return 0, err
+		return 0, opError(OpSwap, from, to, err)
 	}
 	return atomic.SwapUint64(pe.word(i), val), nil
 }
@@ -226,7 +226,7 @@ func (t *localTransport) compareSwap64(from, to int, addr Addr, old, new uint64)
 	v := t.inject(OpCompareSwap, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
 	if err := v.failure(); err != nil {
-		return 0, err
+		return 0, opError(OpCompareSwap, from, to, err)
 	}
 	// Emulate SHMEM's fetching compare-and-swap: returns the prior value.
 	for {
@@ -252,7 +252,7 @@ func (t *localTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id u
 	fv := t.inject(OpFetchAddGet, from, to, addr)
 	if err := fv.failure(); err != nil {
 		t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + fv.Delay)
-		return 0, nil, err
+		return 0, nil, opError(OpFetchAddGet, from, to, err)
 	}
 	old := atomic.AddUint64(pe.word(i), delta) - delta
 	data, err := t.w.applyFused(pe, old, id)
@@ -276,7 +276,7 @@ func (t *localTransport) load64(from, to int, addr Addr) (uint64, error) {
 	v := t.inject(OpLoad, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
 	if err := v.failure(); err != nil {
-		return 0, err
+		return 0, opError(OpLoad, from, to, err)
 	}
 	return atomic.LoadUint64(pe.word(i)), nil
 }
@@ -293,7 +293,7 @@ func (t *localTransport) store64(from, to int, addr Addr, val uint64) error {
 	v := t.inject(OpStore, from, to, addr)
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
 	if err := v.failure(); err != nil {
-		return err
+		return opError(OpStore, from, to, err)
 	}
 	atomic.StoreUint64(pe.word(i), val)
 	return nil

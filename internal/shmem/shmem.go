@@ -125,6 +125,34 @@ type Config struct {
 	// notification can go without the initiator calling Quiet. Negative
 	// disables the background flusher (tests). Default 200µs.
 	FlushInterval time.Duration
+
+	// OpTimeout bounds each blocking round trip on the TCP transports
+	// (connection deadline per attempt); an unresponsive peer surfaces as
+	// an error wrapping ErrOpTimeout instead of a hang. Negative disables
+	// the deadline. Default 10s.
+	OpTimeout time.Duration
+	// OpRetries is how many times a failed TCP round trip is retried
+	// (with exponential backoff and jitter) before giving up. Only
+	// idempotent operations (put/get/getv/load/store) are retried once a
+	// request may have reached the peer; atomics fail immediately rather
+	// than risk double application. Negative disables retries. Default 2.
+	OpRetries int
+
+	// HeartbeatInterval is the failure detector's probe period for
+	// distributed worlds (each process bumps its own heartbeat word and
+	// remotely reads its peers'). In-process and sim worlds do not probe;
+	// their liveness is driven by World.Kill or SimOptions.Kill. Default
+	// 100ms.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long a peer's heartbeat may stall before the
+	// detector marks it suspect. Default 500ms (virtual time under the
+	// sim transport).
+	SuspectAfter time.Duration
+	// DeadAfter is how long a peer's heartbeat may stall — or how long
+	// after a crash injection — before the detector declares it dead,
+	// unwinding barriers and waits and failing ops against it with
+	// ErrPeerDead. Default 2s (virtual time under the sim transport).
+	DeadAfter time.Duration
 }
 
 func (c *Config) setDefaults() error {
@@ -150,7 +178,28 @@ func (c *Config) setDefaults() error {
 	if c.FlushInterval == 0 {
 		c.FlushInterval = 200 * time.Microsecond
 	}
+	c.livenessDefaults()
 	return nil
+}
+
+// livenessDefaults fills in the fail-fast and failure-detector knobs; it is
+// shared with Join, which builds its Config by hand.
+func (c *Config) livenessDefaults() {
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 10 * time.Second
+	}
+	if c.OpRetries == 0 {
+		c.OpRetries = 2
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 500 * time.Millisecond
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 2 * time.Second
+	}
 }
 
 // World owns the PEs, their heaps, and the transport.
@@ -166,6 +215,9 @@ type World struct {
 
 	// fused holds the registered fused-operation handlers (see fused.go).
 	fused fusedRegistry
+
+	// live is the membership view / failure detector (liveness.go).
+	live *Liveness
 
 	failed atomic.Bool
 	errMu  sync.Mutex
@@ -203,7 +255,13 @@ func NewWorld(cfg Config) (*World, error) {
 	for i := range w.pes {
 		w.pes[i] = newPEState(i, cfg.HeapBytes)
 	}
+	w.live = newLiveness(w, cfg.NumPEs)
 	w.barrier = newCentralBarrier(cfg.NumPEs)
+	// A dead member can never arrive: unwind current and future barrier
+	// waits with a named error instead of hanging the survivors.
+	w.live.OnDeath(func(rank int) {
+		w.barrier.poisonWith(fmt.Errorf("shmem: barrier member PE %d is dead: %w", rank, ErrPeerDead))
+	})
 	switch cfg.Transport {
 	case TransportLocal:
 		w.transport = newLocalTransport(w)
@@ -285,6 +343,14 @@ func (w *World) Run(body func(*Ctx) error) error {
 			ctx := w.newCtx(rank)
 			errs[rank] = body(ctx)
 			if errs[rank] != nil {
+				if errors.Is(errs[rank], ErrPEKilled) {
+					// A crash-injected PE unwinding is the expected outcome,
+					// not a world failure: survivors keep running in
+					// degraded mode. The error is still reported to the
+					// caller through the joined result.
+					errs[rank] = fmt.Errorf("shmem: PE %d killed: %w", rank, errs[rank])
+					return
+				}
 				// A failed PE will never reach later barriers; poison them
 				// so its peers unwind instead of deadlocking.
 				w.fail(fmt.Errorf("shmem: PE %d failed: %w", rank, errs[rank]))

@@ -64,6 +64,20 @@ type SimOptions struct {
 	// scheduler action (grants, op applications, NBI deliveries, barrier
 	// releases). Byte-identical across runs with identical inputs.
 	Log io.Writer
+	// Kill schedules crash injections: each entry kills one PE at a
+	// virtual time. The victim's pending and future operations fail with
+	// ErrPEKilled; peers' operations against it fail fast; after
+	// Config.DeadAfter of virtual time the detector declares it dead,
+	// unwinding barriers and waits with ErrPeerDead. An empty schedule
+	// adds no events and draws no randomness, so fault-free runs stay
+	// byte-identical.
+	Kill []SimKill
+}
+
+// SimKill is one scheduled crash injection for the simulation transport.
+type SimKill struct {
+	Rank int
+	At   time.Duration // virtual time of the crash
 }
 
 func (o *SimOptions) setDefaults() {
@@ -137,9 +151,17 @@ type simPE struct {
 	pending  int    // NBI deliveries in flight from this PE
 }
 
+// Scheduler event kinds (simEvent.kind).
+const (
+	simEvNBI  = iota // an NBI delivery landing at its target
+	simEvKill        // a scheduled crash injection fires
+	simEvDead        // the failure detector declares a killed PE dead
+)
+
 type simEvent struct {
 	at         uint64
 	seq        uint64
+	kind       int
 	op         Op
 	from, to   int
 	addr       Addr
@@ -217,8 +239,26 @@ func newSimTransport(w *World) *simTransport {
 	for i := range t.pes {
 		t.pes[i].readyAt = t.drawLatency()
 	}
+	// Schedule crash injections (and their dead declarations) as virtual
+	// events. An empty schedule pushes nothing and draws nothing, keeping
+	// fault-free runs byte-identical.
+	for _, k := range opts.Kill {
+		if k.Rank < 0 || k.Rank >= n {
+			continue
+		}
+		at := uint64(max64(0, int64(k.At)))
+		heap.Push(&t.events, simEvent{at: at, seq: t.nextSeq(), kind: simEvKill, to: k.Rank})
+		heap.Push(&t.events, simEvent{at: at + uint64(w.cfg.DeadAfter), seq: t.nextSeq(), kind: simEvDead, to: k.Rank})
+	}
 	go t.run()
 	return t
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // --- PE-side API (any PE goroutine) ---------------------------------------
@@ -271,8 +311,8 @@ func (t *simTransport) waitLocal(rank int, addr Addr, cmp Cmp, operand uint64, t
 	}
 	rep := t.call(simReq{kind: simReqWait, rank: rank, addr: addr, cmp: cmp, v1: operand, timeout: timeout})
 	if rep.err == errSimWaitTimeout {
-		return 0, fmt.Errorf("shmem: WaitUntil64(%#x %v %d) timed out after %v (last value %d)",
-			uint64(addr), cmp, operand, timeout, rep.val)
+		return 0, fmt.Errorf("shmem: WaitUntil64(%#x %v %d) timed out after %v (last value %d): %w",
+			uint64(addr), cmp, operand, timeout, rep.val, ErrOpTimeout)
 	}
 	return rep.val, rep.err
 }
@@ -413,6 +453,26 @@ func (t *simTransport) inject(op Op, from, to int, addr Addr) Verdict {
 	return Verdict{}
 }
 
+// targetCheck fails an in-flight blocking op whose target crashed: dead
+// targets yield ErrPeerDead, crashed-but-undeclared ones ErrOpTimeout.
+// Inert (one atomic load) while no failure events have fired.
+func (t *simTransport) targetCheck(r simReq) error {
+	lv := t.w.live
+	if lv.events.Load() == 0 {
+		return nil
+	}
+	if r.to < 0 || r.to >= len(t.pes) {
+		return nil // range error surfaces in applyOp
+	}
+	if !lv.Alive(r.to) {
+		return opError(r.op, r.rank, r.to, ErrPeerDead)
+	}
+	if lv.Killed(r.to) {
+		return opError(r.op, r.rank, r.to, ErrOpTimeout)
+	}
+	return nil
+}
+
 func (t *simTransport) worldErr() error {
 	if err := t.w.Err(); err != nil {
 		return err
@@ -436,6 +496,24 @@ func (t *simTransport) handle(r simReq) {
 		return
 	}
 	pe := &t.pes[r.rank]
+	if t.w.live.Killed(r.rank) {
+		// Crash-injected PE: every operation it issues fails so its body
+		// unwinds promptly; Done still completes the lockstep handshake.
+		switch r.kind {
+		case simReqDone:
+			pe.state = simPEDone
+			pe.vclock = t.now
+			t.running--
+			t.done++
+			t.logf("%d %d don pe=%d\n", t.nextSeq(), t.now, r.rank)
+			t.replies[r.rank] <- simReply{}
+		case simReqNBI:
+			// Swallowed: a dead NIC injects nothing.
+		default:
+			t.replies[r.rank] <- simReply{err: fmt.Errorf("shmem: PE %d: %w", r.rank, ErrPEKilled)}
+		}
+		return
+	}
 	switch r.kind {
 	case simReqStart:
 		// readyAt was staggered at construction (arrival order of start
@@ -455,11 +533,22 @@ func (t *simTransport) handle(r simReq) {
 		pe.state = simPEBlockedOp
 		pe.req = r
 		pe.readyAt = pe.vclock + t.drawLatency() + delayNS(v.Delay)
-		pe.failErr = v.failure()
+		pe.failErr = nil
+		if err := v.failure(); err != nil {
+			pe.failErr = opError(r.op, r.rank, r.to, err)
+		}
 		t.running--
 	case simReqNBI:
 		t.handleNBI(r)
 	case simReqQuiet, simReqWait:
+		if r.kind == simReqWait && t.w.live.AnyDead() {
+			// The peer that could have flipped the word may be the dead
+			// one; unwind with a named error instead of parking forever.
+			t.replies[r.rank] <- simReply{err: fmt.Errorf(
+				"shmem: WaitUntil64(%#x %v %d) aborted, peer declared dead: %w",
+				uint64(r.addr), r.cmp, r.v1, ErrPeerDead)}
+			return
+		}
 		pe.state = simPEBlockedCond
 		pe.req = r
 		pe.deadline = 0
@@ -473,11 +562,26 @@ func (t *simTransport) handle(r simReq) {
 		pe.readyAt = pe.vclock + t.drawYield()
 		t.running--
 	case simReqBarrier:
+		if t.w.live.AnyDead() {
+			t.replies[r.rank] <- simReply{err: t.deadBarrierErr()}
+			return
+		}
 		pe.state = simPEBarrier
 		pe.req = r
 		t.running--
 		t.maybeReleaseBarrier()
 	}
+}
+
+// deadBarrierErr names the dead PEs a barrier can no longer collect.
+func (t *simTransport) deadBarrierErr() error {
+	dead := make([]int, 0, 1)
+	for i := range t.pes {
+		if !t.w.live.Alive(i) {
+			dead = append(dead, i)
+		}
+	}
+	return fmt.Errorf("shmem: barrier cannot complete, PEs %v are dead: %w", dead, ErrPeerDead)
 }
 
 func (t *simTransport) handleNBI(r simReq) {
@@ -628,11 +732,25 @@ func (t *simTransport) condSatisfied(pe *simPE) bool {
 	return false
 }
 
-// deliver pops and applies the earliest pending NBI delivery.
+// deliver pops and applies the earliest pending event (an NBI delivery, a
+// scheduled kill, or a dead declaration).
 func (t *simTransport) deliver() {
 	ev := heap.Pop(&t.events).(simEvent)
 	if ev.at > t.now {
 		t.now = ev.at
+	}
+	switch ev.kind {
+	case simEvKill:
+		t.deliverKill(ev.to)
+		return
+	case simEvDead:
+		t.deliverDead(ev.to)
+		return
+	}
+	if ev.drop || t.w.live.Killed(ev.to) {
+		// A delivery into a crashed PE's heap is lost in the fabric; the
+		// initiator's pending count still drains so its Quiet completes.
+		ev.drop = true
 	}
 	if ev.drop {
 		t.logf("%d %d dlv %v %d->%d a=%#x dropped\n", t.nextSeq(), t.now, ev.op, ev.from, ev.to, uint64(ev.addr))
@@ -668,6 +786,55 @@ func (t *simTransport) deliver() {
 	}
 }
 
+// deliverKill fires a scheduled crash: the victim's liveness flags flip and
+// — since every PE is parked whenever the scheduler steps — the victim is
+// woken with ErrPEKilled so its body unwinds.
+func (t *simTransport) deliverKill(rank int) {
+	lv := t.w.live
+	if !lv.killed[rank].Swap(true) {
+		lv.events.Add(1)
+	}
+	lv.markSuspect(rank) // suspicion is instant on explicit crash injection
+	t.logf("%d %d kil pe=%d\n", t.nextSeq(), t.now, rank)
+	pe := &t.pes[rank]
+	switch pe.state {
+	case simPEBlockedOp, simPEBlockedCond, simPEBarrier:
+		pe.state = simPERunning
+		pe.vclock = t.now
+		t.running++
+		t.replies[rank] <- simReply{err: fmt.Errorf("shmem: PE %d: %w", rank, ErrPEKilled)}
+	}
+}
+
+// deliverDead declares a killed PE dead after the configured DeadAfter:
+// survivors parked in barriers or WaitUntil64 unwind with ErrPeerDead.
+func (t *simTransport) deliverDead(rank int) {
+	t.w.live.MarkDead(rank)
+	t.logf("%d %d ded pe=%d\n", t.nextSeq(), t.now, rank)
+	for i := range t.pes {
+		if i == rank {
+			continue
+		}
+		pe := &t.pes[i]
+		switch pe.state {
+		case simPEBarrier:
+			pe.state = simPERunning
+			pe.vclock = t.now
+			t.running++
+			t.replies[i] <- simReply{err: t.deadBarrierErr()}
+		case simPEBlockedCond:
+			if pe.req.kind == simReqWait {
+				pe.state = simPERunning
+				pe.vclock = t.now
+				t.running++
+				t.replies[i] <- simReply{err: fmt.Errorf(
+					"shmem: WaitUntil64(%#x %v %d) aborted, peer declared dead: %w",
+					uint64(pe.req.addr), pe.req.cmp, pe.req.v1, ErrPeerDead)}
+			}
+		}
+	}
+}
+
 // drainEvents applies all remaining deliveries once every PE is done, so
 // the log is complete and deterministic before close.
 func (t *simTransport) drainEvents() {
@@ -690,7 +857,13 @@ func (t *simTransport) wake(rank int) {
 		case simReqRelax, simReqBarrier:
 			// Nothing to apply.
 		case simReqOp:
-			if pe.failErr != nil {
+			if lerr := t.targetCheck(pe.req); lerr != nil {
+				// The target crashed while this op was in flight: the
+				// round trip can never complete.
+				rep = simReply{err: lerr}
+				t.logf("%d %d op %v %d->%d a=%#x err=%v\n",
+					t.nextSeq(), t.now, pe.req.op, rank, pe.req.to, uint64(pe.req.addr), lerr)
+			} else if pe.failErr != nil {
 				rep = simReply{err: pe.failErr}
 				t.logf("%d %d op %v %d->%d a=%#x err=%v\n",
 					t.nextSeq(), t.now, pe.req.op, rank, pe.req.to, uint64(pe.req.addr), pe.failErr)

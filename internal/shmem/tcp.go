@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -85,11 +86,22 @@ type syncConn struct {
 }
 
 type asyncConn struct {
+	t        *tcpTransport
+	from, to int
+
 	mu        sync.Mutex // serializes writers
 	w         *bufio.Writer
 	c         net.Conn
 	whdr      [reqHdrSize]byte // request header scratch (guarded by mu)
 	unflushed int              // ops buffered since the last flush (guarded by mu)
+
+	// outstanding counts this connection's injected-but-unacked ops. When
+	// the peer dies the acks never arrive; reconcile() credits the count
+	// back to the initiator's global nbiPending so Quiet completes.
+	outstanding atomic.Int64
+	// broken marks a connection whose peer is gone: writes are discarded
+	// and every inject is immediately reconciled.
+	broken atomic.Bool
 }
 
 func (ac *asyncConn) flush() error {
@@ -103,7 +115,58 @@ func (ac *asyncConn) flushLocked() error {
 		return nil
 	}
 	ac.unflushed = 0
-	return ac.w.Flush()
+	if ac.broken.Load() {
+		ac.reconcile()
+		return nil
+	}
+	if dl := ac.t.w.cfg.OpTimeout; dl > 0 {
+		_ = ac.c.SetWriteDeadline(time.Now().Add(dl))
+	}
+	err := ac.w.Flush()
+	if err != nil && ac.t.peerGone(ac.to) {
+		// The peer died with injections in flight: write them off (and
+		// credit the pending count back) instead of surfacing a fatal
+		// transport error for traffic no one can receive.
+		ac.markBrokenLocked()
+		return nil
+	}
+	return err
+}
+
+// markBrokenLocked points the writer at a discard sink (a bufio.Writer is
+// sticky-errored after a failed flush) and reconciles outstanding acks.
+// Caller holds ac.mu.
+func (ac *asyncConn) markBrokenLocked() {
+	if ac.broken.Swap(true) {
+		return
+	}
+	ac.w.Reset(io.Discard)
+	ac.reconcile()
+}
+
+func (ac *asyncConn) markBroken() {
+	ac.mu.Lock()
+	ac.markBrokenLocked()
+	ac.mu.Unlock()
+}
+
+// reconcile credits this connection's never-arriving acks back to the
+// initiator's global pending count. Safe to race with the ack reader: both
+// sides move the same conserved quantity, so the net effect is exact.
+func (ac *asyncConn) reconcile() {
+	if rem := ac.outstanding.Swap(0); rem != 0 {
+		ac.t.w.pes[ac.from].nbiPending.Add(-rem)
+	}
+}
+
+// peerGone reports whether rank can no longer receive traffic: crashed or
+// declared dead (or the whole transport is shutting down).
+func (t *tcpTransport) peerGone(rank int) bool {
+	if t.closed.Load() {
+		return true
+	}
+	lv := t.w.live
+	return lv != nil && (lv.Killed(rank) || !lv.Alive(rank))
 }
 
 // tcpShell builds the common transport skeleton shared by the in-process
@@ -163,9 +226,15 @@ func (t *tcpTransport) startFlusher() {
 			for _, acs := range t.asyncByFrom {
 				for _, ac := range acs {
 					if err := ac.flush(); err != nil {
-						if !t.closed.Load() {
-							t.w.fail(fmt.Errorf("shmem/tcp: background flush: %w", err))
+						// flushLocked already swallows dead-peer errors;
+						// anything left is a live-peer failure. Distributed
+						// worlds write the connection off (the crash will
+						// be detected shortly); in-process worlds fail.
+						if t.closed.Load() || t.w.localRank >= 0 {
+							ac.markBroken()
+							continue
 						}
+						t.w.fail(fmt.Errorf("shmem/tcp: background flush: %w", err))
 						t.mu.Unlock()
 						return
 					}
@@ -203,6 +272,7 @@ func (t *tcpTransport) handle(rank int, conn net.Conn) {
 		return // peer vanished before preamble; nothing to clean up
 	}
 	kind := pre[0]
+	from := int(binary.LittleEndian.Uint32(pre[1:]))
 	pe := t.w.pes[rank]
 	ackBatch := t.w.cfg.AckBatch
 	var (
@@ -227,7 +297,13 @@ func (t *tcpTransport) handle(rank int, conn net.Conn) {
 	for {
 		op, addr, v1, v2, payload, err := readRequest(r, reqHdr[:], &reqBuf)
 		if err != nil {
-			if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			// An abruptly severed connection from a crashed initiator
+			// (RST, not FIN) is survivable: in distributed worlds and for
+			// peers the failure detector already wrote off, just drop the
+			// connection. Only an in-process world with a live initiator
+			// treats it as a runtime bug.
+			if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+				!t.peerGone(from) && t.w.localRank < 0 {
 				t.w.fail(fmt.Errorf("shmem/tcp: PE %d read request: %w", rank, err))
 			}
 			return
@@ -240,7 +316,9 @@ func (t *tcpTransport) handle(rank int, conn net.Conn) {
 		}
 		if kind == connSync {
 			if err := writeResponse(w, rspHdr[:], status, rv, rp); err != nil {
-				t.w.fail(fmt.Errorf("shmem/tcp: PE %d write response: %w", rank, err))
+				if !t.closed.Load() && !t.peerGone(from) && t.w.localRank < 0 {
+					t.w.fail(fmt.Errorf("shmem/tcp: PE %d write response: %w", rank, err))
+				}
 				return
 			}
 		} else {
@@ -518,7 +596,7 @@ func (t *tcpTransport) asyncConn(from, to int) (*asyncConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	ac := &asyncConn{w: bufio.NewWriterSize(conn, t.w.cfg.SockBufBytes), c: conn}
+	ac := &asyncConn{t: t, from: from, to: to, w: bufio.NewWriterSize(conn, t.w.cfg.SockBufBytes), c: conn}
 	t.mu.Lock()
 	if prior, ok := t.async[key]; ok {
 		t.mu.Unlock()
@@ -536,12 +614,24 @@ func (t *tcpTransport) asyncConn(from, to int) (*asyncConn, error) {
 		var frame [4]byte
 		for {
 			if _, err := io.ReadFull(r, frame[:]); err != nil {
-				if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				if !t.closed.Load() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+					!t.peerGone(to) && t.w.localRank < 0 {
+					// In-process worlds treat a broken ack stream to a live
+					// peer as a runtime bug. Distributed worlds can't: the
+					// connection is the first thing to die when a peer
+					// process crashes, often before the failure detector
+					// notices.
 					t.w.fail(fmt.Errorf("shmem/tcp: ack reader %d->%d: %w", from, to, err))
+					return
 				}
+				// Whatever was still in flight will never be acked; credit
+				// it back so Quiet can complete without the peer.
+				ac.markBroken()
 				return
 			}
-			t.w.pes[from].nbiPending.Add(-int64(binary.LittleEndian.Uint32(frame[:])))
+			k := int64(binary.LittleEndian.Uint32(frame[:]))
+			ac.outstanding.Add(-k)
+			t.w.pes[from].nbiPending.Add(-k)
 		}
 	}()
 	return ac, nil
@@ -570,15 +660,69 @@ func (t *tcpTransport) flushFrom(from int) error {
 	return nil
 }
 
-// roundTrip performs one blocking request/response on the sync connection.
-// respInto, if non-nil, receives a success payload of exactly matching
-// length without an intermediate copy.
+// remoteStatusErr marks an application-level failure reported by the
+// target: the op reached the target and was rejected there. Definitive,
+// never retried.
+type remoteStatusErr struct{ msg string }
+
+func (e *remoteStatusErr) Error() string { return e.msg }
+
+// opIdempotent reports whether retrying op after its request may have
+// reached the target is safe. Atomics (fetch-add, swap, cas, fused) are
+// not: a lost *response* still applied the side effect, and a retry would
+// apply it twice. Pure reads and overwrites are.
+func opIdempotent(op Op) bool {
+	switch op {
+	case OpPut, OpGet, OpGetV, OpLoad, OpStore:
+		return true
+	}
+	return false
+}
+
+// retryBackoff is exponential with jitter — ~1, 2, 4 ms... capped at 50ms,
+// each scattered over [base/2, base] so retries from many PEs don't march
+// in lockstep.
+func retryBackoff(attempt int) time.Duration {
+	if attempt > 5 {
+		attempt = 5
+	}
+	base := time.Millisecond << uint(attempt)
+	if base > 50*time.Millisecond {
+		base = 50 * time.Millisecond
+	}
+	return base/2 + time.Duration(rand.Int63n(int64(base/2)+1))
+}
+
+func isNetTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// evictSync closes and forgets a sync connection whose request/response
+// stream may be desynchronized (after a timeout the straggling response
+// could arrive later and be mistaken for the next op's). The next op to
+// this target dials fresh.
+func (t *tcpTransport) evictSync(from, to int, sc *syncConn) {
+	key := connKey{from, to, connSync}
+	t.mu.Lock()
+	if t.sync_[key] == sc {
+		delete(t.sync_, key)
+	}
+	t.mu.Unlock()
+	sc.c.Close()
+}
+
+// roundTrip performs one blocking request/response on the sync connection,
+// failing fast on a per-op deadline and retrying transient connection
+// errors with bounded exponential backoff. respInto, if non-nil, receives
+// a success payload of exactly matching length without an intermediate
+// copy.
 func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, payload, respInto []byte) (uint64, []byte, error) {
 	if f := t.w.cfg.Fault; f != nil {
 		v := f.Before(op, from, to, addr)
 		charge(v.Delay)
 		if err := v.failure(); err != nil {
-			return 0, nil, fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+			return 0, nil, opError(op, from, to, err)
 		}
 	}
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(payload)))
@@ -586,28 +730,76 @@ func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, 
 	// injections to the same target: flush them first so buffering never
 	// reorders a completion notification after a later round trip.
 	if err := t.flushAsyncTo(from, to); err != nil {
-		return 0, nil, fmt.Errorf("shmem/tcp: flushing before %v to PE %d: %w", op, to, err)
+		return 0, nil, opError(op, from, to, fmt.Errorf("flushing injections: %w", err))
 	}
+	retries := t.w.cfg.OpRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		val, rp, wrote, err := t.attemptSync(from, to, op, addr, v1, v2, payload, respInto)
+		if err == nil {
+			return val, rp, nil
+		}
+		var rse *remoteStatusErr
+		if errors.As(err, &rse) {
+			// The target executed the request and said no; retrying
+			// cannot change the answer.
+			return 0, nil, opError(op, from, to, err)
+		}
+		lastErr = err
+		if t.peerGone(to) {
+			return 0, nil, opError(op, from, to, fmt.Errorf("%v: %w", err, ErrPeerDead))
+		}
+		if wrote && !opIdempotent(op) {
+			// The request bytes may have reached the target, which may or
+			// may not have applied the atomic — a retry risks applying it
+			// twice. Surface the failure instead.
+			break
+		}
+		if attempt >= retries || t.closed.Load() {
+			break
+		}
+		time.Sleep(retryBackoff(attempt))
+	}
+	if isNetTimeout(lastErr) {
+		return 0, nil, opError(op, from, to, fmt.Errorf("%v: %w", lastErr, ErrOpTimeout))
+	}
+	return 0, nil, opError(op, from, to, lastErr)
+}
+
+// attemptSync is one try of roundTrip's request/response exchange. wrote
+// reports whether any request bytes may have left this process (false only
+// when establishing the connection failed). Connection-level failures
+// evict the sync conn — its stream can no longer be trusted to be aligned.
+func (t *tcpTransport) attemptSync(from, to int, op Op, addr Addr, v1, v2 uint64, payload, respInto []byte) (uint64, []byte, bool, error) {
 	sc, err := t.syncConn(from, to)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	if dl := t.w.cfg.OpTimeout; dl > 0 {
+		_ = sc.c.SetDeadline(time.Now().Add(dl))
+	}
 	if err := writeRequest(sc.rw.Writer, sc.whdr[:], op, addr, v1, v2, payload); err != nil {
-		return 0, nil, fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+		t.evictSync(from, to, sc)
+		return 0, nil, true, err
 	}
 	if err := sc.rw.Writer.Flush(); err != nil {
-		return 0, nil, fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+		t.evictSync(from, to, sc)
+		return 0, nil, true, err
 	}
 	status, val, rp, err := readResponse(sc.rw.Reader, sc.rhdr[:], respInto)
 	if err != nil {
-		return 0, nil, fmt.Errorf("shmem/tcp: %v response from PE %d: %w", op, to, err)
+		t.evictSync(from, to, sc)
+		return 0, nil, true, fmt.Errorf("response: %w", err)
 	}
 	if status != 0 {
-		return 0, nil, fmt.Errorf("shmem/tcp: %v at PE %d: %s", op, to, rp)
+		return 0, nil, true, &remoteStatusErr{msg: string(rp)}
 	}
-	return val, rp, nil
+	return val, rp, true, nil
 }
 
 // injectAsync pipelines one non-blocking request. The write lands in the
@@ -641,20 +833,37 @@ func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, pa
 	t.w.pes[from].nbiPending.Add(n)
 	ac.mu.Lock()
 	defer ac.mu.Unlock()
+	ac.outstanding.Add(n)
+	if ac.broken.Load() {
+		// The peer is gone: the injection drops on the floor, exactly as a
+		// NIC drops packets to a vanished endpoint. Quiet stays balanced.
+		ac.reconcile()
+		return nil
+	}
 	if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, payload); err != nil {
+		ac.outstanding.Add(-n)
 		t.w.pes[from].nbiPending.Add(-n)
-		return fmt.Errorf("shmem/tcp: %v to PE %d: %w", op, to, err)
+		if t.peerGone(to) {
+			ac.markBrokenLocked()
+			return nil
+		}
+		return opError(op, from, to, err)
 	}
 	if dup {
 		if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, payload); err != nil {
+			ac.outstanding.Add(-1)
 			t.w.pes[from].nbiPending.Add(-1)
-			return fmt.Errorf("shmem/tcp: duplicate %v to PE %d: %w", op, to, err)
+			if t.peerGone(to) {
+				ac.markBrokenLocked()
+				return nil
+			}
+			return opError(op, from, to, fmt.Errorf("duplicate: %w", err))
 		}
 	}
 	ac.unflushed += int(n)
 	if ac.unflushed >= t.w.cfg.AckBatch {
 		if err := ac.flushLocked(); err != nil {
-			return fmt.Errorf("shmem/tcp: flushing %v to PE %d: %w", op, to, err)
+			return opError(op, from, to, fmt.Errorf("flushing: %w", err))
 		}
 	}
 	return nil

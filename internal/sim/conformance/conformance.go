@@ -27,6 +27,7 @@
 package conformance
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -44,6 +45,12 @@ import (
 type Factory struct {
 	Name string
 	New  func(numPEs int, fault shmem.FaultInjector) (*shmem.World, error)
+	// NewKilled builds a world that crash-injects victim partway through
+	// the run, at a seed-derived point: a wall-clock timer calling
+	// World.Kill for real transports, a virtual-time kill schedule for the
+	// sim. Factories that cannot schedule kills leave it nil and the kill
+	// oracle skips them.
+	NewKilled func(numPEs, victim int, seed int64) (*shmem.World, error)
 }
 
 // waitTimeout bounds every flag wait in the suite. Under the sim
@@ -75,6 +82,91 @@ func RunAll(t *testing.T, f Factory) {
 	t.Run("epoch-safe-acquire", func(t *testing.T) { EpochSafeAcquire(t, f) })
 	t.Run("asteals-bounded", func(t *testing.T) { AstealsBounded(t, f) })
 	t.Run("termination-quiescence", func(t *testing.T) { TerminationQuiescence(t, f) })
+}
+
+// ExactlyOnceUnderKill crash-injects one non-auditor PE at a seed-derived
+// point mid-run and checks the failure model's guarantees: the survivors
+// terminate (no hang), no task executes twice, and any lost task is
+// acknowledged by a degraded-mode report rather than silently dropped.
+// Each task marks its own audit slot on rank 0 with a blocking fetch-add,
+// so after the survivors quiesce, slot > 1 is a double execution and
+// slot == 0 a task the dead PE took with it.
+func ExactlyOnceUnderKill(t *testing.T, f Factory, seed int64) {
+	if f.NewKilled == nil {
+		t.Skipf("%s factory cannot schedule kills", f.Name)
+	}
+	const peCount = 4
+	const perPE = 64
+	const total = peCount * perPE
+	victim := 1 + int(uint64(seed)%uint64(peCount-1)) // rank 0 hosts the audit slots
+	w, err := f.NewKilled(peCount, victim, seed)
+	if err != nil {
+		t.Fatalf("building %s world: %v", f.Name, err)
+	}
+	runErr := w.Run(func(ctx *shmem.Ctx) error {
+		slots := ctx.MustAlloc(total * shmem.WordSize)
+		scratch := ctx.MustAlloc(shmem.WordSize)
+		reg := pool.NewRegistry()
+		h := reg.MustRegister("unit", func(tc *pool.TaskCtx, payload []byte) error {
+			args, err := task.ParseArgs(payload, 1)
+			if err != nil {
+				return err
+			}
+			// Stretch the run so the kill lands mid-flight, then mark this
+			// task's own slot.
+			for i := 0; i < 3; i++ {
+				if _, err := tc.Shmem().FetchAdd64(tc.Shmem().Rank(), scratch, 1); err != nil {
+					return err
+				}
+			}
+			_, err = tc.Shmem().FetchAdd64(0, slots+shmem.Addr(args[0])*shmem.WordSize, 1)
+			return err
+		})
+		p, err := pool.New(ctx, reg, pool.Config{Protocol: pool.SWS, Seed: seed, Workers: poolWorkers(ctx)})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < perPE; i++ {
+			if err := p.Add(h, task.Args(uint64(ctx.Rank()*perPE+i))); err != nil {
+				return err
+			}
+		}
+		if err := p.Run(); err != nil {
+			return err // the victim unwinds with ErrPEKilled, which Run tolerates
+		}
+		if ctx.Rank() != 0 {
+			return nil
+		}
+		// Rank 0's Run returning means the live membership quiesced: every
+		// surviving execution's blocking fetch-add has landed, so the audit
+		// reads stable memory. (Rank 0 is also the degraded-mode leader, so
+		// its own Stats carry the world's verdict.)
+		st := p.Stats()
+		var zero, multi int
+		for i := 0; i < total; i++ {
+			v, err := ctx.Load64(0, slots+shmem.Addr(i)*shmem.WordSize)
+			if err != nil {
+				return err
+			}
+			switch {
+			case v == 0:
+				zero++
+			case v > 1:
+				multi++
+			}
+		}
+		if multi > 0 {
+			return fmt.Errorf("at-most-once violated: %d of %d tasks executed more than once", multi, total)
+		}
+		if zero > 0 && !st.Degraded {
+			return fmt.Errorf("%d tasks lost without a degraded-mode report", zero)
+		}
+		return nil
+	})
+	if runErr != nil && !errors.Is(runErr, shmem.ErrPEKilled) {
+		t.Fatalf("%s seed %d (victim %d): %v\nrepro: go test ./internal/sim/conformance -run 'TestKillConformance/%s' -kill.seed=%d",
+			f.Name, seed, victim, runErr, f.Name, seed)
+	}
 }
 
 func run(t *testing.T, f Factory, numPEs int, body func(*shmem.Ctx) error) {

@@ -1,11 +1,38 @@
 package conformance
 
 import (
+	"flag"
+	"fmt"
 	"testing"
 	"time"
 
 	"sws/internal/shmem"
 )
+
+// killSeed replays a single kill-oracle seed (the repro line printed on
+// failure sets it).
+var killSeed = flag.Int64("kill.seed", -1, "replay one ExactlyOnceUnderKill seed")
+
+// inProcKilled builds an in-process world (local or tcp) whose victim is
+// crash-injected by a wall-clock timer at a seed-derived delay, with the
+// failure detector tightened so the test stays fast.
+func inProcKilled(kind shmem.TransportKind) func(numPEs, victim int, seed int64) (*shmem.World, error) {
+	return func(numPEs, victim int, seed int64) (*shmem.World, error) {
+		w, err := shmem.NewWorld(shmem.Config{
+			NumPEs:       numPEs,
+			HeapBytes:    1 << 20,
+			Transport:    kind,
+			SuspectAfter: 2 * time.Millisecond,
+			DeadAfter:    5 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		delay := 100*time.Microsecond + time.Duration(uint64(seed)%16)*150*time.Microsecond
+		time.AfterFunc(delay, func() { w.Kill(victim) })
+		return w, nil
+	}
+}
 
 // factories builds the three transports the suite must hold on: the
 // in-process local transport, the loopback TCP transport, and the
@@ -22,6 +49,7 @@ func factories() []Factory {
 					Fault:     fault,
 				})
 			},
+			NewKilled: inProcKilled(shmem.TransportLocal),
 		},
 		{
 			Name: "tcp",
@@ -33,6 +61,7 @@ func factories() []Factory {
 					Fault:     fault,
 				})
 			},
+			NewKilled: inProcKilled(shmem.TransportTCP),
 		},
 		{
 			Name: "sim",
@@ -49,6 +78,24 @@ func factories() []Factory {
 					},
 				})
 			},
+			NewKilled: func(numPEs, victim int, seed int64) (*shmem.World, error) {
+				// Virtual-time kill: part of the deterministic schedule, so
+				// a failing seed replays exactly.
+				at := 50*time.Microsecond + time.Duration(uint64(seed)%16)*50*time.Microsecond
+				return shmem.NewWorld(shmem.Config{
+					NumPEs:       numPEs,
+					HeapBytes:    1 << 20,
+					Transport:    shmem.TransportSim,
+					NoOpLatency:  true,
+					SuspectAfter: 200 * time.Microsecond,
+					DeadAfter:    500 * time.Microsecond,
+					Sim: shmem.SimOptions{
+						Seed:           seed,
+						MaxVirtualTime: 30 * time.Second,
+						Kill:           []shmem.SimKill{{Rank: victim, At: at}},
+					},
+				})
+			},
 		},
 	}
 }
@@ -58,5 +105,24 @@ func TestConformance(t *testing.T) {
 	for _, f := range factories() {
 		f := f
 		t.Run(f.Name, func(t *testing.T) { RunAll(t, f) })
+	}
+}
+
+// TestKillConformance runs the crash-injection oracle at several randomized
+// kill points on every transport. A failing seed prints a one-line repro
+// (-kill.seed replays just that seed).
+func TestKillConformance(t *testing.T) {
+	seeds := []int64{3, 17, 29, 40}
+	if *killSeed >= 0 {
+		seeds = []int64{*killSeed}
+	}
+	for _, f := range factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for _, s := range seeds {
+				s := s
+				t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) { ExactlyOnceUnderKill(t, f, s) })
+			}
+		})
 	}
 }

@@ -23,6 +23,7 @@ package sim
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -61,6 +62,17 @@ type Params struct {
 	MaxVirtualTime time.Duration
 	// MaxSteps bounds the run in scheduler decisions. Default 2,000,000.
 	MaxSteps uint64
+	// Kill schedules virtual-time crash injections (passed through to
+	// shmem.SimOptions.Kill). When non-empty the failure-detector windows
+	// default to virtual-time scale and the exactly-once oracle relaxes to
+	// at-most-once plus survivor termination: executed <= total, no hang,
+	// and the victim's own unwind is the only tolerated error.
+	Kill []shmem.SimKill
+	// SuspectAfter/DeadAfter override the failure-detector windows in
+	// virtual time. Zero means 200µs/500µs when Kill is non-empty (the
+	// wall-clock library defaults would blow the virtual-time budget) and
+	// the library defaults otherwise.
+	SuspectAfter, DeadAfter time.Duration
 }
 
 func (p Params) withDefaults() Params {
@@ -79,11 +91,23 @@ func (p Params) withDefaults() Params {
 	if p.MaxSteps == 0 {
 		p.MaxSteps = 2_000_000
 	}
+	if len(p.Kill) > 0 {
+		if p.SuspectAfter == 0 {
+			p.SuspectAfter = 200 * time.Microsecond
+		}
+		if p.DeadAfter == 0 {
+			p.DeadAfter = 500 * time.Microsecond
+		}
+	}
 	return p
 }
 
 func (p Params) String() string {
-	return fmt.Sprintf("seed=%d pes=%d depth=%d width=%d chaos=%t", p.Seed, p.PEs, p.Depth, p.Width, p.Chaos)
+	s := fmt.Sprintf("seed=%d pes=%d depth=%d width=%d chaos=%t", p.Seed, p.PEs, p.Depth, p.Width, p.Chaos)
+	for _, k := range p.Kill {
+		s += fmt.Sprintf(" kill=%d@%v", k.Rank, k.At)
+	}
+	return s
 }
 
 // Run executes one simulated BPC run and returns the deterministic event
@@ -98,11 +122,13 @@ func Run(p Params) ([]byte, error) {
 		fault = p.Fault(p.Seed)
 	}
 	w, err := shmem.NewWorld(shmem.Config{
-		NumPEs:      p.PEs,
-		HeapBytes:   4 << 20,
-		Transport:   shmem.TransportSim,
-		NoOpLatency: true,
-		Fault:       fault,
+		NumPEs:       p.PEs,
+		HeapBytes:    4 << 20,
+		Transport:    shmem.TransportSim,
+		NoOpLatency:  true,
+		Fault:        fault,
+		SuspectAfter: p.SuspectAfter,
+		DeadAfter:    p.DeadAfter,
 		Sim: shmem.SimOptions{
 			Seed:           p.Seed,
 			Chaos:          p.Chaos,
@@ -110,6 +136,7 @@ func Run(p Params) ([]byte, error) {
 			MaxVirtualTime: p.MaxVirtualTime,
 			MaxSteps:       p.MaxSteps,
 			Log:            &log,
+			Kill:           p.Kill,
 		},
 	})
 	if err != nil {
@@ -136,10 +163,21 @@ func Run(p Params) ([]byte, error) {
 		return pl.Run()
 	})
 	if err != nil {
-		return log.Bytes(), err
+		// With a kill scheduled, the victim's own unwind is the expected
+		// outcome; anything beyond it (a world failure, a survivor error)
+		// is a real failure.
+		if len(p.Kill) == 0 || !errors.Is(err, shmem.ErrPEKilled) || w.Err() != nil {
+			return log.Bytes(), err
+		}
 	}
 	want := wl.Params.TotalTasks()
 	got := wl.Producers() + wl.Consumers()
+	if len(p.Kill) > 0 {
+		if got > want {
+			return log.Bytes(), fmt.Errorf("sim: at-most-once violated under kill: executed %d tasks, spawn budget %d", got, want)
+		}
+		return log.Bytes(), nil
+	}
 	if got != want {
 		return log.Bytes(), fmt.Errorf("sim: exactly-once violated: executed %d tasks (%d producers, %d consumers), want %d",
 			got, wl.Producers(), wl.Consumers(), want)
@@ -274,5 +312,23 @@ func ReproLine(p Params) string {
 	if p.Chaos {
 		s += " -sim.chaos"
 	}
+	if len(p.Kill) > 0 {
+		s += fmt.Sprintf(" -sim.killrank=%d -sim.killat=%v", p.Kill[0].Rank, p.Kill[0].At)
+	}
 	return s
+}
+
+// KillForSeed derives one reproducible crash injection from a seed: a
+// victim among ranks [1, pes) (rank 0 stays alive as the BPC result
+// auditor) at a virtual time inside the first two milliseconds, where the
+// protocol churn lives.
+func KillForSeed(seed int64, pes int) shmem.SimKill {
+	if pes < 2 {
+		return shmem.SimKill{Rank: -1}
+	}
+	u := uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567
+	return shmem.SimKill{
+		Rank: 1 + int(u%uint64(pes-1)),
+		At:   100*time.Microsecond + time.Duration((u>>8)%20)*100*time.Microsecond,
+	}
 }

@@ -21,16 +21,25 @@ var (
 	flagDepth = flag.Int("sim.depth", 6, "BPC producer-chain depth")
 	flagWidth = flag.Int("sim.width", 12, "BPC consumers per producer")
 	flagChaos = flag.Bool("sim.chaos", false, "randomize schedule among near-simultaneous candidates")
+
+	// Crash-injection replay knobs (printed by ReproLine for kill-sweep
+	// failures): kill -sim.killrank at virtual time -sim.killat.
+	flagKillRank = flag.Int("sim.killrank", -1, "crash-inject this rank (virtual-time kill; -1 disables)")
+	flagKillAt   = flag.Duration("sim.killat", 0, "virtual time of the crash injection")
 )
 
 func flagParams() Params {
-	return Params{
+	p := Params{
 		PEs:   *flagPEs,
 		Depth: *flagDepth,
 		Width: *flagWidth,
 		Seed:  *flagSeed,
 		Chaos: *flagChaos,
 	}
+	if *flagKillRank >= 0 {
+		p.Kill = []shmem.SimKill{{Rank: *flagKillRank, At: *flagKillAt}}
+	}
+	return p
 }
 
 // TestSameSeedByteIdentical is the headline acceptance criterion: the
@@ -141,6 +150,67 @@ func TestSeedSweep(t *testing.T) {
 		}
 	}
 	t.Fatalf("%d of %d seeds failed:\n%s", len(failures), *flagSeeds, report.String())
+}
+
+// TestChaosKillSweep is the chaos kill-a-PE sweep: -sim.seeds seeds, each
+// with a seed-derived victim and virtual-time kill point, under chaos
+// scheduling. Every run must still terminate for the survivors with
+// at-most-once execution. Failures print repro lines (TestReplaySeed with
+// -sim.killrank/-sim.killat) and, when SIM_ARTIFACT_DIR is set (CI), land
+// in failing-seeds.txt for artifact upload.
+func TestChaosKillSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos kill sweep skipped in -short mode")
+	}
+	base := flagParams()
+	base.Chaos = true
+	var failures []Failure
+	for i := 0; i < *flagSeeds; i++ {
+		p := base
+		p.Seed = *flagSeed + int64(i)
+		p.Kill = []shmem.SimKill{KillForSeed(p.Seed, p.PEs)}
+		if _, err := Run(p); err != nil {
+			failures = append(failures, Failure{Params: p.withDefaults(), Err: err})
+		}
+	}
+	if len(failures) == 0 {
+		return
+	}
+	var report strings.Builder
+	for _, f := range failures {
+		fmt.Fprintf(&report, "%v\n", f)
+	}
+	if dir := os.Getenv("SIM_ARTIFACT_DIR"); dir != "" {
+		_ = os.MkdirAll(dir, 0o755)
+		path := filepath.Join(dir, "failing-seeds.txt")
+		if werr := os.WriteFile(path, []byte(report.String()), 0o644); werr != nil {
+			t.Logf("writing artifact %s: %v", path, werr)
+		} else {
+			t.Logf("failing seeds written to %s", path)
+		}
+	}
+	t.Fatalf("%d of %d kill-sweep seeds failed:\n%s", len(failures), *flagSeeds, report.String())
+}
+
+// TestKillReplayDeterministic: a killed run is still part of the
+// deterministic schedule — the same seed and kill point must produce
+// byte-identical event logs.
+func TestKillReplayDeterministic(t *testing.T) {
+	p := Params{PEs: 4, Depth: 6, Width: 12, Seed: 11}
+	p.Kill = []shmem.SimKill{KillForSeed(p.Seed, p.PEs)}
+	log1, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	log2, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(log1, log2) {
+		d := firstDiff(log1, log2)
+		t.Fatalf("killed run not deterministic (first divergence at byte %d):\nrun1: %s\nrun2: %s",
+			d, excerpt(log1, d), excerpt(log2, d))
+	}
 }
 
 // TestSystematicSmoke enumerates every forced schedule prefix of length 4

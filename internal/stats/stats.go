@@ -25,6 +25,31 @@ type PE struct {
 	StealsDisabled   uint64
 	TasksStolen      uint64
 
+	// Failure-handling counters (zero on fault-free runs).
+	//
+	// StealTransportErrs counts steal attempts that failed at the transport
+	// layer (peer dead, op timeout, injected drop/partition) and were
+	// absorbed by quarantining the victim instead of failing the run.
+	StealTransportErrs uint64
+	// StealsQuarantined counts steal attempts skipped because the chosen
+	// victim was quarantined.
+	StealsQuarantined uint64
+	// TasksLost is the detector's ledger estimate (sum spawned minus sum
+	// executed, using the last counters read from dead PEs) of tasks lost
+	// when the run terminated in degraded mode. It is an estimate, not a
+	// bound: a task counted lost may have executed on the dead PE before it
+	// crashed (at-least-once), while descendants a lost task never spawned
+	// appear in no ledger at all.
+	TasksLost uint64
+	// TasksWrittenOff counts tasks in completion-epoch slots force-closed
+	// by this PE after a thief died mid-steal.
+	TasksWrittenOff uint64
+	// DeadPEs is the number of peers this PE's world had declared dead by
+	// the end of the run; Degraded marks a run that terminated over partial
+	// membership.
+	DeadPEs  uint64
+	Degraded bool
+
 	Acquires uint64
 	Releases uint64
 
@@ -86,6 +111,19 @@ func (s *PE) Add(o PE) {
 	s.StealsEmpty += o.StealsEmpty
 	s.StealsDisabled += o.StealsDisabled
 	s.TasksStolen += o.TasksStolen
+	s.StealTransportErrs += o.StealTransportErrs
+	s.StealsQuarantined += o.StealsQuarantined
+	s.TasksWrittenOff += o.TasksWrittenOff
+	// TasksLost and DeadPEs are world-level figures, identical on every PE
+	// that observed the degraded termination: aggregate with max, not sum,
+	// so Run.Total reports the world's count once.
+	if o.TasksLost > s.TasksLost {
+		s.TasksLost = o.TasksLost
+	}
+	if o.DeadPEs > s.DeadPEs {
+		s.DeadPEs = o.DeadPEs
+	}
+	s.Degraded = s.Degraded || o.Degraded
 	s.Acquires += o.Acquires
 	s.Releases += o.Releases
 	s.RemoteSpawnsSent += o.RemoteSpawnsSent

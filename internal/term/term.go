@@ -25,6 +25,7 @@ package term
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"sws/internal/shmem"
 )
@@ -34,19 +35,42 @@ type Detector struct {
 	ctx *shmem.Ctx
 
 	countersAddr shmem.Addr // 2 words: spawned, executed
-	flagAddr     shmem.Addr // 1 word: nonzero once terminated
+	flagAddr     shmem.Addr // 1 word: see flag encoding below
+	activityAddr shmem.Addr // 1 word: degraded-mode activity beacon
 
 	spawned  uint64
 	executed uint64
+	activity uint64 // work events not visible in the counters (see NoteActivity)
 
 	// Rank 0's detection state: the previous clean (spawned==executed)
 	// global sum, or ^0 if none yet.
 	lastClean uint64
 	done      bool
 
+	// Degraded-mode leader state: the previous pass's per-live-PE
+	// (spawned, executed, activity) vector, reused across calls.
+	prevVec []uint64
+	curVec  []uint64
+	liveBuf []int
+	// lastKnown caches the most recent counters read from each PE, so a
+	// PE that dies between probes still contributes its last published
+	// totals to the lost-task accounting.
+	lastKnown [][2]uint64
+
 	// Probes counts global summation passes, for diagnostics.
 	Probes uint64
+	// Degraded reports that detection ran (or finished) over partial
+	// membership; Lost is then the ledger estimate of spawned-but-
+	// unexecuted tasks (at-least-once: a "lost" task may have run on the
+	// dead PE before its crash went unreported, and descendants a lost
+	// task never spawned appear in no counter).
+	Degraded bool
+	Lost     uint64
 }
+
+// Termination-flag encoding: 0 = running; otherwise bit 0 set and the
+// upper bits carry the lost-task count ((lost << 1) | 1). The fault-free
+// broadcast writes 1, i.e. lost = 0, so the encodings coincide.
 
 // New collectively constructs a detector; every PE must call it at the
 // same point in its allocation sequence.
@@ -59,6 +83,10 @@ func New(ctx *shmem.Ctx) (*Detector, error) {
 	if d.flagAddr, err = ctx.Alloc(shmem.WordSize); err != nil {
 		return nil, err
 	}
+	if d.activityAddr, err = ctx.Alloc(shmem.WordSize); err != nil {
+		return nil, err
+	}
+	d.lastKnown = make([][2]uint64, ctx.NumPEs())
 	return d, nil
 }
 
@@ -110,12 +138,30 @@ func (d *Detector) Publish(spawned, executed int) error {
 	return nil
 }
 
+// NoteActivity records a work event invisible to the task counters —
+// stolen tasks entering the local queue, an inbox drain — so degraded-mode
+// detection can tell "survivors quiescent" from "work still moving".
+// Fault-free runs pay one local increment and no communication; the beacon
+// word is only published once a peer has died.
+func (d *Detector) NoteActivity() error {
+	d.activity++
+	if lv := d.ctx.Liveness(); lv != nil && lv.AnyDead() {
+		return d.ctx.Store64(d.ctx.Rank(), d.activityAddr, d.activity)
+	}
+	return nil
+}
+
 // Check is called by an idle PE. It returns true once global termination
 // has been detected. Rank 0 performs a summation pass per call; other
-// ranks poll their local flag (no communication).
+// ranks poll their local flag (no communication). Once any peer has been
+// declared dead, detection switches to the degraded protocol over live
+// membership (see checkDegraded).
 func (d *Detector) Check() (bool, error) {
 	if d.done {
 		return true, nil
+	}
+	if lv := d.ctx.Liveness(); lv != nil && lv.AnyDead() {
+		return d.checkDegraded(lv)
 	}
 	if d.ctx.Rank() != 0 {
 		v, err := d.ctx.Load64(d.ctx.Rank(), d.flagAddr)
@@ -124,6 +170,7 @@ func (d *Detector) Check() (bool, error) {
 		}
 		if v != 0 {
 			d.done = true
+			d.Lost = v >> 1
 		}
 		return d.done, nil
 	}
@@ -133,10 +180,20 @@ func (d *Detector) Check() (bool, error) {
 	var buf [2 * shmem.WordSize]byte
 	for pe := 0; pe < d.ctx.NumPEs(); pe++ {
 		if err := d.ctx.Get(pe, d.countersAddr, buf[:]); err != nil {
+			if transientPeerErr(err) {
+				// The peer stopped answering but has not been declared dead
+				// yet: drop this pass and retry; detection switches to the
+				// degraded protocol once the declaration lands.
+				d.lastClean = ^uint64(0)
+				return false, nil
+			}
 			return false, err
 		}
-		sumSpawned += binary.NativeEndian.Uint64(buf[0:8])
-		sumExecuted += binary.NativeEndian.Uint64(buf[8:16])
+		sp := binary.NativeEndian.Uint64(buf[0:8])
+		ex := binary.NativeEndian.Uint64(buf[8:16])
+		d.lastKnown[pe] = [2]uint64{sp, ex}
+		sumSpawned += sp
+		sumExecuted += ex
 	}
 	if sumExecuted > sumSpawned {
 		// A torn snapshot: a task spawned on one PE after we read its
@@ -165,5 +222,126 @@ func (d *Detector) Check() (bool, error) {
 		return false, err
 	}
 	d.done = true
+	return true, nil
+}
+
+// transientPeerErr reports whether a detection-pass error means "membership
+// just changed under us" rather than "the run is broken": the probed peer
+// died (or stopped answering) between the liveness snapshot and the read.
+func transientPeerErr(err error) bool {
+	return errors.Is(err, shmem.ErrPeerDead) || errors.Is(err, shmem.ErrOpTimeout)
+}
+
+// checkDegraded detects termination over partial membership after one or
+// more PEs died. The fault-free invariant (global spawned == executed) can
+// never be restored — the dead PE took claimed-but-unfinished work with it
+// — so the protocol changes shape:
+//
+//   - The leader is the lowest live rank (rank 0's death promotes a
+//     survivor; detection state restarts from scratch, which is safe
+//     because the protocol is memoryless across passes).
+//   - A pass reads each live PE's (spawned, executed) counters and its
+//     activity beacon. Two consecutive passes with identical per-PE
+//     vectors over an identical live set mean no survivor executed,
+//     spawned, stole, or received work in between: the survivors are
+//     quiescent, and whatever keeps spawned != executed is attributable
+//     to the dead.
+//   - The leader then broadcasts (lost << 1) | 1 to every live PE's flag,
+//     where lost = spawned - executed summed over live counters plus the
+//     dead PEs' last-known published values: a ledger estimate under
+//     at-least-once accounting (stale dead-PE counters shift it either
+//     way, and descendants never spawned appear in no counter), reported
+//     rather than silently dropped.
+func (d *Detector) checkDegraded(lv *shmem.Liveness) (bool, error) {
+	d.Degraded = true
+	// Publish our own quiescence evidence before probing: a PE inside
+	// Check has, by definition, nothing runnable right now.
+	if err := d.ctx.Store64(d.ctx.Rank(), d.activityAddr, d.activity); err != nil {
+		return false, err
+	}
+	// The flag may already carry a verdict from the leader.
+	v, err := d.ctx.Load64(d.ctx.Rank(), d.flagAddr)
+	if err != nil {
+		return false, err
+	}
+	if v != 0 {
+		d.done = true
+		d.Lost = v >> 1
+		return true, nil
+	}
+	d.liveBuf = lv.LiveRanks(d.liveBuf[:0])
+	live := d.liveBuf
+	if len(live) == 0 || live[0] != d.ctx.Rank() {
+		return false, nil // not the leader; keep polling the local flag
+	}
+	d.Probes++
+	vec := append(d.curVec[:0], uint64(len(live)))
+	var sumSpawned, sumExecuted uint64
+	var buf [2 * shmem.WordSize]byte
+	for _, pe := range live {
+		if err := d.ctx.Get(pe, d.countersAddr, buf[:]); err != nil {
+			if transientPeerErr(err) {
+				d.prevVec = d.prevVec[:0]
+				return false, nil
+			}
+			return false, err
+		}
+		act, err := d.ctx.Load64(pe, d.activityAddr)
+		if err != nil {
+			if transientPeerErr(err) {
+				d.prevVec = d.prevVec[:0]
+				return false, nil
+			}
+			return false, err
+		}
+		sp := binary.NativeEndian.Uint64(buf[0:8])
+		ex := binary.NativeEndian.Uint64(buf[8:16])
+		d.lastKnown[pe] = [2]uint64{sp, ex}
+		sumSpawned += sp
+		sumExecuted += ex
+		vec = append(vec, uint64(pe), sp, ex, act)
+	}
+	d.curVec = vec
+	same := len(vec) == len(d.prevVec)
+	if same {
+		for i := range vec {
+			if vec[i] != d.prevVec[i] {
+				same = false
+				break
+			}
+		}
+	}
+	d.prevVec = append(d.prevVec[:0], vec...)
+	if !same {
+		return false, nil
+	}
+	// Survivors quiescent. Fold in the dead PEs' last-known counters and
+	// broadcast the verdict to the living.
+	for r := 0; r < d.ctx.NumPEs(); r++ {
+		if lv.Alive(r) {
+			continue
+		}
+		sumSpawned += d.lastKnown[r][0]
+		sumExecuted += d.lastKnown[r][1]
+	}
+	var lost uint64
+	if sumSpawned > sumExecuted {
+		lost = sumSpawned - sumExecuted
+	}
+	flag := lost<<1 | 1
+	for _, pe := range live {
+		if err := d.ctx.Store64NBI(pe, d.flagAddr, flag); err != nil {
+			if transientPeerErr(err) {
+				d.prevVec = d.prevVec[:0]
+				return false, nil
+			}
+			return false, err
+		}
+	}
+	if err := d.ctx.Quiet(); err != nil {
+		return false, err
+	}
+	d.done = true
+	d.Lost = lost
 	return true, nil
 }

@@ -47,6 +47,10 @@ const (
 	// TermWave: a termination-detection summation pass finished.
 	// A = cumulative probe count, B = 1 if it declared termination.
 	TermWave
+	// PeerDeath: this PE observed a peer's death (failure detector
+	// declaration or a failed op against it). A = the dead peer's rank,
+	// B = 1 if the observation quarantined the peer as a steal victim.
+	PeerDeath
 	numKinds
 )
 
@@ -64,6 +68,7 @@ var kindNames = [numKinds]string{
 	CommOp:        "comm-op",
 	EpochFlip:     "epoch-flip",
 	TermWave:      "term-wave",
+	PeerDeath:     "peer-death",
 }
 
 func (k Kind) String() string {
