@@ -24,6 +24,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"sws/internal/pool"
 	"sws/internal/shmem"
 	"sws/internal/task"
+	"sws/internal/trace"
 	"sws/internal/uts"
 )
 
@@ -49,6 +51,10 @@ func main() {
 		suspectAfter = flag.Duration("suspect-after", 0, "heartbeat silence before a peer is suspected (0 = library default)")
 		deadAfter    = flag.Duration("dead-after", 0, "heartbeat silence before a peer is declared dead (0 = library default)")
 
+		flightDir = flag.String("flight-dir", "", "directory for flight-recorder journals, dumped on failure (empty = no dumps)")
+		killRank  = flag.Int("kill-rank", -1, "chaos: SIGKILL this worker rank after -kill-after (launcher side)")
+		killAfter = flag.Duration("kill-after", 2*time.Second, "chaos: delay before -kill-rank fires")
+
 		worker = flag.Bool("worker", false, "internal: run as a worker process")
 		rank   = flag.Int("rank", -1, "internal: worker rank")
 		coord  = flag.String("coordinator", "", "internal: rendezvous address")
@@ -64,22 +70,32 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown workload %q (want tree, uts, or bpc)", *workload))
 	}
-	lcfg := livenessFlags{opTimeout: *opTimeout, suspectAfter: *suspectAfter, deadAfter: *deadAfter}
+	lcfg := livenessFlags{opTimeout: *opTimeout, suspectAfter: *suspectAfter, deadAfter: *deadAfter, flightDir: *flightDir}
 	if *worker {
 		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload, *metricsAddr, *workers, lcfg); err != nil {
 			fatal(fmt.Errorf("rank %d: %w", *rank, err))
 		}
 		return
 	}
-	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, lcfg); err != nil {
+	kcfg := killFlags{rank: *killRank, after: *killAfter}
+	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, lcfg, kcfg); err != nil {
 		fatal(err)
 	}
 }
 
 // livenessFlags carries the failure-detector tuning from the launcher to
-// every worker process (zero values defer to the library defaults).
+// every worker process (zero values defer to the library defaults), plus
+// the flight-journal directory shared by workers and supervisor.
 type livenessFlags struct {
 	opTimeout, suspectAfter, deadAfter time.Duration
+	flightDir                          string
+}
+
+// killFlags is the launcher-side chaos schedule: SIGKILL one worker rank
+// after a delay (rank < 0 disables).
+type killFlags struct {
+	rank  int
+	after time.Duration
 }
 
 // grace is how long the launcher waits, after the first worker dies, for
@@ -101,7 +117,7 @@ func (l livenessFlags) grace() time.Duration {
 // wave) to finish their degraded run and report partial results, then
 // stragglers are killed; either way the launcher reports per-rank
 // diagnostics and returns an error so the process exits non-zero.
-func launch(n, depth int, protoName, workload, metricsAddr string, workers int, lcfg livenessFlags) error {
+func launch(n, depth int, protoName, workload, metricsAddr string, workers int, lcfg livenessFlags, kcfg killFlags) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one PE, got %d", n)
 	}
@@ -133,7 +149,8 @@ func launch(n, depth int, protoName, workload, metricsAddr string, workers int, 
 			"-metrics-addr", addr,
 			"-op-timeout", lcfg.opTimeout.String(),
 			"-suspect-after", lcfg.suspectAfter.String(),
-			"-dead-after", lcfg.deadAfter.String())
+			"-dead-after", lcfg.deadAfter.String(),
+			"-flight-dir", lcfg.flightDir)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -151,8 +168,27 @@ func launch(n, depth int, protoName, workload, metricsAddr string, workers int, 
 	killed := make([]bool, n)
 	firstFail := -1
 	var deadline <-chan time.Time
+	var killTimer <-chan time.Time
+	if kcfg.rank >= 0 && kcfg.rank < n {
+		killTimer = time.After(kcfg.after)
+	}
 	for remaining := n; remaining > 0; {
 		select {
+		case <-killTimer:
+			killTimer = nil
+			if exited[kcfg.rank] {
+				break
+			}
+			pid := procs[kcfg.rank].Process.Pid
+			fmt.Fprintf(os.Stderr, "sws-dist: chaos: SIGKILL rank %d (pid %d) after %v\n", kcfg.rank, pid, kcfg.after)
+			_ = procs[kcfg.rank].Process.Kill()
+			// The killed process's in-memory flight ring dies with it; the
+			// supervisor journals the kill in its place so post-mortem
+			// tooling can name the dead rank even if no survivor observed
+			// the death.
+			if err := writeSupervisorJournal(lcfg.flightDir, n, kcfg.rank, pid, kcfg.after); err != nil {
+				fmt.Fprintf(os.Stderr, "sws-dist: supervisor journal: %v\n", err)
+			}
 		case ev := <-exits:
 			remaining--
 			exited[ev.rank] = true
@@ -241,7 +277,10 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 		if err != nil {
 			return fmt.Errorf("metrics endpoint: %w", err)
 		}
-		defer srv.Close()
+		// Graceful on every exit path — including a degraded survivor's —
+		// so a monitor's final scrape completes and the listener never
+		// outlives the process's useful life.
+		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
 		fmt.Fprintf(os.Stderr, "rank %d: metrics on http://%s/metrics\n", rank, srv.Addr())
 	}
 	w, err := shmem.Join(shmem.DistConfig{
@@ -252,6 +291,7 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 		OpTimeout:    lcfg.opTimeout,
 		SuspectAfter: lcfg.suspectAfter,
 		DeadAfter:    lcfg.deadAfter,
+		FlightDir:    lcfg.flightDir,
 	})
 	if err != nil {
 		return err
@@ -260,7 +300,7 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 	// process leaves a world the survivors can detect and degrade around
 	// (the supervision smoke test keys on this line).
 	fmt.Printf("rank %d: joined world (pid %d)\n", rank, os.Getpid())
-	return w.Run(func(c *shmem.Ctx) error {
+	runErr := w.Run(func(c *shmem.Ctx) error {
 		// A results array on rank 0: executed-task count per rank.
 		resultsAddr, err := c.Alloc(n * shmem.WordSize)
 		if err != nil {
@@ -363,6 +403,42 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 		}
 		return c.Barrier()
 	})
+	if runErr != nil {
+		// Not every fatal path routes through the pool's dump triggers: a
+		// steal to a freshly-killed peer can fail with a raw transport
+		// error (refused dial) before the failure detector classifies the
+		// peer as dead. DumpFlight is once-guarded, so this is a no-op
+		// when an earlier trigger already wrote the journal.
+		if derr := w.DumpFlight("run-error: " + runErr.Error()); derr != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: flight dump failed: %v\n", rank, derr)
+		}
+	}
+	return runErr
+}
+
+// writeSupervisorJournal records a chaos kill into the flight-dump
+// directory as flight-supervisor.jsonl: same JSONL shape as the per-rank
+// journals (rank -1 marks the supervisor), one PeerState(dead) event for
+// the killed rank.
+func writeSupervisorJournal(dir string, n, rank, pid int, after time.Duration) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f := trace.NewFlight(-1, 4)
+	f.Record(trace.PeerState, int64(rank), int64(shmem.PeerDead), 0)
+	file, err := os.Create(filepath.Join(dir, "flight-supervisor.jsonl"))
+	if err != nil {
+		return err
+	}
+	reason := fmt.Sprintf("supervisor: SIGKILLed rank %d (pid %d) after %v", rank, pid, after)
+	if err := f.WriteTo(file, n, reason); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
 }
 
 func fatal(err error) {

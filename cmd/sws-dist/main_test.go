@@ -99,6 +99,66 @@ func TestDistSmoke(t *testing.T) {
 	}
 }
 
+// TestKillProducesFlightDump is the post-mortem acceptance path: a 4-PE
+// run whose rank 1 is chaos-SIGKILLed must leave flight journals behind
+// — the supervisor's kill journal plus at least one survivor's ring —
+// and sws-inspect must merge them into a report naming the dead rank.
+func TestKillProducesFlightDump(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process kill test in -short mode")
+	}
+	bin := buildDist(t)
+	inspect := filepath.Join(t.TempDir(), "sws-inspect")
+	if out, err := exec.Command("go", "build", "-o", inspect, "../sws-inspect").CombinedOutput(); err != nil {
+		t.Fatalf("building sws-inspect: %v\n%s", err, out)
+	}
+	dumps := t.TempDir()
+	cmd := exec.Command(bin,
+		"-n", "4", "-depth", "18",
+		"-op-timeout", "500ms",
+		"-suspect-after", "300ms",
+		"-dead-after", "1s",
+		"-flight-dir", dumps,
+		"-kill-rank", "1",
+		"-kill-after", "1200ms")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("launcher exited zero despite chaos kill (run finished before -kill-after?):\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("launcher wait error is not an exit status: %v\n%s", err, out)
+	}
+
+	// The kill must have left journals: the supervisor's (written at kill
+	// time, in place of the ring that died with rank 1) and at least one
+	// survivor's (dumped when the failure detector declared rank 1 dead).
+	if _, err := os.Stat(filepath.Join(dumps, "flight-supervisor.jsonl")); err != nil {
+		t.Errorf("missing supervisor kill journal: %v\nlauncher output:\n%s", err, out)
+	}
+	rankDumps, err := filepath.Glob(filepath.Join(dumps, "flight-rank*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rankDumps) == 0 {
+		t.Errorf("no surviving rank dumped its flight ring\nlauncher output:\n%s", out)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// sws-inspect must merge the journals and name the dead rank.
+	report, err := exec.Command(inspect, "-dir", dumps).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sws-inspect failed: %v\n%s", err, report)
+	}
+	for _, want := range []string{"dead ranks: [1]", "supervisor kill journal"} {
+		if !bytes.Contains(report, []byte(want)) {
+			t.Errorf("inspect report missing %q:\n%s", want, report)
+		}
+	}
+}
+
 // TestDistSurvivesSIGKILL launches a 4-PE world, SIGKILLs rank 1 once it
 // has joined, and requires the launcher to come down non-zero within the
 // supervision window — with per-rank diagnostics — instead of hanging.

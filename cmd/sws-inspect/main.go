@@ -1,0 +1,50 @@
+// Command sws-inspect merges the flight-recorder journals a failed (or
+// killed, or merely slow) run left behind into one post-mortem report:
+// the causal timeline across every rank, steal attempts reassembled into
+// initiator+victim span trees with per-phase latency, victim heatmaps,
+// starvation tables, and which ranks died and who witnessed it. It can
+// also export the merged timeline as Perfetto-loadable JSON.
+//
+// Examples:
+//
+//	sws-inspect -dir /tmp/flight                 # text report to stdout
+//	sws-inspect -dir /tmp/flight -top 20         # more slow-span detail
+//	sws-inspect -dir /tmp/flight -perfetto t.json  # + Chrome trace JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sws/internal/inspect"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", ".", "directory holding flight-*.jsonl journals")
+		perfetto = flag.String("perfetto", "", "also write a Perfetto/Chrome trace JSON file here")
+		top      = flag.Int("top", 5, "slow spans to detail in the text report")
+	)
+	flag.Parse()
+
+	r, err := inspect.LoadDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	r.TopSpans = *top
+	if err := r.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *perfetto != "" {
+		if err := r.WritePerfettoFile(*perfetto); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Perfetto trace: %s (open in ui.perfetto.dev)\n", *perfetto)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sws-inspect:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"sws/internal/bench"
 	"sws/internal/bpc"
 	"sws/internal/cli"
+	"sws/internal/pool"
 	"sws/internal/uts"
 )
 
@@ -29,6 +30,7 @@ func main() {
 		reps    = flag.Int("reps", 3, "repetitions per sweep point (paper: 10)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quick   = flag.Bool("quick", false, "extra-small workloads (for smoke tests)")
+		jsonDir = flag.String("json-dir", "", "also write machine-readable BENCH_<preset>.json files here")
 	)
 	flag.Parse()
 
@@ -101,6 +103,28 @@ func main() {
 			fatal(fmt.Errorf("ablations: %w", err))
 		}
 		emit(tables...)
+	}
+
+	if *jsonDir != "" {
+		presets := []struct {
+			name string
+			cfg  bench.RunConfig
+			f    bench.Factory
+		}{
+			{"bpc",
+				bench.RunConfig{PEs: 4, Latency: bench.DefaultLatency(), Pool: pool.Config{PayloadCap: 24}},
+				func() (bench.Workload, error) { return bpc.NewWorkload(bpcParams) }},
+			{"uts",
+				bench.RunConfig{PEs: 4, Latency: bench.DefaultLatency(), Pool: pool.Config{PayloadCap: uts.PayloadSize}},
+				func() (bench.Workload, error) { return uts.NewWorkload(utsParams) }},
+		}
+		for _, p := range presets {
+			path, err := bench.MachineSuite(*jsonDir, p.name, p.cfg, p.f)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 }
 

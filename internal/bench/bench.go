@@ -64,6 +64,14 @@ func (c *RunConfig) setDefaults() {
 
 // RunOnce executes one full pool run and gathers per-PE statistics.
 func RunOnce(cfg RunConfig, f Factory) (stats.Run, error) {
+	return runOnce(cfg, f, nil)
+}
+
+// runOnce is RunOnce with an optional per-rank observation hook, called
+// after the pool finishes but while the world (and its counters) is
+// still live — the machine-readable emitter uses it to read the
+// communication counters RunOnce's stats.Run does not carry.
+func runOnce(cfg RunConfig, f Factory, observe func(c *shmem.Ctx, p *pool.Pool)) (stats.Run, error) {
 	cfg.setDefaults()
 	w, err := shmem.NewWorld(shmem.Config{
 		NumPEs:    cfg.PEs,
@@ -105,6 +113,9 @@ func RunOnce(cfg RunConfig, f Factory) (stats.Run, error) {
 		}
 		run.PEs[c.Rank()] = p.Stats()
 		elapsed[c.Rank()] = p.Elapsed()
+		if observe != nil {
+			observe(c, p)
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"sws/internal/pool"
+	"sws/internal/shmem"
+)
+
+// MachineRecord is one row of a BENCH_<preset>.json file: the
+// machine-readable counterpart of the text tables, with the per-op
+// figures plotting and CI-regression tooling want — normalized cost per
+// task, communications per steal, and allocation pressure — plus enough
+// configuration (protocol, transport, PEs, workers) to key a comparison
+// across commits.
+type MachineRecord struct {
+	Preset    string `json:"preset"`
+	Protocol  string `json:"protocol"`
+	Transport string `json:"transport"`
+	PEs       int    `json:"pes"`
+	Workers   int    `json:"workers"`
+
+	ElapsedNS     int64  `json:"elapsed_ns"`
+	TasksExecuted uint64 `json:"tasks_executed"`
+	// NsPerOp is wall time per executed task (the benchmark's "op").
+	NsPerOp float64 `json:"ns_per_op"`
+
+	StealsOK      uint64 `json:"steals_ok"`
+	StealsEmpty   uint64 `json:"steals_empty"`
+	TasksStolen   uint64 `json:"tasks_stolen"`
+	CommsTotal    uint64 `json:"comms_total"`
+	CommsBlocking uint64 `json:"comms_blocking"`
+	// CommsPerSteal is total one-sided operations per steal attempt —
+	// the paper's Figure 2 figure of merit (SDC 6, SWS 3).
+	CommsPerSteal float64 `json:"comms_per_steal"`
+
+	AllocsTotal uint64  `json:"allocs_total"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// MachineRun executes one run like RunOnce and derives its
+// machine-readable record, reading the communication counters of every
+// rank and the process's allocation delta around the run.
+func MachineRun(preset string, cfg RunConfig, f Factory) (MachineRecord, error) {
+	var (
+		mu    sync.Mutex
+		comms shmem.CounterSnapshot
+	)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run, err := runOnce(cfg, f, func(c *shmem.Ctx, p *pool.Pool) {
+		snap := c.Counters().Snapshot()
+		mu.Lock()
+		comms = comms.Add(snap)
+		mu.Unlock()
+	})
+	if err != nil {
+		return MachineRecord{}, err
+	}
+	runtime.ReadMemStats(&after)
+
+	tot := run.Total()
+	workers := cfg.Pool.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	rec := MachineRecord{
+		Preset:        preset,
+		Protocol:      run.Protocol,
+		Transport:     cfg.Transport.String(),
+		PEs:           len(run.PEs),
+		Workers:       workers,
+		ElapsedNS:     run.Elapsed.Nanoseconds(),
+		TasksExecuted: tot.TasksExecuted,
+		StealsOK:      tot.StealsSuccessful,
+		StealsEmpty:   tot.StealsEmpty,
+		TasksStolen:   tot.TasksStolen,
+		CommsTotal:    comms.Total(),
+		CommsBlocking: comms.Blocking(),
+		AllocsTotal:   after.Mallocs - before.Mallocs,
+	}
+	if tot.TasksExecuted > 0 {
+		rec.NsPerOp = float64(run.Elapsed.Nanoseconds()) / float64(tot.TasksExecuted)
+		rec.AllocsPerOp = float64(rec.AllocsTotal) / float64(tot.TasksExecuted)
+	}
+	if attempts := tot.StealsAttempted; attempts > 0 {
+		rec.CommsPerSteal = float64(comms.Total()) / float64(attempts)
+	}
+	return rec, nil
+}
+
+// MachineSuite runs every protocol against a preset workload and writes
+// dir/BENCH_<preset>.json. This is sws-tables' -json-dir path; CI uploads
+// the files as artifacts so regressions in ns/op, comms/steal, or
+// allocs/op are diffable across commits.
+func MachineSuite(dir, preset string, cfg RunConfig, f Factory) (string, error) {
+	var records []MachineRecord
+	for _, proto := range []pool.Protocol{pool.SDC, pool.SWS, pool.SWSFused} {
+		c := cfg
+		c.Protocol = proto
+		rec, err := MachineRun(preset, c, f)
+		if err != nil {
+			return "", fmt.Errorf("bench: machine %s/%s: %w", preset, proto, err)
+		}
+		records = append(records, rec)
+	}
+	return WriteMachineFile(dir, preset, records)
+}
+
+// BenchFileName is the machine-readable artifact name for a preset;
+// CI globs for BENCH_*.json.
+func BenchFileName(preset string) string {
+	return fmt.Sprintf("BENCH_%s.json", preset)
+}
+
+// WriteMachineFile writes records as dir/BENCH_<preset>.json (creating
+// dir), one indented JSON array — the artifact CI uploads next to the
+// text tables.
+func WriteMachineFile(dir, preset string, records []MachineRecord) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, BenchFileName(preset))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sws/internal/obs"
 	"sws/internal/trace"
@@ -105,7 +106,8 @@ func (o *ObsFlags) Finish(tr *trace.Set) error {
 		}
 	}
 	if o.server != nil {
-		keep(o.server.Close())
+		// Graceful: a scrape in flight at teardown still gets its body.
+		keep(o.server.ShutdownTimeout(2 * time.Second))
 		o.server = nil
 	}
 	return first

@@ -136,6 +136,10 @@ type Queue struct {
 	// Thief-side damping state: per-victim mode (false=full, true=empty).
 	emptyMode []bool
 
+	// spanSeq numbers this thief's steal attempts; combined with the rank
+	// it forms the causal span ID stamped on each attempt's sub-ops.
+	spanSeq uint64
+
 	// scratch is the owner-side slot staging buffer (one slot).
 	scratch []byte
 

@@ -5,6 +5,7 @@ import (
 
 	"sws/internal/shmem"
 	"sws/internal/task"
+	"sws/internal/trace"
 	"sws/internal/wsq"
 )
 
@@ -33,8 +34,38 @@ func (q *Queue) Steal(victim int) ([]task.Desc, wsq.Outcome, error) {
 	if victim < 0 || victim >= q.ctx.NumPEs() {
 		return nil, wsq.Empty, fmt.Errorf("core: victim %d out of range [0, %d)", victim, q.ctx.NumPEs())
 	}
+	// Every attempt gets a fresh causal span: the sub-operations below
+	// (probe, claim, copy, ack) all carry it on the wire, so the victim's
+	// flight journal files its half of the protocol under the same ID and
+	// post-mortem tooling can reassemble the full span tree.
+	span := q.nextSpan()
+	q.ctx.RecordSpanEvent(trace.StealSpanStart, int64(victim), 0, span)
+	tasks, out, err := q.stealSpanned(victim, q.ctx.WithSpan(span))
+	outcome := int64(len(tasks))
+	switch {
+	case err != nil:
+		outcome = -2
+	case out == wsq.Disabled:
+		outcome = -1
+	}
+	q.ctx.RecordSpanEvent(trace.StealSpanEnd, int64(victim), outcome, span)
+	return tasks, out, err
+}
+
+// nextSpan returns a fresh span ID for one steal attempt. IDs are
+// deterministic per thief — (rank+1)<<48 | sequence — so the initiator is
+// recoverable from the high bits, IDs never collide across ranks, and a
+// span is never zero (zero marks untagged traffic).
+func (q *Queue) nextSpan() uint64 {
+	q.spanSeq++
+	return uint64(q.ctx.Rank()+1)<<48 | (q.spanSeq & (1<<48 - 1))
+}
+
+// stealSpanned is the steal protocol body; every remote operation goes
+// through the span-tagged view.
+func (q *Queue) stealSpanned(victim int, sc shmem.SpanCtx) ([]task.Desc, wsq.Outcome, error) {
 	if q.opts.Damping && q.emptyMode[victim] {
-		w, err := q.ctx.Load64(victim, q.stealvalAddr)
+		w, err := sc.Load64(victim, q.stealvalAddr)
 		if err != nil {
 			return nil, wsq.Empty, err
 		}
@@ -55,9 +86,9 @@ func (q *Queue) Steal(victim int) ([]task.Desc, wsq.Outcome, error) {
 	var err error
 	if q.opts.Fused {
 		// Single round trip: claim and copy together (see Options.Fused).
-		old, fusedData, err = q.ctx.FetchAddGet(victim, q.stealvalAddr, AstealsUnit, uint64(q.stealvalAddr))
+		old, fusedData, err = sc.FetchAddGet(victim, q.stealvalAddr, AstealsUnit, uint64(q.stealvalAddr))
 	} else {
-		old, err = q.ctx.FetchAdd64(victim, q.stealvalAddr, AstealsUnit)
+		old, err = sc.FetchAdd64(victim, q.stealvalAddr, AstealsUnit)
 	}
 	if err != nil {
 		return nil, wsq.Empty, err
@@ -83,7 +114,7 @@ func (q *Queue) Steal(victim int) ([]task.Desc, wsq.Outcome, error) {
 	if q.opts.Fused {
 		tasks, err = q.decodeBlock(victim, fusedData, k)
 	} else {
-		tasks, err = q.copyBlock(victim, start, k)
+		tasks, err = q.copyBlock(victim, start, k, sc)
 	}
 	if err != nil {
 		return nil, wsq.Empty, err
@@ -94,7 +125,7 @@ func (q *Queue) Steal(victim int) ([]task.Desc, wsq.Outcome, error) {
 	// notification landing after the owner has reset the queue still files
 	// against the right epoch's array.
 	slot := q.completionSlotAddr(v.Epoch, int(v.Asteals))
-	if err := q.ctx.Store64NBI(victim, slot, uint64(k)); err != nil {
+	if err := sc.Store64NBI(victim, slot, uint64(k)); err != nil {
 		return nil, wsq.Empty, err
 	}
 	return tasks, wsq.Stolen, nil
@@ -122,7 +153,7 @@ func (q *Queue) decodeBlock(victim int, data []byte, k int) ([]task.Desc, error)
 // at logical slot position start on the victim, unwrapping the circular
 // buffer as needed (wrapping is computed locally: queues are symmetric, so
 // no extra communication is required — §4, example point 1).
-func (q *Queue) copyBlock(victim int, start uint64, k int) ([]task.Desc, error) {
+func (q *Queue) copyBlock(victim int, start uint64, k int, sc shmem.SpanCtx) ([]task.Desc, error) {
 	slotSize := q.codec.SlotSize()
 	if cap(q.stealBuf) < k*slotSize {
 		q.stealBuf = make([]byte, k*slotSize)
@@ -135,7 +166,7 @@ func (q *Queue) copyBlock(victim int, start uint64, k int) ([]task.Desc, error) 
 	if n == 1 {
 		sp := spans[0]
 		addr := q.tasksAddr + shmem.Addr(sp.Start*slotSize)
-		if err := q.ctx.Get(victim, addr, buf); err != nil {
+		if err := sc.Get(victim, addr, buf); err != nil {
 			return nil, err
 		}
 	} else {
@@ -145,7 +176,7 @@ func (q *Queue) copyBlock(victim int, start uint64, k int) ([]task.Desc, error) 
 				N:    spans[i].Count * slotSize,
 			}
 		}
-		if err := q.ctx.GetV(victim, q.stealSpans[:n], buf); err != nil {
+		if err := sc.GetV(victim, q.stealSpans[:n], buf); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,224 @@
+package inspect
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sws/internal/shmem"
+	"sws/internal/trace"
+)
+
+// synthDumps builds a two-rank journal pair for one complete steal
+// (rank 0 stealing from rank 1), a dangling span (its end lost to a
+// crash), a dead-rank observation from each side of the world, and a
+// supervisor kill journal.
+func synthDumps() []trace.FlightDump {
+	span := uint64(1)<<48 | 7 // initiator rank 0, seq 7
+	lost := uint64(2)<<48 | 1 // initiator rank 1, never ended
+	ns := func(n int64) time.Duration { return time.Duration(n) }
+	r0 := trace.FlightDump{Rank: 0, NumPEs: 3, Reason: "steal failed: peer dead", WallNS: 1000, Events: []trace.Event{
+		{At: ns(100), PE: 0, Kind: trace.StealSpanStart, A: 1, Span: span},
+		{At: ns(150), PE: 0, Kind: trace.CommOp, A: int64(shmem.OpLoad), B: 40, Span: span},
+		{At: ns(250), PE: 0, Kind: trace.CommOp, A: int64(shmem.OpFetchAdd), B: 60, Span: span},
+		{At: ns(380), PE: 0, Kind: trace.CommOp, A: int64(shmem.OpGetV), B: 90, Span: span},
+		{At: ns(430), PE: 0, Kind: trace.CommOp, A: int64(shmem.OpStoreNBI), B: 20, Span: span},
+		{At: ns(450), PE: 0, Kind: trace.StealSpanEnd, A: 1, B: 3, Span: span},
+		{At: ns(500), PE: 0, Kind: trace.QueueDepth, A: 0, B: 0},
+		{At: ns(600), PE: 0, Kind: trace.PeerState, A: 2, B: int64(shmem.PeerDead)},
+	}}
+	r1 := trace.FlightDump{Rank: 1, NumPEs: 3, Reason: "steal failed: peer dead", WallNS: 1000, Events: []trace.Event{
+		{At: ns(130), PE: 1, Kind: trace.VictimOp, A: int64(shmem.OpLoad), B: 0, Span: span},
+		{At: ns(230), PE: 1, Kind: trace.VictimOp, A: int64(shmem.OpFetchAdd), B: 0, Span: span},
+		{At: ns(360), PE: 1, Kind: trace.VictimOp, A: int64(shmem.OpGetV), B: 0, Span: span},
+		{At: ns(420), PE: 1, Kind: trace.VictimOp, A: int64(shmem.OpStoreNBI), B: 0, Span: span},
+		{At: ns(700), PE: 1, Kind: trace.StealSpanStart, A: 2, Span: lost},
+		{At: ns(710), PE: 1, Kind: trace.CommOp, A: int64(shmem.OpLoad), B: 55, Span: lost},
+		{At: ns(720), PE: 1, Kind: trace.PeerState, A: 2, B: int64(shmem.PeerDead)},
+	}}
+	sup := trace.FlightDump{Rank: -1, NumPEs: 3, Reason: "supervisor: SIGKILLed rank 2", WallNS: 1000, Events: []trace.Event{
+		{At: ns(650), PE: -1, Kind: trace.PeerState, A: 2, B: int64(shmem.PeerDead)},
+	}}
+	return []trace.FlightDump{r0, r1, sup}
+}
+
+func TestBuildMergesSpanTree(t *testing.T) {
+	r := Build(synthDumps())
+	if r.NumPEs != 3 {
+		t.Fatalf("NumPEs = %d, want 3", r.NumPEs)
+	}
+	if len(r.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(r.Spans))
+	}
+	s := r.Spans[0]
+	if s.Initiator != 0 || s.Victim != 1 {
+		t.Fatalf("span endpoints = %d -> %d, want 0 -> 1", s.Initiator, s.Victim)
+	}
+	if !s.HasStart || !s.HasEnd || s.Outcome != 3 {
+		t.Fatalf("span completion = start %v end %v outcome %d, want complete stolen(3)",
+			s.HasStart, s.HasEnd, s.Outcome)
+	}
+	if s.Duration() != 350 {
+		t.Fatalf("span duration = %v, want 350ns", s.Duration())
+	}
+	if len(s.Ops) != 4 || len(s.VictimOps) != 4 {
+		t.Fatalf("ops = %d initiator + %d victim, want 4 + 4", len(s.Ops), len(s.VictimOps))
+	}
+	wantPhases := []string{"probe", "claim", "copy", "ack"}
+	for i, p := range wantPhases {
+		if s.Ops[i].Phase != p {
+			t.Errorf("initiator op %d phase = %q, want %q", i, s.Ops[i].Phase, p)
+		}
+		if s.VictimOps[i].Phase != p {
+			t.Errorf("victim op %d phase = %q, want %q", i, s.VictimOps[i].Phase, p)
+		}
+	}
+
+	dangling := r.Spans[1]
+	if dangling.HasEnd || dangling.OutcomeString() != "lost" {
+		t.Fatalf("dangling span = end %v %q, want lost", dangling.HasEnd, dangling.OutcomeString())
+	}
+	if dangling.Initiator != 1 || dangling.Victim != 2 {
+		t.Fatalf("dangling endpoints = %d -> %d, want 1 -> 2", dangling.Initiator, dangling.Victim)
+	}
+}
+
+func TestBuildDeadRanksAndWitnesses(t *testing.T) {
+	r := Build(synthDumps())
+	if got := r.DeadRanks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("DeadRanks = %v, want [2]", got)
+	}
+	// Three independent witnesses: ranks 0 and 1, and the supervisor.
+	if len(r.Dead) != 3 {
+		t.Fatalf("death observations = %d, want 3", len(r.Dead))
+	}
+	supervisors := 0
+	for _, d := range r.Dead {
+		if d.Rank != 2 {
+			t.Errorf("observation names rank %d, want 2", d.Rank)
+		}
+		if d.Supervisor() {
+			supervisors++
+		}
+	}
+	if supervisors != 1 {
+		t.Fatalf("supervisor observations = %d, want 1", supervisors)
+	}
+}
+
+func TestPhaseStatsAndHeatmap(t *testing.T) {
+	r := Build(synthDumps())
+	ps := r.PhaseStats()
+	byPhase := map[string]PhaseStat{}
+	for _, p := range ps {
+		byPhase[p.Phase] = p
+	}
+	if p := byPhase["probe"]; p.Count != 2 || p.Min != 40 || p.Max != 55 {
+		t.Fatalf("probe stat = %+v, want count 2, min 40ns, max 55ns", p)
+	}
+	if p := byPhase["copy"]; p.Count != 1 || p.Mean != 90 {
+		t.Fatalf("copy stat = %+v, want count 1, mean 90ns", p)
+	}
+	hm := r.VictimHeatmap()
+	if hm[0][1] != 1 || hm[1][2] != 1 || hm[0][2] != 0 {
+		t.Fatalf("heatmap = %v, want [0][1]=1 [1][2]=1 [0][2]=0", hm)
+	}
+	st := r.Starvation()
+	if st[0].Attempts != 1 || st[0].Stolen != 1 || st[0].IdleSamples != 1 {
+		t.Fatalf("rank 0 starvation = %+v, want 1 attempt, 1 stolen, 1 idle sample", st[0])
+	}
+	if st[1].Attempts != 1 || st[1].Errors != 1 {
+		t.Fatalf("rank 1 starvation = %+v, want 1 attempt counted as error (lost span)", st[1])
+	}
+}
+
+func TestWriteTextNamesDeadRankAndPhases(t *testing.T) {
+	r := Build(synthDumps())
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"dead ranks: [2]",
+		"supervisor kill journal",
+		"rank 0's failure detector",
+		"probe", "claim", "copy", "ack",
+		"stolen(3)",
+		"victim heatmap",
+		"starvation",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePerfettoIsValidTraceJSON(t *testing.T) {
+	r := Build(synthDumps())
+	var buf bytes.Buffer
+	if err := r.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not JSON: %v", err)
+	}
+	var haveSpanSlice, haveFlowStart, haveFlowEnd, haveVictimInstant bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e["cat"] == "steal" && e["ph"] == "X":
+			haveSpanSlice = true
+		case e["cat"] == "steal" && e["ph"] == "s":
+			haveFlowStart = true
+		case e["cat"] == "steal" && e["ph"] == "f":
+			haveFlowEnd = true
+		case e["cat"] == "steal-victim" && e["ph"] == "i":
+			haveVictimInstant = true
+		}
+	}
+	if !haveSpanSlice || !haveFlowStart || !haveFlowEnd || !haveVictimInstant {
+		t.Fatalf("perfetto trace missing shapes: slice=%v flowStart=%v flowEnd=%v victim=%v",
+			haveSpanSlice, haveFlowStart, haveFlowEnd, haveVictimInstant)
+	}
+}
+
+func TestLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, d := range synthDumps() {
+		f := trace.NewFlight(d.Rank, len(d.Events))
+		for _, e := range d.Events {
+			f.RecordAt(e.At, e.Kind, e.A, e.B, e.Span)
+		}
+		name := trace.FlightDumpName(d.Rank)
+		if d.Rank < 0 {
+			name = "flight-supervisor.jsonl"
+		}
+		file, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteTo(file, d.NumPEs, d.Reason); err != nil {
+			t.Fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Dumps) != 3 || len(r.Spans) != 2 {
+		t.Fatalf("loaded %d dumps, %d spans; want 3 dumps, 2 spans", len(r.Dumps), len(r.Spans))
+	}
+	if got := r.DeadRanks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("DeadRanks after round-trip = %v, want [2]", got)
+	}
+}

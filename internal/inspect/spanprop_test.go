@@ -1,0 +1,209 @@
+package inspect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sws/internal/core"
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/wsq"
+)
+
+// stealAndDump performs one real steal (rank 1 from rank 0) on the given
+// transport with the flight recorder on, dumps the journals, and returns
+// the merged report. This is the end-to-end check of the tentpole: a
+// span ID assigned at the initiator survives the wire and the victim's
+// applies come back tagged with it.
+func stealAndDump(t *testing.T, kind shmem.TransportKind) *Report {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := shmem.NewWorld(shmem.Config{
+		NumPEs: 2, HeapBytes: 8 << 20, Transport: kind, FlightDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *shmem.Ctx) error {
+		q, err := core.NewQueue(c, core.Options{Epochs: true})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for i := 0; i < 64; i++ {
+				if err := q.Push(task.Desc{Handle: 0, Payload: task.Args(uint64(i))}); err != nil {
+					return err
+				}
+			}
+			if _, err := q.Release(); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			return c.Barrier()
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		tasks, out, err := q.Steal(0)
+		if err != nil {
+			return err
+		}
+		if out != wsq.Stolen || len(tasks) == 0 {
+			t.Errorf("%v: steal outcome %v, %d tasks", kind, out, len(tasks))
+		}
+		if err := c.Quiet(); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DumpFlight("test dump"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSpanPropagationRoundTrip runs the same single-steal scenario on
+// every transport and checks the journals merge into one span tree with
+// both initiator- and victim-side events.
+func TestSpanPropagationRoundTrip(t *testing.T) {
+	for _, kind := range []shmem.TransportKind{
+		shmem.TransportLocal, shmem.TransportTCP, shmem.TransportSim,
+	} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			r := stealAndDump(t, kind)
+			var stolen *Span
+			for _, s := range r.Spans {
+				if s.HasEnd && s.Outcome > 0 {
+					stolen = s
+					break
+				}
+			}
+			if stolen == nil {
+				t.Fatalf("no completed successful span in %d spans", len(r.Spans))
+			}
+			if stolen.Initiator != 1 || stolen.Victim != 0 {
+				t.Fatalf("span endpoints %d -> %d, want 1 -> 0", stolen.Initiator, stolen.Victim)
+			}
+			if !stolen.HasStart || stolen.Duration() <= 0 {
+				t.Fatalf("span incomplete: start=%v dur=%v", stolen.HasStart, stolen.Duration())
+			}
+			initiatorPhases := map[string]bool{}
+			for _, op := range stolen.Ops {
+				if op.PE != 1 {
+					t.Errorf("initiator op recorded by PE %d, want 1", op.PE)
+				}
+				initiatorPhases[op.Phase] = true
+			}
+			for _, phase := range []string{"claim", "copy"} {
+				if !initiatorPhases[phase] {
+					t.Errorf("initiator side missing %q phase (have %v)", phase, initiatorPhases)
+				}
+			}
+			if len(stolen.VictimOps) == 0 {
+				t.Fatal("no victim-side events carried the span ID over the wire")
+			}
+			victimPhases := map[string]bool{}
+			for _, op := range stolen.VictimOps {
+				if op.PE != 0 {
+					t.Errorf("victim op recorded by PE %d, want 0", op.PE)
+				}
+				victimPhases[op.Phase] = true
+			}
+			if !victimPhases["claim"] {
+				t.Errorf("victim side missing the claim apply (have %v)", victimPhases)
+			}
+
+			// The merged tree must render with both sides, and the phase
+			// table must carry per-phase latencies.
+			var buf bytes.Buffer
+			if err := r.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range []string{"[initiator 1]", "[victim 0]", "claim", "copy"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("text report missing %q", want)
+				}
+			}
+			found := false
+			for _, p := range r.PhaseStats() {
+				if p.Phase == "claim" && p.Count > 0 && p.Mean > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("phase stats missing a claim latency")
+			}
+
+			// And the Perfetto export must carry the span as a slice plus
+			// victim instants tagged with the same hex span ID.
+			var pbuf bytes.Buffer
+			if err := r.WritePerfetto(&pbuf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(pbuf.String(), hexSpan(stolen.ID)) {
+				t.Error("perfetto trace does not mention the span ID")
+			}
+		})
+	}
+}
+
+// TestSpanIDsAreUntaggedForNonStealTraffic checks plain Ctx operations
+// stay span-free: only steal-path traffic may carry span IDs, so the
+// journals never misattribute barrier or heartbeat ops to a steal.
+func TestSpanIDsAreUntaggedForNonStealTraffic(t *testing.T) {
+	dir := t.TempDir()
+	w, err := shmem.NewWorld(shmem.Config{
+		NumPEs: 2, HeapBytes: 1 << 20, FlightDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(c *shmem.Ctx) error {
+		addr, err := c.Alloc(8)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			if _, err := c.FetchAdd64(0, addr, 1); err != nil {
+				return err
+			}
+			if _, err := c.Load64(0, addr); err != nil {
+				return err
+			}
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DumpFlight("untagged check"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spans) != 0 {
+		t.Fatalf("plain Ctx traffic produced %d spans, want 0", len(r.Spans))
+	}
+	for _, e := range r.Timeline {
+		if e.Span != 0 {
+			t.Fatalf("untagged op carried span %#x: %v", e.Span, e)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -54,5 +55,24 @@ func Serve(addr string, g *Gatherer) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops the server abruptly, dropping in-flight responses.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes immediately
+// (nothing leaks even if ctx expires) while in-flight responses — e.g. a
+// monitor's final scrape racing a degraded exit — get until ctx's
+// deadline to flush.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// ShutdownTimeout is Shutdown with a bounded wait, for defer-friendly
+// call sites.
+func (s *Server) ShutdownTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return s.Shutdown(ctx)
+}

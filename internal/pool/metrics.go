@@ -63,9 +63,9 @@ func (p *Pool) metricsSource() obs.SourceFunc {
 			float64(lv.remoteSent.Load()), pe, proto, obs.L("dir", "sent"))
 		e.Counter("sws_pool_remote_spawns_total", "Remote spawns received.",
 			float64(lv.remoteRecv.Load()), pe, proto, obs.L("dir", "recv"))
-		e.Gauge("sws_pool_queue_depth", "Queue depth by portion (refreshed periodically).",
+		e.Gauge("sws_pool_queue_depth_tasks", "Queue depth by portion (refreshed periodically).",
 			float64(lv.qLocal.Load()), pe, proto, obs.L("portion", "local"))
-		e.Gauge("sws_pool_queue_depth", "Queue depth by portion (refreshed periodically).",
+		e.Gauge("sws_pool_queue_depth_tasks", "Queue depth by portion (refreshed periodically).",
 			float64(lv.qShared.Load()), pe, proto, obs.L("portion", "shared"))
 		e.Gauge("sws_pool_epoch", "Completion-epoch number (SWS protocols).",
 			float64(lv.epoch.Load()), pe, proto)

@@ -272,7 +272,11 @@ type Pool struct {
 	st      stats.PE
 	tr      *trace.Buffer
 	elapsed time.Duration
-	ran     bool
+
+	// flightQLocal/flightQShared are the last queue depths journaled to
+	// the flight recorder (dedup so idle polling does not flood the ring).
+	flightQLocal, flightQShared int64
+	ran                         bool
 
 	// lat holds this PE's scheduling-op latency histograms (always
 	// recorded; each record is one atomic add).
@@ -507,6 +511,7 @@ func (p *Pool) recordEpochFlip(moved int64) {
 	}
 	epoch := int64(p.coreQ.Epoch())
 	p.tr.Record(trace.EpochFlip, epoch, moved)
+	p.ctx.FlightRecord(trace.EpochFlip, epoch, moved)
 	if p.live != nil {
 		p.live.epoch.Store(epoch)
 	}

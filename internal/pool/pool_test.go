@@ -493,7 +493,7 @@ func TestMetricsAndLatency(t *testing.T) {
 		"sws_pool_tasks_executed_total",
 		"sws_pool_steals_total",
 		`outcome="ok"`,
-		`sws_pool_queue_depth{pe="0"`,
+		`sws_pool_queue_depth_tasks{pe="0"`,
 		"sws_pool_op_latency_seconds",
 		"sws_pool_terminated",
 		"sws_shmem_remote_ops_total",

@@ -149,9 +149,16 @@ func (p *Pool) stepProgress(iter int) error {
 	if err := p.q.Progress(); err != nil {
 		return err
 	}
+	local, shared := int64(p.q.LocalCount()), int64(p.q.SharedAvail())
 	if p.live != nil {
-		p.live.qLocal.Store(int64(p.q.LocalCount()))
-		p.live.qShared.Store(int64(p.q.SharedAvail()))
+		p.live.qLocal.Store(local)
+		p.live.qShared.Store(shared)
+	}
+	// Journal the depth only when it moved: an idle PE polling Progress
+	// must not flood its flight ring with identical samples.
+	if local != p.flightQLocal || shared != p.flightQShared {
+		p.flightQLocal, p.flightQShared = local, shared
+		p.ctx.FlightRecord(trace.QueueDepth, local, shared)
 	}
 	return nil
 }
@@ -236,6 +243,11 @@ func (p *Pool) stepCheckTermination() (bool, error) {
 				p.live.degraded.Store(1)
 				p.live.tasksLost.Store(p.det.Lost)
 			}
+		}
+		if p.det.Degraded {
+			// Degraded termination means work was written off with dead
+			// PEs — exactly the post-mortem the journals exist for.
+			_ = p.ctx.FlightDump("degraded termination")
 		}
 	}
 	return done, nil

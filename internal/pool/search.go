@@ -230,6 +230,12 @@ func (p *Pool) search() (bool, error) {
 			p.st.StealTransportErrs++
 			p.st.SearchTime += el
 			p.tr.Record(trace.PeerDeath, int64(v), 1)
+			if dead || errors.Is(err, shmem.ErrOpTimeout) {
+				// First peer-death/timeout observation dumps the journal
+				// (once per process): the ring still holds the protocol
+				// traffic leading up to the failure.
+				_ = p.ctx.FlightDump("steal failed: " + err.Error())
+			}
 			if p.live != nil {
 				p.live.stealTransportErrs.Add(1)
 				p.live.quarantined.Store(int64(p.quar.active()))

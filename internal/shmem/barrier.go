@@ -151,7 +151,7 @@ func (b *heapBarrier) wait() error {
 		return err
 	}
 	myGen := b.gen
-	prev, err := b.w.transport.fetchAdd64(b.rank, 0, barrierArriveAddr, 1)
+	prev, err := b.w.transport.fetchAdd64(b.rank, 0, barrierArriveAddr, 1, 0)
 	if err != nil {
 		return fmt.Errorf("shmem: barrier arrive: %w", err)
 	}
@@ -159,10 +159,10 @@ func (b *heapBarrier) wait() error {
 		// Last arriver: reset the count for the next generation, then
 		// release everyone. The order matters — the count must be clean
 		// before any released PE can arrive at the next barrier.
-		if err := b.w.transport.store64(b.rank, 0, barrierArriveAddr, 0); err != nil {
+		if err := b.w.transport.store64(b.rank, 0, barrierArriveAddr, 0, 0); err != nil {
 			return fmt.Errorf("shmem: barrier reset: %w", err)
 		}
-		if _, err := b.w.transport.fetchAdd64(b.rank, 0, barrierGenAddr, 1); err != nil {
+		if _, err := b.w.transport.fetchAdd64(b.rank, 0, barrierGenAddr, 1, 0); err != nil {
 			return fmt.Errorf("shmem: barrier release: %w", err)
 		}
 		b.gen++
@@ -170,7 +170,7 @@ func (b *heapBarrier) wait() error {
 	}
 	deadline := time.Now().Add(b.timeout)
 	for {
-		g, err := b.w.transport.load64(b.rank, 0, barrierGenAddr)
+		g, err := b.w.transport.load64(b.rank, 0, barrierGenAddr, 0)
 		if err != nil {
 			return fmt.Errorf("shmem: barrier poll: %w", err)
 		}

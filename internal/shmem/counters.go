@@ -178,6 +178,19 @@ func (s CounterSnapshot) Sub(earlier CounterSnapshot) CounterSnapshot {
 	return d
 }
 
+// Add returns the element-wise sum s + other, for aggregating the
+// counters of several ranks into one world-level snapshot.
+func (s CounterSnapshot) Add(other CounterSnapshot) CounterSnapshot {
+	var d CounterSnapshot
+	for i := range s.Ops {
+		d.Ops[i] = s.Ops[i] + other.Ops[i]
+	}
+	d.BytesPut = s.BytesPut + other.BytesPut
+	d.BytesGot = s.BytesGot + other.BytesGot
+	d.Local = s.Local + other.Local
+	return d
+}
+
 // Total returns the total number of remote operations in the snapshot.
 func (s CounterSnapshot) Total() uint64 {
 	var t uint64

@@ -103,6 +103,89 @@ func (c *Ctx) latEnd(op Op, remote bool, t0 time.Time) {
 	}
 }
 
+// latEndSpan is latEnd for a span-tagged remote operation: besides the
+// latency sample and trace event, the op lands in this PE's flight
+// journal so the initiator side of a steal survives to a post-mortem
+// dump. The trace event carries the span so Perfetto groups the steal's
+// sub-ops.
+func (c *Ctx) latEndSpan(op Op, t0 time.Time, span uint64) {
+	if span == 0 {
+		c.latEnd(op, true, t0)
+		return
+	}
+	// One clock read serves both the latency sample and the journal
+	// timestamp; the flight ring converts it without reading again.
+	var d time.Duration
+	var end time.Time
+	if c.rec {
+		end = time.Now()
+		d = end.Sub(t0)
+		c.counters.recordLat(op, true, d)
+	}
+	c.tr.RecordSpan(trace.CommOp, int64(op), int64(d), span)
+	c.w.flight.PE(c.rank).RecordTime(end, trace.CommOp, int64(op), int64(d), span)
+}
+
+// RecordSpanEvent records a span lifecycle event (start/end) into both
+// the attached trace buffer and this PE's flight journal. The steal
+// implementation calls it around each attempt.
+func (c *Ctx) RecordSpanEvent(k trace.Kind, a, b int64, span uint64) {
+	c.tr.RecordSpan(k, a, b, span)
+	c.w.flight.PE(c.rank).Record(k, a, b, span)
+}
+
+// FlightRecord records a non-span diagnostic event (queue depth, epoch
+// flip, peer transitions observed by the runtime) into this PE's flight
+// journal.
+func (c *Ctx) FlightRecord(k trace.Kind, a, b int64) {
+	c.w.flight.PE(c.rank).Record(k, a, b, 0)
+}
+
+// FlightDump dumps every flight ring this process hosts to the world's
+// configured flight directory, tagged with reason. It is a no-op when no
+// directory is configured; the first dump wins and later calls return
+// nil (one failure produces one journal set, not one per observer).
+func (c *Ctx) FlightDump(reason string) error { return c.w.DumpFlight(reason) }
+
+// SpanCtx is a view of a Ctx whose remote operations carry a causal span
+// ID: the transports deliver the span to the target so both sides of a
+// steal record the same span into their flight journals. The zero-span
+// view behaves exactly like the plain Ctx. SpanCtx is a value — creating
+// one allocates nothing.
+type SpanCtx struct {
+	c    *Ctx
+	span uint64
+}
+
+// WithSpan returns a view whose operations are tagged with span.
+func (c *Ctx) WithSpan(span uint64) SpanCtx { return SpanCtx{c: c, span: span} }
+
+// Load64 is Ctx.Load64 carrying the view's span.
+func (s SpanCtx) Load64(pe int, addr Addr) (uint64, error) { return s.c.load64(pe, addr, s.span) }
+
+// FetchAdd64 is Ctx.FetchAdd64 carrying the view's span.
+func (s SpanCtx) FetchAdd64(pe int, addr Addr, delta uint64) (uint64, error) {
+	return s.c.fetchAdd64(pe, addr, delta, s.span)
+}
+
+// Get is Ctx.Get carrying the view's span.
+func (s SpanCtx) Get(pe int, addr Addr, dst []byte) error { return s.c.get(pe, addr, dst, s.span) }
+
+// GetV is Ctx.GetV carrying the view's span.
+func (s SpanCtx) GetV(pe int, spans []Span, dst []byte) error {
+	return s.c.getV(pe, spans, dst, s.span)
+}
+
+// Store64NBI is Ctx.Store64NBI carrying the view's span.
+func (s SpanCtx) Store64NBI(pe int, addr Addr, val uint64) error {
+	return s.c.store64NBI(pe, addr, val, s.span)
+}
+
+// FetchAddGet is Ctx.FetchAddGet carrying the view's span.
+func (s SpanCtx) FetchAddGet(pe int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
+	return s.c.fetchAddGet(pe, addr, delta, id, s.span)
+}
+
 // Rank returns this PE's rank in [0, NumPEs).
 func (c *Ctx) Rank() int { return c.rank }
 
@@ -254,13 +337,15 @@ func (c *Ctx) Put(pe int, addr Addr, src []byte) error {
 	}
 	c.counters.countRemote(OpPut, len(src))
 	t0 := c.latStart()
-	err := c.w.transport.put(c.rank, pe, addr, src)
+	err := c.w.transport.put(c.rank, pe, addr, src, 0)
 	c.latEnd(OpPut, true, t0)
 	return err
 }
 
 // Get copies len(dst) bytes from PE pe's heap at addr into dst.
-func (c *Ctx) Get(pe int, addr Addr, dst []byte) error {
+func (c *Ctx) Get(pe int, addr Addr, dst []byte) error { return c.get(pe, addr, dst, 0) }
+
+func (c *Ctx) get(pe int, addr Addr, dst []byte, span uint64) error {
 	if pe == c.rank {
 		if err := c.self.checkRange(addr, len(dst)); err != nil {
 			return err
@@ -276,8 +361,8 @@ func (c *Ctx) Get(pe int, addr Addr, dst []byte) error {
 	}
 	c.counters.countRemote(OpGet, len(dst))
 	t0 := c.latStart()
-	err := c.w.transport.get(c.rank, pe, addr, dst)
-	c.latEnd(OpGet, true, t0)
+	err := c.w.transport.get(c.rank, pe, addr, dst, span)
+	c.latEndSpan(OpGet, t0, span)
 	return err
 }
 
@@ -286,7 +371,9 @@ func (c *Ctx) Get(pe int, addr Addr, dst []byte) error {
 // total length. A circular-buffer block that wraps the physical end of
 // the buffer is the motivating case: two spans, still one communication,
 // preserving the protocols' comms-per-steal bounds unconditionally.
-func (c *Ctx) GetV(pe int, spans []Span, dst []byte) error {
+func (c *Ctx) GetV(pe int, spans []Span, dst []byte) error { return c.getV(pe, spans, dst, 0) }
+
+func (c *Ctx) getV(pe int, spans []Span, dst []byte, span uint64) error {
 	total := 0
 	for _, sp := range spans {
 		if sp.N < 0 {
@@ -318,14 +405,18 @@ func (c *Ctx) GetV(pe int, spans []Span, dst []byte) error {
 	}
 	c.counters.countRemote(OpGetV, len(dst))
 	t0 := c.latStart()
-	err := c.w.transport.getv(c.rank, pe, spans, dst)
-	c.latEnd(OpGetV, true, t0)
+	err := c.w.transport.getv(c.rank, pe, spans, dst, span)
+	c.latEndSpan(OpGetV, t0, span)
 	return err
 }
 
 // FetchAdd64 atomically adds delta to the word at addr on PE pe and
 // returns the previous value.
 func (c *Ctx) FetchAdd64(pe int, addr Addr, delta uint64) (uint64, error) {
+	return c.fetchAdd64(pe, addr, delta, 0)
+}
+
+func (c *Ctx) fetchAdd64(pe int, addr Addr, delta uint64, span uint64) (uint64, error) {
 	if pe == c.rank {
 		i, err := c.self.checkWord(addr)
 		if err != nil {
@@ -342,8 +433,8 @@ func (c *Ctx) FetchAdd64(pe int, addr Addr, delta uint64) (uint64, error) {
 	}
 	c.counters.countRemote(OpFetchAdd, 0)
 	t0 := c.latStart()
-	v, err := c.w.transport.fetchAdd64(c.rank, pe, addr, delta)
-	c.latEnd(OpFetchAdd, true, t0)
+	v, err := c.w.transport.fetchAdd64(c.rank, pe, addr, delta, span)
+	c.latEndSpan(OpFetchAdd, t0, span)
 	return v, err
 }
 
@@ -366,7 +457,7 @@ func (c *Ctx) Swap64(pe int, addr Addr, val uint64) (uint64, error) {
 	}
 	c.counters.countRemote(OpSwap, 0)
 	t0 := c.latStart()
-	v, err := c.w.transport.swap64(c.rank, pe, addr, val)
+	v, err := c.w.transport.swap64(c.rank, pe, addr, val, 0)
 	c.latEnd(OpSwap, true, t0)
 	return v, err
 }
@@ -398,13 +489,15 @@ func (c *Ctx) CompareSwap64(pe int, addr Addr, old, new uint64) (uint64, error) 
 	}
 	c.counters.countRemote(OpCompareSwap, 0)
 	t0 := c.latStart()
-	v, err := c.w.transport.compareSwap64(c.rank, pe, addr, old, new)
+	v, err := c.w.transport.compareSwap64(c.rank, pe, addr, old, new, 0)
 	c.latEnd(OpCompareSwap, true, t0)
 	return v, err
 }
 
 // Load64 atomically fetches the word at addr on PE pe.
-func (c *Ctx) Load64(pe int, addr Addr) (uint64, error) {
+func (c *Ctx) Load64(pe int, addr Addr) (uint64, error) { return c.load64(pe, addr, 0) }
+
+func (c *Ctx) load64(pe int, addr Addr, span uint64) (uint64, error) {
 	if pe == c.rank {
 		i, err := c.self.checkWord(addr)
 		if err != nil {
@@ -421,8 +514,8 @@ func (c *Ctx) Load64(pe int, addr Addr) (uint64, error) {
 	}
 	c.counters.countRemote(OpLoad, 0)
 	t0 := c.latStart()
-	v, err := c.w.transport.load64(c.rank, pe, addr)
-	c.latEnd(OpLoad, true, t0)
+	v, err := c.w.transport.load64(c.rank, pe, addr, span)
+	c.latEndSpan(OpLoad, t0, span)
 	return v, err
 }
 
@@ -445,7 +538,7 @@ func (c *Ctx) Store64(pe int, addr Addr, val uint64) error {
 	}
 	c.counters.countRemote(OpStore, 0)
 	t0 := c.latStart()
-	err := c.w.transport.store64(c.rank, pe, addr, val)
+	err := c.w.transport.store64(c.rank, pe, addr, val, 0)
 	c.latEnd(OpStore, true, t0)
 	return err
 }
@@ -456,6 +549,10 @@ func (c *Ctx) Store64(pe int, addr Addr, val uint64) error {
 // is observed via Quiet (or Barrier). Self-targeted stores apply
 // immediately.
 func (c *Ctx) Store64NBI(pe int, addr Addr, val uint64) error {
+	return c.store64NBI(pe, addr, val, 0)
+}
+
+func (c *Ctx) store64NBI(pe int, addr Addr, val uint64, span uint64) error {
 	if pe == c.rank {
 		return c.Store64(pe, addr, val)
 	}
@@ -463,7 +560,18 @@ func (c *Ctx) Store64NBI(pe int, addr Addr, val uint64) error {
 		return err
 	}
 	c.counters.countRemote(OpStoreNBI, 0)
-	return c.w.transport.storeNBI(c.rank, pe, addr, val)
+	err := c.w.transport.storeNBI(c.rank, pe, addr, val, span)
+	if span != 0 {
+		// Non-blocking injection: no latency to attribute. The opt-in
+		// trace buffer shows the ack was issued (duration 0 = injected);
+		// the flight journal deliberately does not — the issue is implied
+		// by the span-end outcome, and the diagnostic that matters for
+		// weak ordering is the victim-side apply, which the transports
+		// record. Skipping it keeps the always-on steal path at two
+		// clock reads (span start and end).
+		c.tr.RecordSpan(trace.CommOp, int64(OpStoreNBI), 0, span)
+	}
+	return err
 }
 
 // Add64NBI injects a non-fetching atomic add and returns immediately.
@@ -476,7 +584,7 @@ func (c *Ctx) Add64NBI(pe int, addr Addr, delta uint64) error {
 		return err
 	}
 	c.counters.countRemote(OpAddNBI, 0)
-	return c.w.transport.addNBI(c.rank, pe, addr, delta)
+	return c.w.transport.addNBI(c.rank, pe, addr, delta, 0)
 }
 
 // PutNBI injects a bulk put and returns immediately.
@@ -488,7 +596,7 @@ func (c *Ctx) PutNBI(pe int, addr Addr, src []byte) error {
 		return err
 	}
 	c.counters.countRemote(OpPutNBI, len(src))
-	return c.w.transport.putNBI(c.rank, pe, addr, src)
+	return c.w.transport.putNBI(c.rank, pe, addr, src, 0)
 }
 
 // --- Point-to-point synchronization ----------------------------------------

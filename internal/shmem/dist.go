@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"sws/internal/trace"
 )
 
 // DistConfig describes one process's membership in a multi-process world:
@@ -54,6 +56,11 @@ type DistConfig struct {
 	HeartbeatInterval time.Duration
 	SuspectAfter      time.Duration
 	DeadAfter         time.Duration
+	// FlightCap and FlightDir tune the always-on flight recorder exactly
+	// as the same-named Config knobs do. Each process records (and on a
+	// failure trigger dumps) only its own rank's journal.
+	FlightCap int
+	FlightDir string
 }
 
 func (c *DistConfig) setDefaults() error {
@@ -119,13 +126,17 @@ func Join(cfg DistConfig) (*World, error) {
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			SuspectAfter:      cfg.SuspectAfter,
 			DeadAfter:         cfg.DeadAfter,
+			FlightCap:         cfg.FlightCap,
+			FlightDir:         cfg.FlightDir,
 		},
 		localRank: cfg.Rank,
 	}
+	w.cfg.flightDefaults()
 	w.cfg.livenessDefaults()
 	// Only the local PE's heap exists in this process.
 	w.pes = make([]*peState, cfg.NumPEs)
 	w.pes[cfg.Rank] = newPEState(cfg.Rank, cfg.HeapBytes)
+	w.flight = trace.NewFlightSet(cfg.NumPEs, w.cfg.FlightCap)
 	w.live = newLiveness(w, cfg.NumPEs)
 
 	t, err := newDistTransport(w, cfg)

@@ -75,6 +75,10 @@ func (c *Ctx) RegisterFused(id uint64, f FusedRange) error {
 // the same round trip, returns the bytes selected by the registered
 // handler applied to the prior value. One blocking communication.
 func (c *Ctx) FetchAddGet(pe int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
+	return c.fetchAddGet(pe, addr, delta, id, 0)
+}
+
+func (c *Ctx) fetchAddGet(pe int, addr Addr, delta uint64, id uint64, span uint64) (uint64, []byte, error) {
 	if pe == c.rank {
 		i, err := c.self.checkWord(addr)
 		if err != nil {
@@ -92,8 +96,8 @@ func (c *Ctx) FetchAddGet(pe int, addr Addr, delta uint64, id uint64) (uint64, [
 	}
 	c.counters.countRemote(OpFetchAddGet, 0)
 	t0 := c.latStart()
-	old, data, err := c.w.transport.fetchAddGet(c.rank, pe, addr, delta, id)
-	c.latEnd(OpFetchAddGet, true, t0)
+	old, data, err := c.w.transport.fetchAddGet(c.rank, pe, addr, delta, id, span)
+	c.latEndSpan(OpFetchAddGet, t0, span)
 	if err == nil {
 		c.counters.bytesGot.Add(uint64(len(data)))
 	}

@@ -50,23 +50,30 @@ func (m LatencyModel) blockingCost(n int) time.Duration {
 	return m.BlockingRTT + m.bandwidth(n)
 }
 
-// charge waits out d under the model's occupancy mode.
-func (m LatencyModel) charge(d time.Duration) {
+// charge waits out d under the model's occupancy mode. It returns the
+// clock value its wait loop last read — a timestamp the caller gets for
+// free, used by the flight recorder to stamp the op's apply without a
+// second clock read. A zero return means no wait happened (or the wait
+// slept), so the caller must read the clock itself if it needs one.
+func (m LatencyModel) charge(d time.Duration) time.Time {
 	if m.Occupy {
-		occupy(d)
-		return
+		return occupy(d)
 	}
-	charge(d)
+	return charge(d)
 }
 
 // occupy burns the processor for d without yielding (modulo Go's own
 // asynchronous preemption).
-func occupy(d time.Duration) {
+func occupy(d time.Duration) time.Time {
 	if d <= 0 {
-		return
+		return time.Time{}
 	}
 	start := time.Now()
-	for time.Since(start) < d {
+	for {
+		now := time.Now()
+		if now.Sub(start) >= d {
+			return now
+		}
 	}
 }
 
@@ -84,17 +91,21 @@ func (m LatencyModel) bandwidth(n int) time.Duration {
 // blocked, not computing, and on hosts with fewer cores than PEs the
 // yield is what lets the other PEs use the core in the meantime (this is
 // how an oversubscribed world emulates dedicated cores).
-func charge(d time.Duration) {
+func charge(d time.Duration) time.Time {
 	if d <= 0 {
-		return
+		return time.Time{}
 	}
 	if d >= 200*time.Microsecond {
 		// Long enough for the scheduler to be accurate and courteous.
 		time.Sleep(d)
-		return
+		return time.Time{}
 	}
 	start := time.Now()
-	for time.Since(start) < d {
+	for {
+		now := time.Now()
+		if now.Sub(start) >= d {
+			return now
+		}
 		runtime.Gosched()
 	}
 }

@@ -182,6 +182,7 @@ func (l *Liveness) Kill(rank int) {
 func (l *Liveness) markSuspect(rank int) {
 	if l.states[rank].CompareAndSwap(int32(PeerAlive), int32(PeerSuspect)) {
 		l.events.Add(1)
+		l.w.flightState(rank, PeerSuspect)
 	}
 }
 
@@ -203,6 +204,7 @@ func (l *Liveness) MarkDead(rank int) {
 	}
 	l.events.Add(1)
 	l.deadCount.Add(1)
+	l.w.flightState(rank, PeerDead)
 	l.mu.Lock()
 	hooks := append([]func(int){}, l.onDeath...)
 	l.mu.Unlock()
@@ -253,7 +255,7 @@ func (l *Liveness) startProber(selfRank int) {
 				if r == selfRank || !l.Alive(r) {
 					continue
 				}
-				v, err := l.w.transport.load64(selfRank, r, heartbeatAddr)
+				v, err := l.w.transport.load64(selfRank, r, heartbeatAddr, 0)
 				p := &peers[r]
 				if err == nil && (!p.seen || v != p.lastVal) {
 					p.seen = true

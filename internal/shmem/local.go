@@ -31,6 +31,7 @@ type nbiOp struct {
 	addr  Addr
 	val   uint64  // for storeNBI / addNBI
 	data  *[]byte // for putNBI (pooled copy, recycled by the applier)
+	span  uint64  // causal span tag, recorded at apply time
 	delay time.Duration
 	dup   bool
 }
@@ -63,6 +64,7 @@ func (a *nbiApplier) run() {
 			time.Sleep(op.delay)
 		}
 		a.apply(op)
+		a.w.flightVictim(time.Time{}, op.op, op.from, a.target.rank, op.span)
 		if op.dup {
 			a.apply(op)
 		}
@@ -113,7 +115,7 @@ func (t *localTransport) inject(op Op, from, to int, addr Addr) Verdict {
 	return Verdict{}
 }
 
-func (t *localTransport) put(from, to int, addr Addr, src []byte) error {
+func (t *localTransport) put(from, to int, addr Addr, src []byte, span uint64) error {
 	pe, err := t.pe(to)
 	if err != nil {
 		return err
@@ -122,15 +124,16 @@ func (t *localTransport) put(from, to int, addr Addr, src []byte) error {
 		return err
 	}
 	v := t.inject(OpPut, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(src)) + v.Delay)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(src)) + v.Delay)
 	if err := v.failure(); err != nil {
 		return opError(OpPut, from, to, err)
 	}
 	pe.copyIn(addr, src)
+	t.w.flightVictim(at, OpPut, from, to, span)
 	return nil
 }
 
-func (t *localTransport) get(from, to int, addr Addr, dst []byte) error {
+func (t *localTransport) get(from, to int, addr Addr, dst []byte, span uint64) error {
 	pe, err := t.pe(to)
 	if err != nil {
 		return err
@@ -139,15 +142,16 @@ func (t *localTransport) get(from, to int, addr Addr, dst []byte) error {
 		return err
 	}
 	v := t.inject(OpGet, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
 	if err := v.failure(); err != nil {
 		return opError(OpGet, from, to, err)
 	}
 	pe.copyOut(addr, dst)
+	t.w.flightVictim(at, OpGet, from, to, span)
 	return nil
 }
 
-func (t *localTransport) getv(from, to int, spans []Span, dst []byte) error {
+func (t *localTransport) getv(from, to int, spans []Span, dst []byte, span uint64) error {
 	pe, err := t.pe(to)
 	if err != nil {
 		return err
@@ -168,7 +172,7 @@ func (t *localTransport) getv(from, to int, spans []Span, dst []byte) error {
 	}
 	v := t.inject(OpGetV, from, to, first)
 	// One round trip covers the whole gather, however many spans.
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
 	if err := v.failure(); err != nil {
 		return opError(OpGetV, from, to, err)
 	}
@@ -177,10 +181,11 @@ func (t *localTransport) getv(from, to int, spans []Span, dst []byte) error {
 		pe.copyOut(sp.Addr, dst[off:off+sp.N])
 		off += sp.N
 	}
+	t.w.flightVictim(at, OpGetV, from, to, span)
 	return nil
 }
 
-func (t *localTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error) {
+func (t *localTransport) fetchAdd64(from, to int, addr Addr, delta uint64, span uint64) (uint64, error) {
 	pe, err := t.pe(to)
 	if err != nil {
 		return 0, err
@@ -190,14 +195,15 @@ func (t *localTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint
 		return 0, err
 	}
 	v := t.inject(OpFetchAdd, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
 	if err := v.failure(); err != nil {
 		return 0, opError(OpFetchAdd, from, to, err)
 	}
+	t.w.flightVictim(at, OpFetchAdd, from, to, span)
 	return atomic.AddUint64(pe.word(i), delta) - delta, nil
 }
 
-func (t *localTransport) swap64(from, to int, addr Addr, val uint64) (uint64, error) {
+func (t *localTransport) swap64(from, to int, addr Addr, val uint64, span uint64) (uint64, error) {
 	pe, err := t.pe(to)
 	if err != nil {
 		return 0, err
@@ -214,7 +220,7 @@ func (t *localTransport) swap64(from, to int, addr Addr, val uint64) (uint64, er
 	return atomic.SwapUint64(pe.word(i), val), nil
 }
 
-func (t *localTransport) compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error) {
+func (t *localTransport) compareSwap64(from, to int, addr Addr, old, new uint64, span uint64) (uint64, error) {
 	pe, err := t.pe(to)
 	if err != nil {
 		return 0, err
@@ -240,7 +246,7 @@ func (t *localTransport) compareSwap64(from, to int, addr Addr, old, new uint64)
 	}
 }
 
-func (t *localTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
+func (t *localTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64, span uint64) (uint64, []byte, error) {
 	pe, err := t.pe(to)
 	if err != nil {
 		return 0, nil, err
@@ -260,11 +266,12 @@ func (t *localTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id u
 		return 0, nil, err
 	}
 	// One round trip covers the claim and the dependent payload.
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(data)) + fv.Delay)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(data)) + fv.Delay)
+	t.w.flightVictim(at, OpFetchAddGet, from, to, span)
 	return old, data, nil
 }
 
-func (t *localTransport) load64(from, to int, addr Addr) (uint64, error) {
+func (t *localTransport) load64(from, to int, addr Addr, span uint64) (uint64, error) {
 	pe, err := t.pe(to)
 	if err != nil {
 		return 0, err
@@ -274,14 +281,15 @@ func (t *localTransport) load64(from, to int, addr Addr) (uint64, error) {
 		return 0, err
 	}
 	v := t.inject(OpLoad, from, to, addr)
-	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
 	if err := v.failure(); err != nil {
 		return 0, opError(OpLoad, from, to, err)
 	}
+	t.w.flightVictim(at, OpLoad, from, to, span)
 	return atomic.LoadUint64(pe.word(i)), nil
 }
 
-func (t *localTransport) store64(from, to int, addr Addr, val uint64) error {
+func (t *localTransport) store64(from, to int, addr Addr, val uint64, span uint64) error {
 	pe, err := t.pe(to)
 	if err != nil {
 		return err
@@ -309,16 +317,16 @@ func (t *localTransport) enqueueNBI(op nbiOp, to int) error {
 	return nil
 }
 
-func (t *localTransport) storeNBI(from, to int, addr Addr, val uint64) error {
+func (t *localTransport) storeNBI(from, to int, addr Addr, val uint64, span uint64) error {
 	v := t.inject(OpStoreNBI, from, to, addr)
 	if v.dropped() {
 		// Silently lost in the fabric: nothing pending, Quiet unaffected.
 		return nil
 	}
-	return t.enqueueNBI(nbiOp{op: OpStoreNBI, from: from, addr: addr, val: val, delay: v.Delay, dup: v.Duplicate}, to)
+	return t.enqueueNBI(nbiOp{op: OpStoreNBI, from: from, addr: addr, val: val, span: span, delay: v.Delay, dup: v.Duplicate}, to)
 }
 
-func (t *localTransport) addNBI(from, to int, addr Addr, delta uint64) error {
+func (t *localTransport) addNBI(from, to int, addr Addr, delta uint64, span uint64) error {
 	v := t.inject(OpAddNBI, from, to, addr)
 	if v.dropped() {
 		return nil
@@ -328,7 +336,7 @@ func (t *localTransport) addNBI(from, to int, addr Addr, delta uint64) error {
 	return t.enqueueNBI(nbiOp{op: OpAddNBI, from: from, addr: addr, val: delta, delay: v.Delay, dup: false}, to)
 }
 
-func (t *localTransport) putNBI(from, to int, addr Addr, src []byte) error {
+func (t *localTransport) putNBI(from, to int, addr Addr, src []byte, span uint64) error {
 	v := t.inject(OpPutNBI, from, to, addr)
 	if v.dropped() {
 		return nil

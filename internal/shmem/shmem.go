@@ -33,10 +33,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
+
+	"sws/internal/trace"
 )
 
 // Addr is a byte offset into the symmetric heap. The same Addr names the
@@ -104,6 +107,18 @@ type Config struct {
 	// clock reads per blocking operation). On by default; the toggle
 	// exists so the overhead benchmark can quantify the cost.
 	NoOpLatency bool
+
+	// FlightCap sizes each PE's always-on flight-recorder ring (events
+	// retained, overwrite-oldest). 0 selects the default (4096);
+	// negative disables the recorder entirely — every record becomes a
+	// nil-receiver no-op, which is what the overhead benchmark compares
+	// against.
+	FlightCap int
+	// FlightDir, when non-empty, is where flight journals are dumped on
+	// failure triggers (peer death, op timeout, degraded termination,
+	// sim deadlock detection). Empty means no automatic dumps; rings can
+	// still be dumped explicitly via World.Flight().
+	FlightDir string
 
 	// DialTimeout bounds connection establishment on the TCP transports
 	// (per-PE service connections). Default 10s.
@@ -178,8 +193,17 @@ func (c *Config) setDefaults() error {
 	if c.FlushInterval == 0 {
 		c.FlushInterval = 200 * time.Microsecond
 	}
+	c.flightDefaults()
 	c.livenessDefaults()
 	return nil
+}
+
+// flightDefaults fills in the flight-recorder knobs; shared with Join,
+// which builds its Config by hand.
+func (c *Config) flightDefaults() {
+	if c.FlightCap == 0 {
+		c.FlightCap = 4096
+	}
 }
 
 // livenessDefaults fills in the fail-fast and failure-detector knobs; it is
@@ -219,6 +243,11 @@ type World struct {
 	// live is the membership view / failure detector (liveness.go).
 	live *Liveness
 
+	// flight holds the always-on per-PE flight-recorder rings (nil when
+	// Config.FlightCap < 0); flightDumped makes failure dumps once-only.
+	flight       *trace.FlightSet
+	flightDumped atomic.Bool
+
 	failed atomic.Bool
 	errMu  sync.Mutex
 	err    error
@@ -255,6 +284,7 @@ func NewWorld(cfg Config) (*World, error) {
 	for i := range w.pes {
 		w.pes[i] = newPEState(i, cfg.HeapBytes)
 	}
+	w.flight = trace.NewFlightSet(cfg.NumPEs, cfg.FlightCap)
 	w.live = newLiveness(w, cfg.NumPEs)
 	w.barrier = newCentralBarrier(cfg.NumPEs)
 	// A dead member can never arrive: unwind current and future barrier
@@ -281,6 +311,58 @@ func NewWorld(cfg Config) (*World, error) {
 
 // NumPEs returns the number of processing elements in the world.
 func (w *World) NumPEs() int { return w.cfg.NumPEs }
+
+// Flight returns the world's flight-recorder rings (nil when disabled).
+func (w *World) Flight() *trace.FlightSet { return w.flight }
+
+// flightVictim records the victim-side application of a span-tagged op
+// into the target PE's flight ring; all three transports call it at
+// their apply points so both halves of a steal land under one span. A
+// non-zero at (typically the latency wait's exit clock read) stamps the
+// event without another clock read; zero means "read the clock now".
+func (w *World) flightVictim(at time.Time, op Op, from, to int, span uint64) {
+	if span == 0 {
+		return
+	}
+	w.flight.PE(to).RecordTime(at, trace.VictimOp, int64(op), int64(from), span)
+}
+
+// flightState journals a failure-detector transition (peer -> new state)
+// into the observing process's flight ring: the local rank's in dist
+// mode, ring 0 for in-process worlds (the detector is world-global
+// there, so one copy suffices).
+func (w *World) flightState(peer int, s PeerState) {
+	obs := w.localRank
+	if obs < 0 {
+		obs = 0
+	}
+	w.flight.PE(obs).Record(trace.PeerState, int64(peer), int64(s), 0)
+}
+
+// DumpFlight writes this process's flight journals to Config.FlightDir,
+// tagged with reason. No-op when no directory is configured or the
+// recorder is disabled; only the first call dumps (a failing run fires
+// several triggers — peer-death observations, op timeouts, degraded
+// termination — and one journal set per process is what post-mortem
+// tooling wants).
+func (w *World) DumpFlight(reason string) error {
+	if w.flight == nil || w.cfg.FlightDir == "" {
+		return nil
+	}
+	if !w.flightDumped.CompareAndSwap(false, true) {
+		return nil
+	}
+	if w.localRank >= 0 {
+		// Distributed: this process hosts exactly one PE; dump its ring
+		// only (peers dump their own).
+		if err := os.MkdirAll(w.cfg.FlightDir, 0o755); err != nil {
+			return err
+		}
+		_, err := w.flight.PE(w.localRank).DumpFile(w.cfg.FlightDir, w.cfg.NumPEs, reason)
+		return err
+	}
+	return w.flight.DumpAll(w.cfg.FlightDir, reason)
+}
 
 // Config returns a copy of the world's (defaulted) configuration.
 func (w *World) Config() Config { return w.cfg }

@@ -122,6 +122,8 @@ type simReq struct {
 	spans   []Span
 	cmp     Cmp
 	timeout time.Duration
+	span    uint64 // causal span ID (0 = untagged); never logged, never
+	// scheduled on — determinism is untouched by tagging.
 }
 
 type simReply struct {
@@ -132,7 +134,7 @@ type simReply struct {
 
 // Per-PE scheduler states.
 const (
-	simPERunning = iota
+	simPERunning     = iota
 	simPEBlockedOp   // parked in a blocking op / start / relax / barrier wake
 	simPEBlockedCond // parked in quiet or wait-until
 	simPEBarrier     // arrived at the barrier, waiting for the others
@@ -169,6 +171,7 @@ type simEvent struct {
 	data       []byte
 	drop       bool
 	pendingDec bool
+	span       uint64
 }
 
 type simEventHeap []simEvent
@@ -180,9 +183,9 @@ func (h simEventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h simEventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *simEventHeap) Push(x any)        { *h = append(*h, x.(simEvent)) }
-func (h *simEventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h simEventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simEventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *simEventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 type simTransport struct {
 	w    *World
@@ -319,65 +322,65 @@ func (t *simTransport) waitLocal(rank int, addr Addr, cmp Cmp, operand uint64, t
 
 // --- transport interface ---------------------------------------------------
 
-func (t *simTransport) blocking(from int, op Op, to int, addr Addr, v1, v2, id uint64, buf []byte, spans []Span) simReply {
-	return t.call(simReq{kind: simReqOp, rank: from, op: op, to: to, addr: addr, v1: v1, v2: v2, id: id, buf: buf, spans: spans})
+func (t *simTransport) blocking(from int, op Op, to int, addr Addr, v1, v2, id uint64, buf []byte, spans []Span, span uint64) simReply {
+	return t.call(simReq{kind: simReqOp, rank: from, op: op, to: to, addr: addr, v1: v1, v2: v2, id: id, buf: buf, spans: spans, span: span})
 }
 
-func (t *simTransport) put(from, to int, addr Addr, src []byte) error {
-	return t.blocking(from, OpPut, to, addr, 0, 0, 0, src, nil).err
+func (t *simTransport) put(from, to int, addr Addr, src []byte, span uint64) error {
+	return t.blocking(from, OpPut, to, addr, 0, 0, 0, src, nil, span).err
 }
 
-func (t *simTransport) get(from, to int, addr Addr, dst []byte) error {
-	return t.blocking(from, OpGet, to, addr, 0, 0, 0, dst, nil).err
+func (t *simTransport) get(from, to int, addr Addr, dst []byte, span uint64) error {
+	return t.blocking(from, OpGet, to, addr, 0, 0, 0, dst, nil, span).err
 }
 
-func (t *simTransport) getv(from, to int, spans []Span, dst []byte) error {
-	return t.blocking(from, OpGetV, to, 0, 0, 0, 0, dst, spans).err
+func (t *simTransport) getv(from, to int, spans []Span, dst []byte, span uint64) error {
+	return t.blocking(from, OpGetV, to, 0, 0, 0, 0, dst, spans, span).err
 }
 
-func (t *simTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error) {
-	rep := t.blocking(from, OpFetchAdd, to, addr, delta, 0, 0, nil, nil)
+func (t *simTransport) fetchAdd64(from, to int, addr Addr, delta uint64, span uint64) (uint64, error) {
+	rep := t.blocking(from, OpFetchAdd, to, addr, delta, 0, 0, nil, nil, span)
 	return rep.val, rep.err
 }
 
-func (t *simTransport) swap64(from, to int, addr Addr, val uint64) (uint64, error) {
-	rep := t.blocking(from, OpSwap, to, addr, val, 0, 0, nil, nil)
+func (t *simTransport) swap64(from, to int, addr Addr, val uint64, span uint64) (uint64, error) {
+	rep := t.blocking(from, OpSwap, to, addr, val, 0, 0, nil, nil, span)
 	return rep.val, rep.err
 }
 
-func (t *simTransport) compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error) {
-	rep := t.blocking(from, OpCompareSwap, to, addr, old, new, 0, nil, nil)
+func (t *simTransport) compareSwap64(from, to int, addr Addr, old, new uint64, span uint64) (uint64, error) {
+	rep := t.blocking(from, OpCompareSwap, to, addr, old, new, 0, nil, nil, span)
 	return rep.val, rep.err
 }
 
-func (t *simTransport) load64(from, to int, addr Addr) (uint64, error) {
-	rep := t.blocking(from, OpLoad, to, addr, 0, 0, 0, nil, nil)
+func (t *simTransport) load64(from, to int, addr Addr, span uint64) (uint64, error) {
+	rep := t.blocking(from, OpLoad, to, addr, 0, 0, 0, nil, nil, span)
 	return rep.val, rep.err
 }
 
-func (t *simTransport) store64(from, to int, addr Addr, val uint64) error {
-	return t.blocking(from, OpStore, to, addr, val, 0, 0, nil, nil).err
+func (t *simTransport) store64(from, to int, addr Addr, val uint64, span uint64) error {
+	return t.blocking(from, OpStore, to, addr, val, 0, 0, nil, nil, span).err
 }
 
-func (t *simTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
-	rep := t.blocking(from, OpFetchAddGet, to, addr, delta, 0, id, nil, nil)
+func (t *simTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64, span uint64) (uint64, []byte, error) {
+	rep := t.blocking(from, OpFetchAddGet, to, addr, delta, 0, id, nil, nil, span)
 	return rep.val, rep.data, rep.err
 }
 
-func (t *simTransport) storeNBI(from, to int, addr Addr, val uint64) error {
-	t.send(simReq{kind: simReqNBI, rank: from, op: OpStoreNBI, to: to, addr: addr, v1: val})
+func (t *simTransport) storeNBI(from, to int, addr Addr, val uint64, span uint64) error {
+	t.send(simReq{kind: simReqNBI, rank: from, op: OpStoreNBI, to: to, addr: addr, v1: val, span: span})
 	return nil
 }
 
-func (t *simTransport) addNBI(from, to int, addr Addr, delta uint64) error {
-	t.send(simReq{kind: simReqNBI, rank: from, op: OpAddNBI, to: to, addr: addr, v1: delta})
+func (t *simTransport) addNBI(from, to int, addr Addr, delta uint64, span uint64) error {
+	t.send(simReq{kind: simReqNBI, rank: from, op: OpAddNBI, to: to, addr: addr, v1: delta, span: span})
 	return nil
 }
 
-func (t *simTransport) putNBI(from, to int, addr Addr, src []byte) error {
+func (t *simTransport) putNBI(from, to int, addr Addr, src []byte, span uint64) error {
 	data := make([]byte, len(src))
 	copy(data, src)
-	t.send(simReq{kind: simReqNBI, rank: from, op: OpPutNBI, to: to, addr: addr, buf: data})
+	t.send(simReq{kind: simReqNBI, rank: from, op: OpPutNBI, to: to, addr: addr, buf: data, span: span})
 	return nil
 }
 
@@ -599,7 +602,7 @@ func (t *simTransport) handleNBI(r simReq) {
 	at := pe.vclock + t.drawLatency() + delayNS(v.Delay)
 	pe.pending++
 	ev := simEvent{at: at, seq: t.nextSeq(), op: r.op, from: r.rank, to: r.to,
-		addr: r.addr, val: r.v1, data: r.buf, drop: drop, pendingDec: true}
+		addr: r.addr, val: r.v1, data: r.buf, drop: drop, pendingDec: true, span: r.span}
 	heap.Push(&t.events, ev)
 	t.logf("%d %d nbi %v %d->%d a=%#x v=%d at=%d drop=%t dup=%t\n",
 		ev.seq, t.now, r.op, r.rank, r.to, uint64(r.addr), r.v1, at, drop, v.Duplicate && !drop)
@@ -779,6 +782,7 @@ func (t *simTransport) deliver() {
 				return
 			}
 		}
+		t.w.flightVictim(time.Time{}, ev.op, ev.from, ev.to, ev.span)
 		t.logf("%d %d dlv %v %d->%d a=%#x v=%d\n", t.nextSeq(), t.now, ev.op, ev.from, ev.to, uint64(ev.addr), ev.val)
 	}
 	if ev.pendingDec {
@@ -869,6 +873,9 @@ func (t *simTransport) wake(rank int) {
 					t.nextSeq(), t.now, pe.req.op, rank, pe.req.to, uint64(pe.req.addr), pe.failErr)
 			} else {
 				rep = t.applyOp(pe.req)
+				if rep.err == nil {
+					t.w.flightVictim(time.Time{}, pe.req.op, rank, pe.req.to, pe.req.span)
+				}
 				t.logf("%d %d op %v %d->%d a=%#x v=%d -> %d\n",
 					t.nextSeq(), t.now, pe.req.op, rank, pe.req.to, uint64(pe.req.addr), pe.req.v1, rep.val)
 			}
@@ -996,6 +1003,7 @@ func (t *simTransport) failWorld(msg string) {
 		msg, t.opts.Seed, time.Duration(t.now), t.steps, t.stateDump())
 	t.logf("%d %d fail %s\n", t.nextSeq(), t.now, msg)
 	t.w.fail(err)
+	t.w.DumpFlight("sim-failure: " + msg)
 	t.enterFailMode()
 }
 

@@ -64,16 +64,18 @@ const spanWireSize = 12
 // Connection preamble (initiator -> server):
 //   kind uint8, from uint32
 // Request:
-//   op uint8, addr uint64, val1 uint64, val2 uint64, plen uint32, payload
+//   op uint8, addr uint64, val1 uint64, val2 uint64, span uint64,
+//   plen uint32, payload
 //   (for OpGetV: val1 = span count, val2 = total bytes, payload = span
-//   table of (addr uint64, n uint32) entries)
+//   table of (addr uint64, n uint32) entries; span is the reserved
+//   causal-span word — zero for untagged traffic)
 // Sync response:
 //   status uint8, val uint64, plen uint32, payload
 //   (status 0 = ok; otherwise payload is an error string)
 // Async ack (server -> initiator): count uint32 per batch of applied ops.
 
 const (
-	reqHdrSize = 29
+	reqHdrSize = 37
 	rspHdrSize = 13
 )
 
@@ -295,7 +297,7 @@ func (t *tcpTransport) handle(rank int, conn net.Conn) {
 		return w.Flush()
 	}
 	for {
-		op, addr, v1, v2, payload, err := readRequest(r, reqHdr[:], &reqBuf)
+		op, addr, v1, v2, span, payload, err := readRequest(r, reqHdr[:], &reqBuf)
 		if err != nil {
 			// An abruptly severed connection from a crashed initiator
 			// (RST, not FIN) is survivable: in distributed worlds and for
@@ -313,6 +315,8 @@ func (t *tcpTransport) handle(rank int, conn net.Conn) {
 		var rp []byte
 		if aerr := t.applyOp(pe, op, addr, v1, v2, payload, &rv, &rp, &rspBuf); aerr != nil {
 			status, rp = 1, []byte(aerr.Error())
+		} else {
+			t.w.flightVictim(time.Time{}, op, from, rank, span)
 		}
 		if kind == connSync {
 			if err := writeResponse(w, rspHdr[:], status, rv, rp); err != nil {
@@ -453,36 +457,38 @@ func (t *tcpTransport) applyOp(pe *peState, op Op, addr Addr, v1, v2 uint64, pay
 // readRequest reads one request using the caller's header scratch; a
 // payload, if present, is staged in *payloadBuf (grown as needed) and the
 // returned slice aliases it until the next call.
-func readRequest(r *bufio.Reader, hdr []byte, payloadBuf *[]byte) (Op, Addr, uint64, uint64, []byte, error) {
+func readRequest(r *bufio.Reader, hdr []byte, payloadBuf *[]byte) (Op, Addr, uint64, uint64, uint64, []byte, error) {
 	hdr = hdr[:reqHdrSize]
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, 0, 0, 0, nil, err
+		return 0, 0, 0, 0, 0, nil, err
 	}
 	op := Op(hdr[0])
 	addr := Addr(binary.LittleEndian.Uint64(hdr[1:9]))
 	v1 := binary.LittleEndian.Uint64(hdr[9:17])
 	v2 := binary.LittleEndian.Uint64(hdr[17:25])
-	plen := binary.LittleEndian.Uint32(hdr[25:29])
+	span := binary.LittleEndian.Uint64(hdr[25:33])
+	plen := binary.LittleEndian.Uint32(hdr[33:37])
 	var payload []byte
 	if plen > 0 {
 		payload = growScratch(payloadBuf, int(plen))
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return 0, 0, 0, 0, nil, err
+			return 0, 0, 0, 0, 0, nil, err
 		}
 	}
-	return op, addr, v1, v2, payload, nil
+	return op, addr, v1, v2, span, payload, nil
 }
 
 // writeRequest buffers one request using the caller's header scratch. It
 // does NOT flush: sync callers flush before awaiting the response, async
 // callers coalesce (watermark, blocking op, Quiet, or background flusher).
-func writeRequest(w *bufio.Writer, hdr []byte, op Op, addr Addr, v1, v2 uint64, payload []byte) error {
+func writeRequest(w *bufio.Writer, hdr []byte, op Op, addr Addr, v1, v2, span uint64, payload []byte) error {
 	hdr = hdr[:reqHdrSize]
 	hdr[0] = byte(op)
 	binary.LittleEndian.PutUint64(hdr[1:9], uint64(addr))
 	binary.LittleEndian.PutUint64(hdr[9:17], v1)
 	binary.LittleEndian.PutUint64(hdr[17:25], v2)
-	binary.LittleEndian.PutUint32(hdr[25:29], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[25:33], span)
+	binary.LittleEndian.PutUint32(hdr[33:37], uint32(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -717,7 +723,7 @@ func (t *tcpTransport) evictSync(from, to int, sc *syncConn) {
 // errors with bounded exponential backoff. respInto, if non-nil, receives
 // a success payload of exactly matching length without an intermediate
 // copy.
-func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, payload, respInto []byte) (uint64, []byte, error) {
+func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2, span uint64, payload, respInto []byte) (uint64, []byte, error) {
 	if f := t.w.cfg.Fault; f != nil {
 		v := f.Before(op, from, to, addr)
 		charge(v.Delay)
@@ -738,7 +744,7 @@ func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, 
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		val, rp, wrote, err := t.attemptSync(from, to, op, addr, v1, v2, payload, respInto)
+		val, rp, wrote, err := t.attemptSync(from, to, op, addr, v1, v2, span, payload, respInto)
 		if err == nil {
 			return val, rp, nil
 		}
@@ -773,7 +779,7 @@ func (t *tcpTransport) roundTrip(from, to int, op Op, addr Addr, v1, v2 uint64, 
 // reports whether any request bytes may have left this process (false only
 // when establishing the connection failed). Connection-level failures
 // evict the sync conn — its stream can no longer be trusted to be aligned.
-func (t *tcpTransport) attemptSync(from, to int, op Op, addr Addr, v1, v2 uint64, payload, respInto []byte) (uint64, []byte, bool, error) {
+func (t *tcpTransport) attemptSync(from, to int, op Op, addr Addr, v1, v2, span uint64, payload, respInto []byte) (uint64, []byte, bool, error) {
 	sc, err := t.syncConn(from, to)
 	if err != nil {
 		return 0, nil, false, err
@@ -783,7 +789,7 @@ func (t *tcpTransport) attemptSync(from, to int, op Op, addr Addr, v1, v2 uint64
 	if dl := t.w.cfg.OpTimeout; dl > 0 {
 		_ = sc.c.SetDeadline(time.Now().Add(dl))
 	}
-	if err := writeRequest(sc.rw.Writer, sc.whdr[:], op, addr, v1, v2, payload); err != nil {
+	if err := writeRequest(sc.rw.Writer, sc.whdr[:], op, addr, v1, v2, span, payload); err != nil {
 		t.evictSync(from, to, sc)
 		return 0, nil, true, err
 	}
@@ -806,7 +812,7 @@ func (t *tcpTransport) attemptSync(from, to int, op Op, addr Addr, v1, v2 uint64
 // connection's buffer; it is flushed once AckBatch ops accumulate, or
 // earlier by a blocking op to the same target, Quiet, or the background
 // flusher.
-func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, payload []byte) error {
+func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1, span uint64, payload []byte) error {
 	dup := false
 	if f := t.w.cfg.Fault; f != nil {
 		v := f.Before(op, from, to, addr)
@@ -840,7 +846,7 @@ func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, pa
 		ac.reconcile()
 		return nil
 	}
-	if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, payload); err != nil {
+	if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, span, payload); err != nil {
 		ac.outstanding.Add(-n)
 		t.w.pes[from].nbiPending.Add(-n)
 		if t.peerGone(to) {
@@ -850,7 +856,7 @@ func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, pa
 		return opError(op, from, to, err)
 	}
 	if dup {
-		if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, payload); err != nil {
+		if err := writeRequest(ac.w, ac.whdr[:], op, addr, v1, 0, span, payload); err != nil {
 			ac.outstanding.Add(-1)
 			t.w.pes[from].nbiPending.Add(-1)
 			if t.peerGone(to) {
@@ -869,15 +875,15 @@ func (t *tcpTransport) injectAsync(from, to int, op Op, addr Addr, v1 uint64, pa
 	return nil
 }
 
-func (t *tcpTransport) put(from, to int, addr Addr, src []byte) error {
-	_, _, err := t.roundTrip(from, to, OpPut, addr, 0, 0, src, nil)
+func (t *tcpTransport) put(from, to int, addr Addr, src []byte, span uint64) error {
+	_, _, err := t.roundTrip(from, to, OpPut, addr, 0, 0, span, src, nil)
 	return err
 }
 
-func (t *tcpTransport) get(from, to int, addr Addr, dst []byte) error {
+func (t *tcpTransport) get(from, to int, addr Addr, dst []byte, span uint64) error {
 	// Charge bandwidth for the returned payload (request carries none).
 	t.w.cfg.Latency.charge(t.w.cfg.Latency.bandwidth(len(dst)))
-	_, rp, err := t.roundTrip(from, to, OpGet, addr, uint64(len(dst)), 0, nil, dst)
+	_, rp, err := t.roundTrip(from, to, OpGet, addr, uint64(len(dst)), 0, span, nil, dst)
 	if err != nil {
 		return err
 	}
@@ -890,7 +896,7 @@ func (t *tcpTransport) get(from, to int, addr Addr, dst []byte) error {
 	return nil
 }
 
-func (t *tcpTransport) getv(from, to int, spans []Span, dst []byte) error {
+func (t *tcpTransport) getv(from, to int, spans []Span, dst []byte, span uint64) error {
 	total := 0
 	for _, sp := range spans {
 		if sp.N < 0 {
@@ -911,7 +917,7 @@ func (t *tcpTransport) getv(from, to int, spans []Span, dst []byte) error {
 		binary.LittleEndian.PutUint64((*tbl)[i*spanWireSize:], uint64(sp.Addr))
 		binary.LittleEndian.PutUint32((*tbl)[i*spanWireSize+8:], uint32(sp.N))
 	}
-	_, rp, err := t.roundTrip(from, to, OpGetV, first, uint64(len(spans)), uint64(total), *tbl, dst)
+	_, rp, err := t.roundTrip(from, to, OpGetV, first, uint64(len(spans)), uint64(total), span, *tbl, dst)
 	putBuf(tbl)
 	if err != nil {
 		return err
@@ -925,45 +931,45 @@ func (t *tcpTransport) getv(from, to int, spans []Span, dst []byte) error {
 	return nil
 }
 
-func (t *tcpTransport) fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpFetchAdd, addr, delta, 0, nil, nil)
+func (t *tcpTransport) fetchAdd64(from, to int, addr Addr, delta uint64, span uint64) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpFetchAdd, addr, delta, 0, span, nil, nil)
 	return v, err
 }
 
-func (t *tcpTransport) swap64(from, to int, addr Addr, val uint64) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpSwap, addr, val, 0, nil, nil)
+func (t *tcpTransport) swap64(from, to int, addr Addr, val uint64, span uint64) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpSwap, addr, val, 0, span, nil, nil)
 	return v, err
 }
 
-func (t *tcpTransport) compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpCompareSwap, addr, old, new, nil, nil)
+func (t *tcpTransport) compareSwap64(from, to int, addr Addr, old, new uint64, span uint64) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpCompareSwap, addr, old, new, span, nil, nil)
 	return v, err
 }
 
-func (t *tcpTransport) load64(from, to int, addr Addr) (uint64, error) {
-	v, _, err := t.roundTrip(from, to, OpLoad, addr, 0, 0, nil, nil)
+func (t *tcpTransport) load64(from, to int, addr Addr, span uint64) (uint64, error) {
+	v, _, err := t.roundTrip(from, to, OpLoad, addr, 0, 0, span, nil, nil)
 	return v, err
 }
 
-func (t *tcpTransport) store64(from, to int, addr Addr, val uint64) error {
-	_, _, err := t.roundTrip(from, to, OpStore, addr, val, 0, nil, nil)
+func (t *tcpTransport) store64(from, to int, addr Addr, val uint64, span uint64) error {
+	_, _, err := t.roundTrip(from, to, OpStore, addr, val, 0, span, nil, nil)
 	return err
 }
 
-func (t *tcpTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error) {
-	return t.roundTrip(from, to, OpFetchAddGet, addr, delta, id, nil, nil)
+func (t *tcpTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64, span uint64) (uint64, []byte, error) {
+	return t.roundTrip(from, to, OpFetchAddGet, addr, delta, id, span, nil, nil)
 }
 
-func (t *tcpTransport) storeNBI(from, to int, addr Addr, val uint64) error {
-	return t.injectAsync(from, to, OpStoreNBI, addr, val, nil)
+func (t *tcpTransport) storeNBI(from, to int, addr Addr, val uint64, span uint64) error {
+	return t.injectAsync(from, to, OpStoreNBI, addr, val, span, nil)
 }
 
-func (t *tcpTransport) addNBI(from, to int, addr Addr, delta uint64) error {
-	return t.injectAsync(from, to, OpAddNBI, addr, delta, nil)
+func (t *tcpTransport) addNBI(from, to int, addr Addr, delta uint64, span uint64) error {
+	return t.injectAsync(from, to, OpAddNBI, addr, delta, span, nil)
 }
 
-func (t *tcpTransport) putNBI(from, to int, addr Addr, src []byte) error {
-	return t.injectAsync(from, to, OpPutNBI, addr, 0, src)
+func (t *tcpTransport) putNBI(from, to int, addr Addr, src []byte, span uint64) error {
+	return t.injectAsync(from, to, OpPutNBI, addr, 0, span, src)
 }
 
 func (t *tcpTransport) quiet(from int) error {

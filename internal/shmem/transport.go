@@ -13,23 +13,29 @@ type Span struct {
 // rank identifies the initiator (for NBI completion tracking); `to` is the
 // target PE whose heap is accessed. Self-targeted operations never reach
 // the transport — Ctx short-circuits them onto local memory.
+//
+// Every operation carries a causal span ID (one reserved wire-header
+// word): zero for untagged traffic, non-zero for steal sub-operations.
+// Transports deliver the span to the target so the victim side of a
+// steal records into its flight journal under the same span the
+// initiator used; a span must never change an operation's semantics.
 type transport interface {
-	put(from, to int, addr Addr, src []byte) error
-	get(from, to int, addr Addr, dst []byte) error
+	put(from, to int, addr Addr, src []byte, span uint64) error
+	get(from, to int, addr Addr, dst []byte, span uint64) error
 	// getv gathers the spans, in order, into dst (whose length must equal
 	// the spans' total) in ONE blocking round trip.
-	getv(from, to int, spans []Span, dst []byte) error
-	fetchAdd64(from, to int, addr Addr, delta uint64) (uint64, error)
-	swap64(from, to int, addr Addr, val uint64) (uint64, error)
-	compareSwap64(from, to int, addr Addr, old, new uint64) (uint64, error)
-	load64(from, to int, addr Addr) (uint64, error)
-	store64(from, to int, addr Addr, val uint64) error
-	fetchAddGet(from, to int, addr Addr, delta uint64, id uint64) (uint64, []byte, error)
+	getv(from, to int, spans []Span, dst []byte, span uint64) error
+	fetchAdd64(from, to int, addr Addr, delta uint64, span uint64) (uint64, error)
+	swap64(from, to int, addr Addr, val uint64, span uint64) (uint64, error)
+	compareSwap64(from, to int, addr Addr, old, new uint64, span uint64) (uint64, error)
+	load64(from, to int, addr Addr, span uint64) (uint64, error)
+	store64(from, to int, addr Addr, val uint64, span uint64) error
+	fetchAddGet(from, to int, addr Addr, delta uint64, id uint64, span uint64) (uint64, []byte, error)
 
 	// Non-blocking injections: completion is observed via quiet.
-	storeNBI(from, to int, addr Addr, val uint64) error
-	addNBI(from, to int, addr Addr, delta uint64) error
-	putNBI(from, to int, addr Addr, src []byte) error
+	storeNBI(from, to int, addr Addr, val uint64, span uint64) error
+	addNBI(from, to int, addr Addr, delta uint64, span uint64) error
+	putNBI(from, to int, addr Addr, src []byte, span uint64) error
 
 	// quiet blocks until all NBI operations issued by `from` have been
 	// applied at their targets.

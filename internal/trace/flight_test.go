@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRingOverwrite(t *testing.T) {
+	f := NewFlight(0, 4)
+	for i := 0; i < 10; i++ {
+		f.RecordAt(time.Duration(i), CommOp, int64(i), 0, 7)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", f.Dropped())
+	}
+	evs := f.Events()
+	if evs[0].A != 6 || evs[3].A != 9 {
+		t.Fatalf("retained window = %v..%v, want 6..9", evs[0].A, evs[3].A)
+	}
+}
+
+func TestFlightOffIsNil(t *testing.T) {
+	if NewFlight(0, 0) != nil {
+		t.Fatal("capacity 0 should disable the ring")
+	}
+	if NewFlightSet(4, -1) != nil {
+		t.Fatal("negative capacity should disable the set")
+	}
+	// Every op on the nil forms must be a no-op, not a panic.
+	var f *Flight
+	f.Record(CommOp, 1, 2, 3)
+	var s *FlightSet
+	s.PE(0).Record(CommOp, 1, 2, 3)
+	if err := s.DumpAll(t.TempDir(), "off"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightConcurrentWriters(t *testing.T) {
+	f := NewFlight(0, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.Record(VictimOp, int64(g), int64(i), uint64(g+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := f.Dropped() + uint64(f.Len()); got != 8000 {
+		t.Fatalf("recorded %d events, want 8000", got)
+	}
+}
+
+func TestFlightDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := NewFlightSet(2, 16)
+	s.PE(0).RecordAt(5, StealSpanStart, 1, 0, 42)
+	s.PE(0).RecordAt(9, StealSpanEnd, 1, 3, 42)
+	s.PE(1).RecordAt(7, VictimOp, 2, 0, 42)
+	if err := s.DumpAll(dir, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	d0, err := ReadFlightDumpFile(filepath.Join(dir, FlightDumpName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Rank != 0 || d0.NumPEs != 2 || d0.Reason != "unit test" {
+		t.Fatalf("header = %+v", d0)
+	}
+	if len(d0.Events) != 2 || d0.Events[1].Span != 42 || d0.Events[1].B != 3 {
+		t.Fatalf("events = %+v", d0.Events)
+	}
+	d1, err := ReadFlightDumpFile(filepath.Join(dir, FlightDumpName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeFlightDumps([]FlightDump{d0, d1})
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want 3", len(merged))
+	}
+	if merged[0].Kind != StealSpanStart || merged[1].Kind != VictimOp || merged[2].Kind != StealSpanEnd {
+		t.Fatalf("merge order wrong: %v", merged)
+	}
+}
+
+func TestFlightDumpSkipsTornLines(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlight(3, 8)
+	f.RecordAt(1, CommOp, 1, 2, 3)
+	if err := f.WriteTo(&buf, 4, "torn"); err != nil {
+		t.Fatal(err)
+	}
+	// A torn slot shows up as an unknown kind name; the reader must count
+	// it as dropped rather than fail the whole journal.
+	mangled := strings.Replace(buf.String(), `"kind":"comm-op"`, `"kind":"garbage"`, 1)
+	d, err := ReadFlightDump(strings.NewReader(mangled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 0 || d.Dropped != 1 {
+		t.Fatalf("torn line: events=%d dropped=%d, want 0/1", len(d.Events), d.Dropped)
+	}
+}
+
+func TestMergeFlightDumpsAlignsWallClocks(t *testing.T) {
+	// Rank 1's process started 100ns after rank 0's: an event at local
+	// offset 10 in rank 1 is globally at 110.
+	d0 := FlightDump{Rank: 0, NumPEs: 2, WallNS: 1000, Events: []Event{
+		{At: 50, PE: 0, Kind: CommOp, A: 1},
+	}}
+	d1 := FlightDump{Rank: 1, NumPEs: 2, WallNS: 1100, Events: []Event{
+		{At: 10, PE: 1, Kind: CommOp, A: 2},
+	}}
+	merged := MergeFlightDumps([]FlightDump{d0, d1})
+	if merged[0].A != 1 || merged[0].At != 50 {
+		t.Fatalf("first event %+v, want rank 0's at 50", merged[0])
+	}
+	if merged[1].A != 2 || merged[1].At != 110 {
+		t.Fatalf("second event %+v, want rank 1's shifted to 110", merged[1])
+	}
+}
+
+func TestFlightWriteToNilErrors(t *testing.T) {
+	var f *Flight
+	if err := f.WriteTo(os.Stderr, 1, "x"); err == nil {
+		t.Fatal("nil WriteTo should error")
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlight(0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(CommOp, 1, 2, 3)
+	}
+}
+
+func BenchmarkFlightRecordAt(b *testing.B) {
+	f := NewFlight(0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.RecordAt(time.Duration(i), CommOp, 1, 2, 3)
+	}
+}

@@ -5,8 +5,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync/atomic"
 )
+
+// spanID renders a span as the hex string used for Perfetto event IDs
+// and args (strings, so 64-bit IDs survive JSON's float numbers).
+func spanID(span uint64) string { return "0x" + strconv.FormatUint(span, 16) }
 
 // commOpNames maps a CommOp event's op code (Event.A) to a readable name
 // in the exported JSON. The shmem package installs its op table at init;
@@ -50,7 +55,7 @@ func (s *Set) WriteJSON(w io.Writer) error {
 		Dur  float64        `json:"dur,omitempty"`
 		Pid  int            `json:"pid"`
 		Tid  int            `json:"tid"`
-		ID   int            `json:"id,omitempty"`
+		ID   string         `json:"id,omitempty"` // string so 64-bit span IDs fit losslessly
 		BP   string         `json:"bp,omitempty"`
 		S    string         `json:"s,omitempty"`
 		Args map[string]any `json:"args,omitempty"`
@@ -90,10 +95,19 @@ func (s *Set) WriteJSON(w io.Writer) error {
 			if start < 0 {
 				start = 0
 			}
+			args := map[string]any{"op": commOpName(e.A), "code": e.A, "ns": e.B}
+			name := "comm-op"
+			if e.Span != 0 {
+				// Span-tagged comm ops are steal sub-operations: name the
+				// slice after the op so the per-phase structure reads
+				// directly off the track, and carry the span for grouping.
+				args["span"] = spanID(e.Span)
+				name = commOpName(e.A)
+			}
 			evs = append(evs, jsonEvent{
-				Name: "comm-op", Cat: "comm", Ph: "X",
+				Name: name, Cat: "comm", Ph: "X",
 				Ts: us(start), Dur: us(e.B), Pid: 0, Tid: e.PE,
-				Args: map[string]any{"op": commOpName(e.A), "code": e.A, "ns": e.B},
+				Args: args,
 			})
 		case StealOK:
 			// Instant on the thief plus a flow arrow victim -> thief.
@@ -103,16 +117,20 @@ func (s *Set) WriteJSON(w io.Writer) error {
 				jsonEvent{Name: "steal", Cat: "steal", Ph: "i", S: "t",
 					Ts: us(ts), Pid: 0, Tid: e.PE,
 					Args: map[string]any{"victim": victim, "tasks": e.B}},
-				jsonEvent{Name: "steal", Cat: "steal", Ph: "s", ID: flowID,
+				jsonEvent{Name: "steal", Cat: "steal", Ph: "s", ID: strconv.Itoa(flowID),
 					Ts: us(ts), Pid: 0, Tid: victim},
-				jsonEvent{Name: "steal", Cat: "steal", Ph: "f", BP: "e", ID: flowID,
+				jsonEvent{Name: "steal", Cat: "steal", Ph: "f", BP: "e", ID: strconv.Itoa(flowID),
 					Ts: us(ts), Pid: 0, Tid: e.PE},
 			)
 		default:
+			args := map[string]any{"a": e.A, "b": e.B}
+			if e.Span != 0 {
+				args["span"] = spanID(e.Span)
+			}
 			evs = append(evs, jsonEvent{
 				Name: e.Kind.String(), Cat: "sched", Ph: "i", S: "t",
 				Ts: us(ts), Pid: 0, Tid: e.PE,
-				Args: map[string]any{"a": e.A, "b": e.B},
+				Args: args,
 			})
 		}
 	}

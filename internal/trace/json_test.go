@@ -33,7 +33,7 @@ type chromeTrace struct {
 		Dur  float64        `json:"dur"`
 		Pid  int            `json:"pid"`
 		Tid  int            `json:"tid"`
-		ID   int            `json:"id"`
+		ID   string         `json:"id"`
 		Args map[string]any `json:"args"`
 	} `json:"traceEvents"`
 	DisplayTimeUnit string `json:"displayTimeUnit"`

@@ -51,24 +51,60 @@ const (
 	// declaration or a failed op against it). A = the dead peer's rank,
 	// B = 1 if the observation quarantined the peer as a steal victim.
 	PeerDeath
+	// StealSpanStart: a steal attempt began at the initiator. A = victim
+	// rank. Span carries the attempt's span ID; every sub-operation of
+	// the attempt records the same span so initiator- and victim-side
+	// events merge into one tree.
+	StealSpanStart
+	// StealSpanEnd: a steal attempt completed at the initiator.
+	// A = victim rank, B = outcome (tasks obtained if > 0, 0 = empty,
+	// -1 = disabled, -2 = error). Span matches the StealSpanStart.
+	StealSpanEnd
+	// VictimOp: a span-tagged one-sided operation was applied at its
+	// target (the victim side of a steal sub-op). A = op code (shmem.Op),
+	// B = the initiating rank.
+	VictimOp
+	// QueueDepth: a queue-depth sample. A = local (private) depth,
+	// B = shared (stealable) depth.
+	QueueDepth
+	// PeerState: the failure detector moved a peer to a new state.
+	// A = the peer's rank, B = the new state (shmem.PeerState numeric).
+	PeerState
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	TaskExec:      "exec",
-	TaskSpawn:     "spawn",
-	StealOK:       "steal-ok",
-	StealEmpty:    "steal-empty",
-	StealDisabled: "steal-disabled",
-	Release:       "release",
-	Acquire:       "acquire",
-	RemoteSpawn:   "remote-spawn",
-	InboxDrain:    "inbox-drain",
-	Terminated:    "terminated",
-	CommOp:        "comm-op",
-	EpochFlip:     "epoch-flip",
-	TermWave:      "term-wave",
-	PeerDeath:     "peer-death",
+	TaskExec:       "exec",
+	TaskSpawn:      "spawn",
+	StealOK:        "steal-ok",
+	StealEmpty:     "steal-empty",
+	StealDisabled:  "steal-disabled",
+	Release:        "release",
+	Acquire:        "acquire",
+	RemoteSpawn:    "remote-spawn",
+	InboxDrain:     "inbox-drain",
+	Terminated:     "terminated",
+	CommOp:         "comm-op",
+	EpochFlip:      "epoch-flip",
+	TermWave:       "term-wave",
+	PeerDeath:      "peer-death",
+	StealSpanStart: "span-start",
+	StealSpanEnd:   "span-end",
+	VictimOp:       "victim-op",
+	QueueDepth:     "queue-depth",
+	PeerState:      "peer-state",
+}
+
+// KindByName resolves a kind name (as produced by Kind.String) back to
+// its code; ok is false for unknown names. Dump readers use it to parse
+// JSONL flight journals.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
 }
 
 func (k Kind) String() string {
@@ -78,15 +114,21 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. Span, when non-zero, ties the event
+// to one cross-PE causal span (a steal attempt); all events carrying the
+// same span merge into one tree regardless of which PE recorded them.
 type Event struct {
 	At   time.Duration // since the Set's epoch
 	PE   int
 	Kind Kind
 	A, B int64
+	Span uint64
 }
 
 func (e Event) String() string {
+	if e.Span != 0 {
+		return fmt.Sprintf("%12v pe=%d %-14s a=%d b=%d span=%#x", e.At, e.PE, e.Kind, e.A, e.B, e.Span)
+	}
 	return fmt.Sprintf("%12v pe=%d %-14s a=%d b=%d", e.At, e.PE, e.Kind, e.A, e.B)
 }
 
@@ -122,7 +164,15 @@ func (b *Buffer) Record(k Kind, a, bval int64) {
 	if b == nil || len(b.events) == 0 {
 		return
 	}
-	b.RecordAt(time.Since(b.epoch), k, a, bval)
+	b.record(time.Since(b.epoch), k, a, bval, 0)
+}
+
+// RecordSpan appends a span-tagged event (see Event.Span).
+func (b *Buffer) RecordSpan(k Kind, a, bval int64, span uint64) {
+	if b == nil || len(b.events) == 0 {
+		return
+	}
+	b.record(time.Since(b.epoch), k, a, bval, span)
 }
 
 // RecordAt appends an event with an explicit timestamp relative to the
@@ -132,12 +182,16 @@ func (b *Buffer) RecordAt(at time.Duration, k Kind, a, bval int64) {
 	if b == nil || len(b.events) == 0 {
 		return
 	}
+	b.record(at, k, a, bval, 0)
+}
+
+func (b *Buffer) record(at time.Duration, k Kind, a, bval int64, span uint64) {
 	if b.mu != nil {
 		b.mu.Lock()
 		defer b.mu.Unlock()
 	}
 	b.events[b.n%uint64(len(b.events))] = Event{
-		At: at, PE: b.pe, Kind: k, A: a, B: bval,
+		At: at, PE: b.pe, Kind: k, A: a, B: bval, Span: span,
 	}
 	b.n++
 }
