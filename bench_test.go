@@ -557,7 +557,11 @@ func BenchmarkFusedSteal(b *testing.B) {
 // isolate the wire path (marshalling, buffering, payload staging) that the
 // batched/pooled transport work targets. b.N counts individual steals.
 func BenchmarkStealWire(b *testing.B) {
-	for _, kind := range []shmem.TransportKind{shmem.TransportLocal, shmem.TransportTCP} {
+	kinds := []shmem.TransportKind{shmem.TransportLocal, shmem.TransportTCP}
+	if shmem.ShmSupported() {
+		kinds = append(kinds, shmem.TransportShm)
+	}
+	for _, kind := range kinds {
 		kind := kind
 		b.Run(kind.String(), func(b *testing.B) {
 			benchStealWire(b, kind)

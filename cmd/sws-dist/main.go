@@ -1,7 +1,9 @@
 // Command sws-dist demonstrates genuinely distributed work stealing: it
-// launches one OS process per PE, each hosting its own symmetric heap,
-// with every steal travelling over TCP between processes. Rank 0 prints
-// the global result.
+// launches one OS process per PE, each hosting its own symmetric heap.
+// Steals travel over the selected inter-process transport — TCP
+// (default, works across hosts) or shm (an mmap'd segment in /dev/shm:
+// one-sided ops are direct atomics on shared memory, zero syscalls on
+// the fast path; single host only). Rank 0 prints the global result.
 //
 // Workloads: a recursive binary tree (default), the UTS benchmark, or
 // BPC.
@@ -9,9 +11,10 @@
 // Examples:
 //
 //	sws-dist -n 4 -depth 14
+//	sws-dist -n 4 -transport shm -workload uts
 //	sws-dist -n 3 -protocol sdc
-//	sws-dist -n 4 -workload uts
 //	sws-dist -n 4 -workload bpc
+//	sws-dist -n 4 -bind 10.0.0.7   # tcp across hosts
 //
 // The same binary re-executes itself in worker mode for each rank (the
 // -worker flags are internal).
@@ -37,6 +40,11 @@ import (
 	"sws/internal/uts"
 )
 
+// distHeapBytes is the per-PE symmetric heap size for distributed runs,
+// shared by the tcp and shm paths (the shm segment is sized from it at
+// creation, so launcher and workers must agree).
+const distHeapBytes = 16 << 20
+
 func main() {
 	var (
 		n         = flag.Int("n", 4, "number of PEs (one OS process each)")
@@ -44,6 +52,8 @@ func main() {
 		protoName = flag.String("protocol", "sws", "steal protocol: sws or sdc")
 		workload  = flag.String("workload", "tree", "workload: tree, uts, or bpc")
 		workers   = flag.Int("workers", 1, "executor goroutines per PE (two-level scheduling when >1)")
+		transport = flag.String("transport", "tcp", "inter-process transport: tcp or shm (mmap'd segment, single host)")
+		bind      = flag.String("bind", "127.0.0.1", "address the tcp transport listens on (set a routable address for multi-host runs)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live metrics/pprof; rank r listens on port+r (e.g. :9090 puts rank 2 on :9092)")
 
@@ -55,9 +65,10 @@ func main() {
 		killRank  = flag.Int("kill-rank", -1, "chaos: SIGKILL this worker rank after -kill-after (launcher side)")
 		killAfter = flag.Duration("kill-after", 2*time.Second, "chaos: delay before -kill-rank fires")
 
-		worker = flag.Bool("worker", false, "internal: run as a worker process")
-		rank   = flag.Int("rank", -1, "internal: worker rank")
-		coord  = flag.String("coordinator", "", "internal: rendezvous address")
+		worker  = flag.Bool("worker", false, "internal: run as a worker process")
+		rank    = flag.Int("rank", -1, "internal: worker rank")
+		coord   = flag.String("coordinator", "", "internal: rendezvous address")
+		segment = flag.String("segment", "", "internal: shm segment path")
 	)
 	flag.Parse()
 
@@ -70,17 +81,37 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown workload %q (want tree, uts, or bpc)", *workload))
 	}
+	switch *transport {
+	case "tcp":
+	case "shm":
+		if !shmem.ShmSupported() {
+			fatal(fmt.Errorf("-transport shm is not supported on this platform"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown transport %q (want tcp or shm)", *transport))
+	}
 	lcfg := livenessFlags{opTimeout: *opTimeout, suspectAfter: *suspectAfter, deadAfter: *deadAfter, flightDir: *flightDir}
+	wcfg := wireFlags{transport: *transport, bind: *bind, coordinator: *coord, segment: *segment}
 	if *worker {
-		if err := runWorker(*rank, *n, *coord, *depth, proto, *workload, *metricsAddr, *workers, lcfg); err != nil {
+		if err := runWorker(*rank, *n, wcfg, *depth, proto, *workload, *metricsAddr, *workers, lcfg); err != nil {
 			fatal(fmt.Errorf("rank %d: %w", *rank, err))
 		}
 		return
 	}
 	kcfg := killFlags{rank: *killRank, after: *killAfter}
-	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, lcfg, kcfg); err != nil {
+	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, wcfg, lcfg, kcfg); err != nil {
 		fatal(err)
 	}
+}
+
+// wireFlags selects and parameterizes the inter-process transport. The
+// launcher fills in the rendezvous detail (coordinator address for tcp,
+// segment path for shm) before spawning workers.
+type wireFlags struct {
+	transport   string
+	bind        string
+	coordinator string
+	segment     string
 }
 
 // livenessFlags carries the failure-detector tuning from the launcher to
@@ -117,19 +148,47 @@ func (l livenessFlags) grace() time.Duration {
 // wave) to finish their degraded run and report partial results, then
 // stragglers are killed; either way the launcher reports per-rank
 // diagnostics and returns an error so the process exits non-zero.
-func launch(n, depth int, protoName, workload, metricsAddr string, workers int, lcfg livenessFlags, kcfg killFlags) error {
+func launch(n, depth int, protoName, workload, metricsAddr string, workers int, wcfg wireFlags, lcfg livenessFlags, kcfg killFlags) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one PE, got %d", n)
 	}
-	coord, err := pickCoordinator()
-	if err != nil {
-		return err
+	var rendezvous string
+	switch wcfg.transport {
+	case "shm":
+		// A previous launcher killed mid-run leaves its segment behind
+		// (workers unlink only on clean teardown); sweep segments whose
+		// creator pid is gone before adding our own.
+		dir := shmem.DefaultShmDir()
+		if swept, err := shmem.SweepStaleShmSegments(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "sws-dist: sweeping stale segments in %s: %v\n", dir, err)
+		} else {
+			for _, p := range swept {
+				fmt.Printf("swept stale shm segment %s\n", p)
+			}
+		}
+		wcfg.segment = filepath.Join(dir, shmem.ShmSegmentName())
+		seg, err := shmem.CreateShmSegment(wcfg.segment, n, distHeapBytes)
+		if err != nil {
+			return fmt.Errorf("creating shm segment: %w", err)
+		}
+		// Unlink on every launcher return path — clean runs, failed runs,
+		// and chaos runs alike. Only a SIGKILLed launcher leaks the file,
+		// and the next launch's sweep reclaims it.
+		defer seg.Close()
+		rendezvous = "segment " + wcfg.segment
+	default:
+		coord, err := pickCoordinator(wcfg.bind)
+		if err != nil {
+			return err
+		}
+		wcfg.coordinator = coord
+		rendezvous = "coordinator " + coord
 	}
 	self, err := os.Executable()
 	if err != nil {
 		return fmt.Errorf("locating own binary: %w", err)
 	}
-	fmt.Printf("launching %d worker processes (coordinator %s)\n", n, coord)
+	fmt.Printf("launching %d worker processes over %s (%s)\n", n, wcfg.transport, rendezvous)
 	procs := make([]*exec.Cmd, n)
 	type exitEvent struct {
 		rank int
@@ -143,7 +202,9 @@ func launch(n, depth int, protoName, workload, metricsAddr string, workers int, 
 		}
 		cmd := exec.Command(self,
 			"-worker", "-rank", fmt.Sprint(rank), "-n", fmt.Sprint(n),
-			"-coordinator", coord, "-depth", fmt.Sprint(depth),
+			"-transport", wcfg.transport, "-bind", wcfg.bind,
+			"-coordinator", wcfg.coordinator, "-segment", wcfg.segment,
+			"-depth", fmt.Sprint(depth),
 			"-protocol", protoName, "-workload", workload,
 			"-workers", fmt.Sprint(workers),
 			"-metrics-addr", addr,
@@ -256,11 +317,11 @@ func rankMetricsAddr(base string, rank int) (string, error) {
 	return net.JoinHostPort(host, strconv.Itoa(port+rank)), nil
 }
 
-// pickCoordinator reserves a loopback port for the rendezvous.
-func pickCoordinator() (string, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// pickCoordinator reserves a port on the bind address for the rendezvous.
+func pickCoordinator(bind string) (string, error) {
+	ln, err := net.Listen("tcp", net.JoinHostPort(bind, "0"))
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("reserving coordinator port on %s: %w", bind, err)
 	}
 	addr := ln.Addr().String()
 	ln.Close()
@@ -269,7 +330,7 @@ func pickCoordinator() (string, error) {
 
 // runWorker is one PE's process: join the world, run the pool, publish
 // per-rank counts into rank 0's heap, and let rank 0 report.
-func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, workload, metricsAddr string, workers int, lcfg livenessFlags) error {
+func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, workload, metricsAddr string, workers int, lcfg livenessFlags) error {
 	var gatherer *obs.Gatherer
 	if metricsAddr != "" {
 		gatherer = obs.NewGatherer()
@@ -283,16 +344,31 @@ func runWorker(rank, n int, coord string, depth int, proto pool.Protocol, worklo
 		defer func() { _ = srv.ShutdownTimeout(2 * time.Second) }()
 		fmt.Fprintf(os.Stderr, "rank %d: metrics on http://%s/metrics\n", rank, srv.Addr())
 	}
-	w, err := shmem.Join(shmem.DistConfig{
-		Rank:         rank,
-		NumPEs:       n,
-		Coordinator:  coord,
-		HeapBytes:    16 << 20,
-		OpTimeout:    lcfg.opTimeout,
-		SuspectAfter: lcfg.suspectAfter,
-		DeadAfter:    lcfg.deadAfter,
-		FlightDir:    lcfg.flightDir,
-	})
+	var w *shmem.World
+	var err error
+	if wcfg.transport == "shm" {
+		w, err = shmem.JoinShm(shmem.ShmConfig{
+			Rank:         rank,
+			NumPEs:       n,
+			Segment:      wcfg.segment,
+			HeapBytes:    distHeapBytes,
+			SuspectAfter: lcfg.suspectAfter,
+			DeadAfter:    lcfg.deadAfter,
+			FlightDir:    lcfg.flightDir,
+		})
+	} else {
+		w, err = shmem.Join(shmem.DistConfig{
+			Rank:         rank,
+			NumPEs:       n,
+			Coordinator:  wcfg.coordinator,
+			Bind:         wcfg.bind,
+			HeapBytes:    distHeapBytes,
+			OpTimeout:    lcfg.opTimeout,
+			SuspectAfter: lcfg.suspectAfter,
+			DeadAfter:    lcfg.deadAfter,
+			FlightDir:    lcfg.flightDir,
+		})
+	}
 	if err != nil {
 		return err
 	}

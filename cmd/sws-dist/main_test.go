@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"os/exec"
@@ -14,13 +15,17 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"sws/internal/shmem"
 )
 
 // buildDist compiles the sws-dist binary once per test run.
-func buildDist(t *testing.T) string {
+func buildDist(t *testing.T, buildFlags ...string) string {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "sws-dist")
-	cmd := exec.Command("go", "build", "-o", bin, ".")
+	args := append([]string{"build"}, buildFlags...)
+	args = append(args, "-o", bin, ".")
+	cmd := exec.Command("go", args...)
 	cmd.Env = os.Environ()
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("building sws-dist: %v\n%s", err, out)
@@ -220,6 +225,143 @@ func TestDistSurvivesSIGKILL(t *testing.T) {
 	}
 	if !regexp.MustCompile(`rank 1 .*(died|exited|killed)`).MatchString(out) {
 		t.Errorf("missing rank 1 failure diagnostic in output:\n%s", out)
+	}
+	t.Logf("launcher exited %v after kill (status %v)", elapsed.Round(time.Millisecond), exitErr)
+}
+
+// shmSegments lists the sws-* segment files currently in the shm
+// directory, so tests can assert a run added none.
+func shmSegments(t *testing.T) map[string]bool {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(shmem.DefaultShmDir(), "sws-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return set
+}
+
+// TestShmExactlyOnce is the shm transport's cross-process accounting
+// test: four real forked worker processes (the binary built with -race)
+// share one mmap'd segment, and rank 0's gathered total must match the
+// tree's exact task count. It also exercises stale-segment hygiene: a
+// segment planted under a dead creator pid must be swept at launch, and
+// the run must leave no segment files behind.
+func TestShmExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process shm test in -short mode")
+	}
+	if !shmem.ShmSupported() {
+		t.Skip("shm transport not supported on this platform")
+	}
+	bin := buildDist(t, "-race")
+
+	// Plant a stale segment owned by a pid that is certainly dead.
+	probe := exec.Command("true")
+	if err := probe.Run(); err != nil {
+		t.Skipf("running 'true': %v", err)
+	}
+	stale := filepath.Join(shmem.DefaultShmDir(), fmt.Sprintf("sws-%d-feedf00d", probe.Process.Pid))
+	if err := os.WriteFile(stale, []byte("stale"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(stale) // in case the sweep fails
+	before := shmSegments(t)
+	delete(before, stale)
+
+	cmd := exec.Command(bin, "-transport", "shm", "-n", "4", "-depth", "12")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("shm run failed: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("[OK]")) {
+		t.Fatalf("shm run did not verify its task total:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("swept stale shm segment "+stale)) {
+		t.Errorf("launcher did not report sweeping the planted stale segment:\n%s", out)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("planted stale segment survived the launch sweep: %v", err)
+	}
+	after := shmSegments(t)
+	for p := range after {
+		if !before[p] {
+			t.Errorf("run leaked segment file %s", p)
+		}
+	}
+}
+
+// TestShmSurvivesSIGKILL mirrors TestDistSurvivesSIGKILL on the shm
+// transport: SIGKILL rank 1 mid-run; the launcher must come down
+// non-zero with a rank 1 diagnostic, and the segment file must still be
+// unlinked (the launcher's teardown runs on the failure path too).
+func TestShmSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process kill test in -short mode")
+	}
+	if !shmem.ShmSupported() {
+		t.Skip("shm transport not supported on this platform")
+	}
+	bin := buildDist(t)
+	before := shmSegments(t)
+	const deadAfter = time.Second
+	cmd := exec.Command(bin,
+		"-transport", "shm",
+		"-n", "4", "-depth", "18",
+		"-suspect-after", "300ms",
+		"-dead-after", deadAfter.String())
+	watcher := newLineWatcher()
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go watcher.consume(stdout)
+
+	m := watcher.waitFor(t, regexp.MustCompile(`^rank 1: joined world \(pid (\d+)\)$`), 30*time.Second)
+	pid, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatalf("bad pid %q: %v", m[1], err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatalf("killing rank 1 (pid %d): %v", pid, err)
+	}
+	killedAt := time.Now()
+
+	bound := 2*deadAfter + 10*time.Second + 20*time.Second
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	var waitErr error
+	select {
+	case waitErr = <-done:
+	case <-time.After(bound):
+		_ = cmd.Process.Kill()
+		t.Fatalf("launcher still running %v after SIGKILL of rank 1; output:\n%s", bound, watcher.output())
+	}
+	elapsed := time.Since(killedAt)
+	out := watcher.output()
+	if waitErr == nil {
+		t.Fatalf("launcher exited zero despite rank 1 being SIGKILLed; output:\n%s", out)
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(waitErr, &exitErr) {
+		t.Fatalf("launcher wait error is not an exit status: %v", waitErr)
+	}
+	if !regexp.MustCompile(`rank 1 .*(died|exited|killed)`).MatchString(out) {
+		t.Errorf("missing rank 1 failure diagnostic in output:\n%s", out)
+	}
+	after := shmSegments(t)
+	for p := range after {
+		if !before[p] {
+			t.Errorf("failed run leaked segment file %s", p)
+		}
 	}
 	t.Logf("launcher exited %v after kill (status %v)", elapsed.Round(time.Millisecond), exitErr)
 }

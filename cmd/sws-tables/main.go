@@ -20,6 +20,7 @@ import (
 	"sws/internal/bpc"
 	"sws/internal/cli"
 	"sws/internal/pool"
+	"sws/internal/shmem"
 	"sws/internal/uts"
 )
 
@@ -117,6 +118,17 @@ func main() {
 			{"uts",
 				bench.RunConfig{PEs: 4, Latency: bench.DefaultLatency(), Pool: pool.Config{PayloadCap: uts.PayloadSize}},
 				func() (bench.Workload, error) { return uts.NewWorkload(utsParams) }},
+		}
+		if shmem.ShmSupported() {
+			// No latency model: the shm preset tracks the real mmap'd-segment
+			// wire path (the whole point is that its op cost IS the hardware's).
+			presets = append(presets, struct {
+				name string
+				cfg  bench.RunConfig
+				f    bench.Factory
+			}{"shm",
+				bench.RunConfig{PEs: 4, Transport: shmem.TransportShm, Pool: pool.Config{PayloadCap: uts.PayloadSize}},
+				func() (bench.Workload, error) { return uts.NewWorkload(utsParams) }})
 		}
 		for _, p := range presets {
 			path, err := bench.MachineSuite(*jsonDir, p.name, p.cfg, p.f)

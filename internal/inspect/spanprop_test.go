@@ -76,9 +76,13 @@ func stealAndDump(t *testing.T, kind shmem.TransportKind) *Report {
 // every transport and checks the journals merge into one span tree with
 // both initiator- and victim-side events.
 func TestSpanPropagationRoundTrip(t *testing.T) {
-	for _, kind := range []shmem.TransportKind{
+	kinds := []shmem.TransportKind{
 		shmem.TransportLocal, shmem.TransportTCP, shmem.TransportSim,
-	} {
+	}
+	if shmem.ShmSupported() {
+		kinds = append(kinds, shmem.TransportShm)
+	}
+	for _, kind := range kinds {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			r := stealAndDump(t, kind)

@@ -169,6 +169,16 @@ func (b *heapBarrier) wait() error {
 		return nil
 	}
 	deadline := time.Now().Add(b.timeout)
+	if sh, ok := b.w.transport.(*shmTransport); ok {
+		// Generation word is in the shared mapping: park on its futex
+		// instead of polling through the transport.
+		g, err := sh.waitBarrierGen(myGen, deadline, b.timeout, b.check)
+		if err != nil {
+			return err
+		}
+		b.gen = g
+		return nil
+	}
 	for {
 		g, err := b.w.transport.load64(b.rank, 0, barrierGenAddr, 0)
 		if err != nil {

@@ -665,6 +665,12 @@ func (c *Ctx) WaitUntil64(addr Addr, cmp Cmp, operand uint64, timeout time.Durat
 		// Park in the scheduler; the wait resolves in virtual time.
 		return st.waitLocal(c.rank, addr, cmp, operand, timeout)
 	}
+	if sh, ok := c.w.transport.(*shmTransport); ok {
+		// Bounded spin, then park on the heap's futex word: a peer's
+		// one-sided store wakes this PE through the transport's wake
+		// hook instead of being discovered by the next poll iteration.
+		return sh.waitUntil(c, addr, i, cmp, operand, timeout)
+	}
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)

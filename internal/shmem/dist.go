@@ -24,6 +24,10 @@ type DistConfig struct {
 	// Coordinator is the host:port rank 0 listens on for the rendezvous;
 	// other ranks dial it.
 	Coordinator string
+	// Bind is the local address the per-PE service listener binds to
+	// (the address peers dial for one-sided operations). Default
+	// 127.0.0.1 — set it to a routable interface for multi-host runs.
+	Bind string
 	// HeapBytes is the symmetric heap size (identical on every rank).
 	HeapBytes int
 	// Latency optionally layers the injected cost model on top of the
@@ -72,6 +76,9 @@ func (c *DistConfig) setDefaults() error {
 	}
 	if c.Coordinator == "" {
 		return fmt.Errorf("shmem: Coordinator address required")
+	}
+	if c.Bind == "" {
+		c.Bind = "127.0.0.1"
 	}
 	if c.HeapBytes == 0 {
 		c.HeapBytes = 1 << 20
@@ -189,9 +196,9 @@ func (w *World) runLocalRank(body func(*Ctx) error) error {
 func newDistTransport(w *World, cfg DistConfig) (*tcpTransport, error) {
 	t := tcpShell(w, cfg.NumPEs)
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", net.JoinHostPort(cfg.Bind, "0"))
 	if err != nil {
-		return nil, fmt.Errorf("shmem: listen for PE %d: %w", cfg.Rank, err)
+		return nil, fmt.Errorf("shmem: listen for PE %d on %s: %w", cfg.Rank, cfg.Bind, err)
 	}
 	t.listeners[cfg.Rank] = ln
 	self := ln.Addr().String()

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package shmem
+
+import "time"
+
+const futexSupported = false
+
+// futexWait on hosts without futex(2) degrades to a bounded sleep — the
+// same adaptive-spin-with-sleep policy the other transports' poll loops
+// use. Liveness is unchanged (callers re-check their predicate at least
+// once per sleep); only wake latency differs.
+func futexWait(_ *uint32, _ uint32, d time.Duration) {
+	if d > 50*time.Microsecond {
+		d = 50 * time.Microsecond
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func futexWake(_ *uint32, _ int) {}

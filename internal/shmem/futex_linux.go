@@ -1,0 +1,42 @@
+//go:build linux
+
+package shmem
+
+import (
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// The shm transport's wakeup layer parks blocked PEs in the kernel with
+// futex(2) on a word inside the shared mapping. The flag-free (shared,
+// non-PRIVATE) futex forms are required: the word lives in a MAP_SHARED
+// segment and the waiter and waker are usually different OS processes.
+const (
+	futexOpWait = 0 // FUTEX_WAIT
+	futexOpWake = 1 // FUTEX_WAKE
+)
+
+// futexSupported reports whether blocked shm waits park in the kernel
+// (linux) or degrade to bounded sleeps (the fallback file).
+const futexSupported = true
+
+// futexWait parks the calling thread until *addr differs from val, a
+// wake arrives, or d expires. Spurious returns (EINTR, EAGAIN, timeout)
+// are fine — every caller re-checks its predicate in a loop.
+func futexWait(addr *uint32, val uint32, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ts := syscall.NsecToTimespec(d.Nanoseconds())
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWait, uintptr(val),
+		uintptr(unsafe.Pointer(&ts)), 0, 0)
+}
+
+// futexWake wakes up to n threads parked on addr, across every process
+// that has the segment mapped.
+func futexWake(addr *uint32, n int) {
+	_, _, _ = syscall.Syscall6(syscall.SYS_FUTEX,
+		uintptr(unsafe.Pointer(addr)), futexOpWake, uintptr(n), 0, 0, 0)
+}

@@ -1,0 +1,1050 @@
+package shmem
+
+// This file implements the shm transport: a cross-process symmetric heap
+// over one MAP_SHARED file (typically in /dev/shm), the closest a
+// multi-process Go deployment gets to the paper's NIC-offloaded one-sided
+// operations. Every process maps the same segment, so
+//
+//   - atomics (fetchAdd64/swap64/compareSwap64/load64/store64) are direct
+//     sync/atomic operations on the mapping: zero syscalls, executed by
+//     the initiator, never involving the target process's CPU — the
+//     defining property of hardware atomic offload;
+//   - bulk transfers (put/get/getv) are memcpy over the mapping;
+//   - non-blocking operations complete at injection, so quiet is a no-op
+//     fence.
+//
+// Blocked waits (WaitUntil64, the heap barrier's generation poll) use a
+// bounded-spin-then-futex policy: spin SpinBudget iterations on the word,
+// then park in the kernel on a per-PE wake sequence word that every
+// mutating transport op bumps. On linux the park is futex(2) on the
+// mapping (sub-microsecond cross-process wakeup); elsewhere it degrades
+// to a bounded sleep (futex_fallback.go). Every park is additionally
+// bounded by shmParkQuantum so stores that bypass the transport (a PE's
+// self-targeted fast path) cost at most one quantum of staleness, never
+// a hang.
+//
+// Segment layout (all offsets in bytes):
+//
+//   [0, shmHeaderBytes)                  header (uint64 words):
+//       word 0  magic   "SWS-SHM1"
+//       word 1  layout version
+//       word 2  NumPEs
+//       word 3  HeapBytes (per PE)
+//       word 4  ready flag (stored last by the creator; attachers poll
+//               it before validating anything — the torn-read guard)
+//       word 8+rank                     attach bitmap: 0 empty, 1 live,
+//                                       2 detached
+//       word 8+NumPEs+2*rank (+1)       per-PE wake words: sequence,
+//                                       parked-waiter count
+//   [shmHeaderBytes + rank*HeapBytes, +HeapBytes)  rank's symmetric heap
+//
+// The wake words live in the header, NOT the heap: heap bytes — even the
+// reserved runtime words — are addressable by one-sided operations, and
+// the wake protocol must never be corruptible by (or mutate) user data.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"sws/internal/trace"
+)
+
+// --- Segment layout --------------------------------------------------------
+
+const (
+	shmMagic       = 0x5357_532d_5348_4d31 // "SWS-SHM1"
+	shmVersion     = 1
+	shmHeaderBytes = 4096
+)
+
+// Header word indices.
+const (
+	shmHdrMagic     = 0
+	shmHdrVersion   = 1
+	shmHdrNumPEs    = 2
+	shmHdrHeapBytes = 3
+	shmHdrReady     = 4
+	shmHdrAttachBase = 8 // + rank
+)
+
+// Attach bitmap states.
+const (
+	shmAttachEmpty uint64 = 0
+	shmAttachLive  uint64 = 1
+	shmAttachGone  uint64 = 2
+)
+
+// shmMaxPEs is how many ranks fit in the header: one attach word plus
+// two wake words (sequence, waiter count) per rank.
+const shmMaxPEs = (shmHeaderBytes/WordSize - shmHdrAttachBase) / 3
+
+const (
+	// shmDefaultSpin is the default bounded-spin budget before a blocked
+	// wait parks in the kernel (Config.SpinBudget / ShmConfig.SpinBudget
+	// override; negative parks immediately).
+	shmDefaultSpin = 512
+	// shmParkQuantum bounds every kernel park: a wakeup that bypasses
+	// the transport (self-targeted store fast path) is observed within
+	// one quantum.
+	shmParkQuantum = time.Millisecond
+)
+
+// shmSeqLowHalf indexes the 32-bit half of a uint64 that changes when the
+// word is incremented — the half futex(2) must watch.
+var shmSeqLowHalf = func() int {
+	var probe uint32 = 1
+	if *(*byte)(unsafe.Pointer(&probe)) == 1 {
+		return 0 // little-endian: low half first
+	}
+	return 1
+}()
+
+// futexHalf returns the futex-watchable half of a wake sequence word.
+func futexHalf(w *uint64) *uint32 {
+	return &(*[2]uint32)(unsafe.Pointer(w))[shmSeqLowHalf]
+}
+
+// --- Segment lifecycle -----------------------------------------------------
+
+// shmSegment is one mapped segment file.
+type shmSegment struct {
+	path      string
+	data      []byte
+	hdr       []uint64 // aliases data[:shmHeaderBytes]
+	numPEs    int
+	heapBytes int
+	owner     bool // unlink on close
+
+	unmapOnce sync.Once
+	unmapErr  error
+}
+
+func shmSegmentSize(numPEs, heapBytes int) int {
+	return shmHeaderBytes + numPEs*heapBytes
+}
+
+func shmValidateGeometry(numPEs, heapBytes int) error {
+	if numPEs < 1 || numPEs > shmMaxPEs {
+		return fmt.Errorf("shmem: shm segment NumPEs %d out of range [1, %d]", numPEs, shmMaxPEs)
+	}
+	if heapBytes < reservedHeapBytes || heapBytes%WordSize != 0 {
+		return fmt.Errorf("shmem: shm heap size %d must be a multiple of %d and >= %d",
+			heapBytes, WordSize, reservedHeapBytes)
+	}
+	return nil
+}
+
+func aliasWords(mem []byte) []uint64 {
+	// The mapping is page-aligned, so word alignment is guaranteed.
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&mem[0])), len(mem)/WordSize)
+}
+
+// createShmSegment creates, sizes, maps, and initializes a fresh segment
+// file. The ready flag is stored last (release order): a concurrent
+// attacher that maps the file early sees ready == 0 and keeps polling,
+// never a torn header.
+func createShmSegment(path string, numPEs, heapBytes int) (*shmSegment, error) {
+	if err := shmValidateGeometry(numPEs, heapBytes); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("shmem: creating shm segment: %w", err)
+	}
+	size := shmSegmentSize(numPEs, heapBytes)
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shmem: sizing shm segment: %w", err)
+	}
+	data, err := mmapShared(f, size)
+	f.Close() // the mapping outlives the descriptor
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("shmem: mapping shm segment: %w", err)
+	}
+	s := &shmSegment{
+		path: path, data: data, hdr: aliasWords(data[:shmHeaderBytes]),
+		numPEs: numPEs, heapBytes: heapBytes, owner: true,
+	}
+	s.hdr[shmHdrMagic] = shmMagic
+	s.hdr[shmHdrVersion] = shmVersion
+	s.hdr[shmHdrNumPEs] = uint64(numPEs)
+	s.hdr[shmHdrHeapBytes] = uint64(heapBytes)
+	atomic.StoreUint64(&s.hdr[shmHdrReady], 1)
+	return s, nil
+}
+
+// attachShmSegment maps an existing segment file, waiting (up to timeout)
+// for the creator to finish sizing and initializing it.
+func attachShmSegment(path string, numPEs, heapBytes int, timeout time.Duration) (*shmSegment, error) {
+	if err := shmValidateGeometry(numPEs, heapBytes); err != nil {
+		return nil, err
+	}
+	want := shmSegmentSize(numPEs, heapBytes)
+	deadline := time.Now().Add(timeout)
+	var data []byte
+	for {
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err == nil {
+			st, serr := f.Stat()
+			if serr == nil && st.Size() == int64(want) {
+				data, err = mmapShared(f, want)
+				f.Close()
+				if err != nil {
+					return nil, fmt.Errorf("shmem: mapping shm segment: %w", err)
+				}
+				break
+			}
+			f.Close()
+			if serr == nil && st.Size() > int64(want) {
+				return nil, fmt.Errorf("shmem: shm segment %s is %d bytes, want %d (geometry mismatch?)",
+					path, st.Size(), want)
+			}
+			// Created but not yet truncated to size; keep waiting.
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shmem: shm segment %s not ready after %v: %v", path, timeout, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := &shmSegment{
+		path: path, data: data, hdr: aliasWords(data[:shmHeaderBytes]),
+		numPEs: numPEs, heapBytes: heapBytes,
+	}
+	for atomic.LoadUint64(&s.hdr[shmHdrReady]) != 1 {
+		if time.Now().After(deadline) {
+			s.unmap()
+			return nil, fmt.Errorf("shmem: shm segment %s never became ready (creator died?)", path)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.hdr[shmHdrMagic] != shmMagic || s.hdr[shmHdrVersion] != shmVersion {
+		s.unmap()
+		return nil, fmt.Errorf("shmem: %s is not an sws shm segment (magic %#x version %d)",
+			path, s.hdr[shmHdrMagic], s.hdr[shmHdrVersion])
+	}
+	if got := int(s.hdr[shmHdrNumPEs]); got != numPEs {
+		s.unmap()
+		return nil, fmt.Errorf("shmem: shm segment %s has %d PEs, want %d", path, got, numPEs)
+	}
+	if got := int(s.hdr[shmHdrHeapBytes]); got != heapBytes {
+		s.unmap()
+		return nil, fmt.Errorf("shmem: shm segment %s has %d-byte heaps, want %d", path, got, heapBytes)
+	}
+	return s, nil
+}
+
+// heap returns rank's symmetric heap slice of the mapping.
+func (s *shmSegment) heap(rank int) []byte {
+	off := shmHeaderBytes + rank*s.heapBytes
+	return s.data[off : off+s.heapBytes : off+s.heapBytes]
+}
+
+// wakeSlot returns rank's wake words in the header: the futex sequence
+// (bumped by mutating ops while waiters are parked) and the parked-waiter
+// count (writers skip the bump and the wake syscall while it is zero —
+// the zero-syscall fast path).
+func (s *shmSegment) wakeSlot(rank int) (seq, waiters *uint64) {
+	base := shmHdrAttachBase + s.numPEs + 2*rank
+	return &s.hdr[base], &s.hdr[base+1]
+}
+
+// attachRank claims rank's attach slot; failure means another process
+// already holds that rank (a mislaunched duplicate).
+func (s *shmSegment) attachRank(rank int) error {
+	if rank < 0 || rank >= s.numPEs {
+		return fmt.Errorf("shmem: rank %d out of range [0, %d)", rank, s.numPEs)
+	}
+	if !atomic.CompareAndSwapUint64(&s.hdr[shmHdrAttachBase+rank], shmAttachEmpty, shmAttachLive) {
+		return fmt.Errorf("shmem: rank %d already attached to shm segment %s (state %d)",
+			rank, s.path, atomic.LoadUint64(&s.hdr[shmHdrAttachBase+rank]))
+	}
+	return nil
+}
+
+// detachRank marks rank cleanly gone (distinct from never-attached, so a
+// post-mortem can tell a clean exit from a crash).
+func (s *shmSegment) detachRank(rank int) {
+	atomic.StoreUint64(&s.hdr[shmHdrAttachBase+rank], shmAttachGone)
+}
+
+// attachedCount returns how many ranks are currently live in the bitmap.
+func (s *shmSegment) attachedCount() int {
+	n := 0
+	for r := 0; r < s.numPEs; r++ {
+		if atomic.LoadUint64(&s.hdr[shmHdrAttachBase+r]) == shmAttachLive {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *shmSegment) unmap() error {
+	s.unmapOnce.Do(func() {
+		if s.data != nil {
+			s.unmapErr = munmapFile(s.data)
+			s.data, s.hdr = nil, nil
+		}
+	})
+	return s.unmapErr
+}
+
+// close unmaps the segment and, when this handle owns the file, unlinks
+// it. Attached peers keep their mappings — unlinking only removes the
+// name.
+func (s *shmSegment) close() error {
+	err := s.unmap()
+	if s.owner {
+		if rerr := os.Remove(s.path); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+			err = rerr
+		}
+	}
+	return err
+}
+
+// --- Segment naming and stale-segment hygiene ------------------------------
+
+// ShmSupported reports whether this platform can run the shm transport
+// (shared file mappings). Futex wakeups additionally require linux;
+// elsewhere blocked waits poll with bounded sleeps.
+func ShmSupported() bool { return shmSupported }
+
+// DefaultShmDir returns where segment files live: /dev/shm when present
+// (a ramdisk on linux, so the "file" is pure memory), else the system
+// temp directory.
+func DefaultShmDir() string {
+	if st, err := os.Stat("/dev/shm"); err == nil && st.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}
+
+// ShmSegmentName returns a fresh segment file name, sws-<pid>-<nonce>.
+// Embedding the creator's pid lets SweepStaleShmSegments recognize
+// leftovers from crashed runs.
+func ShmSegmentName() string {
+	return fmt.Sprintf("sws-%d-%08x", os.Getpid(), rand.Uint32())
+}
+
+var shmSegmentNameRE = regexp.MustCompile(`^sws-([0-9]+)-[0-9a-f]+$`)
+
+// SweepStaleShmSegments removes segment files in dir whose creating
+// process no longer exists (SIGKILLed runs cannot unlink their own
+// segments). Returns the paths removed. Live processes' segments and
+// files that do not match the sws-<pid>-<nonce> pattern are left alone.
+func SweepStaleShmSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		m := shmSegmentNameRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		pid, err := strconv.Atoi(m[1])
+		if err != nil || pid == os.Getpid() || pidAlive(pid) {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		if os.Remove(p) == nil {
+			removed = append(removed, p)
+		}
+	}
+	return removed, nil
+}
+
+// --- Mapped PE state -------------------------------------------------------
+
+// newPEStateMapped builds a peState whose heap words alias a shared
+// mapping instead of Go-allocated memory; every transport op and Ctx
+// fast path works on it unchanged. The mapping is page-aligned, so the
+// word view is 8-byte aligned.
+func newPEStateMapped(rank int, mem []byte) *peState {
+	words := aliasWords(mem)
+	return &peState{rank: rank, words: words, bytes: mem[:len(words)*WordSize]}
+}
+
+// --- The transport ---------------------------------------------------------
+
+// shmTransport executes one-sided operations directly against the shared
+// mapping from the initiating goroutine — like localTransport, but the
+// "target heap" may belong to another OS process. Where localTransport
+// routes NBI ops through applier goroutines, shm applies them inline: on
+// a cache-coherent mapping injection and completion are the same event,
+// so quiet has nothing to wait for.
+type shmTransport struct {
+	w    *World
+	seg  *shmSegment
+	spin int // bounded-spin budget before a blocked wait parks
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// resolveSpinBudget maps the config knob to an iteration count:
+// 0 = default, negative = park immediately.
+func resolveSpinBudget(budget int) int {
+	if budget == 0 {
+		return shmDefaultSpin
+	}
+	if budget < 0 {
+		return 0
+	}
+	return budget
+}
+
+// newShmTransport builds an in-process shm world (NewWorld with
+// TransportShm): PEs are goroutines, but their heaps live in a real
+// MAP_SHARED segment and every op takes the exact cross-process code
+// path. The file is unlinked immediately after creation — the mapping
+// persists until close, and an in-process world can never leak a
+// segment, however it dies.
+func newShmTransport(w *World) (*shmTransport, error) {
+	if !shmSupported {
+		return nil, fmt.Errorf("shmem: shm transport is not supported on this platform")
+	}
+	path := filepath.Join(DefaultShmDir(), ShmSegmentName())
+	seg, err := createShmSegment(path, w.cfg.NumPEs, w.cfg.HeapBytes)
+	if err != nil {
+		return nil, err
+	}
+	os.Remove(path)
+	seg.owner = false
+	for r := 0; r < w.cfg.NumPEs; r++ {
+		if err := seg.attachRank(r); err != nil {
+			seg.close()
+			return nil, err
+		}
+		w.pes[r] = newPEStateMapped(r, seg.heap(r))
+	}
+	return &shmTransport{w: w, seg: seg, spin: resolveSpinBudget(w.cfg.SpinBudget)}, nil
+}
+
+func (t *shmTransport) pe(to int) (*peState, error) {
+	if to < 0 || to >= len(t.w.pes) {
+		return nil, fmt.Errorf("shmem: target PE %d out of range [0, %d)", to, len(t.w.pes))
+	}
+	return t.w.pes[to], nil
+}
+
+func (t *shmTransport) inject(op Op, from, to int, addr Addr) Verdict {
+	if f := t.w.cfg.Fault; f != nil {
+		return f.Before(op, from, to, addr)
+	}
+	return Verdict{}
+}
+
+// wake unparks waiters blocked on pe's heap after a mutating op. The
+// fast path — no one parked — is one atomic load, preserving the
+// zero-syscall property for the common case. Otherwise bump the wake
+// sequence (so a waiter racing toward futexWait sees a changed value
+// and retries) and issue the wake.
+//
+// Seq-cst interleaving argument: the waiter does inc(waiters), read
+// seq, check word, futexWait(seq); the writer does write(word), load
+// (waiters), then bump seq + wake. If the writer's waiters load sees 0,
+// the waiter's inc had not happened, so its later word check sees the
+// write and it never parks on the stale value. Otherwise the writer
+// bumps seq and wakes: either the wake lands, or the bump makes the
+// waiter's futexWait return EAGAIN immediately.
+func (t *shmTransport) wake(pe *peState) {
+	seq, waiters := t.seg.wakeSlot(pe.rank)
+	if atomic.LoadUint64(waiters) == 0 {
+		return
+	}
+	atomic.AddUint64(seq, 1)
+	futexWake(futexHalf(seq), math.MaxInt32)
+}
+
+// --- Blocking one-sided operations ---
+
+func (t *shmTransport) put(from, to int, addr Addr, src []byte, span uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	if err := pe.checkRange(addr, len(src)); err != nil {
+		return err
+	}
+	v := t.inject(OpPut, from, to, addr)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(src)) + v.Delay)
+	if err := v.failure(); err != nil {
+		return opError(OpPut, from, to, err)
+	}
+	pe.copyIn(addr, src)
+	t.wake(pe)
+	t.w.flightVictim(at, OpPut, from, to, span)
+	return nil
+}
+
+func (t *shmTransport) get(from, to int, addr Addr, dst []byte, span uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	if err := pe.checkRange(addr, len(dst)); err != nil {
+		return err
+	}
+	v := t.inject(OpGet, from, to, addr)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
+	if err := v.failure(); err != nil {
+		return opError(OpGet, from, to, err)
+	}
+	pe.copyOut(addr, dst)
+	t.w.flightVictim(at, OpGet, from, to, span)
+	return nil
+}
+
+func (t *shmTransport) getv(from, to int, spans []Span, dst []byte, span uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, sp := range spans {
+		if err := pe.checkRange(sp.Addr, sp.N); err != nil {
+			return err
+		}
+		total += sp.N
+	}
+	if total != len(dst) {
+		return fmt.Errorf("shmem: getv spans cover %d bytes, dst holds %d", total, len(dst))
+	}
+	var first Addr
+	if len(spans) > 0 {
+		first = spans[0].Addr
+	}
+	v := t.inject(OpGetV, from, to, first)
+	// One "round trip" covers the whole gather, however many spans.
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(dst)) + v.Delay)
+	if err := v.failure(); err != nil {
+		return opError(OpGetV, from, to, err)
+	}
+	off := 0
+	for _, sp := range spans {
+		pe.copyOut(sp.Addr, dst[off:off+sp.N])
+		off += sp.N
+	}
+	t.w.flightVictim(at, OpGetV, from, to, span)
+	return nil
+}
+
+func (t *shmTransport) fetchAdd64(from, to int, addr Addr, delta uint64, span uint64) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	v := t.inject(OpFetchAdd, from, to, addr)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, opError(OpFetchAdd, from, to, err)
+	}
+	old := atomic.AddUint64(pe.word(i), delta)
+	t.wake(pe)
+	t.w.flightVictim(at, OpFetchAdd, from, to, span)
+	return old - delta, nil
+}
+
+func (t *shmTransport) swap64(from, to int, addr Addr, val uint64, span uint64) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	v := t.inject(OpSwap, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, opError(OpSwap, from, to, err)
+	}
+	old := atomic.SwapUint64(pe.word(i), val)
+	t.wake(pe)
+	return old, nil
+}
+
+func (t *shmTransport) compareSwap64(from, to int, addr Addr, old, new uint64, span uint64) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	v := t.inject(OpCompareSwap, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, opError(OpCompareSwap, from, to, err)
+	}
+	// Emulate SHMEM's fetching compare-and-swap: returns the prior value.
+	for {
+		cur := atomic.LoadUint64(pe.word(i))
+		if cur != old {
+			return cur, nil
+		}
+		if atomic.CompareAndSwapUint64(pe.word(i), old, new) {
+			t.wake(pe) // only a successful swap mutates
+			return old, nil
+		}
+	}
+}
+
+func (t *shmTransport) fetchAddGet(from, to int, addr Addr, delta uint64, id uint64, span uint64) (uint64, []byte, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, nil, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, nil, err
+	}
+	fv := t.inject(OpFetchAddGet, from, to, addr)
+	if err := fv.failure(); err != nil {
+		t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + fv.Delay)
+		return 0, nil, opError(OpFetchAddGet, from, to, err)
+	}
+	old := atomic.AddUint64(pe.word(i), delta) - delta
+	t.wake(pe)
+	// The handler is SPMD-registered in every process, so the initiator
+	// runs it against the mapping directly — the "NIC-side" gather with
+	// no target CPU involved, as on real offload hardware.
+	data, err := t.w.applyFused(pe, old, id)
+	if err != nil {
+		return 0, nil, err
+	}
+	// One round trip covers the claim and the dependent payload.
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(len(data)) + fv.Delay)
+	t.w.flightVictim(at, OpFetchAddGet, from, to, span)
+	return old, data, nil
+}
+
+func (t *shmTransport) load64(from, to int, addr Addr, span uint64) (uint64, error) {
+	pe, err := t.pe(to)
+	if err != nil {
+		return 0, err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return 0, err
+	}
+	v := t.inject(OpLoad, from, to, addr)
+	at := t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return 0, opError(OpLoad, from, to, err)
+	}
+	t.w.flightVictim(at, OpLoad, from, to, span)
+	return atomic.LoadUint64(pe.word(i)), nil
+}
+
+func (t *shmTransport) store64(from, to int, addr Addr, val uint64, span uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return err
+	}
+	v := t.inject(OpStore, from, to, addr)
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.blockingCost(0) + v.Delay)
+	if err := v.failure(); err != nil {
+		return opError(OpStore, from, to, err)
+	}
+	atomic.StoreUint64(pe.word(i), val)
+	if v.Duplicate {
+		atomic.StoreUint64(pe.word(i), val)
+	}
+	t.wake(pe)
+	return nil
+}
+
+// --- Non-blocking operations ---
+//
+// On a cache-coherent mapping an injection IS its completion: the ops
+// apply inline (atomically) and return. Fault verdicts are still
+// honored — a drop silently loses the op (Quiet unaffected, exactly the
+// lost-notification failure mode), a delay stalls the injection, and a
+// duplicate reapplies idempotent deliveries (stores and puts only).
+
+func (t *shmTransport) storeNBI(from, to int, addr Addr, val uint64, span uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return err
+	}
+	v := t.inject(OpStoreNBI, from, to, addr)
+	if v.dropped() {
+		return nil
+	}
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.InjectOverhead)
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	atomic.StoreUint64(pe.word(i), val)
+	if v.Duplicate {
+		atomic.StoreUint64(pe.word(i), val)
+	}
+	t.wake(pe)
+	t.w.flightVictim(time.Time{}, OpStoreNBI, from, to, span)
+	return nil
+}
+
+func (t *shmTransport) addNBI(from, to int, addr Addr, delta uint64, span uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	i, err := pe.checkWord(addr)
+	if err != nil {
+		return err
+	}
+	v := t.inject(OpAddNBI, from, to, addr)
+	if v.dropped() {
+		return nil
+	}
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.InjectOverhead)
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	// Duplicating an add is not idempotent; ignore any duplication
+	// verdict, as the other transports do.
+	atomic.AddUint64(pe.word(i), delta)
+	t.wake(pe)
+	t.w.flightVictim(time.Time{}, OpAddNBI, from, to, span)
+	return nil
+}
+
+func (t *shmTransport) putNBI(from, to int, addr Addr, src []byte, span uint64) error {
+	pe, err := t.pe(to)
+	if err != nil {
+		return err
+	}
+	if err := pe.checkRange(addr, len(src)); err != nil {
+		return err
+	}
+	v := t.inject(OpPutNBI, from, to, addr)
+	if v.dropped() {
+		return nil
+	}
+	t.w.cfg.Latency.charge(t.w.cfg.Latency.InjectOverhead)
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	pe.copyIn(addr, src)
+	if v.Duplicate {
+		pe.copyIn(addr, src)
+	}
+	t.wake(pe)
+	t.w.flightVictim(time.Time{}, OpPutNBI, from, to, span)
+	return nil
+}
+
+// quiet is a no-op fence: every injection on this transport has already
+// been applied by the time it returned.
+func (t *shmTransport) quiet(from int) error { return nil }
+
+func (t *shmTransport) close() error {
+	t.closeOnce.Do(func() {
+		if r := t.w.localRank; r >= 0 {
+			t.seg.detachRank(r)
+		}
+		t.closeErr = t.seg.close()
+	})
+	return t.closeErr
+}
+
+// --- Futex-backed blocked waits --------------------------------------------
+
+// spinThenPark waits until pred holds for pe's heap word at wordIdx,
+// spinning t.spin iterations first and then parking on the PE's wake
+// words. stop is evaluated each iteration (and once per park quantum)
+// to unwind on world failure, peer death, or deadline; it receives the
+// last observed value for error messages.
+func (t *shmTransport) spinThenPark(pe *peState, wordIdx int, pred func(uint64) bool, stop func(uint64) error) (uint64, error) {
+	word := &pe.words[wordIdx]
+	for s := 0; s < t.spin; s++ {
+		v := atomic.LoadUint64(word)
+		if pred(v) {
+			return v, nil
+		}
+		if err := stop(v); err != nil {
+			return 0, err
+		}
+		yield()
+	}
+	seq, waiters := t.seg.wakeSlot(pe.rank)
+	seqP := futexHalf(seq)
+	for {
+		// Register as a waiter BEFORE sampling the sequence and
+		// re-checking the word; see wake() for why this ordering closes
+		// the lost-wakeup window.
+		atomic.AddUint64(waiters, 1)
+		seq := atomic.LoadUint32(seqP)
+		v := atomic.LoadUint64(word)
+		if pred(v) {
+			atomic.AddUint64(waiters, ^uint64(0))
+			return v, nil
+		}
+		if err := stop(v); err != nil {
+			atomic.AddUint64(waiters, ^uint64(0))
+			return 0, err
+		}
+		// The quantum bounds the park so mutations that bypass the
+		// transport (self-targeted fast paths) and missed deadlines are
+		// observed within shmParkQuantum.
+		futexWait(seqP, seq, shmParkQuantum)
+		atomic.AddUint64(waiters, ^uint64(0))
+	}
+}
+
+// waitUntil implements Ctx.WaitUntil64 for the shm transport: identical
+// semantics to the adaptive-spin poll, but a blocked PE parks in the
+// kernel instead of burning a core, and a peer's one-sided store wakes
+// it in sub-microsecond time via the transport's wake hook.
+func (t *shmTransport) waitUntil(c *Ctx, addr Addr, wordIdx int, cmp Cmp, operand uint64, timeout time.Duration) (uint64, error) {
+	if _, err := cmp.eval(0, operand); err != nil {
+		return 0, err // unknown comparison, before any waiting
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	pred := func(v uint64) bool {
+		ok, _ := cmp.eval(v, operand)
+		return ok
+	}
+	stop := func(v uint64) error {
+		if werr := c.Err(); werr != nil {
+			return werr
+		}
+		if c.w.live.AnyDead() {
+			// A peer that could have flipped this word is gone; unwind
+			// with a named error instead of spinning out the timeout.
+			return fmt.Errorf("shmem: WaitUntil64(%#x %v %d) aborted, peer declared dead: %w",
+				uint64(addr), cmp, operand, ErrPeerDead)
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return fmt.Errorf("shmem: WaitUntil64(%#x %v %d) timed out after %v (last value %d): %w",
+				uint64(addr), cmp, operand, timeout, v, ErrOpTimeout)
+		}
+		return nil
+	}
+	return t.spinThenPark(c.self, wordIdx, pred, stop)
+}
+
+// waitBarrierGen implements heapBarrier's generation poll: park until
+// rank 0's generation word passes myGen. The releaser bumps it through
+// the transport, so the wake hook fires across processes.
+func (t *shmTransport) waitBarrierGen(myGen uint64, deadline time.Time, timeout time.Duration, check func() error) (uint64, error) {
+	pe := t.w.pes[0]
+	pred := func(v uint64) bool { return v > myGen }
+	stop := func(uint64) error {
+		if err := check(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shmem: barrier expired after %v (peer process lost?): %w", timeout, ErrBarrierTimeout)
+		}
+		return nil
+	}
+	return t.spinThenPark(pe, int(barrierGenAddr/WordSize), pred, stop)
+}
+
+// --- Multi-process membership (JoinShm) ------------------------------------
+
+// ShmConfig describes one process's membership in a multi-process world
+// whose PEs share one mapped segment. Every process hosts exactly one PE;
+// the launcher (or rank 0) creates the segment and the others attach by
+// path — the attach bitmap is the rendezvous, no coordinator socket
+// needed.
+type ShmConfig struct {
+	// Rank is this process's PE rank in [0, NumPEs).
+	Rank int
+	// NumPEs is the world size (number of processes).
+	NumPEs int
+	// Segment is the path of the segment file (see CreateShmSegment,
+	// DefaultShmDir, ShmSegmentName).
+	Segment string
+	// HeapBytes is the symmetric heap size (identical on every rank).
+	// Rounded up to a multiple of WordSize. Default 1 MiB.
+	HeapBytes int
+	// AttachTimeout bounds both mapping the segment and waiting for all
+	// peers to attach. Default 30s.
+	AttachTimeout time.Duration
+	// SpinBudget is the bounded-spin iteration count before a blocked
+	// wait (WaitUntil64, barrier) parks in the kernel. 0 selects the
+	// default (512); negative parks immediately.
+	SpinBudget int
+	// Latency optionally layers the injected cost model on top of the
+	// real memory system.
+	Latency LatencyModel
+	// Fault optionally injects faults (initiator side).
+	Fault FaultInjector
+	// BarrierTimeout bounds barrier waits (default 5m).
+	BarrierTimeout time.Duration
+	// HeartbeatInterval, SuspectAfter, and DeadAfter tune the failure
+	// detector exactly as the same-named Config knobs do. On shm the
+	// prober's remote heartbeat reads are direct atomic loads from the
+	// mapping — zero syscalls.
+	HeartbeatInterval time.Duration
+	SuspectAfter      time.Duration
+	DeadAfter         time.Duration
+	// FlightCap and FlightDir tune the always-on flight recorder exactly
+	// as the same-named Config knobs do.
+	FlightCap int
+	FlightDir string
+}
+
+func (c *ShmConfig) setDefaults() error {
+	if c.NumPEs < 1 {
+		return fmt.Errorf("shmem: NumPEs must be >= 1, got %d", c.NumPEs)
+	}
+	if c.Rank < 0 || c.Rank >= c.NumPEs {
+		return fmt.Errorf("shmem: rank %d out of range [0, %d)", c.Rank, c.NumPEs)
+	}
+	if c.Segment == "" {
+		return fmt.Errorf("shmem: Segment path required")
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 1 << 20
+	}
+	c.HeapBytes = (c.HeapBytes + WordSize - 1) &^ (WordSize - 1)
+	if c.HeapBytes < reservedHeapBytes {
+		return fmt.Errorf("shmem: HeapBytes must be >= %d, got %d", reservedHeapBytes, c.HeapBytes)
+	}
+	if c.AttachTimeout == 0 {
+		c.AttachTimeout = 30 * time.Second
+	}
+	return nil
+}
+
+// JoinShm creates this process's slice of a multi-process shared-memory
+// world: map the segment, claim our rank in the attach bitmap, wait for
+// every peer, and return a World whose Run executes the body once for
+// the local rank. Unlike Join (TCP), EVERY rank's heap is addressable in
+// this process — one-sided operations against remote ranks are atomics
+// and memcpys on the mapping, with zero syscalls.
+func JoinShm(cfg ShmConfig) (*World, error) {
+	if !shmSupported {
+		return nil, fmt.Errorf("shmem: shm transport is not supported on this platform")
+	}
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		cfg: Config{
+			NumPEs:            cfg.NumPEs,
+			HeapBytes:         cfg.HeapBytes,
+			Latency:           cfg.Latency,
+			Transport:         TransportShm,
+			Fault:             cfg.Fault,
+			SpinBudget:        cfg.SpinBudget,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			SuspectAfter:      cfg.SuspectAfter,
+			DeadAfter:         cfg.DeadAfter,
+			FlightCap:         cfg.FlightCap,
+			FlightDir:         cfg.FlightDir,
+		},
+		localRank: cfg.Rank,
+	}
+	w.cfg.flightDefaults()
+	w.cfg.livenessDefaults()
+	seg, err := attachShmSegment(cfg.Segment, cfg.NumPEs, cfg.HeapBytes, cfg.AttachTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := seg.attachRank(cfg.Rank); err != nil {
+		seg.unmap()
+		return nil, err
+	}
+	// Every rank's heap is in our address space: populate all peStates so
+	// the liveness prober, heap barrier, and fused handlers work on
+	// direct mapping access.
+	w.pes = make([]*peState, cfg.NumPEs)
+	for r := 0; r < cfg.NumPEs; r++ {
+		w.pes[r] = newPEStateMapped(r, seg.heap(r))
+	}
+	w.flight = trace.NewFlightSet(w.cfg.NumPEs, w.cfg.FlightCap)
+	w.live = newLiveness(w, cfg.NumPEs)
+	t := &shmTransport{w: w, seg: seg, spin: resolveSpinBudget(cfg.SpinBudget)}
+	w.transport = t
+	hb := newHeapBarrier(w, cfg.Rank, cfg.NumPEs, cfg.BarrierTimeout)
+	w.barrier = hb
+	w.live.OnDeath(func(rank int) {
+		hb.poisonWith(fmt.Errorf("shmem: barrier member PE %d is dead: %w", rank, ErrPeerDead))
+	})
+	// Attach rendezvous: all peers must be in the bitmap BEFORE the
+	// failure detector starts, or a slow-starting peer's zero heartbeat
+	// could be declared dead while it is still exec'ing.
+	deadline := time.Now().Add(cfg.AttachTimeout)
+	for seg.attachedCount() < cfg.NumPEs {
+		if time.Now().After(deadline) {
+			n := seg.attachedCount()
+			seg.detachRank(cfg.Rank)
+			t.close()
+			return nil, fmt.Errorf("shmem: only %d/%d ranks attached to %s after %v",
+				n, cfg.NumPEs, cfg.Segment, cfg.AttachTimeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	w.live.startProber(cfg.Rank)
+	return w, nil
+}
+
+// --- Launcher-side segment handle ------------------------------------------
+
+// ShmSegment is a launcher's handle on a created segment: the launcher
+// creates it, passes its path to the worker processes, and closes it
+// (unmap + unlink) when the run ends. Attached workers keep their
+// mappings across the unlink.
+type ShmSegment struct {
+	seg *shmSegment
+}
+
+// CreateShmSegment creates and initializes a segment file for a world of
+// numPEs ranks with heapBytes-sized symmetric heaps (rounded up to a
+// word multiple; must be at least the reserved region).
+func CreateShmSegment(path string, numPEs, heapBytes int) (*ShmSegment, error) {
+	if !shmSupported {
+		return nil, fmt.Errorf("shmem: shm transport is not supported on this platform")
+	}
+	heapBytes = (heapBytes + WordSize - 1) &^ (WordSize - 1)
+	seg, err := createShmSegment(path, numPEs, heapBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &ShmSegment{seg: seg}, nil
+}
+
+// Path returns the segment file's path (what workers pass to JoinShm).
+func (s *ShmSegment) Path() string { return s.seg.path }
+
+// AttachedCount returns how many ranks are currently live in the attach
+// bitmap — supervision tooling reads it to tell a stuck launch from a
+// crashed worker.
+func (s *ShmSegment) AttachedCount() int { return s.seg.attachedCount() }
+
+// Close unmaps the segment and unlinks the file. Safe to call while
+// workers are attached (their mappings persist); idempotent.
+func (s *ShmSegment) Close() error { return s.seg.close() }

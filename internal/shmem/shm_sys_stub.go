@@ -1,0 +1,20 @@
+//go:build !unix
+
+package shmem
+
+import (
+	"fmt"
+	"os"
+)
+
+const shmSupported = false
+
+func mmapShared(*os.File, int) ([]byte, error) {
+	return nil, fmt.Errorf("shmem: shared file mappings are not supported on this platform")
+}
+
+func munmapFile([]byte) error { return nil }
+
+// pidAlive without a signal-0 probe must err on the side of "alive":
+// sweeping a segment whose owner might still run would corrupt it.
+func pidAlive(int) bool { return true }

@@ -1,0 +1,30 @@
+//go:build unix
+
+package shmem
+
+import (
+	"os"
+	"syscall"
+)
+
+// shmSupported gates the shm transport: it needs shared file mappings,
+// which every unix provides via mmap. Futex wakeups additionally need
+// linux; elsewhere waits fall back to bounded sleeps (futex_fallback.go).
+const shmSupported = true
+
+// mmapShared maps size bytes of f shared and read-write: stores by any
+// attached process are visible to all of them, and sync/atomic operations
+// on the mapping are cross-process atomic (same cache lines).
+func mmapShared(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }
+
+// pidAlive reports whether a process with the given pid exists (signal-0
+// probe). EPERM means it exists but belongs to someone else — still
+// alive, so its segments must not be swept.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
+}

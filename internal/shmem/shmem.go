@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,6 +72,12 @@ const (
 	// SimOptions. PE bodies must block only through shmem primitives
 	// (including Ctx.Relax in poll loops).
 	TransportSim
+	// TransportShm maps every PE's symmetric heap into one MAP_SHARED
+	// segment file (typically in /dev/shm): one-sided operations are
+	// direct sync/atomic ops and memcpys on the mapping — zero syscalls,
+	// initiator-executed, and (via JoinShm) cross-process. Blocked waits
+	// use a bounded-spin-then-futex policy; see shm.go and ShmSupported.
+	TransportShm
 )
 
 func (k TransportKind) String() string {
@@ -81,6 +88,8 @@ func (k TransportKind) String() string {
 		return "tcp"
 	case TransportSim:
 		return "sim"
+	case TransportShm:
+		return "shm"
 	default:
 		return fmt.Sprintf("TransportKind(%d)", int(k))
 	}
@@ -103,6 +112,11 @@ type Config struct {
 	// Sim configures the deterministic simulation transport; ignored by
 	// the other transports.
 	Sim SimOptions
+	// SpinBudget is the shm transport's bounded-spin iteration count
+	// before a blocked wait (WaitUntil64, barrier) parks in the kernel
+	// on a futex. 0 selects the default (512); negative parks
+	// immediately. Ignored by the other transports.
+	SpinBudget int
 	// NoOpLatency disables the per-op latency histograms (two monotonic
 	// clock reads per blocking operation). On by default; the toggle
 	// exists so the overhead benchmark can quantify the cost.
@@ -303,6 +317,12 @@ func NewWorld(cfg Config) (*World, error) {
 		w.transport = t
 	case TransportSim:
 		w.transport = newSimTransport(w)
+	case TransportShm:
+		t, err := newShmTransport(w)
+		if err != nil {
+			return nil, fmt.Errorf("shmem: starting shm transport: %w", err)
+		}
+		w.transport = t
 	default:
 		return nil, fmt.Errorf("shmem: unknown transport %v", cfg.Transport)
 	}
@@ -358,8 +378,35 @@ func (w *World) DumpFlight(reason string) error {
 		if err := os.MkdirAll(w.cfg.FlightDir, 0o755); err != nil {
 			return err
 		}
-		_, err := w.flight.PE(w.localRank).DumpFile(w.cfg.FlightDir, w.cfg.NumPEs, reason)
-		return err
+		if _, err := w.flight.PE(w.localRank).DumpFile(w.cfg.FlightDir, w.cfg.NumPEs, reason); err != nil {
+			return err
+		}
+		// On the shm transport this process also records victim-side
+		// events for remote ranks (ops it applied to their mapped
+		// heaps). Dump those rings too, under via-tagged names so each
+		// process's files are distinct; event sets are disjoint across
+		// processes, so post-mortem merging is duplicate-free.
+		if _, ok := w.transport.(*shmTransport); ok {
+			for r := 0; r < w.cfg.NumPEs; r++ {
+				f := w.flight.PE(r)
+				if r == w.localRank || f.Len() == 0 {
+					continue
+				}
+				name := fmt.Sprintf("flight-rank%d-via%d.jsonl", r, w.localRank)
+				out, err := os.Create(filepath.Join(w.cfg.FlightDir, name))
+				if err != nil {
+					return err
+				}
+				werr := f.WriteTo(out, w.cfg.NumPEs, reason)
+				if cerr := out.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return werr
+				}
+			}
+		}
+		return nil
 	}
 	return w.flight.DumpAll(w.cfg.FlightDir, reason)
 }

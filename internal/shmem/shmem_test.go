@@ -12,7 +12,11 @@ import (
 // transports runs a subtest for every transport kind.
 func transports(t *testing.T, f func(t *testing.T, kind TransportKind)) {
 	t.Helper()
-	for _, kind := range []TransportKind{TransportLocal, TransportTCP} {
+	kinds := []TransportKind{TransportLocal, TransportTCP}
+	if ShmSupported() {
+		kinds = append(kinds, TransportShm)
+	}
+	for _, kind := range kinds {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) { f(t, kind) })
 	}

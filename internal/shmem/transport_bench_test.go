@@ -10,7 +10,11 @@ import (
 // buffering, and payload staging — which is what the batched/pooled wire
 // path optimizes.
 func BenchmarkTransportOps(b *testing.B) {
-	for _, kind := range []TransportKind{TransportLocal, TransportTCP} {
+	kinds := []TransportKind{TransportLocal, TransportTCP}
+	if ShmSupported() {
+		kinds = append(kinds, TransportShm)
+	}
+	for _, kind := range kinds {
 		kind := kind
 		b.Run(kind.String()+"/put/64B", func(b *testing.B) {
 			src := make([]byte, 64)

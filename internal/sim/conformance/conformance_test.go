@@ -34,11 +34,12 @@ func inProcKilled(kind shmem.TransportKind) func(numPEs, victim int, seed int64)
 	}
 }
 
-// factories builds the three transports the suite must hold on: the
-// in-process local transport, the loopback TCP transport, and the
-// deterministic simulation transport.
+// factories builds every transport the suite must hold on: the
+// in-process local transport, the loopback TCP transport, the
+// deterministic simulation transport, and (where the platform supports
+// mmap'd segments) the zero-syscall shm transport.
 func factories() []Factory {
-	return []Factory{
+	fs := []Factory{
 		{
 			Name: "local",
 			New: func(numPEs int, fault shmem.FaultInjector) (*shmem.World, error) {
@@ -98,6 +99,21 @@ func factories() []Factory {
 			},
 		},
 	}
+	if shmem.ShmSupported() {
+		fs = append(fs, Factory{
+			Name: "shm",
+			New: func(numPEs int, fault shmem.FaultInjector) (*shmem.World, error) {
+				return shmem.NewWorld(shmem.Config{
+					NumPEs:    numPEs,
+					HeapBytes: 1 << 20,
+					Transport: shmem.TransportShm,
+					Fault:     fault,
+				})
+			},
+			NewKilled: inProcKilled(shmem.TransportShm),
+		})
+	}
+	return fs
 }
 
 // TestConformance runs every protocol oracle against every transport.
