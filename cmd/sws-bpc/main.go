@@ -38,6 +38,9 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed      = flag.Int64("seed", 1, "victim-selection seed")
 		workers   = flag.Int("workers", 1, "executor goroutines per PE (two-level scheduling when >1)")
+		grow      = flag.Bool("grow", false, "elastic task queues: grow/spill instead of full-queue backpressure")
+		maxGrowth = flag.Int("max-growth", 0, "capacity doublings an elastic queue may perform (0 = default 3)")
+		qcap      = flag.Int("qcap", 0, "task queue capacity in slots (0 = library default; the starting size with -grow)")
 	)
 	obsf := cli.RegisterObsFlags(nil)
 	flag.Parse()
@@ -81,7 +84,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pcfg := pool.Config{PayloadCap: 24, Metrics: obsf.Gatherer(), Workers: *workers}
+	pcfg := pool.Config{PayloadCap: 24, Metrics: obsf.Gatherer(), Workers: *workers,
+		QueueCapacity: *qcap, Growable: *grow, MaxGrowth: *maxGrowth}
 	if pcfg.Trace, err = obsf.NewTrace(*pes); err != nil {
 		fatal(err)
 	}

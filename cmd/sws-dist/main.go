@@ -52,6 +52,9 @@ func main() {
 		protoName = flag.String("protocol", "sws", "steal protocol: sws or sdc")
 		workload  = flag.String("workload", "tree", "workload: tree, uts, or bpc")
 		workers   = flag.Int("workers", 1, "executor goroutines per PE (two-level scheduling when >1)")
+		grow      = flag.Bool("grow", false, "elastic task queues: grow/spill instead of full-queue backpressure")
+		maxGrowth = flag.Int("max-growth", 0, "capacity doublings an elastic queue may perform (0 = default 3)")
+		qcap      = flag.Int("qcap", 0, "task queue capacity in slots (0 = library default; the starting size with -grow)")
 		transport = flag.String("transport", "tcp", "inter-process transport: tcp or shm (mmap'd segment, single host)")
 		bind      = flag.String("bind", "127.0.0.1", "address the tcp transport listens on (set a routable address for multi-host runs)")
 
@@ -92,14 +95,15 @@ func main() {
 	}
 	lcfg := livenessFlags{opTimeout: *opTimeout, suspectAfter: *suspectAfter, deadAfter: *deadAfter, flightDir: *flightDir}
 	wcfg := wireFlags{transport: *transport, bind: *bind, coordinator: *coord, segment: *segment}
+	qcfg := queueFlags{grow: *grow, maxGrowth: *maxGrowth, capacity: *qcap}
 	if *worker {
-		if err := runWorker(*rank, *n, wcfg, *depth, proto, *workload, *metricsAddr, *workers, lcfg); err != nil {
+		if err := runWorker(*rank, *n, wcfg, *depth, proto, *workload, *metricsAddr, *workers, qcfg, lcfg); err != nil {
 			fatal(fmt.Errorf("rank %d: %w", *rank, err))
 		}
 		return
 	}
 	kcfg := killFlags{rank: *killRank, after: *killAfter}
-	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, wcfg, lcfg, kcfg); err != nil {
+	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, qcfg, wcfg, lcfg, kcfg); err != nil {
 		fatal(err)
 	}
 }
@@ -120,6 +124,14 @@ type wireFlags struct {
 type livenessFlags struct {
 	opTimeout, suspectAfter, deadAfter time.Duration
 	flightDir                          string
+}
+
+// queueFlags carries the elastic-queue tuning from the launcher to every
+// worker process (zero values defer to the library defaults).
+type queueFlags struct {
+	grow      bool
+	maxGrowth int
+	capacity  int
 }
 
 // killFlags is the launcher-side chaos schedule: SIGKILL one worker rank
@@ -148,7 +160,7 @@ func (l livenessFlags) grace() time.Duration {
 // wave) to finish their degraded run and report partial results, then
 // stragglers are killed; either way the launcher reports per-rank
 // diagnostics and returns an error so the process exits non-zero.
-func launch(n, depth int, protoName, workload, metricsAddr string, workers int, wcfg wireFlags, lcfg livenessFlags, kcfg killFlags) error {
+func launch(n, depth int, protoName, workload, metricsAddr string, workers int, qcfg queueFlags, wcfg wireFlags, lcfg livenessFlags, kcfg killFlags) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one PE, got %d", n)
 	}
@@ -207,6 +219,9 @@ func launch(n, depth int, protoName, workload, metricsAddr string, workers int, 
 			"-depth", fmt.Sprint(depth),
 			"-protocol", protoName, "-workload", workload,
 			"-workers", fmt.Sprint(workers),
+			"-grow="+fmt.Sprint(qcfg.grow),
+			"-max-growth", fmt.Sprint(qcfg.maxGrowth),
+			"-qcap", fmt.Sprint(qcfg.capacity),
 			"-metrics-addr", addr,
 			"-op-timeout", lcfg.opTimeout.String(),
 			"-suspect-after", lcfg.suspectAfter.String(),
@@ -330,7 +345,7 @@ func pickCoordinator(bind string) (string, error) {
 
 // runWorker is one PE's process: join the world, run the pool, publish
 // per-rank counts into rank 0's heap, and let rank 0 report.
-func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, workload, metricsAddr string, workers int, lcfg livenessFlags) error {
+func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, workload, metricsAddr string, workers int, qcfg queueFlags, lcfg livenessFlags) error {
 	var gatherer *obs.Gatherer
 	if metricsAddr != "" {
 		gatherer = obs.NewGatherer()
@@ -385,7 +400,8 @@ func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, work
 		reg := pool.NewRegistry()
 		var expect uint64 // expected world task total (0 = unknown)
 		var seed func(p *pool.Pool) error
-		pcfg := pool.Config{Protocol: proto, Seed: int64(n), Metrics: gatherer, Workers: workers}
+		pcfg := pool.Config{Protocol: proto, Seed: int64(n), Metrics: gatherer, Workers: workers,
+			QueueCapacity: qcfg.capacity, Growable: qcfg.grow, MaxGrowth: qcfg.maxGrowth}
 		switch workload {
 		case "uts":
 			wl, err := uts.NewWorkload(uts.Small)

@@ -107,31 +107,41 @@ func main() {
 	}
 
 	if *jsonDir != "" {
-		presets := []struct {
-			name string
-			cfg  bench.RunConfig
-			f    bench.Factory
-		}{
+		type preset struct {
+			name   string
+			cfg    bench.RunConfig
+			protos []pool.Protocol // nil = every protocol
+			f      bench.Factory
+		}
+		presets := []preset{
 			{"bpc",
 				bench.RunConfig{PEs: 4, Latency: bench.DefaultLatency(), Pool: pool.Config{PayloadCap: 24}},
+				nil,
 				func() (bench.Workload, error) { return bpc.NewWorkload(bpcParams) }},
 			{"uts",
 				bench.RunConfig{PEs: 4, Latency: bench.DefaultLatency(), Pool: pool.Config{PayloadCap: uts.PayloadSize}},
+				nil,
 				func() (bench.Workload, error) { return uts.NewWorkload(utsParams) }},
+			// Elastic-queue preset: 64-slot starting rings under the BPC
+			// flood force grow/spill reseats on every PE (the queue_grows
+			// field of the record proves it). SDC is skipped — the baseline
+			// queue is fixed capacity by design.
+			{"grow",
+				bench.RunConfig{PEs: 4, Latency: bench.DefaultLatency(),
+					Pool: pool.Config{PayloadCap: 24, QueueCapacity: 64, Growable: true}},
+				[]pool.Protocol{pool.SWS, pool.SWSFused},
+				func() (bench.Workload, error) { return bpc.NewWorkload(bpcParams) }},
 		}
 		if shmem.ShmSupported() {
 			// No latency model: the shm preset tracks the real mmap'd-segment
 			// wire path (the whole point is that its op cost IS the hardware's).
-			presets = append(presets, struct {
-				name string
-				cfg  bench.RunConfig
-				f    bench.Factory
-			}{"shm",
+			presets = append(presets, preset{"shm",
 				bench.RunConfig{PEs: 4, Transport: shmem.TransportShm, Pool: pool.Config{PayloadCap: uts.PayloadSize}},
+				nil,
 				func() (bench.Workload, error) { return uts.NewWorkload(utsParams) }})
 		}
 		for _, p := range presets {
-			path, err := bench.MachineSuite(*jsonDir, p.name, p.cfg, p.f)
+			path, err := bench.MachineSuiteProtocols(*jsonDir, p.name, p.protos, p.cfg, p.f)
 			if err != nil {
 				fatal(err)
 			}

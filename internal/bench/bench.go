@@ -267,6 +267,12 @@ func SingleRunTable(name string, run stats.Run) *Table {
 			{"idle iterations", fmt.Sprint(tot.IdleIters)},
 		},
 	}
+	// Elastic-queue activity only shows up when the run configured it.
+	if tot.QueueGrows != 0 || tot.QueueShrinks != 0 || tot.TasksSpilled != 0 {
+		t.Rows = append(t.Rows,
+			[]string{"queue grows/shrinks", fmt.Sprintf("%d/%d", tot.QueueGrows, tot.QueueShrinks)},
+			[]string{"tasks spilled", fmt.Sprint(tot.TasksSpilled)})
+	}
 	// Multi-worker runs carry a per-worker breakdown; surface it so the
 	// intra-PE load balance is visible alongside the PE totals.
 	for _, w := range tot.Workers {
@@ -295,7 +301,7 @@ func SingleRunTable(name string, run stats.Run) *Table {
 // latencyRowKeys selects which per-op histograms SingleRunTable surfaces:
 // the pool-level scheduling ops plus the shmem ops on the steal path.
 var latencyRowKeys = []string{
-	"exec", "steal", "acquire", "release",
+	"exec", "steal", "acquire", "release", "grow", "push-wait",
 	"shmem/fetch-add/remote", "shmem/get/remote",
 	"shmem/compare-swap/remote", "shmem/fetch-add-get/remote",
 }

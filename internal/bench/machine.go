@@ -41,6 +41,13 @@ type MachineRecord struct {
 
 	AllocsTotal uint64  `json:"allocs_total"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	// Elastic-queue activity (zero unless the preset sets Pool.Growable):
+	// ring reseats by direction and tasks that overflowed the largest ring
+	// into the owner-local spill arena.
+	QueueGrows   uint64 `json:"queue_grows,omitempty"`
+	QueueShrinks uint64 `json:"queue_shrinks,omitempty"`
+	TasksSpilled uint64 `json:"tasks_spilled,omitempty"`
 }
 
 // MachineRun executes one run like RunOnce and derives its
@@ -84,6 +91,9 @@ func MachineRun(preset string, cfg RunConfig, f Factory) (MachineRecord, error) 
 		CommsTotal:    comms.Total(),
 		CommsBlocking: comms.Blocking(),
 		AllocsTotal:   after.Mallocs - before.Mallocs,
+		QueueGrows:    tot.QueueGrows,
+		QueueShrinks:  tot.QueueShrinks,
+		TasksSpilled:  tot.TasksSpilled,
 	}
 	if tot.TasksExecuted > 0 {
 		rec.NsPerOp = float64(run.Elapsed.Nanoseconds()) / float64(tot.TasksExecuted)
@@ -100,8 +110,18 @@ func MachineRun(preset string, cfg RunConfig, f Factory) (MachineRecord, error) 
 // the files as artifacts so regressions in ns/op, comms/steal, or
 // allocs/op are diffable across commits.
 func MachineSuite(dir, preset string, cfg RunConfig, f Factory) (string, error) {
+	return MachineSuiteProtocols(dir, preset, nil, cfg, f)
+}
+
+// MachineSuiteProtocols is MachineSuite restricted to the given
+// protocols (nil = all three): presets that configure SWS-only machinery,
+// like elastic queues, must skip the fixed-capacity SDC baseline.
+func MachineSuiteProtocols(dir, preset string, protos []pool.Protocol, cfg RunConfig, f Factory) (string, error) {
+	if protos == nil {
+		protos = []pool.Protocol{pool.SDC, pool.SWS, pool.SWSFused}
+	}
 	var records []MachineRecord
-	for _, proto := range []pool.Protocol{pool.SDC, pool.SWS, pool.SWSFused} {
+	for _, proto := range protos {
 		c := cfg
 		c.Protocol = proto
 		rec, err := MachineRun(preset, c, f)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"sws/internal/obs"
 	"sws/internal/ring"
 	"sws/internal/shmem"
 	"sws/internal/task"
@@ -52,6 +53,22 @@ type Options struct {
 	// paper deliberately avoids assuming — provided here as an ablation
 	// beyond SWS.
 	Fused bool
+	// Growable makes the queue elastic: the ring doubles into the next
+	// pre-registered symmetric-heap region when full (an epoch-guarded
+	// reseat — see DESIGN §4.15), shrinks back when nearly empty, and
+	// spills to a local side arena instead of returning ErrFull once the
+	// largest region is exhausted. Requires Epochs; selects stealval
+	// format V3, whose class field carries the current region to thieves.
+	Growable bool
+	// MaxGrowth is the number of doublings a growable queue may perform:
+	// regions for classes 0..MaxGrowth (capacity<<class slots each) are
+	// all reserved in the symmetric heap at construction, ~2x the final
+	// capacity in total. Default 3 (8x the starting capacity); at most
+	// MaxClasses-1 and bounded by the V3 tail field.
+	MaxGrowth int
+	// SpillBlock is the number of task slots per spill-arena block.
+	// Default 512.
+	SpillBlock int
 }
 
 func (o *Options) setDefaults() {
@@ -70,6 +87,12 @@ func (o *Options) setDefaults() {
 	if o.ForceCloseGrace == 0 {
 		o.ForceCloseGrace = 25 * time.Millisecond
 	}
+	if o.Growable && o.MaxGrowth == 0 {
+		o.MaxGrowth = 3
+	}
+	if o.SpillBlock == 0 {
+		o.SpillBlock = 512
+	}
 }
 
 // DefaultOptions returns the options used by the paper-style benchmarks:
@@ -78,9 +101,18 @@ func DefaultOptions() Options {
 	return Options{Epochs: true, Damping: true}
 }
 
-// ErrFull is returned by Push when the queue has no free slot even after
-// reclaiming completed steals.
+// ErrFull is returned (wrapped, with the queue's capacity and owning
+// rank) by Push when a non-growable queue has no free slot even after
+// reclaiming completed steals. Match with errors.Is; growable queues
+// never return it — they reseat into a larger region or spill instead.
 var ErrFull = errors.New("core: task queue full")
+
+// errFull wraps ErrFull with the diagnostics a multi-PE log needs: which
+// rank's queue filled up, and at what capacity.
+func (q *Queue) errFull() error {
+	return fmt.Errorf("core: task queue full (capacity %d, rank %d): %w",
+		q.curRing().Cap(), q.ctx.Rank(), ErrFull)
+}
 
 // epochRec tracks one published shared block until all claims against it
 // have signalled completion and its space has been reclaimed.
@@ -106,19 +138,34 @@ func (r *epochRec) drained() bool {
 // in the symmetric heap, fronted by the packed stealval and per-epoch
 // completion arrays. Owner methods must only be called from the owning
 // PE's goroutine; Steal is thief-side.
+// region is one pre-registered ring: a symmetric task-slot array plus
+// its geometry. All regions are fixed at construction and never mutated,
+// so thief-side code may index them by a fetched stealval class with no
+// synchronization against owner reseats.
+type region struct {
+	addr shmem.Addr
+	ring ring.Ring
+}
+
 type Queue struct {
 	ctx      *shmem.Ctx
 	opts     Options
 	format   Format
 	codec    task.Codec
-	ring     ring.Ring
 	policy   wsq.Policy
 	maxSlots int // completion-array slots per epoch
 
+	// regions holds the task ring for every size class (one entry for
+	// non-growable queues); cls is the class currently in use. regions is
+	// immutable after NewQueue; cls is owner state — thieves never read
+	// it, they use the class in the stealval they fetched.
+	regions []region
+	cls     int
+
 	// Symmetric layout (identical offsets on every PE).
 	stealvalAddr   shmem.Addr
+	geomAddr       shmem.Addr // packed owner geometry, published at reseats
 	completionAddr shmem.Addr // MaxEpochs * wsq.MaxPlanLen words
-	tasksAddr      shmem.Addr
 
 	// Owner-side logical positions: rtail <= stail <= split <= head.
 	// [rtail, stail)  claimed by older epochs, awaiting completion;
@@ -148,11 +195,22 @@ type Queue struct {
 	stealBuf   []byte
 	stealSpans [2]shmem.Span
 
+	// arena is the owner-local spill store for tasks that overflow even
+	// the largest region (growable queues only).
+	arena spillArena
+
 	// ownerStats are maintained by owner operations for introspection.
 	releases, acquires, resetPolls uint64
 	// forceClosed/writtenOff track epochs force-closed after a thief died
 	// mid-steal and the tasks written off with them.
 	forceClosed, writtenOff uint64
+	// grows/shrinks count reseats by direction; spilled/unspilled count
+	// tasks through the arena.
+	grows, shrinks     uint64
+	spilled, unspilled uint64
+	// growLat is the reseat latency distribution (close + drain + copy +
+	// reopen), the cost a growable queue pays instead of ErrFull.
+	growLat obs.Hist
 }
 
 // NewQueue collectively constructs the queue: every PE must call it with
@@ -164,18 +222,25 @@ func NewQueue(ctx *shmem.Ctx, opts Options) (*Queue, error) {
 	if opts.Epochs {
 		format = FormatV2
 	}
+	maxCls := 0
+	if opts.Growable {
+		if !opts.Epochs {
+			return nil, errors.New("core: growable queues require completion epochs (the reseat closes and reopens an epoch)")
+		}
+		format = FormatV3
+		maxCls = opts.MaxGrowth
+		if maxCls < 1 || maxCls >= MaxClasses {
+			return nil, fmt.Errorf("core: MaxGrowth %d out of range [1, %d)", maxCls, MaxClasses)
+		}
+	}
 	if opts.Capacity < 2 {
 		return nil, fmt.Errorf("core: capacity %d too small", opts.Capacity)
 	}
-	if opts.Capacity > format.maxTail()+1 {
-		return nil, fmt.Errorf("core: capacity %d exceeds stealval tail field of %v (max %d)",
-			opts.Capacity, format, format.maxTail()+1)
+	if maxCap := opts.Capacity << maxCls; maxCap > format.maxTail()+1 {
+		return nil, fmt.Errorf("core: capacity %d (x%d growth) exceeds stealval tail field of %v (max %d)",
+			opts.Capacity, 1<<maxCls, format, format.maxTail()+1)
 	}
 	codec, err := task.NewCodec(opts.PayloadCap)
-	if err != nil {
-		return nil, err
-	}
-	rg, err := ring.New(opts.Capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -184,11 +249,11 @@ func NewQueue(ctx *shmem.Ctx, opts Options) (*Queue, error) {
 		opts:      opts,
 		format:    format,
 		codec:     codec,
-		ring:      rg,
 		policy:    opts.Policy,
 		emptyMode: make([]bool, ctx.NumPEs()),
 		scratch:   make([]byte, codec.SlotSize()),
 	}
+	q.arena.init(codec.SlotSize(), opts.SpillBlock)
 	// Completion arrays are indexed by attempt number, so their size must
 	// cover the policy's longest plan over any advertisable block.
 	switch opts.Policy {
@@ -205,8 +270,8 @@ func NewQueue(ctx *shmem.Ctx, opts Options) (*Queue, error) {
 	if q.maxIT < 1 {
 		return nil, fmt.Errorf("core: %d PEs leave no itasks range", ctx.NumPEs())
 	}
-	if q.maxIT > opts.Capacity {
-		q.maxIT = opts.Capacity
+	if maxCap := opts.Capacity << maxCls; q.maxIT > maxCap {
+		q.maxIT = maxCap
 	}
 	if mb := q.policy.MaxBlock(q.maxSlots); q.maxIT > mb {
 		q.maxIT = mb
@@ -214,11 +279,31 @@ func NewQueue(ctx *shmem.Ctx, opts Options) (*Queue, error) {
 	if q.stealvalAddr, err = ctx.Alloc(shmem.WordSize); err != nil {
 		return nil, err
 	}
+	if q.geomAddr, err = ctx.Alloc(shmem.WordSize); err != nil {
+		return nil, err
+	}
 	if q.completionAddr, err = ctx.Alloc(MaxEpochs * q.maxSlots * shmem.WordSize); err != nil {
 		return nil, err
 	}
-	if q.tasksAddr, err = ctx.Alloc(opts.Capacity * codec.SlotSize()); err != nil {
-		return nil, err
+	// Reserve the whole region ladder up front, collectively: every class
+	// a reseat may ever use exists at identical symmetric addresses on
+	// all PEs before the first task is pushed, which is what lets a thief
+	// resolve any fetched class without communication.
+	q.regions = make([]region, maxCls+1)
+	for c := range q.regions {
+		rg, err := ring.New(opts.Capacity << c)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := ctx.Alloc((opts.Capacity << c) * codec.SlotSize())
+		if err != nil {
+			if opts.Growable {
+				return nil, fmt.Errorf("core: reserving grow region class %d (%d slots, %d remaining heap bytes): %w (raise shmem.Config.HeapBytes or lower MaxGrowth)",
+					c, opts.Capacity<<c, ctx.HeapRemaining(), err)
+			}
+			return nil, err
+		}
+		q.regions[c] = region{addr: addr, ring: rg}
 	}
 	if opts.Fused {
 		// The fused handler is a pure function of the fetched stealval
@@ -228,35 +313,46 @@ func NewQueue(ctx *shmem.Ctx, opts Options) (*Queue, error) {
 			return nil, err
 		}
 	}
-	// Publish an empty, valid block for epoch 0.
+	// Publish an empty, valid block for epoch 0, and the initial geometry.
 	if err := q.publish(0, 0); err != nil {
+		return nil, err
+	}
+	if err := q.publishGeom(); err != nil {
 		return nil, err
 	}
 	q.recs = []epochRec{{start: 0, itasks: 0, parity: 0, claimedBlocks: -1}}
 	return q, nil
 }
 
+// curRing returns the ring of the size class currently in use (owner
+// side; thieves use the class out of the stealval they fetched).
+func (q *Queue) curRing() ring.Ring { return q.regions[q.cls].ring }
+
 // fusedRanges is the target-side ("NIC") half of a fused steal: map the
-// fetched stealval to the claimed block's byte ranges.
+// fetched stealval to the claimed block's byte ranges. It runs on the
+// transport's delivery goroutine, concurrently with owner operations, so
+// it must only read immutable queue state: the region it addresses comes
+// from the fetched word's class, never from q.cls.
 func (q *Queue) fusedRanges(old uint64) ([2]shmem.FusedSpan, int) {
 	var out [2]shmem.FusedSpan
 	v := q.format.Unpack(old)
-	if !v.Valid {
+	if !v.Valid || v.Class >= len(q.regions) {
 		return out, 0
 	}
 	if int(v.Asteals) >= q.policy.PlanLen(v.ITasks) {
 		return out, 0
 	}
+	reg := q.regions[v.Class]
 	k := q.policy.Block(v.ITasks, int(v.Asteals))
 	off := q.policy.Offset(v.ITasks, int(v.Asteals))
-	spans, n, err := q.ring.Spans(uint64(v.Tail)+uint64(off), k)
+	spans, n, err := reg.ring.Spans(uint64(v.Tail)+uint64(off), k)
 	if err != nil {
 		return out, 0
 	}
 	slotSize := q.codec.SlotSize()
 	for i := 0; i < n; i++ {
 		out[i] = shmem.FusedSpan{
-			Addr: q.tasksAddr + shmem.Addr(spans[i].Start*slotSize),
+			Addr: reg.addr + shmem.Addr(spans[i].Start*slotSize),
 			N:    spans[i].Count * slotSize,
 		}
 	}
@@ -266,8 +362,13 @@ func (q *Queue) fusedRanges(old uint64) ([2]shmem.FusedSpan, int) {
 // Format reports the stealval layout in use.
 func (q *Queue) Format() Format { return q.format }
 
-// LocalCount returns the number of tasks in the local portion.
-func (q *Queue) LocalCount() int { return ring.Distance(q.split, q.head) }
+// LocalCount returns the number of tasks only the owner can reach: the
+// ring's local portion plus any spilled arena blocks.
+func (q *Queue) LocalCount() int { return q.ringLocal() + q.arena.len() }
+
+// ringLocal is the local portion of the ring alone — the pool Release
+// and Acquire geometry works on this, never on spilled tasks.
+func (q *Queue) ringLocal() int { return ring.Distance(q.split, q.head) }
 
 // SharedAvail returns the owner's view of unclaimed shared tasks in the
 // current block (a local atomic read of its own stealval).
@@ -292,25 +393,43 @@ func (q *Queue) clampAttempts(v Stealval) int {
 	return n
 }
 
-// free returns the number of unoccupied slots.
-func (q *Queue) free() int { return q.ring.Cap() - ring.Distance(q.rtail, q.head) }
+// free returns the number of unoccupied slots in the current ring.
+func (q *Queue) free() int { return q.curRing().Cap() - ring.Distance(q.rtail, q.head) }
 
 // slotAddr returns the heap address of the physical slot for a logical
-// position.
+// position in the current ring.
 func (q *Queue) slotAddr(pos uint64) shmem.Addr {
-	return q.tasksAddr + shmem.Addr(q.ring.Slot(pos)*q.codec.SlotSize())
+	reg := q.regions[q.cls]
+	return reg.addr + shmem.Addr(reg.ring.Slot(pos)*q.codec.SlotSize())
 }
 
 // Push enqueues a task at the head of the local portion. Purely local: no
 // locking, no communication (§3.1 / §4.1: enqueueing is unchanged and
-// lightweight).
+// lightweight). A growable queue that runs out of ring reseats into the
+// next size class, and past the largest class spills to the arena; only
+// a non-growable queue can return ErrFull.
 func (q *Queue) Push(d task.Desc) error {
+	if q.arena.len() > 0 {
+		// LIFO order invariant: everything in the arena is newer than
+		// everything in the ring, so while spilled tasks exist, newer
+		// pushes must join them rather than bypass them into the ring.
+		return q.spill(d)
+	}
 	if q.free() == 0 {
 		if err := q.Progress(); err != nil {
 			return err
 		}
 		if q.free() == 0 {
-			return ErrFull
+			switch {
+			case q.opts.Growable && q.cls < len(q.regions)-1:
+				if err := q.reseat(q.cls + 1); err != nil {
+					return err
+				}
+			case q.opts.Growable:
+				return q.spill(d)
+			default:
+				return q.errFull()
+			}
 		}
 	}
 	if err := q.codec.Encode(q.scratch, d); err != nil {
@@ -324,8 +443,16 @@ func (q *Queue) Push(d task.Desc) error {
 }
 
 // Pop removes the newest task from the local portion (LIFO, giving the
-// depth-first traversal that bounds pool space).
+// depth-first traversal that bounds pool space). Spilled tasks are newer
+// than everything in the ring, so the arena drains first.
 func (q *Queue) Pop() (task.Desc, bool, error) {
+	if buf, ok := q.arena.popNewest(); ok {
+		d, err := q.codec.Decode(buf)
+		if err != nil {
+			return task.Desc{}, false, err
+		}
+		return d, true, nil
+	}
 	if q.head == q.split {
 		return task.Desc{}, false, nil
 	}
@@ -348,13 +475,23 @@ func (q *Queue) publish(itasks int, stail uint64) error {
 	w, err := q.format.Pack(Stealval{
 		Valid:  true,
 		Epoch:  q.parity(),
+		Class:  q.clsField(),
 		ITasks: itasks,
-		Tail:   q.ring.Slot(stail),
+		Tail:   q.curRing().Slot(stail),
 	})
 	if err != nil {
 		return err
 	}
 	return q.ctx.Store64(q.ctx.Rank(), q.stealvalAddr, w)
+}
+
+// clsField is the class value packed into published stealvals: the
+// current class for V3, 0 for the classless formats.
+func (q *Queue) clsField() int {
+	if q.format != FormatV3 {
+		return 0
+	}
+	return q.cls
 }
 
 func (q *Queue) parity() int {
@@ -458,6 +595,8 @@ func (q *Queue) Progress() error {
 
 // waitParityFree polls Progress until no draining record uses parity p
 // (V1: until every draining record is gone — the §4.1 wait-for-all).
+// p < 0 waits for every draining record regardless of parity — the
+// reseat's wait-for-all-in-flight-steals.
 //
 // If a peer has been declared dead while the wait is stalled, the missing
 // completion store may never come: after ForceCloseGrace the owner force
@@ -476,7 +615,7 @@ func (q *Queue) waitParityFree(p int) error {
 			if !rec.retired() {
 				continue
 			}
-			if q.format == FormatV1 || rec.parity == p {
+			if p < 0 || q.format == FormatV1 || rec.parity == p {
 				busy = true
 				break
 			}
@@ -501,6 +640,10 @@ func (q *Queue) waitParityFree(p int) error {
 			}
 		}
 		if time.Now().After(deadline) {
+			if p < 0 {
+				return fmt.Errorf("core: reseat stalled %v waiting for in-flight steals to drain (lost thief?)",
+					q.opts.ResetPoll)
+			}
 			return fmt.Errorf("core: reset stalled %v waiting for completion epoch parity %d (lost thief?)",
 				q.opts.ResetPoll, p)
 		}
@@ -572,7 +715,18 @@ func (q *Queue) startEpoch(itasks int) error {
 // fewer than 2 local tasks, or — with epochs — both completion arrays are
 // still draining, in which case we simply retry later rather than poll).
 func (q *Queue) Release() (int, error) {
-	local := q.LocalCount()
+	// Elastic maintenance first: refill the ring from the arena so
+	// spilled tasks become reachable (and eventually stealable), and
+	// fold an oversized ring back down when occupancy has collapsed.
+	if q.opts.Growable {
+		if err := q.unspill(); err != nil {
+			return 0, err
+		}
+		if err := q.maybeShrink(); err != nil {
+			return 0, err
+		}
+	}
+	local := q.ringLocal()
 	if local < 2 || q.SharedAvail() > 0 {
 		return 0, nil
 	}
@@ -672,6 +826,15 @@ type OwnerStats struct {
 	// (lost or executed-but-unconfirmed: at-least-once).
 	ForceClosed     uint64
 	TasksWrittenOff uint64
+	// Grows/Shrinks count ring reseats by direction; Spilled counts tasks
+	// that overflowed into the side arena, SpillDepth the tasks currently
+	// parked there. Class and Capacity describe the ring in use.
+	Grows, Shrinks uint64
+	Spilled        uint64
+	Unspilled      uint64
+	SpillDepth     int
+	Class          int
+	Capacity       int
 }
 
 // Stats returns a snapshot of owner-side activity.
@@ -683,5 +846,17 @@ func (q *Queue) Stats() OwnerStats {
 		Epochs:          len(q.recs),
 		ForceClosed:     q.forceClosed,
 		TasksWrittenOff: q.writtenOff,
+		Grows:           q.grows,
+		Shrinks:         q.shrinks,
+		Spilled:         q.spilled,
+		Unspilled:       q.unspilled,
+		SpillDepth:      q.arena.len(),
+		Class:           q.cls,
+		Capacity:        q.curRing().Cap(),
 	}
 }
+
+// GrowLat returns the reseat latency distribution (empty for
+// non-growable queues): the price paid per grow/shrink instead of an
+// ErrFull failure.
+func (q *Queue) GrowLat() obs.HistSnap { return q.growLat.Snapshot() }

@@ -23,6 +23,11 @@ type liveView struct {
 	qLocal, qShared, epoch atomic.Int64
 	terminated             atomic.Int64
 
+	// Elastic-queue mirror (stays zero for fixed-capacity queues except
+	// queueCap, which reports the ring capacity on any SWS queue).
+	queueGrows, queueShrinks, tasksSpilled atomic.Uint64
+	queueCap, spillDepth                   atomic.Int64
+
 	// Failure-handling counters (stay zero on fault-free runs).
 	stealTransportErrs, stealsQuarantined atomic.Uint64
 	quarantined                           atomic.Int64 // current victim count
@@ -67,6 +72,16 @@ func (p *Pool) metricsSource() obs.SourceFunc {
 			float64(lv.qLocal.Load()), pe, proto, obs.L("portion", "local"))
 		e.Gauge("sws_pool_queue_depth_tasks", "Queue depth by portion (refreshed periodically).",
 			float64(lv.qShared.Load()), pe, proto, obs.L("portion", "shared"))
+		e.Counter("sws_pool_queue_grows_total", "Elastic-queue reseats into a larger region.",
+			float64(lv.queueGrows.Load()), pe, proto)
+		e.Counter("sws_pool_queue_shrinks_total", "Elastic-queue reseats into a smaller region.",
+			float64(lv.queueShrinks.Load()), pe, proto)
+		e.Counter("sws_pool_queue_spilled_tasks_total", "Tasks spilled past the largest ring region into the local arena.",
+			float64(lv.tasksSpilled.Load()), pe, proto)
+		e.Gauge("sws_pool_queue_capacity_tasks", "Current ring capacity (refreshed periodically; SWS protocols).",
+			float64(lv.queueCap.Load()), pe, proto)
+		e.Gauge("sws_pool_queue_spill_depth_tasks", "Tasks currently parked in the spill arena (refreshed periodically).",
+			float64(lv.spillDepth.Load()), pe, proto)
 		e.Gauge("sws_pool_epoch", "Completion-epoch number (SWS protocols).",
 			float64(lv.epoch.Load()), pe, proto)
 		e.Gauge("sws_pool_terminated", "1 once this PE observed global termination.",
@@ -119,9 +134,15 @@ func (p *Pool) metricsSource() obs.SourceFunc {
 			{"search", &p.lat.search},
 			{"acquire", &p.lat.acquire},
 			{"release", &p.lat.release},
+			{"push-wait", &p.lat.pushWait},
 		} {
 			e.Quantiles("sws_pool_op_latency_seconds", "Scheduling-op latency quantiles.",
 				h.hist.Snapshot(), pe, proto, obs.L("op", h.op))
+		}
+		if p.coreQ != nil {
+			// Reseat latency lives in the core queue's own histogram.
+			e.Quantiles("sws_pool_op_latency_seconds", "Scheduling-op latency quantiles.",
+				p.coreQ.GrowLat(), pe, proto, obs.L("op", "grow"))
 		}
 
 		// Shmem-level communication counters and per-op latency.

@@ -110,8 +110,22 @@ func ParseProtocol(s string) (Protocol, error) {
 type Config struct {
 	// Protocol selects SWS (default) or SDC.
 	Protocol Protocol
-	// QueueCapacity is the task-slot count per PE. Default 8192.
+	// QueueCapacity is the task-slot count per PE. Default 8192. For a
+	// growable pool it is the STARTING capacity (class 0 of the ladder).
 	QueueCapacity int
+	// Growable makes each PE's queue elastic (SWS-family protocols only,
+	// requires epochs): instead of ErrFull backpressure the ring reseats
+	// into the next pre-registered symmetric-heap region, up to
+	// QueueCapacity<<MaxGrowth slots, and past that spills to an
+	// owner-local arena. Push then never fails with a full queue; the
+	// cost appears as the "grow" latency histogram and the spill counters
+	// in Stats and the live metrics.
+	Growable bool
+	// MaxGrowth is the number of capacity doublings a growable queue may
+	// perform (default 3). The whole region ladder is reserved in the
+	// symmetric heap at startup — roughly 2x the final capacity in task
+	// slots — so size HeapBytes accordingly.
+	MaxGrowth int
 	// PayloadCap is the per-task payload capacity in bytes. Default 24.
 	PayloadCap int
 	// NoEpochs disables completion epochs (SWS only; stealval format V1).
@@ -327,9 +341,11 @@ func (q *guardedQueue) Progress() error {
 }
 
 // poolLat groups the pool-level latency histograms: task execution,
-// successful steals, failed searches, and shared-queue transfers.
+// successful steals, failed searches, shared-queue transfers, and the
+// time spawns spend waiting out a full queue (non-growable backpressure).
 type poolLat struct {
 	exec, steal, search, acquire, release obs.Hist
+	pushWait                              obs.Hist
 }
 
 // TaskCtx is the handle passed to task functions.
@@ -418,8 +434,13 @@ func New(ctx *shmem.Ctx, reg *Registry, cfg Config) (*Pool, error) {
 			Damping:    !cfg.NoDamping,
 			Policy:     cfg.StealPolicy,
 			Fused:      cfg.Protocol == SWSFused,
+			Growable:   cfg.Growable,
+			MaxGrowth:  cfg.MaxGrowth,
 		})
 	case SDC:
+		if cfg.Growable {
+			return nil, errors.New("pool: Growable requires an SWS-family protocol (the SDC baseline queue is fixed capacity)")
+		}
 		p.rawQ, err = sdc.NewQueue(ctx, sdc.Options{
 			Capacity:   cfg.QueueCapacity,
 			PayloadCap: cfg.PayloadCap,
@@ -525,7 +546,12 @@ func (p *Pool) push(d task.Desc) error {
 	if !errors.Is(err, core.ErrFull) && !errors.Is(err, sdc.ErrFull) {
 		return err
 	}
-	deadline := time.Now().Add(p.cfg.PushTimeout)
+	// Non-growable backpressure: wait out transient fullness and surface
+	// the stall in the "push-wait" histogram (growable queues never reach
+	// here — their cost is the "grow" histogram instead).
+	t0 := time.Now()
+	defer func() { p.lat.pushWait.Record(time.Since(t0)) }()
+	deadline := t0.Add(p.cfg.PushTimeout)
 	for {
 		if err := p.q.Progress(); err != nil {
 			return err
@@ -577,7 +603,11 @@ func (p *Pool) Stats() stats.PE {
 	st.TasksLost = p.det.Lost
 	st.Degraded = p.det.Degraded
 	if p.coreQ != nil {
-		st.TasksWrittenOff = p.coreQ.Stats().TasksWrittenOff
+		qs := p.coreQ.Stats()
+		st.TasksWrittenOff = qs.TasksWrittenOff
+		st.QueueGrows = qs.Grows
+		st.QueueShrinks = qs.Shrinks
+		st.TasksSpilled = qs.Spilled
 	}
 	if lv := p.ctx.Liveness(); lv != nil {
 		st.DeadPEs = uint64(lv.DeadCount())
@@ -587,14 +617,20 @@ func (p *Pool) Stats() stats.PE {
 	}
 	st.Lat = make(map[string]obs.HistSnap)
 	for name, h := range map[string]*obs.Hist{
-		"exec":    &p.lat.exec,
-		"steal":   &p.lat.steal,
-		"search":  &p.lat.search,
-		"acquire": &p.lat.acquire,
-		"release": &p.lat.release,
+		"exec":      &p.lat.exec,
+		"steal":     &p.lat.steal,
+		"search":    &p.lat.search,
+		"acquire":   &p.lat.acquire,
+		"release":   &p.lat.release,
+		"push-wait": &p.lat.pushWait,
 	} {
 		if s := h.Snapshot(); !s.Empty() {
 			st.Lat[name] = s
+		}
+	}
+	if p.coreQ != nil {
+		if s := p.coreQ.GrowLat(); !s.Empty() {
+			st.Lat["grow"] = s
 		}
 	}
 	for k, v := range p.ctx.Counters().LatencySnapshots() {

@@ -153,6 +153,16 @@ func (p *Pool) stepProgress(iter int) error {
 	if p.live != nil {
 		p.live.qLocal.Store(local)
 		p.live.qShared.Store(shared)
+		if p.coreQ != nil {
+			// Elastic mirror: this step runs on the owner goroutine, so
+			// reading owner-side queue stats here is race-free.
+			qs := p.coreQ.Stats()
+			p.live.queueGrows.Store(qs.Grows)
+			p.live.queueShrinks.Store(qs.Shrinks)
+			p.live.tasksSpilled.Store(qs.Spilled)
+			p.live.queueCap.Store(int64(qs.Capacity))
+			p.live.spillDepth.Store(int64(qs.SpillDepth))
+		}
 	}
 	// Journal the depth only when it moved: an idle PE polling Progress
 	// must not flood its flight ring with identical samples.

@@ -270,6 +270,12 @@ func (c *Ctx) Alloc(n int) (Addr, error) {
 	return addr, nil
 }
 
+// HeapRemaining reports the symmetric heap bytes still available to
+// Alloc, so out-of-heap errors can say how close the caller came.
+func (c *Ctx) HeapRemaining() int {
+	return len(c.self.bytes) - int(c.allocCursor)
+}
+
 // MustAlloc is Alloc that treats exhaustion as fatal, for setup code.
 func (c *Ctx) MustAlloc(n int) Addr {
 	a, err := c.Alloc(n)

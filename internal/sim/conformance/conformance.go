@@ -82,6 +82,9 @@ func RunAll(t *testing.T, f Factory) {
 	t.Run("epoch-safe-acquire", func(t *testing.T) { EpochSafeAcquire(t, f) })
 	t.Run("asteals-bounded", func(t *testing.T) { AstealsBounded(t, f) })
 	t.Run("termination-quiescence", func(t *testing.T) { TerminationQuiescence(t, f) })
+	t.Run("exactly-once-grow", func(t *testing.T) { ExactlyOnceUnderGrow(t, f) })
+	t.Run("stealval-geom-consistency", func(t *testing.T) { StealvalGeomConsistency(t, f) })
+	t.Run("reseat-stale-claim", func(t *testing.T) { ReseatStaleClaim(t, f) })
 }
 
 // ExactlyOnceUnderKill crash-injects one non-auditor PE at a seed-derived

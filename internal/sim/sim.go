@@ -33,6 +33,7 @@ import (
 	"sws/internal/bpc"
 	"sws/internal/pool"
 	"sws/internal/shmem"
+	"sws/internal/stats"
 )
 
 // Params configures one simulated run: a BPC workload (zero task
@@ -54,6 +55,16 @@ type Params struct {
 	Choices []byte
 	// Protocol selects the queue protocol. Default pool.SWS.
 	Protocol pool.Protocol
+	// Grow makes every PE's queue elastic (grow/spill instead of a full
+	// failure), so seed sweeps explore steal claims racing reseats.
+	Grow bool
+	// QueueCap is the task-queue capacity in slots (0 = library default).
+	// Grow sweeps set it small so the workload forces constant reseats.
+	QueueCap int
+	// Stats, if non-nil, receives the element-wise sum of per-PE pool
+	// counters after the run — sweep tests use it to prove a configuration
+	// actually exercises the machinery under test (e.g. reseats).
+	Stats *stats.PE
 	// Fault, if non-nil, is built once per run from the seed, letting
 	// fault streams replay along with the schedule.
 	Fault func(seed int64) shmem.FaultInjector
@@ -104,6 +115,9 @@ func (p Params) withDefaults() Params {
 
 func (p Params) String() string {
 	s := fmt.Sprintf("seed=%d pes=%d depth=%d width=%d chaos=%t", p.Seed, p.PEs, p.Depth, p.Width, p.Chaos)
+	if p.Grow {
+		s += fmt.Sprintf(" grow=true qcap=%d", p.QueueCap)
+	}
 	for _, k := range p.Kill {
 		s += fmt.Sprintf(" kill=%d@%v", k.Rank, k.At)
 	}
@@ -148,20 +162,38 @@ func Run(p Params) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	var statsMu sync.Mutex
+	var total stats.PE
 	err = w.Run(func(ctx *shmem.Ctx) error {
 		reg := pool.NewRegistry()
 		if err := wl.Register(reg); err != nil {
 			return err
 		}
-		pl, err := pool.New(ctx, reg, pool.Config{Protocol: p.Protocol, Seed: p.Seed})
+		pl, err := pool.New(ctx, reg, pool.Config{
+			Protocol:      p.Protocol,
+			Seed:          p.Seed,
+			Growable:      p.Grow,
+			QueueCapacity: p.QueueCap,
+		})
 		if err != nil {
 			return err
 		}
 		if err := wl.Seed(pl, ctx.Rank()); err != nil {
 			return err
 		}
-		return pl.Run()
+		if err := pl.Run(); err != nil {
+			return err
+		}
+		if p.Stats != nil {
+			statsMu.Lock()
+			total.Add(pl.Stats())
+			statsMu.Unlock()
+		}
+		return nil
 	})
+	if p.Stats != nil {
+		*p.Stats = total
+	}
 	if err != nil {
 		// With a kill scheduled, the victim's own unwind is the expected
 		// outcome; anything beyond it (a world failure, a survivor error)
@@ -217,6 +249,7 @@ func Sweep(base Params, startSeed int64, n int) []Failure {
 			for j := range jobs {
 				p := base
 				p.Seed = j.seed
+				p.Stats = nil // parallel runs must not share one stats sink
 				if _, err := Run(p); err != nil {
 					mu.Lock()
 					failures = append(failures, Failure{Params: p.withDefaults(), Err: err})
@@ -271,6 +304,7 @@ func Systematic(base Params, horizon, fanout int) []Failure {
 // a failure from the same seed.
 func Minimize(f Failure) Failure {
 	cur := f.Params.withDefaults()
+	cur.Stats = nil
 	stillFails := func(p Params) (error, bool) {
 		_, err := Run(p)
 		return err, err != nil
@@ -311,6 +345,9 @@ func ReproLine(p Params) string {
 		p.Seed, p.PEs, p.Depth, p.Width)
 	if p.Chaos {
 		s += " -sim.chaos"
+	}
+	if p.Grow {
+		s += fmt.Sprintf(" -sim.grow -sim.qcap=%d", p.QueueCap)
 	}
 	if len(p.Kill) > 0 {
 		s += fmt.Sprintf(" -sim.killrank=%d -sim.killat=%v", p.Kill[0].Rank, p.Kill[0].At)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"sws/internal/shmem"
+	"sws/internal/stats"
 )
 
 // Explorer knobs, settable from the command line. ReproLine prints the
@@ -21,6 +22,8 @@ var (
 	flagDepth = flag.Int("sim.depth", 6, "BPC producer-chain depth")
 	flagWidth = flag.Int("sim.width", 12, "BPC consumers per producer")
 	flagChaos = flag.Bool("sim.chaos", false, "randomize schedule among near-simultaneous candidates")
+	flagGrow  = flag.Bool("sim.grow", false, "elastic queues: grow/spill instead of full-queue backpressure")
+	flagQCap  = flag.Int("sim.qcap", 0, "task-queue capacity in slots (0 = library default)")
 
 	// Crash-injection replay knobs (printed by ReproLine for kill-sweep
 	// failures): kill -sim.killrank at virtual time -sim.killat.
@@ -30,11 +33,13 @@ var (
 
 func flagParams() Params {
 	p := Params{
-		PEs:   *flagPEs,
-		Depth: *flagDepth,
-		Width: *flagWidth,
-		Seed:  *flagSeed,
-		Chaos: *flagChaos,
+		PEs:      *flagPEs,
+		Depth:    *flagDepth,
+		Width:    *flagWidth,
+		Seed:     *flagSeed,
+		Chaos:    *flagChaos,
+		Grow:     *flagGrow,
+		QueueCap: *flagQCap,
 	}
 	if *flagKillRank >= 0 {
 		p.Kill = []shmem.SimKill{{Rank: *flagKillRank, At: *flagKillAt}}
@@ -211,6 +216,79 @@ func TestKillReplayDeterministic(t *testing.T) {
 		t.Fatalf("killed run not deterministic (first divergence at byte %d):\nrun1: %s\nrun2: %s",
 			d, excerpt(log1, d), excerpt(log2, d))
 	}
+}
+
+// growParams is the reseat-race configuration: rings that start at 8
+// slots under a BPC shape whose producers burst 25 pushes, so every PE
+// walks the ladder (8 -> 64) repeatedly while thieves steal — each round
+// a chance for a claim to straddle the epoch-closing reseat. Chaos
+// scheduling widens the interleavings each seed explores.
+func growParams(seed int64) Params {
+	return Params{PEs: 4, Depth: 6, Width: 24, Seed: seed, Chaos: true, Grow: true, QueueCap: 8}
+}
+
+// TestGrowSameSeedByteIdentical: reseats are part of the deterministic
+// schedule — a growable run must replay byte-identically from its seed.
+func TestGrowSameSeedByteIdentical(t *testing.T) {
+	p := growParams(42)
+	log1, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	log2, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !bytes.Equal(log1, log2) {
+		d := firstDiff(log1, log2)
+		t.Fatalf("growable run not deterministic (first divergence at byte %d):\nrun1: %s\nrun2: %s",
+			d, excerpt(log1, d), excerpt(log2, d))
+	}
+}
+
+// TestGrowReseatSweep sweeps seeds over the reseat-race configuration:
+// every run must stay exactly-once while queues grow, spill, and shrink
+// under concurrent steals. The nightly CI job runs this at -sim.seeds=1000;
+// failures print TestReplaySeed repro lines (with -sim.grow/-sim.qcap) and
+// minimize like any other sweep failure.
+func TestGrowReseatSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grow sweep skipped in -short mode")
+	}
+	// The sweep is only evidence if the configuration actually reseats:
+	// prove it on the first seed before spending the rest.
+	probe := growParams(*flagSeed)
+	var st stats.PE
+	probe.Stats = &st
+	if _, err := Run(probe); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	if st.QueueGrows == 0 {
+		t.Fatalf("grow-sweep configuration never grew a queue (stats: %+v) — the sweep would test nothing", st)
+	}
+	base := growParams(*flagSeed)
+	failures := Sweep(base, *flagSeed, *flagSeeds)
+	if len(failures) == 0 {
+		return
+	}
+	var report strings.Builder
+	for _, f := range failures {
+		min := Minimize(f)
+		if !min.Params.Grow || min.Params.QueueCap != base.QueueCap {
+			t.Errorf("minimizer dropped the grow configuration: %v -> %v", f.Params, min.Params)
+		}
+		fmt.Fprintf(&report, "%v\n", min)
+	}
+	if dir := os.Getenv("SIM_ARTIFACT_DIR"); dir != "" {
+		_ = os.MkdirAll(dir, 0o755)
+		path := filepath.Join(dir, "failing-seeds.txt")
+		if werr := os.WriteFile(path, []byte(report.String()), 0o644); werr != nil {
+			t.Logf("writing artifact %s: %v", path, werr)
+		} else {
+			t.Logf("failing seeds written to %s", path)
+		}
+	}
+	t.Fatalf("%d of %d grow-sweep seeds failed:\n%s", len(failures), *flagSeeds, report.String())
 }
 
 // TestSystematicSmoke enumerates every forced schedule prefix of length 4

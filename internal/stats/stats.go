@@ -53,6 +53,14 @@ type PE struct {
 	Acquires uint64
 	Releases uint64
 
+	// Elastic-queue activity (zero unless the pool runs growable queues).
+	// QueueGrows/QueueShrinks count ring reseats by direction;
+	// TasksSpilled counts tasks that overflowed the largest ring region
+	// into the owner-local spill arena.
+	QueueGrows   uint64
+	QueueShrinks uint64
+	TasksSpilled uint64
+
 	// RemoteSpawnsSent/Recv count tasks pushed into / drained from the
 	// remote-spawn mailboxes.
 	RemoteSpawnsSent uint64
@@ -126,6 +134,9 @@ func (s *PE) Add(o PE) {
 	s.Degraded = s.Degraded || o.Degraded
 	s.Acquires += o.Acquires
 	s.Releases += o.Releases
+	s.QueueGrows += o.QueueGrows
+	s.QueueShrinks += o.QueueShrinks
+	s.TasksSpilled += o.TasksSpilled
 	s.RemoteSpawnsSent += o.RemoteSpawnsSent
 	s.RemoteSpawnsRecv += o.RemoteSpawnsRecv
 	s.StealTime += o.StealTime

@@ -57,6 +57,17 @@ func (o Outcome) String() string {
 // concurrently with the victim's owner ops — that asymmetry is the whole
 // point of the protocol. Callers can enforce (and document violations of)
 // the contract with OwnerGuard.
+//
+// # Elastic queues
+//
+// An implementation may be elastic: instead of failing Push when full it
+// may grow (reseat its ring into a larger region) or spill overflow to
+// owner-local storage, and may shrink back when occupancy collapses. Any
+// such resizing happens inside owner methods and must be invisible to
+// concurrent thieves — a Steal racing a resize either claims from the old
+// geometry (and the resize waits for its copy to drain) or observes the
+// queue disabled and retries. Elastic implementations additionally expose
+// the Elastic interface so runtimes can report capacity and spill depth.
 type Queue interface {
 	// Push enqueues a task at the head of the local portion.
 	Push(d task.Desc) error
@@ -81,6 +92,17 @@ type Queue interface {
 	LocalCount() int
 	// SharedAvail returns the owner's view of unclaimed shared tasks.
 	SharedAvail() int
+}
+
+// Elastic is the optional interface of queues whose capacity changes at
+// runtime (see the Elastic queues section of the Queue contract). Both
+// methods are owner-side reads under the owner-serialization contract.
+type Elastic interface {
+	// CapacityNow returns the ring capacity currently in use.
+	CapacityNow() int
+	// SpillDepth returns the number of overflow tasks currently parked
+	// outside the ring (unreachable by thieves until unspilled).
+	SpillDepth() int
 }
 
 // OwnerGuard detects violations of the owner-serialization contract: two

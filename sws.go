@@ -116,8 +116,18 @@ type Config struct {
 	Latency LatencyModel
 	// HeapBytes is the symmetric heap per PE (default 16 MiB).
 	HeapBytes int
-	// QueueCapacity is the task queue size in slots (default 8192).
+	// QueueCapacity is the task queue size in slots (default 8192; the
+	// starting size when Growable is set).
 	QueueCapacity int
+	// Growable makes each PE's queue elastic: it doubles into
+	// pre-reserved regions up to QueueCapacity<<MaxGrowth slots and then
+	// spills locally instead of ever failing a spawn with a full queue.
+	// SWS-family protocols only. The default 16 MiB heap comfortably
+	// holds the default ladder (8192 slots growing 8x is ~4 MiB).
+	Growable bool
+	// MaxGrowth is the number of doublings a growable queue may perform
+	// (default 3).
+	MaxGrowth int
 	// PayloadCap is the per-task payload capacity in bytes (default 24).
 	PayloadCap int
 	// NoEpochs disables completion epochs (SWS only).
@@ -195,6 +205,8 @@ func Run(cfg Config, job Job) (*Result, error) {
 		p, err := pool.New(c, reg, pool.Config{
 			Protocol:      cfg.Protocol,
 			QueueCapacity: cfg.QueueCapacity,
+			Growable:      cfg.Growable,
+			MaxGrowth:     cfg.MaxGrowth,
 			PayloadCap:    cfg.PayloadCap,
 			NoEpochs:      cfg.NoEpochs,
 			NoDamping:     cfg.NoDamping,
