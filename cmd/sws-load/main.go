@@ -1,0 +1,133 @@
+// Command sws-load drives a burst of jobs through a running sws-serve
+// gateway and reports throughput plus per-job latency percentiles,
+// optionally enforcing a p99 budget (nonzero exit on a miss). The JSON
+// report written by -json-out is the BENCH_serve.json record CI
+// archives.
+//
+// Examples:
+//
+//	sws-load -addr localhost:8080 -jobs 100 -concurrency 4 -tenants 2
+//	sws-load -jobs 200 -kind uts -tree tiny -p99-budget 2s -json-out BENCH_serve.json
+//	sws-load -jobs 50 -spec '{"kind":"bpc","bpc":{"depth":6}}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sws/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "sws-serve gateway address (host:port or URL)")
+		jobs        = flag.Int("jobs", 100, "number of jobs to run")
+		concurrency = flag.Int("concurrency", 4, "concurrent submitters")
+		tenants     = flag.String("tenants", "2", "tenant count, or comma-separated tenant names")
+		kind        = flag.String("kind", "graph", "job kind: graph, uts, or bpc")
+		depth       = flag.Int("depth", 4, "graph: tree depth")
+		breadth     = flag.Int("breadth", 2, "graph: children per task")
+		spinUS      = flag.Int("spin-us", 0, "graph: per-task busy-spin, microseconds")
+		tree        = flag.String("tree", "tiny", "uts: tree preset (tiny|small|t1|tinybin|tinylinear)")
+		bpcDepth    = flag.Int("bpc-depth", 6, "bpc: producer recursion depth")
+		rawSpec     = flag.String("spec", "", "raw JobSpec JSON (overrides -kind and its knobs)")
+		budget      = flag.Duration("p99-budget", 0, "fail (exit 1) if p99 job latency exceeds this (0 = no budget)")
+		jsonOut     = flag.String("json-out", "", "write the report as JSON to this file (the BENCH_serve.json record)")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "overall run deadline")
+	)
+	flag.Parse()
+
+	spec, err := buildSpec(*rawSpec, *kind, *depth, *breadth, *spinUS, *tree, *bpcDepth)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	rep, err := serve.RunLoad(ctx, &serve.Client{Base: base}, serve.LoadOptions{
+		Jobs:        *jobs,
+		Concurrency: *concurrency,
+		Tenants:     tenantList(*tenants),
+		Spec:        spec,
+	})
+	// Emit whatever we measured before deciding the exit code: a partial
+	// report is still evidence when the run errored mid-burst.
+	fmt.Println(rep)
+	if *jsonOut != "" {
+		buf, merr := json.MarshalIndent(rep, "", "  ")
+		if merr == nil {
+			merr = os.WriteFile(*jsonOut, append(buf, '\n'), 0o644)
+		}
+		if merr != nil {
+			fatal(fmt.Errorf("writing %s: %w", *jsonOut, merr))
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *budget > 0 && rep.P99Sec > budget.Seconds() {
+		fatal(fmt.Errorf("p99 %.4fs exceeds budget %s", rep.P99Sec, *budget))
+	}
+}
+
+// buildSpec assembles the JobSpec submitted for every job: either the
+// raw JSON override, or the -kind knobs. Tenant is left empty — RunLoad
+// attributes jobs round-robin.
+func buildSpec(raw, kind string, depth, breadth, spinUS int, tree string, bpcDepth int) (serve.JobSpec, error) {
+	var spec serve.JobSpec
+	if raw != "" {
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+			return spec, fmt.Errorf("parsing -spec: %w", err)
+		}
+		return spec, nil
+	}
+	switch kind {
+	case serve.KindGraph:
+		spec.Kind = serve.KindGraph
+		spec.Graph = &serve.GraphSpec{Depth: depth, Breadth: breadth, SpinUS: spinUS}
+	case serve.KindUTS:
+		spec.Kind = serve.KindUTS
+		spec.UTS = &serve.UTSSpec{Tree: tree}
+	case serve.KindBPC:
+		spec.Kind = serve.KindBPC
+		spec.BPC = &serve.BPCSpec{Depth: bpcDepth}
+	default:
+		return spec, fmt.Errorf("unknown -kind %q (want graph, uts, or bpc)", kind)
+	}
+	return spec, nil
+}
+
+// tenantList interprets -tenants as either a count ("3" -> tenant-0..2)
+// or an explicit comma-separated name list.
+func tenantList(s string) []string {
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err == nil && !strings.Contains(s, ",") && n > 0 {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("tenant-%d", i)
+		}
+		return names
+	}
+	var names []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			names = append(names, t)
+		}
+	}
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sws-load:", err)
+	os.Exit(1)
+}

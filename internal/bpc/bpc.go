@@ -166,6 +166,27 @@ func (w *Workload) runConsumer(tc *pool.TaskCtx, payload []byte) error {
 	return nil
 }
 
+// Bind installs externally registered producer/consumer handles, for
+// runtimes that register delegating task functions once at fleet warmup
+// and retarget them at a fresh per-job Workload.
+func (w *Workload) Bind(producer, consumer task.Handle) {
+	w.producerH.Store(uint32(producer))
+	w.consumerH.Store(uint32(consumer))
+	w.registered.Store(true)
+}
+
+// RunProducer executes one producer task against this workload — the
+// body Register installs, exported for delegating dispatchers.
+func (w *Workload) RunProducer(tc *pool.TaskCtx, payload []byte) error {
+	return w.runProducer(tc, payload)
+}
+
+// RunConsumer executes one consumer task against this workload — the
+// body Register installs, exported for delegating dispatchers.
+func (w *Workload) RunConsumer(tc *pool.TaskCtx, payload []byte) error {
+	return w.runConsumer(tc, payload)
+}
+
 // Producers returns the number of producer tasks executed in-process.
 func (w *Workload) Producers() uint64 { return w.producers.Load() }
 

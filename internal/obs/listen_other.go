@@ -1,0 +1,12 @@
+//go:build !unix
+
+package obs
+
+import "syscall"
+
+// reuseAddrControl is a no-op where SO_REUSEADDR semantics differ (or the
+// constant is unavailable); those platforms keep the default bind
+// behavior.
+func reuseAddrControl(network, address string, c syscall.RawConn) error {
+	return nil
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// reuseAddrControl sets SO_REUSEADDR on the metrics listener before bind,
+// so a daemon restarted faster than TIME_WAIT drains can rebind its
+// observability port immediately. (It does not allow two live listeners:
+// a genuinely held port still fails with EADDRINUSE, which Serve maps to
+// ErrAddrInUse.)
+func reuseAddrControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEADDR, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

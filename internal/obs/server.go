@@ -2,13 +2,23 @@ package obs
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"syscall"
 	"time"
 )
+
+// ErrAddrInUse reports that the observability address is genuinely held
+// by another live process. Serve sets SO_REUSEADDR on its listener, so a
+// freshly restarted daemon rebinds straight through the previous
+// instance's TIME_WAIT sockets; this error therefore means a real
+// conflict — a second daemon on the same port — and callers should
+// surface it as configuration guidance, not a crash.
+var ErrAddrInUse = errors.New("obs: address already in use by another process")
 
 // Server is the opt-in observability HTTP endpoint. It serves:
 //
@@ -27,9 +37,16 @@ type Server struct {
 
 // Serve binds addr (e.g. "localhost:6060"; ":0" picks a free port) and
 // serves the observability endpoints for g in a background goroutine.
+// The listener is bound with SO_REUSEADDR so a fast daemon restart
+// rebinds through TIME_WAIT; if the port is held by a live process,
+// Serve returns an error wrapping ErrAddrInUse.
 func Serve(addr string, g *Gatherer) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	lc := net.ListenConfig{Control: reuseAddrControl}
+	ln, err := lc.Listen(context.Background(), "tcp", addr)
 	if err != nil {
+		if errors.Is(err, syscall.EADDRINUSE) {
+			return nil, fmt.Errorf("obs: listening on %s: %w: %w", addr, ErrAddrInUse, err)
+		}
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
@@ -55,8 +72,18 @@ func Serve(addr string, g *Gatherer) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server abruptly, dropping in-flight responses.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server abruptly, dropping in-flight responses. The
+// listener is closed explicitly: http.Server.Close only covers listeners
+// it has begun tracking, and a Close racing the background Serve
+// goroutine would otherwise leak the socket — exactly the case a fast
+// daemon restart hits.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	if cerr := s.ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) && err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // Shutdown stops the server gracefully: the listener closes immediately
 // (nothing leaks even if ctx expires) while in-flight responses — e.g. a
@@ -64,7 +91,10 @@ func (s *Server) Close() error { return s.srv.Close() }
 // deadline to flush.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if err := s.srv.Shutdown(ctx); err != nil {
-		return s.srv.Close()
+		return s.Close()
+	}
+	if cerr := s.ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+		return cerr
 	}
 	return nil
 }

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// A daemon restarted on the same port must rebind immediately: close the
+// old server, bind the same address again, repeatedly. Without
+// SO_REUSEADDR this can trip over sockets the previous instance left in
+// TIME_WAIT.
+func TestServeFastRebind(t *testing.T) {
+	g := NewGatherer()
+	s, err := Serve("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	for i := 0; i < 5; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("cycle %d: close: %v", i, err)
+		}
+		s, err = Serve(addr, g)
+		if err != nil {
+			t.Fatalf("cycle %d: rebind %s: %v", i, addr, err)
+		}
+	}
+	_ = s.Close()
+}
+
+// A port held by a live listener is a real conflict: Serve must fail
+// with the typed ErrAddrInUse (so daemons can print configuration
+// guidance), not a raw panic or an anonymous error.
+func TestServeAddrInUseTyped(t *testing.T) {
+	g := NewGatherer()
+	first, err := Serve("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	_, err = Serve(first.Addr(), g)
+	if err == nil {
+		t.Fatal("second Serve on a held port succeeded")
+	}
+	if !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("second Serve error %v is not ErrAddrInUse", err)
+	}
+	// The first server must still be intact.
+	if err := first.ShutdownTimeout(time.Second); err != nil {
+		t.Fatalf("shutdown after conflict: %v", err)
+	}
+}

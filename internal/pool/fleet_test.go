@@ -1,0 +1,221 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sws/internal/shmem"
+	"sws/internal/task"
+)
+
+// fleetTree registers a binary-tree task ("node" with a depth argument)
+// and returns a register function plus the spawned/executed counters it
+// feeds.
+type fleetCounters struct {
+	executed atomic.Uint64
+}
+
+func treeRegister(cs *fleetCounters) (func(int, *Registry) error, *atomic.Uint32) {
+	// Handles are identical on every rank (SPMD registration order); the
+	// atomic is only to publish the value race-free from concurrent PE
+	// warmups to the test goroutine.
+	h := new(atomic.Uint32)
+	reg := func(rank int, r *Registry) error {
+		hh, err := r.Register("node", func(tc *TaskCtx, payload []byte) error {
+			args, _ := task.ParseArgs(payload, 1)
+			cs.executed.Add(1)
+			if args[0] > 0 {
+				for i := 0; i < 2; i++ {
+					if err := tc.Spawn(task.Handle(h.Load()), task.Args(args[0]-1)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		h.Store(uint32(hh))
+		return err
+	}
+	return reg, h
+}
+
+// treeTasks is the node count of a binary tree of the given depth.
+func treeTasks(depth int) uint64 { return 1<<(depth+1) - 1 }
+
+func treeJob(h *atomic.Uint32, depth int) Job {
+	return Job{Seed: func(p *Pool, rank int) error {
+		if rank != 0 {
+			return nil
+		}
+		return p.Add(task.Handle(h.Load()), task.Args(uint64(depth)))
+	}}
+}
+
+// A warm fleet runs back-to-back jobs with exactly-once accounting per
+// job and no transport re-attach: the world's attach counter stays at
+// NumPEs across every job.
+func TestFleetWarmJobs(t *testing.T) {
+	const pes, depth, jobs = 4, 6, 8
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: pes, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs fleetCounters
+	reg, h := treeRegister(&cs)
+	f, err := NewFleet(w, FleetOptions{Pool: Config{Seed: 1}, Register: func(rank int, r *Registry) error { return reg(rank, r) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := w.Attaches(); got != pes {
+		t.Fatalf("attaches after warmup = %d, want %d", got, pes)
+	}
+	want := treeTasks(depth)
+	for job := 1; job <= jobs; job++ {
+		before := cs.executed.Load()
+		run, err := f.Run(treeJob(h, depth))
+		if err != nil {
+			t.Fatalf("job %d: %v", job, err)
+		}
+		if got := run.Total().TasksExecuted; got != want {
+			t.Fatalf("job %d: per-job stats report %d tasks, want %d", job, got, want)
+		}
+		if got := cs.executed.Load() - before; got != want {
+			t.Fatalf("job %d: executed %d tasks, want %d (exactly-once per job)", job, got, want)
+		}
+		if got := w.Attaches(); got != pes {
+			t.Fatalf("job %d: attaches = %d, want %d (transport re-attach between jobs)", job, got, pes)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// The acceptance bar from the issue: a 4-PE fleet sustains >= 100
+// back-to-back jobs with exactly-once per-job accounting, warm-start
+// verified by the attach counter. Runs multi-worker PEs so the two-level
+// execution layer is exercised across job boundaries too (CI runs this
+// package under -race).
+func TestFleetHundredJobs(t *testing.T) {
+	const pes, workers, depth, jobs = 4, 2, 4, 100
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: pes, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs fleetCounters
+	reg, h := treeRegister(&cs)
+	f, err := NewFleet(w, FleetOptions{
+		Pool:     Config{Seed: 1, Workers: workers},
+		Register: func(rank int, r *Registry) error { return reg(rank, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := treeTasks(depth)
+	for job := 1; job <= jobs; job++ {
+		before := cs.executed.Load()
+		run, err := f.Run(treeJob(h, depth))
+		if err != nil {
+			t.Fatalf("job %d: %v", job, err)
+		}
+		if got := cs.executed.Load() - before; got != want {
+			t.Fatalf("job %d: executed %d tasks, want %d", job, got, want)
+		}
+		if got := run.Total().TasksExecuted; got != want {
+			t.Fatalf("job %d: per-job stats report %d, want %d", job, got, want)
+		}
+	}
+	if got := w.Attaches(); got != pes {
+		t.Fatalf("attaches after %d jobs = %d, want %d", jobs, got, pes)
+	}
+	if got := f.Seq(); got != jobs {
+		t.Fatalf("fleet seq = %d, want %d", got, jobs)
+	}
+}
+
+// Concurrent submitters: Run is safe from many goroutines; jobs
+// serialize and every one completes with its own exact accounting in
+// aggregate.
+func TestFleetConcurrentSubmitters(t *testing.T) {
+	const pes, depth, submitters, each = 4, 5, 4, 5
+	w, err := shmem.NewWorld(shmem.Config{NumPEs: pes, HeapBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs fleetCounters
+	reg, h := treeRegister(&cs)
+	f, err := NewFleet(w, FleetOptions{Pool: Config{Seed: 1}, Register: func(rank int, r *Registry) error { return reg(rank, r) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, submitters)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				run, err := f.Run(treeJob(h, depth))
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				if got := run.Total().TasksExecuted; got != treeTasks(depth) {
+					errs[s] = fmt.Errorf("job stats report %d tasks, want %d", got, treeTasks(depth))
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("submitter %d: %v", s, err)
+		}
+	}
+	if got, want := cs.executed.Load(), uint64(submitters*each)*treeTasks(depth); got != want {
+		t.Fatalf("total executed %d, want %d", got, want)
+	}
+	if got := w.Attaches(); got != pes {
+		t.Fatalf("attaches = %d, want %d", got, pes)
+	}
+}
+
+// The fleet must serve jobs on the lockstep sim transport too: awaitJob
+// polls through Relax there instead of parking on a channel (a parked PE
+// goroutine would hold the lockstep token and freeze the world).
+func TestFleetSimTransport(t *testing.T) {
+	const pes, depth, jobs = 3, 4, 3
+	w, err := shmem.NewWorld(shmem.Config{
+		NumPEs: pes, HeapBytes: 4 << 20, Transport: shmem.TransportSim,
+		Sim: shmem.SimOptions{Seed: 1}, NoOpLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs fleetCounters
+	reg, h := treeRegister(&cs)
+	f, err := NewFleet(w, FleetOptions{Pool: Config{Seed: 1}, Register: func(rank int, r *Registry) error { return reg(rank, r) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := treeTasks(depth)
+	for job := 1; job <= jobs; job++ {
+		before := cs.executed.Load()
+		if _, err := f.Run(treeJob(h, depth)); err != nil {
+			t.Fatalf("job %d: %v", job, err)
+		}
+		if got := cs.executed.Load() - before; got != want {
+			t.Fatalf("job %d: executed %d, want %d", job, got, want)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

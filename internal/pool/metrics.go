@@ -28,6 +28,10 @@ type liveView struct {
 	queueGrows, queueShrinks, tasksSpilled atomic.Uint64
 	queueCap, spillDepth                   atomic.Int64
 
+	// refillTarget mirrors the adaptive intra-PE ring refill batch
+	// (multi-worker PEs only; stays zero otherwise).
+	refillTarget atomic.Int64
+
 	// Failure-handling counters (stay zero on fault-free runs).
 	stealTransportErrs, stealsQuarantined atomic.Uint64
 	quarantined                           atomic.Int64 // current victim count
@@ -114,6 +118,9 @@ func (p *Pool) metricsSource() obs.SourceFunc {
 		// Multi-worker PEs: per-worker breakdown straight from the worker
 		// atomics (always safe to scrape mid-run).
 		if p.exec != nil {
+			e.Gauge("sws_pool_ring_refill_target_tasks",
+				"Adaptive intra-PE ring refill batch (multi-worker PEs).",
+				float64(lv.refillTarget.Load()), pe, proto)
 			for _, ws := range p.exec.workers {
 				wl := obs.L("worker", strconv.Itoa(ws.id))
 				e.Counter("sws_pool_worker_tasks_executed_total", "Tasks executed per worker.",

@@ -290,7 +290,10 @@ type Pool struct {
 	// flightQLocal/flightQShared are the last queue depths journaled to
 	// the flight recorder (dedup so idle polling does not flood the ring).
 	flightQLocal, flightQShared int64
-	ran                         bool
+	// jobSeq numbers the jobs this pool has run (1-based during a job,
+	// 0 before the first). Mutated only between jobs by RunJob; tasks and
+	// executors read it freely during a job.
+	jobSeq uint64
 
 	// lat holds this PE's scheduling-op latency histograms (always
 	// recorded; each record is one atomic add).
@@ -360,6 +363,11 @@ type TaskCtx struct {
 
 // Rank returns the executing PE's rank.
 func (tc *TaskCtx) Rank() int { return tc.p.ctx.Rank() }
+
+// JobSeq returns the sequence number of the job this task runs under
+// (1-based). Tasks of job N never observe any other value: the sequence
+// advances only between jobs, outside any task's lifetime.
+func (tc *TaskCtx) JobSeq() uint64 { return tc.p.jobSeq }
 
 // NumPEs returns the world size.
 func (tc *TaskCtx) NumPEs() int { return tc.p.ctx.NumPEs() }
@@ -597,7 +605,10 @@ func (p *Pool) execute(d task.Desc) error {
 
 // Stats returns this PE's counters, including the per-op latency
 // distributions (pool-level scheduling ops plus the shmem per-op
-// histograms under "shmem/" keys). Valid after Run.
+// histograms under "shmem/" keys). Counters are cumulative over the
+// pool's lifetime — across every job a warm pool has run; RunJob returns
+// per-job deltas (stats.PE.Delta) for job-scoped figures. Valid between
+// jobs.
 func (p *Pool) Stats() stats.PE {
 	st := p.st
 	st.TasksLost = p.det.Lost
@@ -639,5 +650,10 @@ func (p *Pool) Stats() stats.PE {
 	return st
 }
 
-// Elapsed returns this PE's wall time inside Run (between the barriers).
+// Elapsed returns this PE's wall time inside the most recent job
+// (between its barriers).
 func (p *Pool) Elapsed() time.Duration { return p.elapsed }
+
+// JobSeq returns the number of jobs this pool has started (equivalently:
+// the current job's 1-based sequence number while one is running).
+func (p *Pool) JobSeq() uint64 { return p.jobSeq }

@@ -326,19 +326,38 @@ func TestUnknownHandle(t *testing.T) {
 	}
 }
 
+// A warm pool serves repeated jobs: each Run is its own termination
+// epoch, cumulative stats keep growing, and RunJob reports per-job
+// deltas.
 func TestRunTwice(t *testing.T) {
 	runWorld(t, 1, shmem.TransportLocal, func(c *shmem.Ctx) error {
 		reg := NewRegistry()
-		reg.MustRegister("nop", func(tc *TaskCtx, payload []byte) error { return nil })
+		ran := 0
+		h := reg.MustRegister("count", func(tc *TaskCtx, payload []byte) error { ran++; return nil })
 		p, err := New(c, reg, Config{})
 		if err != nil {
 			return err
 		}
-		if err := p.Run(); err != nil {
-			return err
-		}
-		if err := p.Run(); err == nil {
-			return fmt.Errorf("second Run accepted")
+		for job := 1; job <= 3; job++ {
+			if err := p.Add(h, nil); err != nil {
+				return err
+			}
+			res, err := p.RunJob()
+			if err != nil {
+				return fmt.Errorf("job %d: %w", job, err)
+			}
+			if res.Seq != uint64(job) {
+				return fmt.Errorf("job %d: seq %d", job, res.Seq)
+			}
+			if res.Stats.TasksExecuted != 1 {
+				return fmt.Errorf("job %d: per-job executed %d, want 1", job, res.Stats.TasksExecuted)
+			}
+			if got := p.Stats().TasksExecuted; got != uint64(job) {
+				return fmt.Errorf("job %d: cumulative executed %d, want %d", job, got, job)
+			}
+			if ran != job {
+				return fmt.Errorf("job %d: task ran %d times", job, ran)
+			}
 		}
 		return nil
 	})

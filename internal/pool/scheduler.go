@@ -14,24 +14,54 @@ import (
 	"time"
 
 	"sws/internal/shmem"
+	"sws/internal/stats"
 	"sws/internal/trace"
 )
 
-// Run processes tasks until global termination. It begins and ends with a
-// barrier; whole-run timing covers the span between them, matching the
-// paper's whole-program timers.
+// JobResult summarizes one job's execution on this PE.
+type JobResult struct {
+	// Seq is the job's 1-based sequence number on this pool.
+	Seq uint64
+	// Stats is this PE's counter set scoped to the job: the delta of the
+	// pool's cumulative counters across the job's barriers.
+	Stats stats.PE
+	// Elapsed is this PE's wall time between the job's barriers.
+	Elapsed time.Duration
+}
+
+// Run processes tasks until global termination. It is RunJob without the
+// per-job result — kept for the common one-job-per-pool call sites. A
+// warm pool may call it (or RunJob) any number of times; each call is one
+// job epoch.
 func (p *Pool) Run() error {
-	if p.ran {
-		return errors.New("pool: Run called twice")
+	_, err := p.RunJob()
+	return err
+}
+
+// RunJob runs one job epoch to global termination: it rearms the
+// termination detector, opens with a barrier (which fences every PE's
+// detector reset against the job's eventual verdict broadcast), processes
+// tasks until the detector declares the global pool exhausted, and closes
+// with a barrier. Every PE must call it collectively, with the job's
+// root tasks seeded (Add/SpawnOn) beforehand. Whole-job timing covers
+// the span between the barriers, matching the paper's whole-program
+// timers; the returned stats are the job's deltas, so a long-lived fleet
+// reports per-job figures while Stats stays cumulative.
+func (p *Pool) RunJob() (JobResult, error) {
+	p.jobSeq++
+	p.prevProbes = 0
+	prev := p.Stats()
+	if err := p.det.StartJob(); err != nil {
+		return JobResult{}, err
 	}
-	p.ran = true
+	p.tr.Record(trace.JobStart, int64(p.jobSeq), 0)
 	if err := p.ctx.Barrier(); err != nil {
 		if !errors.Is(err, shmem.ErrPeerDead) {
-			return err
+			return JobResult{}, err
 		}
-		// A peer died before the run started. All collective allocation
+		// A peer died before the job started. All collective allocation
 		// happened in New; the barrier is only a timing fence, so the
-		// survivors proceed straight into a degraded run.
+		// survivors proceed straight into a degraded job.
 	}
 	start := time.Now()
 	var err error
@@ -41,22 +71,24 @@ func (p *Pool) Run() error {
 		err = p.runSingle()
 	}
 	if err != nil {
-		return err
+		return JobResult{}, err
 	}
 	p.elapsed = time.Since(start)
+	res := JobResult{Seq: p.jobSeq, Elapsed: p.elapsed, Stats: p.Stats().Delta(prev)}
+	p.tr.Record(trace.JobEnd, int64(p.jobSeq), int64(res.Stats.TasksExecuted))
 	if lv := p.ctx.Liveness(); lv != nil && lv.AnyDead() {
 		// The closing barrier can never complete over dead membership;
 		// the degraded termination broadcast already synchronized the
 		// survivors' decision to stop.
-		return nil
+		return res, nil
 	}
 	if err := p.ctx.Barrier(); err != nil && !errors.Is(err, shmem.ErrPeerDead) {
 		// A death declared while waiting here (kill racing the finish)
-		// poisons the barrier; the run's work is already complete, so a
+		// poisons the barrier; the job's work is already complete, so a
 		// dead-peer unwind is not a failure.
-		return err
+		return res, err
 	}
-	return nil
+	return res, nil
 }
 
 // runSingle is the classic one-goroutine scheduler loop. The step order —

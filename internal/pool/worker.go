@@ -73,17 +73,37 @@ type execLayer struct {
 	outbox   []remoteSpawn // worker SpawnOn calls awaiting the owner
 	err      error         // first executor failure
 
-	// stop tells executors to exit (set at termination or on error).
+	// stop tells executors to exit (set at termination or on error;
+	// rearmed at the start of each job).
 	stop atomic.Bool
 
 	// pubSpawned/pubExecuted are the aggregate counts already published
-	// to the termination detector (owner-only).
+	// to the termination detector (owner-only; monotonic across jobs,
+	// like the detector's counters).
 	pubSpawned  uint64
 	pubExecuted uint64
+
+	// refillTarget is the adaptive ring-refill batch: how deep
+	// fillLocalTier fills the intra-PE ring, in tasks. It starts at the
+	// classic fixed batch (2x workers) and tracks observed executor
+	// starvation — bursty workloads that leave executors idling between
+	// refills push it toward the ring capacity; steady ones decay it back
+	// (owner-only).
+	refillTarget int
+	// refillIdleBase is the executor idle-iteration sum already accounted
+	// for by refill adaptation (owner-only).
+	refillIdleBase uint64
+
+	// foldedExec/foldedSpawned/foldedExecNs are the worker-counter totals
+	// fold has already merged into the PE stats, so folding once per job
+	// on a warm pool adds only each job's delta (owner-only).
+	foldedExec    uint64
+	foldedSpawned uint64
+	foldedExecNs  int64
 }
 
 func newExecLayer(p *Pool, workers, ringCap int) *execLayer {
-	ex := &execLayer{dq: ldeque.MustNew(ringCap)}
+	ex := &execLayer{dq: ldeque.MustNew(ringCap), refillTarget: 2 * workers}
 	for i := 0; i < workers; i++ {
 		ws := &workerState{id: i, rng: rngStream(p.cfg.Seed, p.ctx.Rank(), i)}
 		ws.tc = TaskCtx{p: p, w: ws}
@@ -250,19 +270,54 @@ func (p *Pool) publishCounts() error {
 	return nil
 }
 
+// adaptRefill computes the next ring-refill batch from the previous one
+// and the executor idle iterations observed since the last refill, clamped
+// to [min, max]. Any observed starvation doubles the batch — idle
+// executors mean refills were not keeping up, so the next one should
+// stock deeper; an idle-free interval decays the batch halfway back
+// toward the classic fixed minimum, so a workload that stops bursting
+// stops hoarding (surplus returns to the protocol queue where thieves
+// can see it).
+func adaptRefill(prev int, idleDelta uint64, min, max int) int {
+	next := prev
+	if idleDelta > 0 {
+		next = prev * 2
+	} else {
+		next = min + (prev-min)/2
+	}
+	if next < min {
+		next = min
+	}
+	if next > max {
+		next = max
+	}
+	return next
+}
+
 // fillLocalTier keeps the ring fed from the protocol queue: when the ring
 // runs shallow (below one task per worker) the owner pops from the local
-// portion up to twice that depth. The ring stays deliberately shallow so
-// surplus work lives in the protocol queue where Release can expose it to
-// remote thieves — deep local tiers hoard.
+// portion up to the adaptive refill target. The target starts at the
+// classic 2x-workers batch and tracks observed executor starvation
+// (adaptRefill), so bursty workloads keep the ring warm while steady ones
+// stay shallow — surplus work lives in the protocol queue where Release
+// can expose it to remote thieves; deep local tiers hoard.
 func (p *Pool) fillLocalTier() (int, error) {
 	ex := p.exec
 	w := len(ex.workers)
 	if ex.dq.Len() >= w {
 		return 0, nil
 	}
+	var idle uint64
+	for _, ws := range ex.workers[1:] {
+		idle += ws.idleIters.Load()
+	}
+	ex.refillTarget = adaptRefill(ex.refillTarget, idle-ex.refillIdleBase, 2*w, p.cfg.LocalQueueCap)
+	ex.refillIdleBase = idle
+	if p.live != nil {
+		p.live.refillTarget.Store(int64(ex.refillTarget))
+	}
 	moved := 0
-	for ex.dq.Len() < 2*w {
+	for ex.dq.Len() < ex.refillTarget {
 		d, ok, err := p.q.Pop()
 		if err != nil {
 			return moved, err
@@ -303,6 +358,7 @@ func (p *Pool) sendStagedRemote(o remoteSpawn) error {
 // the ring fed, and execute tasks itself between protocol duties.
 func (p *Pool) runMulti() (err error) {
 	ex := p.exec
+	ex.stop.Store(false) // rearm after any previous job on a warm pool
 	var wg sync.WaitGroup
 	for _, ws := range ex.workers[1:] {
 		wg.Add(1)
@@ -415,23 +471,37 @@ func (p *Pool) runMulti() (err error) {
 }
 
 // fold merges the workers' atomic counters into the PE's stats, including
-// the per-worker breakdown rows.
+// the per-worker breakdown rows. It runs once per job (after the
+// executors have stopped); the PE totals absorb only the delta since the
+// previous fold, and the per-worker rows are rewritten in place with
+// pool-lifetime cumulative figures — so a warm pool neither double-counts
+// across jobs nor grows a row per job, and stats.PE.Delta can difference
+// the rows by (PE, ID) for per-job worker breakdowns.
 func (ex *execLayer) fold(p *Pool) {
 	rank := p.ctx.Rank()
-	for _, ws := range ex.workers {
+	if len(p.st.Workers) != len(ex.workers) {
+		p.st.Workers = make([]stats.Worker, len(ex.workers))
+	}
+	var sumExe, sumSp uint64
+	var sumNs int64
+	for i, ws := range ex.workers {
 		exe, sp := ws.executed.Load(), ws.spawned.Load()
-		et := time.Duration(ws.execNs.Load())
-		p.st.TasksExecuted += exe
-		p.st.TasksSpawned += sp
-		p.st.ExecTime += et
+		ns := ws.execNs.Load()
+		sumExe += exe
+		sumSp += sp
+		sumNs += ns
 		w := stats.Worker{
 			PE: rank, ID: ws.id,
 			TasksExecuted: exe, TasksSpawned: sp,
-			ExecTime: et, IdleIters: ws.idleIters.Load(),
+			ExecTime: time.Duration(ns), IdleIters: ws.idleIters.Load(),
 		}
 		if ws.id == 0 {
 			w.StealTime, w.SearchTime = p.st.StealTime, p.st.SearchTime
 		}
-		p.st.Workers = append(p.st.Workers, w)
+		p.st.Workers[i] = w
 	}
+	p.st.TasksExecuted += sumExe - ex.foldedExec
+	p.st.TasksSpawned += sumSp - ex.foldedSpawned
+	p.st.ExecTime += time.Duration(sumNs - ex.foldedExecNs)
+	ex.foldedExec, ex.foldedSpawned, ex.foldedExecNs = sumExe, sumSp, sumNs
 }

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client talks to a sws-serve gateway. The zero HTTP client is the
+// default one.
+type Client struct {
+	// Base is the gateway root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport (tests inject httptest clients).
+	HTTP *http.Client
+}
+
+// APIError is a non-2xx gateway response, preserving the typed
+// admission reason so load generators can distinguish backpressure from
+// real failures.
+type APIError struct {
+	Status int
+	Reason string
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("serve: gateway %d (%s): %s", e.Status, e.Reason, e.Msg)
+	}
+	return fmt.Sprintf("serve: gateway %d: %s", e.Status, e.Msg)
+}
+
+// Backpressure reports whether the error is a 429 admission rejection —
+// the retryable class.
+func (e *APIError) Backpressure() bool { return e.Status == http.StatusTooManyRequests }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSpecBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		_ = json.Unmarshal(body, &ae)
+		if ae.Error == "" {
+			ae.Error = string(body)
+		}
+		return &APIError{Status: resp.StatusCode, Reason: ae.Reason, Msg: ae.Error}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Submit POSTs a job spec and returns its accepted status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var st JobStatus
+	if err := c.do(req, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches a job's current state; wait > 0 long-polls the gateway
+// for a terminal state up to that duration.
+func (c *Client) Status(ctx context.Context, id string, wait time.Duration) (JobStatus, error) {
+	url := c.Base + "/v1/jobs/" + id
+	if wait > 0 {
+		url += "?wait=" + strconv.FormatInt(wait.Milliseconds(), 10) + "ms"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var st JobStatus
+	if err := c.do(req, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Await polls (long-poll windows of 2s) until the job is terminal.
+func (c *Client) Await(ctx context.Context, id string) (JobStatus, error) {
+	for {
+		st, err := c.Status(ctx, id, 2*time.Second)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}

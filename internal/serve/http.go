@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// maxSpecBytes bounds a POSTed job spec.
+const maxSpecBytes = 1 << 20
+
+// maxStatusWait bounds the long-poll window of GET /v1/jobs/{id}?wait=.
+const maxStatusWait = 30 * time.Second
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+	// Reason is set for 429s: "inflight-limit" or "tenant-quota".
+	Reason string `json:"reason,omitempty"`
+	// Limit is the admission bound that was hit, for client backoff
+	// tuning.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Handler returns the gateway API:
+//
+//	POST /v1/jobs        submit a JobSpec; 202 + JobStatus, or 400
+//	                     (invalid spec), 429 (admission backpressure,
+//	                     typed reason), 503 (closed / fleet failed)
+//	GET  /v1/jobs/{id}   job status; ?wait=2s long-polls for a terminal
+//	                     state up to the given duration
+//	GET  /healthz        200 while the service accepts jobs
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Error: "reading request body: " + err.Error()})
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, apiError{Error: "job spec exceeds 1 MiB"})
+		return
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Error: "decoding job spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		var adm *AdmissionError
+		switch {
+		case errors.As(err, &adm):
+			// Typed backpressure: clients retry after backoff.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, apiError{Error: adm.Error(), Reason: adm.Reason, Limit: adm.Limit})
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrFleetFailed):
+			writeError(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		default:
+			writeError(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wait := time.Duration(0)
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, apiError{Error: "bad wait duration"})
+			return
+		}
+		if d > maxStatusWait {
+			d = maxStatusWait
+		}
+		wait = d
+	}
+	var (
+		st JobStatus
+		ok bool
+	)
+	if wait > 0 {
+		st, ok = s.Wait(id, wait)
+	} else {
+		st, ok = s.Status(id)
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed, fatal := s.closed, s.fatalErr
+	s.mu.Unlock()
+	if closed || fatal != nil {
+		writeError(w, http.StatusServiceUnavailable, apiError{Error: "service is not accepting jobs"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, e apiError) {
+	writeJSON(w, code, e)
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sws/internal/stats"
+)
+
+// LoadOptions configures RunLoad. The generator submits Jobs jobs from
+// Concurrency workers, attributing them round-robin across Tenants, and
+// awaits each to completion. 429 backpressure is retried after
+// RetryBackoff (it is the service working as designed, not a failure).
+type LoadOptions struct {
+	Jobs         int
+	Concurrency  int
+	Tenants      []string
+	Spec         JobSpec
+	RetryBackoff time.Duration
+	// OnDone, if non-nil, observes every terminal job status (tests use
+	// it for per-job exactly-once assertions). Called from worker
+	// goroutines.
+	OnDone func(JobStatus)
+}
+
+// LoadReport summarizes one load run; the JSON form is the
+// BENCH_serve.json record CI archives.
+type LoadReport struct {
+	Jobs          int     `json:"jobs"`
+	Failed        int     `json:"failed"`
+	Retried429    int     `json:"retried_429"`
+	TasksExecuted uint64  `json:"tasks_executed"`
+	ElapsedSec    float64 `json:"elapsed_seconds"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+	// End-to-end per-job latency percentiles (server-side submit ->
+	// terminal), in seconds.
+	P50Sec float64 `json:"p50_seconds"`
+	P95Sec float64 `json:"p95_seconds"`
+	P99Sec float64 `json:"p99_seconds"`
+	MaxSec float64 `json:"max_seconds"`
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("jobs=%d failed=%d retried429=%d tasks=%d elapsed=%.3fs jobs/sec=%.1f p50=%.4fs p95=%.4fs p99=%.4fs max=%.4fs",
+		r.Jobs, r.Failed, r.Retried429, r.TasksExecuted, r.ElapsedSec, r.JobsPerSec, r.P50Sec, r.P95Sec, r.P99Sec, r.MaxSec)
+}
+
+// RunLoad drives a burst of jobs through the gateway and reports
+// throughput plus latency percentiles. It returns an error only when
+// the run could not complete (transport failure, job failure); latency
+// budgets are the caller's to enforce on the report.
+func RunLoad(ctx context.Context, c *Client, opt LoadOptions) (LoadReport, error) {
+	if opt.Jobs <= 0 {
+		return LoadReport{}, errors.New("serve: load run needs a positive job count")
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 4
+	}
+	if opt.Concurrency > opt.Jobs {
+		opt.Concurrency = opt.Jobs
+	}
+	if len(opt.Tenants) == 0 {
+		opt.Tenants = []string{"default"}
+	}
+	if opt.RetryBackoff <= 0 {
+		opt.RetryBackoff = 10 * time.Millisecond
+	}
+
+	var (
+		next     atomic.Int64
+		retried  atomic.Int64
+		failed   atomic.Int64
+		tasks    atomic.Uint64
+		mu       sync.Mutex
+		lats     []float64
+		firstErr error
+	)
+	keep := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opt.Jobs) || ctx.Err() != nil {
+					return
+				}
+				spec := opt.Spec
+				spec.Tenant = opt.Tenants[int(i)%len(opt.Tenants)]
+				var st JobStatus
+				for {
+					var err error
+					st, err = c.Submit(ctx, spec)
+					if err == nil {
+						break
+					}
+					var ae *APIError
+					if errors.As(err, &ae) && ae.Backpressure() {
+						// Admission backpressure: the typed 429 asks us
+						// to slow down, not give up.
+						retried.Add(1)
+						select {
+						case <-time.After(opt.RetryBackoff):
+							continue
+						case <-ctx.Done():
+							keep(ctx.Err())
+							return
+						}
+					}
+					keep(err)
+					return
+				}
+				st, err := c.Await(ctx, st.ID)
+				if err != nil {
+					keep(err)
+					return
+				}
+				if opt.OnDone != nil {
+					opt.OnDone(st)
+				}
+				if st.State != StateDone {
+					failed.Add(1)
+					keep(fmt.Errorf("serve: job %s %s: %s", st.ID, st.State, st.Error))
+					continue
+				}
+				tasks.Add(st.TasksExecuted)
+				mu.Lock()
+				lats = append(lats, st.TotalSeconds)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := LoadReport{
+		Jobs:          len(lats),
+		Failed:        int(failed.Load()),
+		Retried429:    int(retried.Load()),
+		TasksExecuted: tasks.Load(),
+		ElapsedSec:    elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		rep.JobsPerSec = float64(rep.Jobs) / elapsed.Seconds()
+	}
+	sum := stats.Summarize(lats)
+	rep.P50Sec, rep.P95Sec, rep.P99Sec, rep.MaxSec = sum.P50, sum.P95, sum.P99, sum.Max
+	if rep.Jobs == 0 && firstErr == nil {
+		firstErr = errors.New("serve: load run completed zero jobs")
+	}
+	return rep, firstErr
+}

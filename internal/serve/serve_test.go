@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sws/internal/bpc"
+	"sws/internal/obs"
+	"sws/internal/pool"
+	"sws/internal/shmem"
+)
+
+// newTestService builds a small local-transport service. mutate may
+// adjust the options before New.
+func newTestService(t *testing.T, mutate func(*Options)) *Service {
+	t.Helper()
+	opt := Options{
+		World: shmem.Config{NumPEs: 2, HeapBytes: 4 << 20},
+		Pool:  pool.Config{Seed: 1},
+	}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// graphSpec is a deterministic graph job: depth levels, breadth
+// children, no spin. Task count is exact.
+func graphSpec(tenant string, depth, breadth int) JobSpec {
+	return JobSpec{Tenant: tenant, Kind: KindGraph, Graph: &GraphSpec{Depth: depth, Breadth: breadth}}
+}
+
+// gateSpec occupies the fleet for roughly the given duration: a 2-task
+// chain, each task spinning half of it. Tests use it to build queue
+// depth deterministically while the dispatcher is busy.
+func gateSpec(tenant string, d time.Duration) JobSpec {
+	return JobSpec{Tenant: tenant, Kind: KindGraph,
+		Graph: &GraphSpec{Depth: 1, Breadth: 1, SpinUS: int(d / (2 * time.Microsecond))}}
+}
+
+// submitAndWait runs one job to a terminal state.
+func submitAndWait(t *testing.T, s *Service, spec JobSpec) JobStatus {
+	t.Helper()
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, ok := s.Wait(st.ID, 30*time.Second)
+	if !ok {
+		t.Fatalf("job %s vanished", st.ID)
+	}
+	if !st.Terminal() {
+		t.Fatalf("job %s not terminal after 30s: %+v", st.ID, st)
+	}
+	return st
+}
+
+// A graph job reports its exact task count through per-job stats, and
+// repeated jobs get consecutive fleet epochs with no transport
+// re-attach.
+func TestServeGraphJobs(t *testing.T) {
+	s := newTestService(t, nil)
+	want := GraphSpec{Depth: 4, Breadth: 2}.Tasks() // 31
+	for i := 1; i <= 3; i++ {
+		st := submitAndWait(t, s, graphSpec("default", 4, 2))
+		if st.State != StateDone {
+			t.Fatalf("job %d failed: %s", i, st.Error)
+		}
+		if st.TasksExecuted != want {
+			t.Fatalf("job %d executed %d tasks, want %d", i, st.TasksExecuted, want)
+		}
+		if st.JobSeq != uint64(i) {
+			t.Fatalf("job %d ran under epoch %d", i, st.JobSeq)
+		}
+	}
+	if got := s.Fleet().World().Attaches(); got != 2 {
+		t.Fatalf("attaches = %d, want 2 (warm start)", got)
+	}
+}
+
+// UTS and BPC specs run through the same delegating task functions; BPC
+// totals are exact, UTS totals are tree-dependent but non-zero and
+// stable across runs of the same preset.
+func TestServeUTSAndBPCJobs(t *testing.T) {
+	s := newTestService(t, nil)
+
+	bspec := JobSpec{Kind: KindBPC, BPC: &BPCSpec{Depth: 4, NConsumers: 8, ConsumerWorkUS: 1, ProducerWorkUS: 1}}
+	st := submitAndWait(t, s, bspec)
+	if st.State != StateDone {
+		t.Fatalf("bpc job failed: %s", st.Error)
+	}
+	wantBPC := bpc.Params{Depth: 4, NConsumers: 8}.TotalTasks()
+	if st.TasksExecuted != wantBPC {
+		t.Fatalf("bpc executed %d tasks, want %d", st.TasksExecuted, wantBPC)
+	}
+
+	u1 := submitAndWait(t, s, JobSpec{Kind: KindUTS, UTS: &UTSSpec{Tree: "tiny"}})
+	if u1.State != StateDone {
+		t.Fatalf("uts job failed: %s", u1.Error)
+	}
+	if u1.TasksExecuted == 0 {
+		t.Fatal("uts job executed zero tasks")
+	}
+	u2 := submitAndWait(t, s, JobSpec{Kind: KindUTS, UTS: &UTSSpec{Tree: "tiny"}})
+	if u2.TasksExecuted != u1.TasksExecuted {
+		t.Fatalf("same uts tree traversed %d then %d nodes — per-job isolation broken", u1.TasksExecuted, u2.TasksExecuted)
+	}
+}
+
+// Admission control: beyond MaxInflight the service answers with the
+// typed inflight-limit rejection, and a tenant at its queue bound gets
+// tenant-quota while other tenants still get through.
+func TestServeAdmissionControl(t *testing.T) {
+	s := newTestService(t, func(o *Options) { o.MaxInflight = 3; o.TenantQueue = 1 })
+
+	if _, err := s.Submit(gateSpec("gate", 200*time.Millisecond)); err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	if _, err := s.Submit(graphSpec("a", 2, 2)); err != nil {
+		t.Fatalf("tenant a first job: %v", err)
+	}
+	// Tenant a's queue is full (1 queued): quota rejection.
+	_, err := s.Submit(graphSpec("a", 2, 2))
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != ReasonTenantQuota {
+		t.Fatalf("tenant-quota submit: got %v, want AdmissionError(%s)", err, ReasonTenantQuota)
+	}
+	// Another tenant still gets through (inflight 2 -> 3).
+	if _, err := s.Submit(graphSpec("b", 2, 2)); err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+	// Global bound reached: inflight-limit rejection even for a fresh
+	// tenant.
+	_, err = s.Submit(graphSpec("c", 2, 2))
+	if !errors.As(err, &adm) || adm.Reason != ReasonInflight {
+		t.Fatalf("inflight submit: got %v, want AdmissionError(%s)", err, ReasonInflight)
+	}
+}
+
+// Fair queuing: with tenant a's queue deep and tenant b submitting one
+// job, round-robin must run b's job after at most one of a's — b cannot
+// be starved behind a's whole backlog.
+func TestServeTenantFairness(t *testing.T) {
+	s := newTestService(t, nil)
+	if _, err := s.Submit(gateSpec("gate", 200*time.Millisecond)); err != nil {
+		t.Fatalf("gate: %v", err)
+	}
+	var aIDs []string
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(graphSpec("a", 2, 2))
+		if err != nil {
+			t.Fatalf("tenant a job %d: %v", i, err)
+		}
+		aIDs = append(aIDs, st.ID)
+	}
+	bst, err := s.Submit(graphSpec("b", 2, 2))
+	if err != nil {
+		t.Fatalf("tenant b: %v", err)
+	}
+	for _, id := range append(aIDs, bst.ID) {
+		if st, ok := s.Wait(id, 30*time.Second); !ok || st.State != StateDone {
+			t.Fatalf("job %s: ok=%v state=%+v", id, ok, st)
+		}
+	}
+	bSeq, _ := s.Status(bst.ID)
+	aSecond, _ := s.Status(aIDs[1])
+	if bSeq.JobSeq > aSecond.JobSeq {
+		t.Fatalf("tenant b's job ran under epoch %d, after tenant a's second job (epoch %d) — round-robin starved b",
+			bSeq.JobSeq, aSecond.JobSeq)
+	}
+}
+
+// The acceptance bar: >= 100 back-to-back jobs through the HTTP gateway
+// against a 4-PE fleet, concurrent tenants, exactly-once per-job
+// accounting on every job, and zero transport re-attach (the world's
+// attach counter stays at NumPEs). CI runs this under -race.
+func TestServeHundredJobsThroughGateway(t *testing.T) {
+	const pes, jobs = 4, 100
+	s := newTestService(t, func(o *Options) { o.World.NumPEs = pes })
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	want := GraphSpec{Depth: 4, Breadth: 2}.Tasks() // 31
+	var mu sync.Mutex
+	seqs := make(map[uint64]string)
+	var bad []string
+	rep, err := RunLoad(context.Background(), &Client{Base: srv.URL, HTTP: srv.Client()}, LoadOptions{
+		Jobs:        jobs,
+		Concurrency: 4,
+		Tenants:     []string{"alpha", "beta"},
+		Spec:        graphSpec("", 4, 2),
+		OnDone: func(st JobStatus) {
+			mu.Lock()
+			defer mu.Unlock()
+			if st.TasksExecuted != want {
+				bad = append(bad, fmt.Sprintf("%s executed %d tasks, want %d", st.ID, st.TasksExecuted, want))
+			}
+			if prev, dup := seqs[st.JobSeq]; dup {
+				bad = append(bad, fmt.Sprintf("%s and %s share epoch %d", prev, st.ID, st.JobSeq))
+			}
+			seqs[st.JobSeq] = st.ID
+		},
+	})
+	if err != nil {
+		t.Fatalf("load run: %v\nreport: %v", err, rep)
+	}
+	if rep.Jobs != jobs || rep.Failed != 0 {
+		t.Fatalf("report %v: want %d jobs, 0 failed", rep, jobs)
+	}
+	if len(bad) > 0 {
+		t.Fatalf("per-job accounting violations:\n%s", strings.Join(bad, "\n"))
+	}
+	if got := s.Fleet().World().Attaches(); got != pes {
+		t.Fatalf("attaches after %d jobs = %d, want %d (transport re-attached between jobs)", jobs, got, pes)
+	}
+	if got := s.Fleet().Seq(); got != jobs {
+		t.Fatalf("fleet served %d epochs, want %d", got, jobs)
+	}
+	if rep.TasksExecuted != uint64(jobs)*want {
+		t.Fatalf("load report counts %d tasks, want %d", rep.TasksExecuted, uint64(jobs)*want)
+	}
+}
+
+// The HTTP error surface: invalid specs are 400, unknown jobs 404,
+// admission backpressure a typed 429 with Retry-After and a reason the
+// client can parse.
+func TestServeHTTPErrors(t *testing.T) {
+	s := newTestService(t, func(o *Options) { o.MaxInflight = 1 })
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := c.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := post(`{not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"kind":"no-such-kind"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown kind: status %d, want 400", resp.StatusCode)
+	}
+	resp, err := c.Get(srv.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// Fill the single inflight slot, then expect typed backpressure.
+	gate, err := json.Marshal(gateSpec("gate", 200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := post(string(gate)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("gate: status %d, want 202", resp.StatusCode)
+	}
+	resp = post(`{"kind":"graph"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over limit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var ae apiError
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+		t.Fatal(err)
+	}
+	if ae.Reason != ReasonInflight {
+		t.Fatalf("429 reason %q, want %q", ae.Reason, ReasonInflight)
+	}
+}
+
+// Close drains: jobs accepted before Close still run to completion, and
+// submissions after Close get ErrClosed.
+func TestServeCloseDrains(t *testing.T) {
+	s := newTestService(t, nil)
+	if _, err := s.Submit(gateSpec("gate", 100*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(graphSpec("default", 3, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for _, id := range ids {
+		st, ok := s.Status(id)
+		if !ok || st.State != StateDone {
+			t.Fatalf("job %s after close: ok=%v %+v — close must drain accepted jobs", id, ok, st)
+		}
+	}
+	if _, err := s.Submit(graphSpec("default", 2, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// Every sws_serve_* metric obeys the repo-wide naming rules and the
+// MetricsReference registry (the drift guard that keeps docs/METRICS.md
+// honest), and the key families carry live values.
+func TestServeMetricsLint(t *testing.T) {
+	g := obs.NewGatherer()
+	s := newTestService(t, func(o *Options) { o.Gatherer = g })
+	submitAndWait(t, s, graphSpec("alpha", 3, 2))
+	submitAndWait(t, s, graphSpec("beta", 3, 2))
+
+	byName := map[string]float64{}
+	var violations []string
+	for _, m := range g.Gather() {
+		if !strings.HasPrefix(m.Name, "sws_serve_") {
+			continue
+		}
+		violations = append(violations, pool.LintMetric(m)...)
+		byName[m.Name] += m.Value
+	}
+	if len(violations) > 0 {
+		t.Fatalf("metric lint violations:\n%s", strings.Join(violations, "\n"))
+	}
+	for name, want := range map[string]float64{
+		"sws_serve_jobs_submitted_total":      2,
+		"sws_serve_jobs_completed_total":      2,
+		"sws_serve_fleet_attaches_total":      2, // NumPEs
+		"sws_serve_job_tasks_total":           2 * 15,
+		"sws_serve_job_latency_seconds_count": 3 * 2, // three stages x two jobs
+		"sws_serve_jobs_rejected_total":       0,
+		"sws_serve_inflight_jobs":             0,
+	} {
+		got, ok := byName[name]
+		if !ok {
+			t.Errorf("metric %s not emitted", name)
+		} else if got != want {
+			t.Errorf("metric %s = %g, want %g", name, got, want)
+		}
+	}
+	if _, ok := byName["sws_serve_job_latency_seconds"]; !ok {
+		t.Error("latency quantiles not emitted")
+	}
+}

@@ -1,0 +1,602 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sws/internal/bpc"
+	"sws/internal/obs"
+	"sws/internal/pool"
+	"sws/internal/shmem"
+	"sws/internal/task"
+	"sws/internal/uts"
+)
+
+// Job lifecycle states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Admission-rejection reasons (the `reason` label on
+// sws_serve_jobs_rejected_total and the JSON error body).
+const (
+	ReasonInflight    = "inflight-limit"
+	ReasonTenantQuota = "tenant-quota"
+)
+
+// ErrClosed reports a submission against a service that is shutting
+// down.
+var ErrClosed = errors.New("serve: service is closed")
+
+// ErrFleetFailed reports that a previous job poisoned the fleet (world
+// failure, task error); the service accepts no further jobs.
+var ErrFleetFailed = errors.New("serve: fleet failed")
+
+// AdmissionError is the typed backpressure signal: the job was valid but
+// the service is full. The HTTP layer maps it to 429.
+type AdmissionError struct {
+	Reason string // ReasonInflight or ReasonTenantQuota
+	Limit  int    // the bound that was hit
+	Tenant string // set for tenant-quota rejections
+}
+
+func (e *AdmissionError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("serve: admission rejected (%s): tenant %q has %d jobs queued", e.Reason, e.Tenant, e.Limit)
+	}
+	return fmt.Sprintf("serve: admission rejected (%s): %d jobs in flight", e.Reason, e.Limit)
+}
+
+// Options configures New.
+type Options struct {
+	// World configures the fleet's world. NumPEs defaults to 4; the
+	// transport must be in-process (local, sim, shm — not Join).
+	World shmem.Config
+	// Pool is the per-PE pool configuration. PayloadCap is raised to fit
+	// the largest workload payload (UTS nodes) if smaller.
+	Pool pool.Config
+	// MaxInflight bounds queued+running jobs across all tenants
+	// (default 64). Submissions beyond it get AdmissionError
+	// ReasonInflight.
+	MaxInflight int
+	// TenantQueue bounds queued jobs per tenant (default 16).
+	// Submissions beyond it get AdmissionError ReasonTenantQuota.
+	TenantQueue int
+	// Gatherer, if non-nil, receives the sws_serve_* metrics family (and
+	// is wired into the pool config so the fleet's pool metrics export
+	// too).
+	Gatherer *obs.Gatherer
+}
+
+// activeWork is the workload of the job currently holding the fleet
+// epoch. Jobs execute one at a time, so a single pointer (set by the
+// dispatcher around each fleet.Run) routes the fleet's delegating task
+// functions.
+type activeWork struct {
+	uts   *uts.Workload
+	bpc   *bpc.Workload
+	graph *graphWork
+}
+
+// graphWork parameterizes the built-in uniform task graph: a
+// breadth-ary tree with optional per-task spin.
+type graphWork struct {
+	breadth int
+	depth   int
+	spin    time.Duration
+}
+
+// tenantState is one tenant's FIFO queue plus counters.
+type tenantState struct {
+	queue     []*jobState
+	submitted uint64
+}
+
+// jobState is the service-side record of one job.
+type jobState struct {
+	id    string
+	spec  JobSpec
+	work  *activeWork
+	state string
+
+	errMsg                       string
+	submitted, started, finished time.Time
+	jobSeq                       uint64
+	tasksExecuted, tasksStolen   uint64
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// JobStatus is the wire-format view of a job, returned by submissions
+// and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// JobSeq is the fleet epoch the job ran under (1-based; 0 while
+	// queued).
+	JobSeq        uint64 `json:"job_seq,omitempty"`
+	TasksExecuted uint64 `json:"tasks_executed"`
+	TasksStolen   uint64 `json:"tasks_stolen"`
+	// Latency split: queue wait, fleet execution, and end-to-end.
+	QueueSeconds float64 `json:"queue_seconds"`
+	RunSeconds   float64 `json:"run_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Terminal reports whether the status is done or failed.
+func (js JobStatus) Terminal() bool { return js.State == StateDone || js.State == StateFailed }
+
+// Service is the multi-tenant job layer over one warm fleet.
+type Service struct {
+	opt   Options
+	fleet *pool.Fleet
+
+	// Fleet-registered handles for the delegating task functions. Set
+	// during Register (identical on every rank; atomic only for
+	// race-free publication from concurrent PE warmups).
+	utsH, prodH, consH, graphH atomic.Uint32
+
+	// cur is the workload owning the current fleet epoch.
+	cur atomic.Pointer[activeWork]
+
+	// Latency histograms (lock-free; the metrics source snapshots them).
+	queueHist, runHist, e2eHist obs.Hist
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*jobState
+	tenants  map[string]*tenantState
+	ring     []string // round-robin rotation of tenants with queued jobs
+	inflight int
+	nextID   uint64
+	closed   bool
+	fatalErr error
+
+	rejected   map[string]uint64 // by reason
+	completed  map[string]uint64 // by outcome (ok, failed)
+	tasksTotal uint64
+
+	dispatchDone chan struct{}
+}
+
+// New builds the world, warms the fleet (transports attach exactly
+// once), and starts the dispatcher. The service owns the world until
+// Close.
+func New(opt Options) (*Service, error) {
+	if opt.World.NumPEs == 0 {
+		opt.World.NumPEs = 4
+	}
+	if opt.MaxInflight <= 0 {
+		opt.MaxInflight = 64
+	}
+	if opt.TenantQueue <= 0 {
+		opt.TenantQueue = 16
+	}
+	if opt.Pool.PayloadCap < uts.PayloadSize {
+		opt.Pool.PayloadCap = uts.PayloadSize
+	}
+	if opt.Pool.Metrics == nil {
+		opt.Pool.Metrics = opt.Gatherer
+	}
+	s := &Service{
+		opt:          opt,
+		jobs:         make(map[string]*jobState),
+		tenants:      make(map[string]*tenantState),
+		rejected:     make(map[string]uint64),
+		completed:    make(map[string]uint64),
+		dispatchDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	w, err := shmem.NewWorld(opt.World)
+	if err != nil {
+		return nil, err
+	}
+	f, err := pool.NewFleet(w, pool.FleetOptions{Pool: opt.Pool, Register: s.register})
+	if err != nil {
+		return nil, err
+	}
+	s.fleet = f
+	if opt.Gatherer != nil {
+		opt.Gatherer.Register(s.metricsSource)
+	}
+	go s.dispatcher()
+	return s, nil
+}
+
+// register installs the delegating task functions on one PE's registry.
+// Each delegate routes through the current-job pointer; job epochs are
+// exclusive, so tasks of kind K only ever run while a kind-K job holds
+// the epoch.
+func (s *Service) register(rank int, reg *pool.Registry) error {
+	h, err := reg.Register("serve.uts.node", func(tc *pool.TaskCtx, payload []byte) error {
+		w := s.cur.Load()
+		if w == nil || w.uts == nil {
+			return errors.New("serve: uts task outside a uts job epoch")
+		}
+		return w.uts.RunNode(tc, payload)
+	})
+	if err != nil {
+		return err
+	}
+	s.utsH.Store(uint32(h))
+	h, err = reg.Register("serve.bpc.producer", func(tc *pool.TaskCtx, payload []byte) error {
+		w := s.cur.Load()
+		if w == nil || w.bpc == nil {
+			return errors.New("serve: bpc producer outside a bpc job epoch")
+		}
+		return w.bpc.RunProducer(tc, payload)
+	})
+	if err != nil {
+		return err
+	}
+	s.prodH.Store(uint32(h))
+	h, err = reg.Register("serve.bpc.consumer", func(tc *pool.TaskCtx, payload []byte) error {
+		w := s.cur.Load()
+		if w == nil || w.bpc == nil {
+			return errors.New("serve: bpc consumer outside a bpc job epoch")
+		}
+		return w.bpc.RunConsumer(tc, payload)
+	})
+	if err != nil {
+		return err
+	}
+	s.consH.Store(uint32(h))
+	h, err = reg.Register("serve.graph.node", s.runGraphNode)
+	if err != nil {
+		return err
+	}
+	s.graphH.Store(uint32(h))
+	return nil
+}
+
+// runGraphNode executes one node of the built-in uniform task graph.
+func (s *Service) runGraphNode(tc *pool.TaskCtx, payload []byte) error {
+	w := s.cur.Load()
+	if w == nil || w.graph == nil {
+		return errors.New("serve: graph task outside a graph job epoch")
+	}
+	g := w.graph
+	args, err := task.ParseArgs(payload, 1)
+	if err != nil {
+		return err
+	}
+	spinFor(g.spin)
+	if args[0] == 0 {
+		return nil
+	}
+	h := task.Handle(s.graphH.Load())
+	for i := 0; i < g.breadth; i++ {
+		if err := tc.Spawn(h, task.Args(args[0]-1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spinFor simulates d of task computation with a preemptible busy-wait
+// (sub-quantum durations must not sleep; see bpc.spin).
+func spinFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		runtime.Gosched()
+	}
+}
+
+// Submit validates spec, applies admission control, and enqueues the
+// job, returning its initial status. Backpressure surfaces as
+// *AdmissionError; spec problems as plain validation errors.
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	// Build workloads before admission: Job.Seed must not fail on a warm
+	// fleet, so everything fallible happens here.
+	work, err := spec.buildWork()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrClosed
+	}
+	if s.fatalErr != nil {
+		return JobStatus{}, fmt.Errorf("%w: %v", ErrFleetFailed, s.fatalErr)
+	}
+	if s.inflight >= s.opt.MaxInflight {
+		s.rejected[ReasonInflight]++
+		return JobStatus{}, &AdmissionError{Reason: ReasonInflight, Limit: s.opt.MaxInflight}
+	}
+	ten := s.tenants[spec.Tenant]
+	if ten == nil {
+		ten = &tenantState{}
+		s.tenants[spec.Tenant] = ten
+	}
+	if len(ten.queue) >= s.opt.TenantQueue {
+		s.rejected[ReasonTenantQuota]++
+		return JobStatus{}, &AdmissionError{Reason: ReasonTenantQuota, Limit: s.opt.TenantQueue, Tenant: spec.Tenant}
+	}
+	s.nextID++
+	js := &jobState{
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		spec:      spec,
+		work:      work,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[js.id] = js
+	if len(ten.queue) == 0 {
+		s.ring = append(s.ring, spec.Tenant)
+	}
+	ten.queue = append(ten.queue, js)
+	ten.submitted++
+	s.inflight++
+	s.cond.Signal()
+	return js.statusLocked(), nil
+}
+
+// Status returns the current view of a job.
+func (s *Service) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return js.statusLocked(), true
+}
+
+// Wait blocks until the job reaches a terminal state or timeout elapses
+// (timeout <= 0 returns immediately), then reports the current status.
+func (s *Service) Wait(id string, timeout time.Duration) (JobStatus, bool) {
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-js.done:
+		case <-t.C:
+		}
+	}
+	return s.Status(id)
+}
+
+// statusLocked snapshots the job under s.mu.
+func (js *jobState) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:            js.id,
+		Tenant:        js.spec.Tenant,
+		Kind:          js.spec.Kind,
+		State:         js.state,
+		Error:         js.errMsg,
+		JobSeq:        js.jobSeq,
+		TasksExecuted: js.tasksExecuted,
+		TasksStolen:   js.tasksStolen,
+	}
+	switch js.state {
+	case StateRunning:
+		st.QueueSeconds = js.started.Sub(js.submitted).Seconds()
+	case StateDone, StateFailed:
+		if !js.started.IsZero() {
+			st.QueueSeconds = js.started.Sub(js.submitted).Seconds()
+			st.RunSeconds = js.finished.Sub(js.started).Seconds()
+		}
+		st.TotalSeconds = js.finished.Sub(js.submitted).Seconds()
+	}
+	return st
+}
+
+// dispatcher drains the tenant queues one job at a time: each iteration
+// takes the head job of the next tenant in the round-robin ring and runs
+// it as one fleet epoch.
+func (s *Service) dispatcher() {
+	defer close(s.dispatchDone)
+	for {
+		js := s.next()
+		if js == nil {
+			return
+		}
+		s.runJob(js)
+	}
+}
+
+// next blocks for the next runnable job. It returns nil only when the
+// service is closed (or the fleet failed) and every queue is drained, so
+// Close gracefully finishes accepted work.
+func (s *Service) next() *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.ring) > 0 {
+			t := s.ring[0]
+			ten := s.tenants[t]
+			js := ten.queue[0]
+			ten.queue = ten.queue[1:]
+			if len(ten.queue) == 0 {
+				s.ring = s.ring[1:]
+			} else {
+				// Rotate the tenant to the back: one job per turn.
+				s.ring = append(s.ring[1:], t)
+			}
+			js.state = StateRunning
+			js.started = time.Now()
+			return js
+		}
+		if s.closed || s.fatalErr != nil {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// runJob executes one job as a fleet epoch and finalizes its record.
+func (s *Service) runJob(js *jobState) {
+	w := js.work
+	// Retarget the per-job workload at the fleet's handles so its spawns
+	// and seeds route through the delegating task functions.
+	switch {
+	case w.uts != nil:
+		w.uts.Bind(task.Handle(s.utsH.Load()))
+	case w.bpc != nil:
+		w.bpc.Bind(task.Handle(s.prodH.Load()), task.Handle(s.consH.Load()))
+	}
+	s.cur.Store(w)
+	run, err := s.fleet.Run(pool.Job{Seed: s.seedFor(w)})
+	// The epoch ended with global quiescence: no task of this job can
+	// still be running when the pointer clears.
+	s.cur.Store(nil)
+	seq := s.fleet.Seq()
+	now := time.Now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js.finished = now
+	js.jobSeq = seq
+	tot := run.Total()
+	js.tasksExecuted = tot.TasksExecuted
+	js.tasksStolen = tot.TasksStolen
+	s.inflight--
+	s.queueHist.Record(js.started.Sub(js.submitted))
+	s.runHist.Record(js.finished.Sub(js.started))
+	s.e2eHist.Record(js.finished.Sub(js.submitted))
+	if err != nil {
+		js.state = StateFailed
+		js.errMsg = err.Error()
+		s.completed["failed"]++
+		// A job-level error poisons the fleet (the pools may be
+		// mid-epoch): fail everything queued and stop accepting.
+		s.fatalErr = err
+		s.failQueuedLocked(err)
+	} else {
+		js.state = StateDone
+		s.completed["ok"]++
+		s.tasksTotal += tot.TasksExecuted
+	}
+	close(js.done)
+}
+
+// seedFor returns the Job.Seed injecting w's root task on rank 0.
+func (s *Service) seedFor(w *activeWork) func(*pool.Pool, int) error {
+	return func(p *pool.Pool, rank int) error {
+		switch {
+		case w.uts != nil:
+			return w.uts.Seed(p, rank)
+		case w.bpc != nil:
+			return w.bpc.Seed(p, rank)
+		case w.graph != nil:
+			if rank != 0 {
+				return nil
+			}
+			return p.Add(task.Handle(s.graphH.Load()), task.Args(uint64(w.graph.depth)))
+		}
+		return errors.New("serve: job with no workload")
+	}
+}
+
+// failQueuedLocked terminates every queued job after a fleet failure.
+func (s *Service) failQueuedLocked(err error) {
+	for _, t := range s.ring {
+		ten := s.tenants[t]
+		for _, js := range ten.queue {
+			js.state = StateFailed
+			js.errMsg = fmt.Sprintf("fleet failed before this job ran: %v", err)
+			js.finished = time.Now()
+			s.inflight--
+			s.completed["failed"]++
+			close(js.done)
+		}
+		ten.queue = nil
+	}
+	s.ring = nil
+	s.cond.Broadcast()
+}
+
+// Close stops admission, drains the queued jobs (each still runs to
+// completion), and tears the fleet down. Safe to call more than once.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	<-s.dispatchDone
+	return s.fleet.Close()
+}
+
+// Fleet exposes the underlying warm fleet (tests assert on
+// World().Attaches() and Seq()).
+func (s *Service) Fleet() *pool.Fleet { return s.fleet }
+
+// metricsSource emits the sws_serve_* family. Registered on the
+// Gatherer at New; reads only snapshots taken under s.mu plus lock-free
+// histograms, so it is safe concurrently with jobs in flight.
+func (s *Service) metricsSource(e *obs.Emitter) {
+	type tenantSnap struct {
+		name      string
+		submitted uint64
+		depth     int
+	}
+	s.mu.Lock()
+	tenants := make([]tenantSnap, 0, len(s.tenants))
+	for name, ten := range s.tenants {
+		tenants = append(tenants, tenantSnap{name, ten.submitted, len(ten.queue)})
+	}
+	rejected := make(map[string]uint64, len(s.rejected))
+	for r, v := range s.rejected {
+		rejected[r] = v
+	}
+	completed := make(map[string]uint64, len(s.completed))
+	for o, v := range s.completed {
+		completed[o] = v
+	}
+	inflight := s.inflight
+	tasks := s.tasksTotal
+	s.mu.Unlock()
+
+	for _, t := range tenants {
+		e.Counter("sws_serve_jobs_submitted_total", "Jobs accepted by admission control.",
+			float64(t.submitted), obs.L("tenant", t.name))
+		e.Gauge("sws_serve_queue_depth_jobs", "Jobs queued per tenant.",
+			float64(t.depth), obs.L("tenant", t.name))
+	}
+	for _, o := range []string{"ok", "failed"} {
+		e.Counter("sws_serve_jobs_completed_total", "Jobs finished, by outcome.",
+			float64(completed[o]), obs.L("outcome", o))
+	}
+	for _, r := range []string{ReasonInflight, ReasonTenantQuota} {
+		e.Counter("sws_serve_jobs_rejected_total", "Submissions rejected by admission control, by reason.",
+			float64(rejected[r]), obs.L("reason", r))
+	}
+	e.Gauge("sws_serve_inflight_jobs", "Jobs queued or running.", float64(inflight))
+	e.Counter("sws_serve_job_tasks_total", "Tasks executed by completed jobs.", float64(tasks))
+	e.Counter("sws_serve_fleet_attaches_total", "Transport attachments over the fleet's lifetime (stays at the PE count: warm start).",
+		float64(s.fleet.World().Attaches()))
+	e.Quantiles("sws_serve_job_latency_seconds", "Per-job latency quantiles by stage.",
+		s.queueHist.Snapshot(), obs.L("stage", "queue"))
+	e.Quantiles("sws_serve_job_latency_seconds", "Per-job latency quantiles by stage.",
+		s.runHist.Snapshot(), obs.L("stage", "run"))
+	e.Quantiles("sws_serve_job_latency_seconds", "Per-job latency quantiles by stage.",
+		s.e2eHist.Snapshot(), obs.L("stage", "e2e"))
+}

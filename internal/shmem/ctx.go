@@ -48,8 +48,18 @@ func (w *World) newCtx(rank int) *Ctx {
 	// The first words of every heap are reserved for runtime internals
 	// (distributed barrier state); user allocations start past them so
 	// addresses stay symmetric across deployment modes.
+	w.attaches.Add(1)
 	return &Ctx{w: w, rank: rank, self: w.pes[rank], rec: !w.cfg.NoOpLatency, allocCursor: reservedHeapBytes}
 }
+
+// Attaches counts PE attachments to this world's transport — one per Ctx
+// ever created. A warm fleet serving many jobs holds it at NumPEs; any
+// growth past that proves a transport re-attach happened between jobs.
+func (w *World) Attaches() uint64 { return w.attaches.Load() }
+
+// Distributed reports whether this World hosts a single PE of a larger
+// multi-process world (built by Join) rather than all PEs in-process.
+func (w *World) Distributed() bool { return w.localRank >= 0 }
 
 // AttachTrace attaches a per-PE trace buffer; subsequent blocking remote
 // operations record trace.CommOp events (A = op code, B = duration ns)

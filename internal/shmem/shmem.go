@@ -262,6 +262,9 @@ type World struct {
 	flight       *trace.FlightSet
 	flightDumped atomic.Bool
 
+	// attaches counts Ctx creations (transport attachments); see Attaches.
+	attaches atomic.Uint64
+
 	failed atomic.Bool
 	errMu  sync.Mutex
 	err    error

@@ -19,6 +19,10 @@
 //     leave asteals bounded by plan + threshold + #thieves (§4.3).
 //   - TerminationQuiescence — the pool terminates only after global
 //     quiescence: all queues empty, every spawned task executed.
+//   - ExactlyOncePerJob — a warm fleet serving back-to-back and
+//     interleaved jobs keeps epochs exclusive: per-job audit slots show
+//     exactly one execution each, no task leaks into another job's
+//     termination wave, and transports attach only once.
 //
 // All cross-PE synchronization inside the oracles goes through shmem
 // primitives (flag words + WaitUntil64 + Relax), never Go channels, so
@@ -85,6 +89,7 @@ func RunAll(t *testing.T, f Factory) {
 	t.Run("exactly-once-grow", func(t *testing.T) { ExactlyOnceUnderGrow(t, f) })
 	t.Run("stealval-geom-consistency", func(t *testing.T) { StealvalGeomConsistency(t, f) })
 	t.Run("reseat-stale-claim", func(t *testing.T) { ReseatStaleClaim(t, f) })
+	t.Run("exactly-once-per-job", func(t *testing.T) { ExactlyOncePerJob(t, f) })
 }
 
 // ExactlyOnceUnderKill crash-injects one non-auditor PE at a seed-derived

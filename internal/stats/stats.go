@@ -158,6 +158,78 @@ func (s *PE) Add(o PE) {
 	}
 }
 
+// Delta returns s minus prev, for scoping cumulative fleet counters to
+// one job: prev is the snapshot taken when the job started, s the
+// snapshot at its end. Counters subtract (saturating at zero, since
+// max-aggregated figures like TasksLost and DeadPEs are cumulative
+// watermarks rather than sums); latency histograms subtract bucket-wise;
+// worker rows are matched by (PE, ID) and differenced, so a warm
+// multi-worker fleet reports per-job worker breakdowns rather than
+// fleet-lifetime totals. Degraded is preserved from s: once a run has
+// seen a death the remaining jobs ran over partial membership.
+func (s PE) Delta(prev PE) PE {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	d := s
+	d.TasksExecuted = sub(s.TasksExecuted, prev.TasksExecuted)
+	d.TasksSpawned = sub(s.TasksSpawned, prev.TasksSpawned)
+	d.StealsAttempted = sub(s.StealsAttempted, prev.StealsAttempted)
+	d.StealsSuccessful = sub(s.StealsSuccessful, prev.StealsSuccessful)
+	d.StealsEmpty = sub(s.StealsEmpty, prev.StealsEmpty)
+	d.StealsDisabled = sub(s.StealsDisabled, prev.StealsDisabled)
+	d.TasksStolen = sub(s.TasksStolen, prev.TasksStolen)
+	d.StealTransportErrs = sub(s.StealTransportErrs, prev.StealTransportErrs)
+	d.StealsQuarantined = sub(s.StealsQuarantined, prev.StealsQuarantined)
+	d.TasksLost = sub(s.TasksLost, prev.TasksLost)
+	d.TasksWrittenOff = sub(s.TasksWrittenOff, prev.TasksWrittenOff)
+	d.DeadPEs = s.DeadPEs // membership watermark, not a per-job rate
+	d.Acquires = sub(s.Acquires, prev.Acquires)
+	d.Releases = sub(s.Releases, prev.Releases)
+	d.QueueGrows = sub(s.QueueGrows, prev.QueueGrows)
+	d.QueueShrinks = sub(s.QueueShrinks, prev.QueueShrinks)
+	d.TasksSpilled = sub(s.TasksSpilled, prev.TasksSpilled)
+	d.RemoteSpawnsSent = sub(s.RemoteSpawnsSent, prev.RemoteSpawnsSent)
+	d.RemoteSpawnsRecv = sub(s.RemoteSpawnsRecv, prev.RemoteSpawnsRecv)
+	d.StealTime = s.StealTime - prev.StealTime
+	d.SearchTime = s.SearchTime - prev.SearchTime
+	d.ExecTime = s.ExecTime - prev.ExecTime
+	d.IdleIters = sub(s.IdleIters, prev.IdleIters)
+	if len(s.Workers) > 0 {
+		prevW := make(map[[2]int]Worker, len(prev.Workers))
+		for _, w := range prev.Workers {
+			prevW[[2]int{w.PE, w.ID}] = w
+		}
+		d.Workers = make([]Worker, len(s.Workers))
+		for i, w := range s.Workers {
+			p := prevW[[2]int{w.PE, w.ID}]
+			d.Workers[i] = Worker{
+				PE: w.PE, ID: w.ID,
+				TasksExecuted: sub(w.TasksExecuted, p.TasksExecuted),
+				TasksSpawned:  sub(w.TasksSpawned, p.TasksSpawned),
+				ExecTime:      w.ExecTime - p.ExecTime,
+				StealTime:     w.StealTime - p.StealTime,
+				SearchTime:    w.SearchTime - p.SearchTime,
+				IdleIters:     sub(w.IdleIters, p.IdleIters),
+			}
+		}
+	}
+	if len(s.Lat) > 0 {
+		d.Lat = make(map[string]obs.HistSnap, len(s.Lat))
+		for k, v := range s.Lat {
+			if pv, ok := prev.Lat[k]; ok {
+				d.Lat[k] = v.Sub(pv)
+			} else {
+				d.Lat[k] = v
+			}
+		}
+	}
+	return d
+}
+
 // Run aggregates one whole-pool execution.
 type Run struct {
 	PEs      []PE

@@ -20,7 +20,13 @@
 //     non-blocking stores; idle PEs poll their own flag locally (free)
 //     while continuing to search for work.
 //
-// A Detector is built once per pool run and is not reusable.
+// A Detector is built once per pool (its heap slots are collective
+// allocations) and serves a sequence of jobs: counters are monotonic
+// across the fleet's lifetime — at every job boundary the global spawned
+// and executed sums are equal, so quiescence detection for job N+1 is
+// unaffected by the totals accumulated through job N — and the per-job
+// verdict state (flag word, pass memory) is reset by StartJob between
+// jobs.
 package term
 
 import (
@@ -88,6 +94,26 @@ func New(ctx *shmem.Ctx) (*Detector, error) {
 	}
 	d.lastKnown = make([][2]uint64, ctx.NumPEs())
 	return d, nil
+}
+
+// StartJob rearms the detector for the next job on a warm fleet. Every PE
+// calls it between the previous job's completion and the barrier that
+// opens the next job; the barrier orders the local flag reset against any
+// job-N+1 broadcast. The reset is safe without remote coordination
+// because the previous verdict is fully delivered before any PE reaches
+// StartJob: the leader's broadcast issues a Store64NBI to every flag and
+// completes it with Quiet before reporting done, and every other PE only
+// finishes the job after loading its own nonzero flag. Counters are NOT
+// reset — they stay monotonic across jobs (see the package comment) — so
+// Lost accumulates across degraded jobs; callers wanting per-job lost
+// counts must difference it.
+func (d *Detector) StartJob() error {
+	d.done = false
+	d.lastClean = ^uint64(0)
+	d.prevVec = d.prevVec[:0]
+	d.curVec = d.curVec[:0]
+	d.Probes = 0
+	return d.ctx.Store64(d.ctx.Rank(), d.flagAddr, 0)
 }
 
 // TaskSpawned records n newly created tasks and publishes the counter.

@@ -183,3 +183,71 @@ func TestCounts(t *testing.T) {
 		return nil
 	})
 }
+
+// A detector serves a sequence of job epochs: StartJob rearms the
+// verdict state between jobs, counters stay monotonic, and each epoch
+// detects its own quiescence — including epochs with work after an
+// empty one.
+func TestMultiJobEpochs(t *testing.T) {
+	runWorld(t, 4, func(c *shmem.Ctx) error {
+		d, err := New(c)
+		if err != nil {
+			return err
+		}
+		waitDone := func(job int) error {
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				done, err := d.Check()
+				if err != nil {
+					return err
+				}
+				if done {
+					return nil
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("PE %d: job %d never terminated", c.Rank(), job)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		for job := 0; job < 5; job++ {
+			// Seed before the epoch opens (RunJob's contract): odd jobs
+			// spawn (job+rank) tasks per PE, even jobs are empty. Both
+			// must quiesce.
+			n := 0
+			if job%2 == 1 {
+				n = job + c.Rank()
+				if err := d.TaskSpawned(n); err != nil {
+					return err
+				}
+			}
+			if err := d.StartJob(); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if n > 0 {
+				if err := d.TaskExecuted(n); err != nil {
+					return err
+				}
+			}
+			if err := waitDone(job); err != nil {
+				return err
+			}
+			if d.Lost != 0 {
+				return fmt.Errorf("job %d: lost %d on a fault-free run", job, d.Lost)
+			}
+			// The barrier between jobs orders every PE's flag reset after
+			// the previous verdict is fully read.
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		sp, ex := d.Counts()
+		if sp != ex {
+			return fmt.Errorf("counters unbalanced after jobs: %d/%d", sp, ex)
+		}
+		return nil
+	})
+}

@@ -70,6 +70,11 @@ const (
 	// PeerState: the failure detector moved a peer to a new state.
 	// A = the peer's rank, B = the new state (shmem.PeerState numeric).
 	PeerState
+	// JobStart: a job epoch opened on this PE. A = job sequence number.
+	JobStart
+	// JobEnd: a job epoch closed on this PE. A = job sequence number,
+	// B = tasks this PE executed during the job.
+	JobEnd
 	numKinds
 )
 
@@ -93,6 +98,8 @@ var kindNames = [numKinds]string{
 	VictimOp:       "victim-op",
 	QueueDepth:     "queue-depth",
 	PeerState:      "peer-state",
+	JobStart:       "job-start",
+	JobEnd:         "job-end",
 }
 
 // KindByName resolves a kind name (as produced by Kind.String) back to

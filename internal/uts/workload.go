@@ -96,6 +96,23 @@ func (w *Workload) runNode(tc *pool.TaskCtx, payload []byte) error {
 	return nil
 }
 
+// Bind installs an externally registered handle, for runtimes that
+// register one delegating task function at fleet warmup and retarget it
+// at a fresh per-job Workload: the job's Workload never registers itself
+// but must know the fleet's handle to spawn children and seed roots.
+func (w *Workload) Bind(h task.Handle) {
+	w.handle.Store(uint32(h))
+	w.registered.Store(true)
+}
+
+// RunNode executes one tree-node task against this workload. It is the
+// same body Register installs; exported so a delegating dispatcher (the
+// job service) can route a fleet-registered handle to the current job's
+// workload.
+func (w *Workload) RunNode(tc *pool.TaskCtx, payload []byte) error {
+	return w.runNode(tc, payload)
+}
+
 // Nodes returns the number of nodes this process has executed.
 func (w *Workload) Nodes() uint64 { return w.nodes.Load() }
 
