@@ -68,6 +68,12 @@ func main() {
 		killRank  = flag.Int("kill-rank", -1, "chaos: SIGKILL this worker rank after -kill-after (launcher side)")
 		killAfter = flag.Duration("kill-after", 2*time.Second, "chaos: delay before -kill-rank fires")
 
+		members    = flag.Int("members", 0, "elastic membership: ranks [members, n) start parked (0 = all ranks are members)")
+		joinRank   = flag.Int("join-rank", -1, "elastic membership: this parked rank joins the world after -join-after")
+		joinAfter  = flag.Duration("join-after", 200*time.Millisecond, "delay before -join-rank begins joining")
+		drainRank  = flag.Int("drain-rank", -1, "elastic membership: this rank drains out of the world after -drain-after")
+		drainAfter = flag.Duration("drain-after", 400*time.Millisecond, "delay before -drain-rank begins draining")
+
 		worker  = flag.Bool("worker", false, "internal: run as a worker process")
 		rank    = flag.Int("rank", -1, "internal: worker rank")
 		coord   = flag.String("coordinator", "", "internal: rendezvous address")
@@ -96,14 +102,18 @@ func main() {
 	lcfg := livenessFlags{opTimeout: *opTimeout, suspectAfter: *suspectAfter, deadAfter: *deadAfter, flightDir: *flightDir}
 	wcfg := wireFlags{transport: *transport, bind: *bind, coordinator: *coord, segment: *segment}
 	qcfg := queueFlags{grow: *grow, maxGrowth: *maxGrowth, capacity: *qcap}
+	ccfg := churnFlags{members: *members, joinRank: *joinRank, joinAfter: *joinAfter, drainRank: *drainRank, drainAfter: *drainAfter}
+	if err := ccfg.validate(*n); err != nil {
+		fatal(err)
+	}
 	if *worker {
-		if err := runWorker(*rank, *n, wcfg, *depth, proto, *workload, *metricsAddr, *workers, qcfg, lcfg); err != nil {
+		if err := runWorker(*rank, *n, wcfg, *depth, proto, *workload, *metricsAddr, *workers, qcfg, lcfg, ccfg); err != nil {
 			fatal(fmt.Errorf("rank %d: %w", *rank, err))
 		}
 		return
 	}
 	kcfg := killFlags{rank: *killRank, after: *killAfter}
-	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, qcfg, wcfg, lcfg, kcfg); err != nil {
+	if err := launch(*n, *depth, *protoName, *workload, *metricsAddr, *workers, qcfg, wcfg, lcfg, kcfg, ccfg); err != nil {
 		fatal(err)
 	}
 }
@@ -141,6 +151,41 @@ type killFlags struct {
 	after time.Duration
 }
 
+// churnFlags is the elastic-membership schedule, carried identically to
+// every worker: how many ranks start as members (the rest start parked),
+// and which rank joins or drains after a wall-clock delay. Each worker
+// drives only its OWN rank's transition — the advertised state
+// propagates to peers through the liveness prober, which is the same
+// path a real autoscaler would use from inside the resized process.
+type churnFlags struct {
+	members               int
+	joinRank, drainRank   int
+	joinAfter, drainAfter time.Duration
+}
+
+func (c churnFlags) validate(n int) error {
+	if c.members < 0 || c.members > n {
+		return fmt.Errorf("-members %d out of range [0, %d]", c.members, n)
+	}
+	if c.joinRank >= 0 {
+		if c.members == 0 {
+			return fmt.Errorf("-join-rank needs -members < n: with all %d ranks live there is no parked rank to join", n)
+		}
+		if c.joinRank < c.members || c.joinRank >= n {
+			return fmt.Errorf("-join-rank %d is not a parked rank (parked ranks are [%d, %d))", c.joinRank, c.members, n)
+		}
+	}
+	if c.drainRank >= n {
+		return fmt.Errorf("-drain-rank %d out of range [0, %d)", c.drainRank, n)
+	}
+	if c.drainRank >= 0 && c.members > 0 && c.drainRank >= c.members && c.drainRank != c.joinRank {
+		return fmt.Errorf("-drain-rank %d starts parked and never joins; pick a member rank [0, %d)", c.drainRank, c.members)
+	}
+	return nil
+}
+
+func (c churnFlags) active() bool { return c.members > 0 || c.joinRank >= 0 || c.drainRank >= 0 }
+
 // grace is how long the launcher waits, after the first worker dies, for
 // the survivors to finish their degraded run before it kills stragglers:
 // the failure-detector window plus generous slack for one termination
@@ -160,7 +205,7 @@ func (l livenessFlags) grace() time.Duration {
 // wave) to finish their degraded run and report partial results, then
 // stragglers are killed; either way the launcher reports per-rank
 // diagnostics and returns an error so the process exits non-zero.
-func launch(n, depth int, protoName, workload, metricsAddr string, workers int, qcfg queueFlags, wcfg wireFlags, lcfg livenessFlags, kcfg killFlags) error {
+func launch(n, depth int, protoName, workload, metricsAddr string, workers int, qcfg queueFlags, wcfg wireFlags, lcfg livenessFlags, kcfg killFlags, ccfg churnFlags) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one PE, got %d", n)
 	}
@@ -226,7 +271,12 @@ func launch(n, depth int, protoName, workload, metricsAddr string, workers int, 
 			"-op-timeout", lcfg.opTimeout.String(),
 			"-suspect-after", lcfg.suspectAfter.String(),
 			"-dead-after", lcfg.deadAfter.String(),
-			"-flight-dir", lcfg.flightDir)
+			"-flight-dir", lcfg.flightDir,
+			"-members", fmt.Sprint(ccfg.members),
+			"-join-rank", fmt.Sprint(ccfg.joinRank),
+			"-join-after", ccfg.joinAfter.String(),
+			"-drain-rank", fmt.Sprint(ccfg.drainRank),
+			"-drain-after", ccfg.drainAfter.String())
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -345,7 +395,7 @@ func pickCoordinator(bind string) (string, error) {
 
 // runWorker is one PE's process: join the world, run the pool, publish
 // per-rank counts into rank 0's heap, and let rank 0 report.
-func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, workload, metricsAddr string, workers int, qcfg queueFlags, lcfg livenessFlags) error {
+func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, workload, metricsAddr string, workers int, qcfg queueFlags, lcfg livenessFlags, ccfg churnFlags) error {
 	var gatherer *obs.Gatherer
 	if metricsAddr != "" {
 		gatherer = obs.NewGatherer()
@@ -391,6 +441,36 @@ func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, work
 	// process leaves a world the survivors can detect and degrade around
 	// (the supervision smoke test keys on this line).
 	fmt.Printf("rank %d: joined world (pid %d)\n", rank, os.Getpid())
+	if ccfg.members > 0 {
+		// Every process must carve the same initial membership before the
+		// world runs; ranks [members, n) park until a join transitions them.
+		if err := w.SetInitialMembers(ccfg.members); err != nil {
+			return err
+		}
+		if rank >= ccfg.members {
+			fmt.Printf("rank %d: starting parked (members 0..%d)\n", rank, ccfg.members-1)
+		}
+	}
+	// Each worker schedules only its own transition; peers learn of it
+	// from the advertised membership word via the liveness prober.
+	if ccfg.joinRank == rank {
+		time.AfterFunc(ccfg.joinAfter, func() {
+			if err := w.Live().BeginJoin(rank); err != nil {
+				fmt.Fprintf(os.Stderr, "rank %d: join after %v refused: %v\n", rank, ccfg.joinAfter, err)
+				return
+			}
+			fmt.Printf("rank %d: joining the world after %v\n", rank, ccfg.joinAfter)
+		})
+	}
+	if ccfg.drainRank == rank {
+		time.AfterFunc(ccfg.drainAfter, func() {
+			if err := w.Live().BeginDrain(rank); err != nil {
+				fmt.Fprintf(os.Stderr, "rank %d: drain after %v refused: %v\n", rank, ccfg.drainAfter, err)
+				return
+			}
+			fmt.Printf("rank %d: draining out of the world after %v\n", rank, ccfg.drainAfter)
+		})
+	}
 	runErr := w.Run(func(c *shmem.Ctx) error {
 		// A results array on rank 0: executed-task count per rank.
 		resultsAddr, err := c.Alloc(n * shmem.WordSize)
@@ -477,6 +557,12 @@ func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, work
 		}
 		fmt.Printf("rank %d (pid %d): executed %d tasks, %d steals in, %d attempts out\n",
 			c.Rank(), os.Getpid(), st.TasksExecuted, st.TasksStolen, st.StealsAttempted)
+		if st.MemberDrains > 0 {
+			fmt.Printf("rank %d: drained and parked (%d tasks forwarded to live PEs)\n", c.Rank(), st.TasksForwarded)
+		}
+		if st.MemberJoins > 0 {
+			fmt.Printf("rank %d: joined mid-run and executed %d tasks\n", c.Rank(), st.TasksExecuted)
+		}
 		if c.Rank() == 0 {
 			buf := make([]byte, n*shmem.WordSize)
 			if err := c.Get(0, resultsAddr, buf); err != nil {
@@ -492,6 +578,11 @@ func runWorker(rank, n int, wcfg wireFlags, depth int, proto pool.Protocol, work
 			}
 			fmt.Printf("world total: %d tasks across %d processes in %v [%s]\n",
 				total, n, time.Since(start).Round(time.Millisecond), status)
+			if lv := w.Live(); lv.Elastic() {
+				live, joining, draining, parked := lv.MembershipCounts()
+				fmt.Printf("membership: epoch %d, %d live / %d joining / %d draining / %d parked\n",
+					lv.MemberEpoch(), live, joining, draining, parked)
+			}
 		}
 		return c.Barrier()
 	})

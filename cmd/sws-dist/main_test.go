@@ -229,6 +229,56 @@ func TestDistSurvivesSIGKILL(t *testing.T) {
 	t.Logf("launcher exited %v after kill (status %v)", elapsed.Round(time.Millisecond), exitErr)
 }
 
+// TestDistChurn drives elastic membership across real process
+// boundaries: a 4-PE world starts with rank 3 parked, rank 3 joins
+// mid-run, rank 1 drains out mid-run, and the gathered world total must
+// still be the tree's exact task count — voluntary churn is loss-free,
+// so the run must finish [OK] with both transitions completed. Runs on
+// both inter-process transports.
+func TestDistChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process churn test in -short mode")
+	}
+	bin := buildDist(t)
+	transports := []string{"tcp"}
+	if shmem.ShmSupported() {
+		transports = append(transports, "shm")
+	}
+	for _, tr := range transports {
+		tr := tr
+		t.Run(tr, func(t *testing.T) {
+			cmd := exec.Command(bin,
+				"-transport", tr,
+				"-n", "4", "-depth", "18",
+				"-members", "3",
+				"-join-rank", "3", "-join-after", "100ms",
+				"-drain-rank", "1", "-drain-after", "300ms")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("churned run failed: %v\n%s", err, out)
+			}
+			for _, want := range []string{
+				"rank 3: starting parked",
+				"rank 3: joining the world after",
+				"rank 1: draining out of the world after",
+				"rank 3: joined mid-run",
+				"rank 1: drained and parked",
+				"[OK]",
+				"membership: epoch",
+			} {
+				if !bytes.Contains(out, []byte(want)) {
+					t.Errorf("churned run output missing %q:\n%s", want, out)
+				}
+			}
+			for _, banned := range []string{"DEGRADED", "MISMATCH", "refused"} {
+				if bytes.Contains(out, []byte(banned)) {
+					t.Errorf("churned run output contains %q — churn must be loss-free and on time:\n%s", banned, out)
+				}
+			}
+		})
+	}
+}
+
 // shmSegments lists the sws-* segment files currently in the shm
 // directory, so tests can assert a run added none.
 func shmSegments(t *testing.T) map[string]bool {

@@ -2,7 +2,9 @@
 // killed, or merely slow) run left behind into one post-mortem report:
 // the causal timeline across every rank, steal attempts reassembled into
 // initiator+victim span trees with per-phase latency, victim heatmaps,
-// starvation tables, and which ranks died and who witnessed it. It can
+// starvation tables, which ranks died and who witnessed it, and — in
+// elastic worlds — the membership churn timeline (which ranks joined or
+// drained, at what epoch, and who observed each transition). It can
 // also export the merged timeline as Perfetto-loadable JSON.
 //
 // Examples:

@@ -37,7 +37,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "HTTP API listen address")
-		pes         = flag.Int("pes", 4, "number of PEs in the warm fleet")
+		pes         = flag.Int("pes", 4, "PEs serving jobs at startup")
+		minPEs      = flag.Int("min-pes", 1, "floor for POST /v1/fleet/resize")
+		maxPEs      = flag.Int("max-pes", 0, "world size and resize ceiling; surplus over -pes starts parked (0 = -pes, fixed size)")
 		workers     = flag.Int("workers", 1, "executor goroutines per PE (two-level scheduling when >1)")
 		transport   = flag.String("transport", "local", "fleet transport: local, tcp, or shm")
 		protoName   = flag.String("protocol", "sws", "steal protocol: sws or sdc")
@@ -56,7 +58,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	world := shmem.Config{NumPEs: *pes, HeapBytes: *heapMB << 20}
+	if *maxPEs == 0 {
+		*maxPEs = *pes
+	}
+	if *maxPEs < *pes {
+		fatal(fmt.Errorf("-max-pes %d below -pes %d", *maxPEs, *pes))
+	}
+	live := 0 // fixed membership unless the fleet is elastic
+	if *maxPEs > *pes {
+		live = *pes
+	}
+	world := shmem.Config{NumPEs: *maxPEs, HeapBytes: *heapMB << 20}
 	switch *transport {
 	case "local":
 		world.Transport = shmem.TransportLocal
@@ -90,6 +102,8 @@ func main() {
 		},
 		MaxInflight: *maxInflight,
 		TenantQueue: *tenantQueue,
+		LivePEs:     live,
+		MinPEs:      *minPEs,
 		Gatherer:    obsf.Gatherer(),
 	})
 	if err != nil {
@@ -101,8 +115,13 @@ func main() {
 		fatal(fmt.Errorf("api listen: %w", err))
 	}
 	srv := &http.Server{Handler: s.Handler()}
-	fmt.Fprintf(os.Stderr, "sws-serve: fleet of %d PEs (%s, %s) warm; API on http://%s/v1/jobs\n",
-		*pes, *transport, proto, ln.Addr())
+	if *maxPEs > *pes {
+		fmt.Fprintf(os.Stderr, "sws-serve: fleet of %d PEs (%d parked, resize up to %d) (%s, %s) warm; API on http://%s/v1/jobs\n",
+			*pes, *maxPEs-*pes, *maxPEs, *transport, proto, ln.Addr())
+	} else {
+		fmt.Fprintf(os.Stderr, "sws-serve: fleet of %d PEs (%s, %s) warm; API on http://%s/v1/jobs\n",
+			*pes, *transport, proto, ln.Addr())
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -84,6 +84,25 @@ type DeadRank struct {
 // kill journal rather than a peer's failure detector.
 func (d DeadRank) Supervisor() bool { return d.Observer < 0 }
 
+// MemberEvent is one observed membership transition in an elastic world:
+// a rank joining or draining, stamped with the membership epoch the
+// observer held when it saw the transition complete.
+type MemberEvent struct {
+	Rank     int
+	Observer int // rank whose journal recorded the transition
+	Join     bool
+	Epoch    uint64
+	At       time.Duration
+}
+
+// Kind renders the transition direction.
+func (m MemberEvent) Kind() string {
+	if m.Join {
+		return "join"
+	}
+	return "drain"
+}
+
 // Report is the merged post-mortem view of one dump directory.
 type Report struct {
 	Dumps    []trace.FlightDump
@@ -91,6 +110,10 @@ type Report struct {
 	Timeline []trace.Event // all ranks, wall-aligned, oldest first
 	Spans    []*Span       // by start time (unstarted spans last)
 	Dead     []DeadRank
+	// Membership lists observed join/drain transitions (elastic worlds),
+	// one entry per (rank, direction, observer), earliest observation
+	// kept, ordered by time.
+	Membership []MemberEvent
 	// Dropped totals overwritten ring slots plus unparseable journal
 	// lines across all dumps.
 	Dropped uint64
@@ -173,6 +196,10 @@ func Build(dumps []trace.FlightDump) *Report {
 			if shmem.PeerState(e.B) == shmem.PeerDead {
 				r.noteDead(int(e.A), e.PE, e.At)
 			}
+		case trace.MemberJoin:
+			r.noteMember(int(e.A), e.PE, true, uint64(e.B), e.At)
+		case trace.MemberDrain:
+			r.noteMember(int(e.A), e.PE, false, uint64(e.B), e.At)
 		}
 	}
 	sort.SliceStable(r.Spans, func(i, j int) bool {
@@ -191,6 +218,9 @@ func Build(dumps []trace.FlightDump) *Report {
 		}
 		return r.Dead[i].Observer < r.Dead[j].Observer
 	})
+	sort.SliceStable(r.Membership, func(i, j int) bool {
+		return r.Membership[i].At < r.Membership[j].At
+	})
 	return r
 }
 
@@ -203,6 +233,34 @@ func (r *Report) noteDead(rank, observer int, at time.Duration) {
 		}
 	}
 	r.Dead = append(r.Dead, DeadRank{Rank: rank, Observer: observer, At: at})
+}
+
+// noteMember records a membership-transition observation, keeping one
+// entry per (rank, direction, observer) — the earliest, since the same
+// observer journals each epoch refresh only once but distinct observers
+// see the transition at different local times.
+func (r *Report) noteMember(rank, observer int, join bool, epoch uint64, at time.Duration) {
+	for _, m := range r.Membership {
+		if m.Rank == rank && m.Observer == observer && m.Join == join {
+			return
+		}
+	}
+	r.Membership = append(r.Membership, MemberEvent{Rank: rank, Observer: observer, Join: join, Epoch: epoch, At: at})
+}
+
+// ChurnedRanks returns the distinct ranks that joined or drained,
+// ascending.
+func (r *Report) ChurnedRanks() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, m := range r.Membership {
+		if !seen[m.Rank] {
+			seen[m.Rank] = true
+			out = append(out, m.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // DeadRanks returns the distinct dead ranks, ascending.

@@ -189,6 +189,109 @@ func TestWritePerfettoIsValidTraceJSON(t *testing.T) {
 	}
 }
 
+// churnDumps builds journals for an elastic run: rank 2 joins (observed
+// by itself and by rank 0, rank 0 later), then rank 1 drains (observed
+// by rank 0 only). Rank 0's journal repeats its join observation to
+// prove deduplication.
+func churnDumps() []trace.FlightDump {
+	ns := func(n int64) time.Duration { return time.Duration(n) }
+	r0 := trace.FlightDump{Rank: 0, NumPEs: 3, Reason: "post-run dump", WallNS: 1000, Events: []trace.Event{
+		{At: ns(220), PE: 0, Kind: trace.MemberJoin, A: 2, B: 2},
+		{At: ns(230), PE: 0, Kind: trace.MemberJoin, A: 2, B: 2}, // duplicate observation
+		{At: ns(500), PE: 0, Kind: trace.MemberDrain, A: 1, B: 4},
+	}}
+	r2 := trace.FlightDump{Rank: 2, NumPEs: 3, Reason: "post-run dump", WallNS: 1000, Events: []trace.Event{
+		{At: ns(200), PE: 2, Kind: trace.MemberJoin, A: 2, B: 2},
+	}}
+	return []trace.FlightDump{r0, r2}
+}
+
+func TestMembershipTimeline(t *testing.T) {
+	r := Build(churnDumps())
+	if got := r.ChurnedRanks(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ChurnedRanks = %v, want [1 2]", got)
+	}
+	// Three observations survive dedup: rank 2's join seen by itself and
+	// by rank 0 (the repeat dropped), and rank 1's drain seen by rank 0.
+	if len(r.Membership) != 3 {
+		t.Fatalf("membership observations = %d, want 3: %+v", len(r.Membership), r.Membership)
+	}
+	first := r.Membership[0]
+	if first.Rank != 2 || !first.Join || first.Observer != 2 || first.At != 200 {
+		t.Fatalf("earliest observation = %+v, want rank 2 join self-observed at 200ns", first)
+	}
+	last := r.Membership[2]
+	if last.Rank != 1 || last.Join || last.Epoch != 4 {
+		t.Fatalf("last observation = %+v, want rank 1 drain at epoch 4", last)
+	}
+	if r.Membership[1].Kind() != "join" || last.Kind() != "drain" {
+		t.Fatalf("Kind() renders %q/%q, want join/drain", r.Membership[1].Kind(), last.Kind())
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"membership churn: ranks [1 2]",
+		"rank 2 join completed",
+		"rank 1 drain completed",
+		"(epoch 4), observed by rank 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := r.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output is not JSON: %v", err)
+	}
+	joins, drains := 0, 0
+	for _, e := range doc.TraceEvents {
+		if e["cat"] != "membership" {
+			continue
+		}
+		if e["ph"] != "i" {
+			t.Fatalf("membership event must be an instant, got ph=%v", e["ph"])
+		}
+		switch e["name"] {
+		case "rank 2 joined":
+			joins++
+		case "rank 1 drained":
+			drains++
+		}
+	}
+	// The Perfetto export shows the raw timeline (no dedup): 3 join
+	// observations and 1 drain.
+	if joins != 3 || drains != 1 {
+		t.Fatalf("perfetto membership instants = %d joins, %d drains; want 3 and 1", joins, drains)
+	}
+}
+
+// TestStaticWorldReportOmitsChurn pins the quiet path: a run with no
+// membership events renders no churn section.
+func TestStaticWorldReportOmitsChurn(t *testing.T) {
+	r := Build(synthDumps())
+	if len(r.Membership) != 0 || len(r.ChurnedRanks()) != 0 {
+		t.Fatalf("static world reports churn: %+v", r.Membership)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "membership churn") {
+		t.Fatalf("static-world report mentions membership churn:\n%s", buf.String())
+	}
+}
+
 func TestLoadDirRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	for _, d := range synthDumps() {

@@ -44,6 +44,14 @@ func (r *Report) WriteText(w io.Writer) error {
 		}
 	}
 
+	if len(r.Membership) > 0 {
+		fmt.Fprintf(w, "\nmembership churn: ranks %v\n", r.ChurnedRanks())
+		for _, m := range r.Membership {
+			fmt.Fprintf(w, "  rank %d %s completed at +%v (epoch %d), observed by rank %d\n",
+				m.Rank, m.Kind(), m.At.Round(time.Microsecond), m.Epoch, m.Observer)
+		}
+	}
+
 	if ps := r.PhaseStats(); len(ps) > 0 {
 		fmt.Fprintln(w, "\nsteal latency by phase (initiator side):")
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -231,6 +239,18 @@ func (r *Report) WritePerfetto(w io.Writer) error {
 			evs = append(evs, perfettoEvent{
 				Name: "epoch-flip", Cat: "queue", Ph: "i", Ts: usAt(e.At), Pid: 0, Tid: e.PE,
 				Args: map[string]any{"epoch": e.A, "moved": e.B},
+			})
+		case trace.MemberJoin:
+			evs = append(evs, perfettoEvent{
+				Name: fmt.Sprintf("rank %d joined", e.A), Cat: "membership",
+				Ph: "i", Ts: usAt(e.At), Pid: 0, Tid: e.PE,
+				Args: map[string]any{"rank": e.A, "epoch": e.B},
+			})
+		case trace.MemberDrain:
+			evs = append(evs, perfettoEvent{
+				Name: fmt.Sprintf("rank %d drained", e.A), Cat: "membership",
+				Ph: "i", Ts: usAt(e.At), Pid: 0, Tid: e.PE,
+				Args: map[string]any{"rank": e.A, "epoch": e.B},
 			})
 		}
 	}

@@ -262,6 +262,60 @@ func (f *Fleet) Run(job Job) (stats.Run, error) {
 	return run, nil
 }
 
+// Resize sets how many PEs participate in subsequent jobs: surplus
+// members drain out (highest ranks first) and parked ranks rejoin
+// (lowest first), without tearing the fleet down. It serializes with Run
+// on the fleet mutex, so transitions land between job epochs, where every
+// queue is empty (a job ends at global quiescence) and both phases of
+// each transition complete synchronously; the next job opens on the new
+// membership, with each PE folding the change in via its scheduler's
+// membership step. The world's size is the ceiling. The first Resize
+// engages the world's elastic-membership layer.
+func (f *Fleet) Resize(live int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("pool: fleet is closed")
+	}
+	if err := f.w.Err(); err != nil {
+		return fmt.Errorf("pool: fleet world failed: %w", err)
+	}
+	if live < 1 || live > f.numPEs {
+		return fmt.Errorf("pool: resize target %d outside [1, %d]", live, f.numPEs)
+	}
+	lv := f.w.Live()
+	if !lv.Elastic() && live == f.numPEs {
+		return nil // already at the fixed-membership full size
+	}
+	members := lv.Members(nil)
+	for i := len(members) - 1; i >= 0 && len(members) > live; i-- {
+		r := members[i]
+		if err := lv.BeginDrain(r); err != nil {
+			return err
+		}
+		if err := lv.CompleteDrain(r); err != nil {
+			return err
+		}
+		members = members[:i]
+	}
+	for r := 0; r < f.numPEs && len(members) < live; r++ {
+		if lv.State(r) != shmem.PeerParked {
+			continue
+		}
+		if err := lv.BeginJoin(r); err != nil {
+			return err
+		}
+		if err := lv.CompleteJoin(r); err != nil {
+			return err
+		}
+		members = append(members, r)
+	}
+	if len(members) != live {
+		return fmt.Errorf("pool: resize reached %d of %d members (dead ranks cannot rejoin)", len(members), live)
+	}
+	return nil
+}
+
 // Seq returns the number of jobs the fleet has accepted.
 func (f *Fleet) Seq() uint64 {
 	f.mu.Lock()

@@ -295,6 +295,20 @@ type Pool struct {
 	// executors read it freely during a job.
 	jobSeq uint64
 
+	// Elastic-membership scheduler state (membership.go). memberEpoch is
+	// the last membership epoch folded into the victim sets; parked
+	// diverts the loop into stepParked; wasMember/nowMember/memberBuf/
+	// fwdBuf are reseat and forwarding scratch; drainRR rotates forwarding
+	// targets. All inert (one atomic load per iteration) unless the
+	// world's membership layer is engaged.
+	memberEpoch uint64
+	parked      bool
+	wasMember   []bool
+	nowMember   []bool
+	memberBuf   []int
+	fwdBuf      []int
+	drainRR     int
+
 	// lat holds this PE's scheduling-op latency histograms (always
 	// recorded; each record is one atomic add).
 	lat poolLat
@@ -349,6 +363,9 @@ func (q *guardedQueue) Progress() error {
 type poolLat struct {
 	exec, steal, search, acquire, release obs.Hist
 	pushWait                              obs.Hist
+	// drain times drainOut: how long a voluntary departure took to flush
+	// this PE's inventory into the remaining members.
+	drain obs.Hist
 }
 
 // TaskCtx is the handle passed to task functions.
@@ -501,6 +518,12 @@ func (p *Pool) SpawnOn(pe int, h task.Handle, payload []byte) error {
 	if pe < 0 || pe >= p.ctx.NumPEs() {
 		return fmt.Errorf("pool: SpawnOn target %d out of range [0, %d)", pe, p.ctx.NumPEs())
 	}
+	if lv := p.ctx.Liveness(); lv != nil && lv.Elastic() && !lv.Member(pe) {
+		// Elastic worlds: a spawn aimed at a rank outside the membership
+		// lands here instead, and stealing redistributes it. Placement was
+		// a hint; the rank it named is draining, parked, or gone.
+		return p.addTask(task.Desc{Handle: h, Payload: payload})
+	}
 	// Count the spawn before sending so termination detection sees the
 	// task exist from the moment it can be observed anywhere.
 	p.st.TasksSpawned++
@@ -634,6 +657,7 @@ func (p *Pool) Stats() stats.PE {
 		"acquire":   &p.lat.acquire,
 		"release":   &p.lat.release,
 		"push-wait": &p.lat.pushWait,
+		"drain":     &p.lat.drain,
 	} {
 		if s := h.Snapshot(); !s.Empty() {
 			st.Lat[name] = s

@@ -103,6 +103,21 @@ func (p *Pool) runSingle() error {
 		if err := p.ctx.Err(); err != nil {
 			return fmt.Errorf("pool: world failed: %w", err)
 		}
+		if err := p.stepMembership(); err != nil {
+			return err
+		}
+		if p.parked {
+			done, err := p.stepParked()
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+			p.st.IdleIters++
+			p.ctx.Relax()
+			continue
+		}
 		if err := p.stepRelease(); err != nil {
 			return err
 		}

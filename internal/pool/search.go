@@ -7,6 +7,7 @@ package pool
 import (
 	"errors"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"sws/internal/shmem"
@@ -36,6 +37,14 @@ func rngStream(seed int64, rank, worker int) *rand.Rand {
 // victimSelector picks steal targets for one thief under a VictimPolicy.
 // It is used only by the owner worker (victim choice is inter-PE work),
 // so it needs no synchronization.
+//
+// Selection runs over a membership list — the engaged ranks, sorted
+// ascending, self included — rather than the raw world size, so elastic
+// worlds can reseat it when ranks drain or join. Every policy draws over
+// *positions* in the list and maps the drawn position back to a rank: on
+// a full membership (members[i] == i) that is draw-for-draw identical to
+// selecting over ranks directly, which keeps fixed-membership sim runs
+// bit-compatible with the pre-membership selector.
 type victimSelector struct {
 	policy VictimPolicy
 	group  int // locality-group width for VictimHierarchical
@@ -43,26 +52,78 @@ type victimSelector struct {
 	n      int // world size
 	rng    *rand.Rand
 
-	rrNext int // round-robin cursor
-	sticky int // last productive victim, or -1
+	members []int // engaged ranks, sorted ascending, self included
+	mypos   int   // index of rank within members
+
+	rrNext int // round-robin cursor (over member positions)
+	sticky int // last productive victim rank, or -1
 }
 
 func newVictimSelector(policy VictimPolicy, group, rank, n int, rng *rand.Rand) *victimSelector {
-	return &victimSelector{policy: policy, group: group, rank: rank, n: n, rng: rng, sticky: -1}
+	s := &victimSelector{policy: policy, group: group, rank: rank, n: n, rng: rng, sticky: -1}
+	s.members = make([]int, n)
+	for i := range s.members {
+		s.members[i] = i
+	}
+	s.mypos = rank
+	return s
 }
+
+// reseat rebuilds the selector against a new membership (engaged ranks,
+// sorted ascending; the slice is copied). The selector's own rank is
+// inserted if absent — a thief always occupies a position in its own
+// view. A sticky victim that left the membership is forgotten; one that
+// stayed (or rejoined) is kept, so locality survives a reseat.
+func (s *victimSelector) reseat(members []int) {
+	s.members = append(s.members[:0], members...)
+	pos := -1
+	for i, v := range s.members {
+		if v == s.rank {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		s.members = append(s.members, s.rank)
+		sort.Ints(s.members)
+		for i, v := range s.members {
+			if v == s.rank {
+				pos = i
+				break
+			}
+		}
+	}
+	s.mypos = pos
+	if s.sticky >= 0 {
+		keep := false
+		for _, v := range s.members {
+			if v == s.sticky {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			s.sticky = -1
+		}
+	}
+}
+
+// victims reports how many steal targets the current membership offers.
+func (s *victimSelector) victims() int { return len(s.members) - 1 }
 
 // next picks the next steal target. The attempt index lets hierarchical
 // selection alternate between the local group and the whole world.
+// Callers must not invoke it with zero victims (see victims).
 func (s *victimSelector) next(try int) int {
 	switch s.policy {
 	case VictimRoundRobin:
 		s.rrNext++
-		v := (s.rank + s.rrNext) % s.n
-		if v == s.rank {
+		pv := (s.mypos + s.rrNext) % len(s.members)
+		if pv == s.mypos {
 			s.rrNext++
-			v = (v + 1) % s.n
+			pv = (pv + 1) % len(s.members)
 		}
-		return v
+		return s.members[pv]
 	case VictimSticky:
 		// Re-try the last productive victim first; fall back to random.
 		// The sticky slot is consumed here and re-armed only by
@@ -95,32 +156,32 @@ func (s *victimSelector) noteSuccess(v int) {
 }
 
 // groupVictim picks a random peer in this PE's locality group (group
-// widths of consecutive ranks; the last group is truncated when the width
-// does not divide the world size), reporting ok=false when the group
-// contains no other PE.
+// widths of consecutive member positions; the last group is truncated
+// when the width does not divide the membership size), reporting
+// ok=false when the group contains no other PE.
 func (s *victimSelector) groupVictim() (int, bool) {
-	lo := (s.rank / s.group) * s.group
+	lo := (s.mypos / s.group) * s.group
 	hi := lo + s.group
-	if hi > s.n {
-		hi = s.n
+	if hi > len(s.members) {
+		hi = len(s.members)
 	}
 	if hi-lo < 2 {
 		return 0, false
 	}
-	v := lo + s.rng.IntN(hi-lo-1)
-	if v >= s.rank {
-		v++
+	pv := lo + s.rng.IntN(hi-lo-1)
+	if pv >= s.mypos {
+		pv++
 	}
-	return v, true
+	return s.members[pv], true
 }
 
-// randomVictim picks a uniformly random PE other than this one.
+// randomVictim picks a uniformly random member other than this one.
 func (s *victimSelector) randomVictim() int {
-	v := s.rng.IntN(s.n - 1)
-	if v >= s.rank {
-		v++
+	pv := s.rng.IntN(len(s.members) - 1)
+	if pv >= s.mypos {
+		pv++
 	}
-	return v
+	return s.members[pv]
 }
 
 // quarantine blacklists victims whose steals failed at the transport
@@ -164,6 +225,18 @@ func (qr *quarantine) strike(v int, permanent bool) {
 	}
 }
 
+// readmit clears victim v's quarantine record. A rank that drained out
+// voluntarily and later rejoins starts with a clean slate: its previous
+// strikes said nothing about its health, only that steals raced its
+// departure.
+func (qr *quarantine) readmit(v int) {
+	if qr.until == nil || v < 0 || v >= len(qr.until) {
+		return
+	}
+	qr.until[v] = 0
+	qr.strikes[v] = 0
+}
+
 // blocked reports whether victim v is currently quarantined.
 func (qr *quarantine) blocked(v int) bool {
 	return qr.until != nil && qr.until[v] > qr.clock
@@ -201,7 +274,7 @@ func stealFailure(err error) (transient, dead bool) {
 // Stolen tasks were counted as spawned by their original spawner, so they
 // are pushed without touching the termination counters.
 func (p *Pool) search() (bool, error) {
-	if p.ctx.NumPEs() == 1 {
+	if p.ctx.NumPEs() == 1 || p.vic.victims() == 0 {
 		return false, nil
 	}
 	for i := 0; i < p.cfg.StealTries; i++ {

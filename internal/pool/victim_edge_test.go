@@ -126,6 +126,90 @@ func TestStickyForgetsDeadVictim(t *testing.T) {
 	}
 }
 
+// A sticky victim that drains out of the membership must be forgotten at
+// the reseat — never picked again while it is gone — and be adoptable
+// again after it rejoins; a sticky victim that stays must survive the
+// reseat (locality is not reset by unrelated churn).
+func TestStickyForgetsDrainedVictimThenReadopts(t *testing.T) {
+	const n = 6
+	s := selector(VictimSticky, 4, 0, n, 61)
+	s.noteSuccess(4)
+	// Rank 4 drains: the reseat must clear the armed slot.
+	s.reseat([]int{0, 1, 2, 3, 5})
+	if s.sticky != -1 {
+		t.Fatalf("sticky still %d after its victim drained", s.sticky)
+	}
+	for i := 0; i < 200; i++ {
+		if v := s.next(i); v == 4 {
+			t.Fatalf("picked drained rank 4 on attempt %d", i)
+		}
+	}
+	// Rank 4 rejoins and a productive steal re-adopts it.
+	s.reseat([]int{0, 1, 2, 3, 4, 5})
+	s.noteSuccess(4)
+	if v := s.next(0); v != 4 {
+		t.Fatalf("re-adopted sticky picked %d, want 4", v)
+	}
+	// Unrelated churn: a sticky victim that stays a member survives.
+	s.noteSuccess(2)
+	s.reseat([]int{0, 2, 4})
+	if s.sticky != 2 {
+		t.Fatalf("sticky = %d after a reseat that kept rank 2, want 2", s.sticky)
+	}
+}
+
+// Reseating to the full membership must leave selection draw-for-draw
+// identical to a fresh selector — the bit-compat property that keeps
+// fixed-membership sim replays from older seeds byte-identical.
+func TestReseatFullMembershipDrawIdentical(t *testing.T) {
+	const n, seed = 7, 71
+	full := []int{0, 1, 2, 3, 4, 5, 6}
+	for _, policy := range []VictimPolicy{VictimRandom, VictimRoundRobin, VictimSticky, VictimHierarchical} {
+		a := selector(policy, 3, 2, n, seed)
+		b := selector(policy, 3, 2, n, seed)
+		b.reseat(full)
+		for i := 0; i < 300; i++ {
+			if va, vb := a.next(i), b.next(i); va != vb {
+				t.Fatalf("%v: draw %d diverged after full-membership reseat: %d vs %d", policy, i, va, vb)
+			}
+		}
+	}
+}
+
+// Selection over a partial membership must stay inside it and keep
+// self-excluding — including for a selector whose own rank has left the
+// membership (it keeps itself in its view).
+func TestReseatPartialMembership(t *testing.T) {
+	members := []int{0, 2, 3, 6}
+	in := map[int]bool{0: true, 2: true, 3: true, 6: true}
+	for _, policy := range []VictimPolicy{VictimRandom, VictimRoundRobin, VictimSticky, VictimHierarchical} {
+		for _, rank := range members {
+			s := selector(policy, 3, rank, 7, 81)
+			s.reseat(members)
+			if got := s.victims(); got != len(members)-1 {
+				t.Fatalf("%v rank %d: victims() = %d, want %d", policy, rank, got, len(members)-1)
+			}
+			for i := 0; i < 200; i++ {
+				v := s.next(i)
+				if v == rank {
+					t.Fatalf("%v rank %d picked self on attempt %d", policy, rank, i)
+				}
+				if !in[v] {
+					t.Fatalf("%v rank %d picked non-member %d", policy, rank, v)
+				}
+			}
+		}
+	}
+	s := selector(VictimRandom, 3, 1, 7, 82)
+	s.reseat(members) // rank 1 itself is not in the list
+	for i := 0; i < 200; i++ {
+		v := s.next(i)
+		if v == 1 || !in[v] {
+			t.Fatalf("departed-rank selector picked %d", v)
+		}
+	}
+}
+
 // Per-worker random streams must be independent and deterministic:
 // identical (seed, rank, worker) tuples agree, any differing coordinate
 // diverges.

@@ -174,6 +174,10 @@ func (p *Pool) workerSpawnOn(ws *workerState, pe int, h task.Handle, payload []b
 	if pe < 0 || pe >= p.ctx.NumPEs() {
 		return fmt.Errorf("pool: SpawnOn target %d out of range [0, %d)", pe, p.ctx.NumPEs())
 	}
+	if lv := p.ctx.Liveness(); lv != nil && lv.Elastic() && !lv.Member(pe) {
+		// See Pool.SpawnOn: non-member targets spawn locally instead.
+		return p.workerSpawn(ws, h, payload)
+	}
 	if len(payload) > p.cfg.PayloadCap {
 		return fmt.Errorf("pool: payload %d bytes exceeds PayloadCap %d", len(payload), p.cfg.PayloadCap)
 	}
@@ -384,6 +388,22 @@ func (p *Pool) runMulti() (err error) {
 		}
 		if ferr := ex.firstErr(); ferr != nil {
 			return ferr
+		}
+		if err := p.stepMembership(); err != nil {
+			return err
+		}
+		if p.parked {
+			done, err := p.stepParked()
+			if err != nil {
+				return err
+			}
+			if done {
+				break
+			}
+			p.st.IdleIters++
+			ex.workers[0].idleIters.Add(1)
+			p.ctx.Relax()
+			continue
 		}
 		// Stage worker output, publish the counts that cover it, and only
 		// then make it remotely observable (push/send) — the order that

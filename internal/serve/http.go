@@ -26,16 +26,22 @@ type apiError struct {
 
 // Handler returns the gateway API:
 //
-//	POST /v1/jobs        submit a JobSpec; 202 + JobStatus, or 400
-//	                     (invalid spec), 429 (admission backpressure,
-//	                     typed reason), 503 (closed / fleet failed)
-//	GET  /v1/jobs/{id}   job status; ?wait=2s long-polls for a terminal
-//	                     state up to the given duration
-//	GET  /healthz        200 while the service accepts jobs
+//	POST /v1/jobs          submit a JobSpec; 202 + JobStatus, or 400
+//	                       (invalid spec), 429 (admission backpressure,
+//	                       typed reason), 503 (closed / fleet failed)
+//	GET  /v1/jobs/{id}     job status; ?wait=2s long-polls for a terminal
+//	                       state up to the given duration; an expired job
+//	                       (queue deadline lapsed) is served with 504
+//	GET  /v1/fleet         membership snapshot (epoch, per-state counts)
+//	POST /v1/fleet/resize  {"pes": n} grows/shrinks the warm fleet
+//	                       between job epochs; 200 + FleetStatus
+//	GET  /healthz          200 while the service accepts jobs
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("POST /v1/fleet/resize", s.handleResize)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -100,7 +106,46 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, apiError{Error: "unknown job " + id})
 		return
 	}
+	if st.State == StateExpired {
+		// The queue deadline lapsed before dispatch: the 504-style outcome
+		// of the typed deadline AdmissionError, with the full status as
+		// the body so clients still see the latency split.
+		writeJSON(w, http.StatusGatewayTimeout, st)
+		return
+	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.FleetStatus())
+}
+
+// resizeRequest is the body of POST /v1/fleet/resize.
+type resizeRequest struct {
+	PEs int `json:"pes"`
+}
+
+func (s *Service) handleResize(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Error: "reading request body: " + err.Error()})
+		return
+	}
+	var req resizeRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Error: "decoding resize request: " + err.Error()})
+		return
+	}
+	if err := s.Resize(req.PEs); err != nil {
+		switch {
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrFleetFailed):
+			writeError(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		default:
+			writeError(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, s.FleetStatus())
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -360,3 +360,184 @@ func TestServeMetricsLint(t *testing.T) {
 		t.Error("latency quantiles not emitted")
 	}
 }
+
+// A queued job whose DeadlineMS lapses before dispatch is rejected at
+// dispatch time: terminal "expired" state, typed deadline reason, 504
+// over HTTP — and it never holds a fleet epoch.
+func TestServeDeadlineExpiresQueuedJob(t *testing.T) {
+	s := newTestService(t, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Occupy the fleet long enough that the deadlined job cannot dispatch
+	// in time.
+	if _, err := s.Submit(gateSpec("gate", 200*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	spec := graphSpec("late", 2, 2)
+	spec.DeadlineMS = 20
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit with future deadline rejected: %v", err)
+	}
+	st, ok := s.Wait(st.ID, 30*time.Second)
+	if !ok || st.State != StateExpired {
+		t.Fatalf("deadlined job: ok=%v state=%+v, want %s", ok, st, StateExpired)
+	}
+	if st.JobSeq != 0 || st.TasksExecuted != 0 {
+		t.Fatalf("expired job held epoch %d and executed %d tasks — it must never dispatch", st.JobSeq, st.TasksExecuted)
+	}
+	if !strings.Contains(st.Error, ReasonDeadline) {
+		t.Fatalf("expired job error %q does not carry reason %q", st.Error, ReasonDeadline)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired job served with %d, want 504", resp.StatusCode)
+	}
+
+	// A generous deadline does not reject: the job still runs.
+	spec = graphSpec("ontime", 2, 2)
+	spec.DeadlineMS = 60_000
+	if st := submitAndWait(t, s, spec); st.State != StateDone {
+		t.Fatalf("job with slack deadline: %+v", st)
+	}
+
+	// Negative deadlines are validation errors, not admission control.
+	spec.DeadlineMS = -1
+	if _, err := s.Submit(spec); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
+}
+
+// The resize endpoint shrinks and regrows the warm fleet between job
+// epochs: membership counts and epoch move, jobs before and after run
+// exactly-once, parked PEs do no work, and out-of-range targets are 400s.
+func TestServeFleetResize(t *testing.T) {
+	g := obs.NewGatherer()
+	s := newTestService(t, func(o *Options) {
+		o.World.NumPEs = 4
+		o.MinPEs = 2
+		o.Gatherer = g
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	resize := func(pes int) (*http.Response, FleetStatus) {
+		t.Helper()
+		resp, err := c.Post(srv.URL+"/v1/fleet/resize", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"pes":%d}`, pes)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var fs FleetStatus
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp, fs
+	}
+
+	want := GraphSpec{Depth: 4, Breadth: 2}.Tasks()
+	if st := submitAndWait(t, s, graphSpec("a", 4, 2)); st.TasksExecuted != want {
+		t.Fatalf("pre-resize job executed %d tasks, want %d", st.TasksExecuted, want)
+	}
+
+	resp, fs := resize(2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resize to 2: status %d", resp.StatusCode)
+	}
+	if fs.Live != 2 || fs.Parked != 2 || fs.Epoch == 0 {
+		t.Fatalf("after shrink: %+v, want live=2 parked=2 epoch>0", fs)
+	}
+	// Lifetime counters include the pre-resize job, so assert on the
+	// post-shrink job's delta: parked ranks must add nothing.
+	before := [2]uint64{s.Fleet().Pool(2).Stats().TasksExecuted, s.Fleet().Pool(3).Stats().TasksExecuted}
+	if st := submitAndWait(t, s, graphSpec("a", 4, 2)); st.TasksExecuted != want {
+		t.Fatalf("post-shrink job executed %d tasks, want %d", st.TasksExecuted, want)
+	}
+	for i, rank := range []int{2, 3} {
+		if got := s.Fleet().Pool(rank).Stats().TasksExecuted - before[i]; got != 0 {
+			t.Fatalf("parked rank %d executed %d tasks during the shrunk job", rank, got)
+		}
+	}
+
+	if resp, fs = resize(4); resp.StatusCode != http.StatusOK || fs.Live != 4 || fs.Parked != 0 {
+		t.Fatalf("regrow: status %d, %+v", resp.StatusCode, fs)
+	}
+	if st := submitAndWait(t, s, graphSpec("a", 4, 2)); st.TasksExecuted != want {
+		t.Fatalf("post-regrow job executed %d tasks, want %d", st.TasksExecuted, want)
+	}
+
+	// Floor and ceiling are 400s, not crashes.
+	if resp, _ := resize(1); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("resize below MinPEs: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := resize(5); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("resize past world size: status %d, want 400", resp.StatusCode)
+	}
+
+	// GET /v1/fleet mirrors the same snapshot.
+	gr, err := c.Get(srv.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gr.Body.Close()
+	var snap FleetStatus
+	if err := json.NewDecoder(gr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Live != 4 || snap.MaxPEs != 4 || snap.MinPEs != 2 {
+		t.Fatalf("GET /v1/fleet: %+v", snap)
+	}
+
+	// The membership family lints clean and reflects the churn.
+	byName := map[string]float64{}
+	var violations []string
+	for _, m := range g.Gather() {
+		if !strings.HasPrefix(m.Name, "sws_membership_") {
+			continue
+		}
+		violations = append(violations, pool.LintMetric(m)...)
+		byName[m.Name] += m.Value
+	}
+	if len(violations) > 0 {
+		t.Fatalf("membership metric lint violations:\n%s", strings.Join(violations, "\n"))
+	}
+	if byName["sws_membership_drains_total"] != 2 || byName["sws_membership_joins_total"] != 2 {
+		t.Fatalf("membership counters: drains=%g joins=%g, want 2/2",
+			byName["sws_membership_drains_total"], byName["sws_membership_joins_total"])
+	}
+	if byName["sws_membership_epoch"] == 0 {
+		t.Fatal("membership epoch still 0 after resizes")
+	}
+}
+
+// LivePEs starts the fleet partially parked: the service comes up with
+// surplus capacity held in reserve and can grow into it.
+func TestServeStartsWithParkedReserve(t *testing.T) {
+	s := newTestService(t, func(o *Options) {
+		o.World.NumPEs = 4
+		o.LivePEs = 2
+	})
+	fs := s.FleetStatus()
+	if fs.Live != 2 || fs.Parked != 2 {
+		t.Fatalf("initial membership %+v, want live=2 parked=2", fs)
+	}
+	want := GraphSpec{Depth: 3, Breadth: 2}.Tasks()
+	if st := submitAndWait(t, s, graphSpec("a", 3, 2)); st.State != StateDone || st.TasksExecuted != want {
+		t.Fatalf("job on reduced fleet: %+v", st)
+	}
+	if err := s.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	if st := submitAndWait(t, s, graphSpec("a", 3, 2)); st.State != StateDone || st.TasksExecuted != want {
+		t.Fatalf("job after growing into reserve: %+v", st)
+	}
+}

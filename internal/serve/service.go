@@ -22,6 +22,10 @@ const (
 	StateRunning = "running"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	// StateExpired marks a job whose DeadlineMS lapsed while it was still
+	// queued: admission accepted it, but the dispatcher rejected it before
+	// it ever held a fleet epoch (the 504-style outcome).
+	StateExpired = "expired"
 )
 
 // Admission-rejection reasons (the `reason` label on
@@ -29,6 +33,7 @@ const (
 const (
 	ReasonInflight    = "inflight-limit"
 	ReasonTenantQuota = "tenant-quota"
+	ReasonDeadline    = "deadline-expired"
 )
 
 // ErrClosed reports a submission against a service that is shutting
@@ -40,15 +45,21 @@ var ErrClosed = errors.New("serve: service is closed")
 var ErrFleetFailed = errors.New("serve: fleet failed")
 
 // AdmissionError is the typed backpressure signal: the job was valid but
-// the service is full. The HTTP layer maps it to 429.
+// the service could not run it. The HTTP layer maps ReasonInflight and
+// ReasonTenantQuota to 429; ReasonDeadline (a queued job whose deadline
+// lapsed before dispatch) surfaces as the job's terminal "expired" state,
+// served with 504.
 type AdmissionError struct {
-	Reason string // ReasonInflight or ReasonTenantQuota
-	Limit  int    // the bound that was hit
+	Reason string // ReasonInflight, ReasonTenantQuota, or ReasonDeadline
+	Limit  int    // the bound that was hit (milliseconds for ReasonDeadline)
 	Tenant string // set for tenant-quota rejections
 }
 
 func (e *AdmissionError) Error() string {
-	if e.Tenant != "" {
+	switch {
+	case e.Reason == ReasonDeadline:
+		return fmt.Sprintf("serve: admission rejected (%s): deadline of %d ms lapsed before dispatch", e.Reason, e.Limit)
+	case e.Tenant != "":
 		return fmt.Sprintf("serve: admission rejected (%s): tenant %q has %d jobs queued", e.Reason, e.Tenant, e.Limit)
 	}
 	return fmt.Sprintf("serve: admission rejected (%s): %d jobs in flight", e.Reason, e.Limit)
@@ -69,6 +80,13 @@ type Options struct {
 	// TenantQueue bounds queued jobs per tenant (default 16).
 	// Submissions beyond it get AdmissionError ReasonTenantQuota.
 	TenantQueue int
+	// LivePEs, when in (0, World.NumPEs), starts the fleet with only that
+	// many member PEs — the rest begin parked, held in reserve for Resize.
+	// World.NumPEs is the resize ceiling.
+	LivePEs int
+	// MinPEs is the Resize floor (default 1): the gateway refuses to
+	// shrink the fleet below it.
+	MinPEs int
 	// Gatherer, if non-nil, receives the sws_serve_* metrics family (and
 	// is wired into the pool config so the fleet's pool metrics export
 	// too).
@@ -107,6 +125,7 @@ type jobState struct {
 	state string
 
 	errMsg                       string
+	deadline                     time.Time // zero = no deadline
 	submitted, started, finished time.Time
 	jobSeq                       uint64
 	tasksExecuted, tasksStolen   uint64
@@ -134,8 +153,10 @@ type JobStatus struct {
 	TotalSeconds float64 `json:"total_seconds"`
 }
 
-// Terminal reports whether the status is done or failed.
-func (js JobStatus) Terminal() bool { return js.State == StateDone || js.State == StateFailed }
+// Terminal reports whether the status is done, failed, or expired.
+func (js JobStatus) Terminal() bool {
+	return js.State == StateDone || js.State == StateFailed || js.State == StateExpired
+}
 
 // Service is the multi-tenant job layer over one warm fleet.
 type Service struct {
@@ -198,9 +219,30 @@ func New(opt Options) (*Service, error) {
 		dispatchDone: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if opt.MinPEs <= 0 {
+		opt.MinPEs = 1
+	}
+	if opt.MinPEs > opt.World.NumPEs {
+		return nil, fmt.Errorf("serve: min PEs %d exceeds world size %d", opt.MinPEs, opt.World.NumPEs)
+	}
+	if opt.LivePEs < 0 || opt.LivePEs > opt.World.NumPEs {
+		return nil, fmt.Errorf("serve: initial live PEs %d outside [0, %d]", opt.LivePEs, opt.World.NumPEs)
+	}
+	if opt.LivePEs > 0 && opt.LivePEs < opt.MinPEs {
+		return nil, fmt.Errorf("serve: initial live PEs %d below floor %d", opt.LivePEs, opt.MinPEs)
+	}
+	s.opt = opt
 	w, err := shmem.NewWorld(opt.World)
 	if err != nil {
 		return nil, err
+	}
+	if opt.LivePEs > 0 && opt.LivePEs < opt.World.NumPEs {
+		// Engage elastic membership before the fleet warms: surplus ranks
+		// park immediately and their pools idle at zero cost until Resize
+		// brings them in.
+		if err := w.SetInitialMembers(opt.LivePEs); err != nil {
+			return nil, err
+		}
 	}
 	f, err := pool.NewFleet(w, pool.FleetOptions{Pool: opt.Pool, Register: s.register})
 	if err != nil {
@@ -340,6 +382,9 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if spec.DeadlineMS > 0 {
+		js.deadline = js.submitted.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+	}
 	s.jobs[js.id] = js
 	if len(ten.queue) == 0 {
 		s.ring = append(s.ring, spec.Tenant)
@@ -397,7 +442,7 @@ func (js *jobState) statusLocked() JobStatus {
 	switch js.state {
 	case StateRunning:
 		st.QueueSeconds = js.started.Sub(js.submitted).Seconds()
-	case StateDone, StateFailed:
+	case StateDone, StateFailed, StateExpired:
 		if !js.started.IsZero() {
 			st.QueueSeconds = js.started.Sub(js.submitted).Seconds()
 			st.RunSeconds = js.finished.Sub(js.started).Seconds()
@@ -439,8 +484,17 @@ func (s *Service) next() *jobState {
 				// Rotate the tenant to the back: one job per turn.
 				s.ring = append(s.ring[1:], t)
 			}
+			now := time.Now()
+			if !js.deadline.IsZero() && now.After(js.deadline) {
+				// The deadline lapsed while the job waited in the queue:
+				// reject it at dispatch instead of running stale work.
+				// (Cooperative cancellation of already-running jobs is a
+				// ROADMAP follow-on.)
+				s.expireLocked(js, now)
+				continue
+			}
 			js.state = StateRunning
-			js.started = time.Now()
+			js.started = now
 			return js
 		}
 		if s.closed || s.fatalErr != nil {
@@ -448,6 +502,20 @@ func (s *Service) next() *jobState {
 		}
 		s.cond.Wait()
 	}
+}
+
+// expireLocked finalizes a queued job whose deadline lapsed before
+// dispatch. Caller holds s.mu.
+func (s *Service) expireLocked(js *jobState, now time.Time) {
+	adm := &AdmissionError{Reason: ReasonDeadline, Limit: js.spec.DeadlineMS}
+	js.state = StateExpired
+	js.errMsg = adm.Error()
+	js.finished = now
+	s.inflight--
+	s.rejected[ReasonDeadline]++
+	s.completed["expired"]++
+	s.queueHist.Record(now.Sub(js.submitted))
+	close(js.done)
 }
 
 // runJob executes one job as a fleet epoch and finalizes its record.
@@ -549,6 +617,60 @@ func (s *Service) Close() error {
 // World().Attaches() and Seq()).
 func (s *Service) Fleet() *pool.Fleet { return s.fleet }
 
+// FleetStatus is the wire-format membership view returned by the resize
+// endpoint and GET /v1/fleet.
+type FleetStatus struct {
+	// Epoch is the membership epoch (0 until the elastic layer engages).
+	Epoch uint64 `json:"epoch"`
+	// MaxPEs is the world size — the resize ceiling.
+	MaxPEs int `json:"max_pes"`
+	// MinPEs is the resize floor.
+	MinPEs   int `json:"min_pes"`
+	Live     int `json:"live"`
+	Joining  int `json:"joining"`
+	Draining int `json:"draining"`
+	Parked   int `json:"parked"`
+}
+
+// FleetStatus snapshots the fleet's membership.
+func (s *Service) FleetStatus() FleetStatus {
+	lv := s.fleet.World().Live()
+	live, joining, draining, parked := lv.MembershipCounts()
+	return FleetStatus{
+		Epoch:    lv.MemberEpoch(),
+		MaxPEs:   s.fleet.World().NumPEs(),
+		MinPEs:   s.opt.MinPEs,
+		Live:     live,
+		Joining:  joining,
+		Draining: draining,
+		Parked:   parked,
+	}
+}
+
+// Resize grows or shrinks the warm fleet to live member PEs without
+// tearing it down: surplus members drain loss-free and park, parked
+// ranks rejoin. It serializes with job epochs (transitions land between
+// jobs), bounded by [MinPEs, World.NumPEs].
+func (s *Service) Resize(live int) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.fatalErr; err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrFleetFailed, err)
+	}
+	min, max := s.opt.MinPEs, s.fleet.World().NumPEs()
+	s.mu.Unlock()
+	if live < min || live > max {
+		return fmt.Errorf("serve: resize target %d outside [%d, %d]", live, min, max)
+	}
+	// Outside s.mu: Fleet.Resize blocks until the current job epoch ends,
+	// and runJob needs s.mu to finalize it.
+	return s.fleet.Resize(live)
+}
+
 // metricsSource emits the sws_serve_* family. Registered on the
 // Gatherer at New; reads only snapshots taken under s.mu plus lock-free
 // histograms, so it is safe concurrently with jobs in flight.
@@ -581,11 +703,11 @@ func (s *Service) metricsSource(e *obs.Emitter) {
 		e.Gauge("sws_serve_queue_depth_jobs", "Jobs queued per tenant.",
 			float64(t.depth), obs.L("tenant", t.name))
 	}
-	for _, o := range []string{"ok", "failed"} {
+	for _, o := range []string{"ok", "failed", "expired"} {
 		e.Counter("sws_serve_jobs_completed_total", "Jobs finished, by outcome.",
 			float64(completed[o]), obs.L("outcome", o))
 	}
-	for _, r := range []string{ReasonInflight, ReasonTenantQuota} {
+	for _, r := range []string{ReasonInflight, ReasonTenantQuota, ReasonDeadline} {
 		e.Counter("sws_serve_jobs_rejected_total", "Submissions rejected by admission control, by reason.",
 			float64(rejected[r]), obs.L("reason", r))
 	}
@@ -599,4 +721,24 @@ func (s *Service) metricsSource(e *obs.Emitter) {
 		s.runHist.Snapshot(), obs.L("stage", "run"))
 	e.Quantiles("sws_serve_job_latency_seconds", "Per-job latency quantiles by stage.",
 		s.e2eHist.Snapshot(), obs.L("stage", "e2e"))
+
+	// Elastic-membership family: zero-valued while the fleet runs at fixed
+	// membership, live once Resize (or LivePEs) engages the elastic layer.
+	lv := s.fleet.World().Live()
+	live, joining, draining, parked := lv.MembershipCounts()
+	e.Gauge("sws_membership_epoch", "Membership epoch (bumps once per join/drain transition phase).",
+		float64(lv.MemberEpoch()))
+	for _, st := range []struct {
+		state string
+		n     int
+	}{{"live", live}, {"joining", joining}, {"draining", draining}, {"parked", parked}} {
+		e.Gauge("sws_membership_pes", "PEs by membership state.",
+			float64(st.n), obs.L("state", st.state))
+	}
+	e.Counter("sws_membership_joins_total", "Completed PE joins over the world's lifetime.",
+		float64(lv.Joins()))
+	e.Counter("sws_membership_drains_total", "Completed PE drains over the world's lifetime.",
+		float64(lv.Drains()))
+	e.Quantiles("sws_membership_drain_seconds", "Drain duration quantiles (BeginDrain to parked).",
+		lv.DrainDurations())
 }

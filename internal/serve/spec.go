@@ -38,6 +38,13 @@ type JobSpec struct {
 	Tenant string `json:"tenant,omitempty"`
 	// Kind selects the workload: "uts", "bpc", or "graph".
 	Kind string `json:"kind"`
+	// DeadlineMS, when positive, bounds how long the job may wait in the
+	// queue: if the deadline lapses before dispatch, the job is rejected
+	// with a typed deadline AdmissionError and finishes in the "expired"
+	// state instead of running stale. It does not cancel a job that is
+	// already running (cooperative in-flight cancellation is a ROADMAP
+	// follow-on).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 
 	UTS   *UTSSpec   `json:"uts,omitempty"`
 	BPC   *BPCSpec   `json:"bpc,omitempty"`
@@ -164,6 +171,9 @@ func utsPreset(name string) (uts.Params, error) {
 // Jobs are validated at admission: Job.Seed must not fail on a warm
 // fleet, so everything that can be rejected is rejected here.
 func (s JobSpec) Validate() error {
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("serve: negative deadline %d ms", s.DeadlineMS)
+	}
 	switch s.Kind {
 	case KindUTS:
 		if _, err := utsPreset(s.UTS.Tree); err != nil {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sws/internal/obs"
 )
 
 // This file implements the liveness layer: a per-world membership view with
@@ -69,6 +71,12 @@ func (s PeerState) String() string {
 		return "suspect"
 	case PeerDead:
 		return "dead"
+	case PeerJoining:
+		return "joining"
+	case PeerDraining:
+		return "draining"
+	case PeerParked:
+		return "parked"
 	default:
 		return fmt.Sprintf("PeerState(%d)", int32(s))
 	}
@@ -98,6 +106,19 @@ type Liveness struct {
 	// deadCount is the number of ranks in PeerDead.
 	deadCount atomic.Int64
 
+	// Elastic-membership state (membership.go). elastic gates the whole
+	// layer — false until SetInitialMembers or the first transition —
+	// and memberEpoch versions the membership view.
+	elastic     atomic.Bool
+	memberEpoch atomic.Uint64
+	// drainStart holds BeginDrain wall-clock stamps per rank (unix
+	// nanos, 0 = no drain in progress); drainHist/drains/joins feed the
+	// membership metrics.
+	drainStart []int64
+	drainHist  obs.Hist
+	drains     atomic.Uint64
+	joins      atomic.Uint64
+
 	mu      sync.Mutex
 	onDeath []func(rank int)
 
@@ -109,10 +130,11 @@ type Liveness struct {
 
 func newLiveness(w *World, n int) *Liveness {
 	return &Liveness{
-		w:      w,
-		states: make([]atomic.Int32, n),
-		killed: make([]atomic.Bool, n),
-		stop:   make(chan struct{}),
+		w:          w,
+		states:     make([]atomic.Int32, n),
+		killed:     make([]atomic.Bool, n),
+		drainStart: make([]int64, n),
+		stop:       make(chan struct{}),
 	}
 }
 
@@ -250,10 +272,18 @@ func (l *Liveness) startProber(selfRank int) {
 			if i, err := l.w.pes[selfRank].checkWord(heartbeatAddr); err == nil {
 				atomic.StoreUint64(l.w.pes[selfRank].word(i), beat)
 			}
+			// Re-advertise our own membership state each tick (covers a
+			// transition that raced an earlier publish) and mirror the
+			// peers' advertised states into the local view, so elastic
+			// membership converges across process boundaries.
+			l.publishMember(selfRank)
 			now := time.Now()
 			for r := 0; r < cfg.NumPEs; r++ {
 				if r == selfRank || !l.Alive(r) {
 					continue
+				}
+				if mv, err := l.w.transport.load64(selfRank, r, membershipAddr, 0); err == nil {
+					l.mirrorMember(r, PeerState(mv))
 				}
 				v, err := l.w.transport.load64(selfRank, r, heartbeatAddr, 0)
 				p := &peers[r]

@@ -1,0 +1,308 @@
+package shmem
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sws/internal/obs"
+)
+
+// This file implements elastic membership: voluntary, loss-free
+// transitions of PEs in and out of a live world, layered on the same
+// per-rank state machine the failure detector uses (liveness.go). The
+// world is built at its maximum size; membership is a dynamic subset of
+// ranks versioned by an epoch counter. A rank outside the membership is
+// Parked: its goroutine (or process) is alive and participates in
+// collectives, but it holds no work, advertises no stealable queue, and
+// is excluded from victim sets and spawn targets.
+//
+// Transitions are two-phase so the scheduler can make them loss-free:
+//
+//	Alive ──BeginDrain──▶ Draining ──CompleteDrain──▶ Parked
+//	Parked ──BeginJoin──▶ Joining ──CompleteJoin───▶ Alive
+//
+// Begin* may be called by anything (a resize controller, a virtual-time
+// churn schedule, a wall-clock timer); Complete* is called by the
+// affected PE itself once it has flushed its queue (drain) or rebuilt
+// its scheduler state (join). Every transition bumps the membership
+// epoch; schedulers watch the epoch with one atomic load per loop
+// iteration and rebuild victim sets / re-form the termination wave when
+// it moves.
+//
+// Like the failure detector, the whole layer is inert until used: the
+// elastic gate stays false (one atomic load to check) until the first
+// transition or SetInitialMembers call, so fixed-membership runs take no
+// extra branches, draw no extra randomness, and replay byte-identically
+// under the sim transport.
+
+// Membership extensions of the PeerState machine. Unlike Suspect/Dead
+// these are voluntary and reversible: Parked is not a failure, and a
+// parked rank may later join again.
+const (
+	// PeerJoining: the rank has been asked to (re)enter the membership
+	// and is rebuilding its scheduler state; it becomes a steal victim
+	// once it completes the join.
+	PeerJoining PeerState = 3
+	// PeerDraining: the rank is leaving voluntarily; it stops
+	// advertising stealable work and is flushing its queue into the
+	// remaining members.
+	PeerDraining PeerState = 4
+	// PeerParked: the rank is outside the membership: alive, in the
+	// collectives, but holding no work and receiving no steals.
+	PeerParked PeerState = 5
+)
+
+// Reserved symmetric-heap words used by the membership layer (inside the
+// existing reserved region; user allocations are unaffected). Each rank
+// advertises its own membership state and epoch so remote probers can
+// mirror transitions across process boundaries.
+const (
+	// membershipAddr holds the rank's own advertised PeerState.
+	membershipAddr Addr = 3 * WordSize
+	// membershipEpochAddr holds the advertising process's epoch counter.
+	membershipEpochAddr Addr = 4 * WordSize
+)
+
+// Elastic reports whether membership transitions have ever been enabled
+// on this world (SetInitialMembers or any Begin* call). One atomic load;
+// false means the membership layer is fully inert.
+func (l *Liveness) Elastic() bool { return l.elastic.Load() }
+
+// MemberEpoch returns the current membership epoch. It starts at zero
+// and bumps on every membership transition; schedulers compare it
+// against a cached copy to detect changes with one atomic load.
+func (l *Liveness) MemberEpoch() uint64 { return l.memberEpoch.Load() }
+
+// Member reports whether rank is currently inside the membership: a
+// valid steal victim and spawn target. Suspect ranks still count (the
+// failure detector has not given up on them); Joining ranks do not until
+// they complete the join.
+func (l *Liveness) Member(rank int) bool {
+	s := l.State(rank)
+	return s == PeerAlive || s == PeerSuspect
+}
+
+// Members appends the current membership (sorted ascending) to dst.
+func (l *Liveness) Members(dst []int) []int {
+	for i := range l.states {
+		s := PeerState(l.states[i].Load())
+		if s == PeerAlive || s == PeerSuspect {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// MembershipCounts returns the rank counts per membership state
+// (suspect ranks count as live; dead ranks are none of these).
+func (l *Liveness) MembershipCounts() (live, joining, draining, parked int) {
+	for i := range l.states {
+		switch PeerState(l.states[i].Load()) {
+		case PeerAlive, PeerSuspect:
+			live++
+		case PeerJoining:
+			joining++
+		case PeerDraining:
+			draining++
+		case PeerParked:
+			parked++
+		}
+	}
+	return
+}
+
+// Leader returns the rank that drives the termination wave: the lowest
+// rank currently engaged in the protocol (member or joining). It is 0
+// for non-elastic worlds — one atomic load, preserving the fixed-
+// membership fast path — and falls back to 0 if every rank is parked or
+// dead (termination is then moot).
+func (l *Liveness) Leader() int {
+	if !l.elastic.Load() {
+		return 0
+	}
+	for i := range l.states {
+		switch PeerState(l.states[i].Load()) {
+		case PeerAlive, PeerSuspect, PeerJoining:
+			return i
+		}
+	}
+	return 0
+}
+
+// SetInitialMembers declares that only ranks [0, n) start inside the
+// membership; ranks [n, NumPEs) start Parked. It must be called before
+// the world runs (every process of a distributed world must pass the
+// same n), and it enables the elastic layer.
+func (l *Liveness) SetInitialMembers(n int) error {
+	if n < 1 || n > len(l.states) {
+		return fmt.Errorf("shmem: initial members %d outside [1, %d]", n, len(l.states))
+	}
+	l.elastic.Store(true)
+	for r := n; r < len(l.states); r++ {
+		l.states[r].Store(int32(PeerParked))
+		l.publishMember(r)
+	}
+	l.memberEpoch.Add(1)
+	l.publishEpoch()
+	return nil
+}
+
+// SetInitialMembers is the world-level entry point (see Liveness).
+func (w *World) SetInitialMembers(n int) error { return w.live.SetInitialMembers(n) }
+
+// BeginDrain starts a voluntary exit: rank stops being a steal victim
+// and spawn target immediately (epoch bump), and its scheduler — seeing
+// the Draining state — flushes its queue into the remaining members and
+// then calls CompleteDrain. Refused if it would empty the membership or
+// if rank is not currently a member.
+func (l *Liveness) BeginDrain(rank int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rank < 0 || rank >= len(l.states) {
+		return fmt.Errorf("shmem: drain rank %d out of range", rank)
+	}
+	others := 0
+	for i := range l.states {
+		if i == rank {
+			continue
+		}
+		if s := PeerState(l.states[i].Load()); s == PeerAlive || s == PeerSuspect {
+			others++
+		}
+	}
+	if others == 0 {
+		return fmt.Errorf("shmem: draining rank %d would leave an empty membership", rank)
+	}
+	if !l.transitionLocked(rank, PeerAlive, PeerDraining) &&
+		!l.transitionLocked(rank, PeerSuspect, PeerDraining) {
+		return fmt.Errorf("shmem: rank %d is %v, not a member; cannot drain", rank, l.State(rank))
+	}
+	if rank < len(l.drainStart) {
+		atomic.StoreInt64(&l.drainStart[rank], time.Now().UnixNano())
+	}
+	return nil
+}
+
+// CompleteDrain parks a draining rank. Called by the rank itself once
+// its queue is flushed (or by a resize controller between jobs, when
+// queues are globally empty).
+func (l *Liveness) CompleteDrain(rank int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.transitionLocked(rank, PeerDraining, PeerParked) {
+		return fmt.Errorf("shmem: rank %d is %v, not draining", rank, l.State(rank))
+	}
+	if rank < len(l.drainStart) {
+		if t0 := atomic.SwapInt64(&l.drainStart[rank], 0); t0 != 0 {
+			// Wall-clock observability only: the recording draws no
+			// randomness and gates no scheduling, so sim replays are
+			// unaffected.
+			l.drainHist.Record(time.Duration(time.Now().UnixNano() - t0))
+			l.drains.Add(1)
+		}
+	}
+	return nil
+}
+
+// BeginJoin starts a (re)entry: a parked rank becomes Joining, and its
+// scheduler — seeing the state — rebuilds victim sets and calls
+// CompleteJoin to become a member again.
+func (l *Liveness) BeginJoin(rank int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rank < 0 || rank >= len(l.states) {
+		return fmt.Errorf("shmem: join rank %d out of range", rank)
+	}
+	if !l.transitionLocked(rank, PeerParked, PeerJoining) {
+		return fmt.Errorf("shmem: rank %d is %v, not parked; cannot join", rank, l.State(rank))
+	}
+	l.joins.Add(1)
+	return nil
+}
+
+// CompleteJoin makes a joining rank a full member (steal victim, spawn
+// target, part of the termination wave).
+func (l *Liveness) CompleteJoin(rank int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.transitionLocked(rank, PeerJoining, PeerAlive) {
+		return fmt.Errorf("shmem: rank %d is %v, not joining", rank, l.State(rank))
+	}
+	return nil
+}
+
+// transitionLocked CASes rank from → to, bumping the epoch and
+// publishing the new state on success. Caller holds l.mu (which
+// serializes voluntary transitions; failure-detector transitions remain
+// lock-free and win any race via the CAS).
+func (l *Liveness) transitionLocked(rank int, from, to PeerState) bool {
+	if !l.states[rank].CompareAndSwap(int32(from), int32(to)) {
+		return false
+	}
+	l.elastic.Store(true)
+	l.memberEpoch.Add(1)
+	l.w.flightState(rank, to)
+	l.publishMember(rank)
+	l.publishEpoch()
+	return true
+}
+
+// publishMember mirrors rank's state into its reserved heap word, where
+// remote probers can read it. Best-effort: in a distributed world only
+// the local rank's heap exists in this process.
+func (l *Liveness) publishMember(rank int) {
+	pe := l.w.pes[rank]
+	if pe == nil {
+		return
+	}
+	if i, err := pe.checkWord(membershipAddr); err == nil {
+		atomic.StoreUint64(pe.word(i), uint64(l.states[rank].Load()))
+	}
+}
+
+// publishEpoch mirrors the local epoch counter into every reachable
+// rank's reserved epoch word (observability; the scheduler reads the
+// atomic directly).
+func (l *Liveness) publishEpoch() {
+	ep := l.memberEpoch.Load()
+	for _, pe := range l.w.pes {
+		if pe == nil {
+			continue
+		}
+		if i, err := pe.checkWord(membershipEpochAddr); err == nil {
+			atomic.StoreUint64(pe.word(i), ep)
+		}
+	}
+}
+
+// mirrorMember folds a peer's remotely advertised membership state into
+// the local view (distributed worlds; the prober calls it). Voluntary
+// states copy over; Alive only overwrites another voluntary state, so
+// the heartbeat detector keeps sole authority over Suspect and Dead.
+func (l *Liveness) mirrorMember(rank int, adv PeerState) {
+	cur := l.State(rank)
+	if cur == PeerDead || cur == adv {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch adv {
+	case PeerJoining, PeerDraining, PeerParked:
+		l.transitionLocked(rank, cur, adv)
+	case PeerAlive:
+		if cur == PeerJoining || cur == PeerDraining || cur == PeerParked {
+			l.transitionLocked(rank, cur, PeerAlive)
+		}
+	}
+}
+
+// Joins returns the number of BeginJoin transitions observed locally.
+func (l *Liveness) Joins() uint64 { return l.joins.Load() }
+
+// Drains returns the number of completed drains observed locally.
+func (l *Liveness) Drains() uint64 { return l.drains.Load() }
+
+// DrainDurations snapshots the wall-clock drain-duration histogram
+// (BeginDrain to CompleteDrain, for drains completed in this process).
+func (l *Liveness) DrainDurations() obs.HistSnap { return l.drainHist.Snapshot() }

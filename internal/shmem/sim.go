@@ -72,12 +72,28 @@ type SimOptions struct {
 	// adds no events and draws no randomness, so fault-free runs stay
 	// byte-identical.
 	Kill []SimKill
+	// Churn schedules voluntary membership transitions at virtual times:
+	// each entry begins a drain (Join=false, against a member rank) or a
+	// join (Join=true, against a rank parked via SetInitialMembers or an
+	// earlier drain). The affected PE completes the transition from its
+	// own scheduler loop, so the whole sequence is deterministic and
+	// replays byte-identically from the seed. An empty schedule adds no
+	// events and draws no randomness.
+	Churn []SimChurn
 }
 
 // SimKill is one scheduled crash injection for the simulation transport.
 type SimKill struct {
 	Rank int
 	At   time.Duration // virtual time of the crash
+}
+
+// SimChurn is one scheduled membership transition for the simulation
+// transport: a drain of a member rank, or a join of a parked one.
+type SimChurn struct {
+	Rank int
+	At   time.Duration // virtual time of the Begin* transition
+	Join bool          // true: BeginJoin; false: BeginDrain
 }
 
 func (o *SimOptions) setDefaults() {
@@ -156,8 +172,9 @@ type simPE struct {
 // Scheduler event kinds (simEvent.kind).
 const (
 	simEvNBI  = iota // an NBI delivery landing at its target
-	simEvKill        // a scheduled crash injection fires
-	simEvDead        // the failure detector declares a killed PE dead
+	simEvKill         // a scheduled crash injection fires
+	simEvDead         // the failure detector declares a killed PE dead
+	simEvChurn        // a scheduled membership transition begins
 )
 
 type simEvent struct {
@@ -252,6 +269,19 @@ func newSimTransport(w *World) *simTransport {
 		at := uint64(max64(0, int64(k.At)))
 		heap.Push(&t.events, simEvent{at: at, seq: t.nextSeq(), kind: simEvKill, to: k.Rank})
 		heap.Push(&t.events, simEvent{at: at + uint64(w.cfg.DeadAfter), seq: t.nextSeq(), kind: simEvDead, to: k.Rank})
+	}
+	// Membership churn schedules work the same way: virtual events, no
+	// randomness drawn, nothing pushed for an empty schedule.
+	for _, c := range opts.Churn {
+		if c.Rank < 0 || c.Rank >= n {
+			continue
+		}
+		var join uint64
+		if c.Join {
+			join = 1
+		}
+		at := uint64(max64(0, int64(c.At)))
+		heap.Push(&t.events, simEvent{at: at, seq: t.nextSeq(), kind: simEvChurn, to: c.Rank, val: join})
 	}
 	go t.run()
 	return t
@@ -749,6 +779,9 @@ func (t *simTransport) deliver() {
 	case simEvDead:
 		t.deliverDead(ev.to)
 		return
+	case simEvChurn:
+		t.deliverChurn(ev.to, ev.val != 0)
+		return
 	}
 	if ev.drop || t.w.live.Killed(ev.to) {
 		// A delivery into a crashed PE's heap is lost in the fabric; the
@@ -807,6 +840,30 @@ func (t *simTransport) deliverKill(rank int) {
 		pe.vclock = t.now
 		t.running++
 		t.replies[rank] <- simReply{err: fmt.Errorf("shmem: PE %d: %w", rank, ErrPEKilled)}
+	}
+}
+
+// deliverChurn fires a scheduled membership transition at its virtual
+// time. Only the Begin* half happens here; the affected PE observes the
+// state from its scheduler loop and completes the transition itself, so
+// drains stay loss-free. A transition refused by the state machine (bad
+// schedule) is logged and otherwise ignored — both outcomes are
+// deterministic, so replays stay byte-identical.
+func (t *simTransport) deliverChurn(rank int, join bool) {
+	var err error
+	if join {
+		err = t.w.live.BeginJoin(rank)
+	} else {
+		err = t.w.live.BeginDrain(rank)
+	}
+	ok := 1
+	if err != nil {
+		ok = 0
+	}
+	if join {
+		t.logf("%d %d chn join pe=%d ok=%d\n", t.nextSeq(), t.now, rank, ok)
+	} else {
+		t.logf("%d %d chn drain pe=%d ok=%d\n", t.nextSeq(), t.now, rank, ok)
 	}
 }
 

@@ -90,6 +90,7 @@ func RunAll(t *testing.T, f Factory) {
 	t.Run("stealval-geom-consistency", func(t *testing.T) { StealvalGeomConsistency(t, f) })
 	t.Run("reseat-stale-claim", func(t *testing.T) { ReseatStaleClaim(t, f) })
 	t.Run("exactly-once-per-job", func(t *testing.T) { ExactlyOncePerJob(t, f) })
+	t.Run("exactly-once-churn", func(t *testing.T) { ExactlyOnceUnderChurn(t, f, 23) })
 }
 
 // ExactlyOnceUnderKill crash-injects one non-auditor PE at a seed-derived

@@ -13,6 +13,9 @@ import (
 // failure sets it).
 var killSeed = flag.Int64("kill.seed", -1, "replay one ExactlyOnceUnderKill seed")
 
+// churnSeed replays a single churn-oracle seed.
+var churnSeed = flag.Int64("churn.seed", -1, "replay one ExactlyOnceUnderChurn seed")
+
 // inProcKilled builds an in-process world (local or tcp) whose victim is
 // crash-injected by a wall-clock timer at a seed-derived delay, with the
 // failure detector tightened so the test stays fast.
@@ -138,6 +141,25 @@ func TestKillConformance(t *testing.T) {
 			for _, s := range seeds {
 				s := s
 				t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) { ExactlyOnceUnderKill(t, f, s) })
+			}
+		})
+	}
+}
+
+// TestChurnConformance runs the elastic-membership oracle at several
+// randomized join/drain points on every transport. A failing seed prints
+// a one-line repro (-churn.seed replays just that seed).
+func TestChurnConformance(t *testing.T) {
+	seeds := []int64{5, 19, 31, 47}
+	if *churnSeed >= 0 {
+		seeds = []int64{*churnSeed}
+	}
+	for _, f := range factories() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for _, s := range seeds {
+				s := s
+				t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) { ExactlyOnceUnderChurn(t, f, s) })
 			}
 		})
 	}

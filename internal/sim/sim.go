@@ -84,6 +84,17 @@ type Params struct {
 	// wall-clock library defaults would blow the virtual-time budget) and
 	// the library defaults otherwise.
 	SuspectAfter, DeadAfter time.Duration
+	// Churn schedules virtual-time membership transitions (passed through
+	// to shmem.SimOptions.Churn): drains and joins begin at exact virtual
+	// times and the affected PE completes them from its scheduler loop, so
+	// churned runs replay byte-identically from the seed. Transitions are
+	// voluntary and loss-free, so the exactly-once oracle stays strict.
+	Churn []shmem.SimChurn
+	// InitialMembers engages elastic membership with only ranks
+	// [0, InitialMembers) starting live; the rest start parked (a Join
+	// churn entry needs its rank parked first). Zero means all PEs start
+	// live (membership still engages when Churn is non-empty).
+	InitialMembers int
 }
 
 func (p Params) withDefaults() Params {
@@ -121,6 +132,16 @@ func (p Params) String() string {
 	for _, k := range p.Kill {
 		s += fmt.Sprintf(" kill=%d@%v", k.Rank, k.At)
 	}
+	if p.InitialMembers > 0 {
+		s += fmt.Sprintf(" members=%d", p.InitialMembers)
+	}
+	for _, c := range p.Churn {
+		kind := "drain"
+		if c.Join {
+			kind = "join"
+		}
+		s += fmt.Sprintf(" %s=%d@%v", kind, c.Rank, c.At)
+	}
 	return s
 }
 
@@ -151,10 +172,20 @@ func Run(p Params) ([]byte, error) {
 			MaxSteps:       p.MaxSteps,
 			Log:            &log,
 			Kill:           p.Kill,
+			Churn:          p.Churn,
 		},
 	})
 	if err != nil {
 		return nil, err
+	}
+	if p.InitialMembers > 0 || len(p.Churn) > 0 {
+		n := p.InitialMembers
+		if n == 0 {
+			n = p.PEs
+		}
+		if err := w.SetInitialMembers(n); err != nil {
+			return nil, err
+		}
 	}
 	// Zero task durations: bpc's spin() returns immediately, so the whole
 	// run is protocol communication — exactly what the sim explores.
@@ -352,7 +383,41 @@ func ReproLine(p Params) string {
 	if len(p.Kill) > 0 {
 		s += fmt.Sprintf(" -sim.killrank=%d -sim.killat=%v", p.Kill[0].Rank, p.Kill[0].At)
 	}
+	if p.InitialMembers > 0 {
+		s += fmt.Sprintf(" -sim.members=%d", p.InitialMembers)
+	}
+	for _, c := range p.Churn {
+		if c.Join {
+			s += fmt.Sprintf(" -sim.join=%d@%v", c.Rank, c.At)
+		} else {
+			s += fmt.Sprintf(" -sim.drain=%d@%v", c.Rank, c.At)
+		}
+	}
 	return s
+}
+
+// ChurnForSeed derives a reproducible membership-churn schedule from a
+// seed: the world starts one rank short (the highest rank parked), that
+// rank joins at a seed-derived virtual time inside the first two
+// milliseconds, and a seed-derived victim among ranks [1, pes-1) drains
+// shortly after — so every churned run exercises a join and a drain
+// racing live steal traffic. Returns the initial-member count alongside
+// the schedule. Needs pes >= 3 (rank 0 audits, one joins, one drains);
+// smaller worlds get an empty schedule.
+func ChurnForSeed(seed int64, pes int) (initialMembers int, churn []shmem.SimChurn) {
+	if pes < 3 {
+		return 0, nil
+	}
+	u := uint64(seed)*0x9E3779B97F4A7C15 + 0xABCDEF
+	// Early enough that both transitions land inside even a small BPC
+	// run's virtual lifetime (a 4-PE depth-6 run spans ~500µs virtual).
+	joinAt := 20*time.Microsecond + time.Duration(u%8)*5*time.Microsecond
+	drainRank := 1 + int((u>>16)%uint64(pes-2)) // in [1, pes-1): never the auditor, never the joiner
+	drainAt := joinAt + 10*time.Microsecond + time.Duration((u>>32)%8)*10*time.Microsecond
+	return pes - 1, []shmem.SimChurn{
+		{Rank: pes - 1, At: joinAt, Join: true},
+		{Rank: drainRank, At: drainAt},
+	}
 }
 
 // KillForSeed derives one reproducible crash injection from a seed: a

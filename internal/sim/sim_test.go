@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sws/internal/shmem"
 	"sws/internal/stats"
@@ -29,7 +30,29 @@ var (
 	// failures): kill -sim.killrank at virtual time -sim.killat.
 	flagKillRank = flag.Int("sim.killrank", -1, "crash-inject this rank (virtual-time kill; -1 disables)")
 	flagKillAt   = flag.Duration("sim.killat", 0, "virtual time of the crash injection")
+
+	// Membership-churn replay knobs (printed by ReproLine for churn-sweep
+	// failures): engage elastic membership with -sim.members live ranks,
+	// then join/drain "rank@virtualtime" entries.
+	flagMembers = flag.Int("sim.members", 0, "initial live members (0 = all PEs; engages elastic membership)")
+	flagJoin    = flag.String("sim.join", "", "join churn as rank@virtualtime (e.g. 3@500µs)")
+	flagDrain   = flag.String("sim.drain", "", "drain churn as rank@virtualtime (e.g. 1@1ms)")
 )
+
+// parseChurn parses a "rank@virtualtime" churn flag.
+func parseChurn(t *testing.T, s string, join bool) shmem.SimChurn {
+	t.Helper()
+	var rank int
+	var at string
+	if _, err := fmt.Sscanf(s, "%d@%s", &rank, &at); err != nil {
+		t.Fatalf("churn flag %q: want rank@duration: %v", s, err)
+	}
+	d, err := time.ParseDuration(at)
+	if err != nil {
+		t.Fatalf("churn flag %q: %v", s, err)
+	}
+	return shmem.SimChurn{Rank: rank, At: d, Join: join}
+}
 
 func flagParams() Params {
 	p := Params{
@@ -43,6 +66,20 @@ func flagParams() Params {
 	}
 	if *flagKillRank >= 0 {
 		p.Kill = []shmem.SimKill{{Rank: *flagKillRank, At: *flagKillAt}}
+	}
+	return p
+}
+
+// churnFlagParams folds the -sim.members/-sim.join/-sim.drain knobs in
+// (separate from flagParams so the non-churn sweeps stay agnostic).
+func churnFlagParams(t *testing.T) Params {
+	p := flagParams()
+	p.InitialMembers = *flagMembers
+	if *flagJoin != "" {
+		p.Churn = append(p.Churn, parseChurn(t, *flagJoin, true))
+	}
+	if *flagDrain != "" {
+		p.Churn = append(p.Churn, parseChurn(t, *flagDrain, false))
 	}
 	return p
 }
@@ -121,7 +158,7 @@ func TestChaosRun(t *testing.T) {
 // TestReplaySeed is the repro entry point printed by ReproLine: it runs
 // exactly the configuration given by the -sim.* flags.
 func TestReplaySeed(t *testing.T) {
-	p := flagParams()
+	p := churnFlagParams(t)
 	if _, err := Run(p); err != nil {
 		t.Fatalf("replay %v failed:\n%v", p, err)
 	}
@@ -289,6 +326,89 @@ func TestGrowReseatSweep(t *testing.T) {
 		}
 	}
 	t.Fatalf("%d of %d grow-sweep seeds failed:\n%s", len(failures), *flagSeeds, report.String())
+}
+
+// churnParams is the membership-churn configuration: a 4-PE world that
+// starts with rank 3 parked, joins it mid-run, and drains a seed-derived
+// victim shortly after — a join and a drain racing live steal traffic
+// under chaos scheduling, with the strict exactly-once oracle (voluntary
+// transitions are loss-free, so nothing may be dropped or re-run).
+func churnParams(seed int64) Params {
+	p := Params{PEs: 4, Depth: 6, Width: 12, Seed: seed, Chaos: true}
+	p.InitialMembers, p.Churn = ChurnForSeed(seed, p.PEs)
+	return p
+}
+
+// TestChurnReplayDeterministic: membership transitions are part of the
+// deterministic schedule — the same seed and churn schedule must produce
+// byte-identical event logs.
+func TestChurnReplayDeterministic(t *testing.T) {
+	p := churnParams(42)
+	log1, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	log2, err := Run(p)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if len(log1) == 0 {
+		t.Fatal("empty event log")
+	}
+	if !bytes.Equal(log1, log2) {
+		d := firstDiff(log1, log2)
+		t.Fatalf("churned run not deterministic (first divergence at byte %d):\nrun1: %s\nrun2: %s",
+			d, excerpt(log1, d), excerpt(log2, d))
+	}
+}
+
+// TestChurnSweep sweeps seeds over the churn configuration: every run
+// joins one PE and drains another mid-run and must stay exactly-once with
+// zero lost tasks. The nightly CI job runs this at -sim.seeds=1000;
+// failures print TestReplaySeed repro lines (with -sim.members/-sim.join/
+// -sim.drain) and land in failing-seeds.txt when SIM_ARTIFACT_DIR is set.
+func TestChurnSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn sweep skipped in -short mode")
+	}
+	// The sweep is only evidence if the churn actually happens: prove a
+	// drain and a join complete on the first seed before spending the rest.
+	probe := churnParams(*flagSeed)
+	var st stats.PE
+	probe.Stats = &st
+	if _, err := Run(probe); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	if st.MemberDrains == 0 || st.MemberJoins == 0 {
+		t.Fatalf("churn configuration completed %d drains / %d joins — the sweep would test nothing", st.MemberDrains, st.MemberJoins)
+	}
+	if st.TasksLost != 0 {
+		t.Fatalf("probe run lost %d tasks under voluntary churn", st.TasksLost)
+	}
+	var failures []Failure
+	for i := 0; i < *flagSeeds; i++ {
+		p := churnParams(*flagSeed + int64(i))
+		if _, err := Run(p); err != nil {
+			failures = append(failures, Failure{Params: p.withDefaults(), Err: err})
+		}
+	}
+	if len(failures) == 0 {
+		return
+	}
+	var report strings.Builder
+	for _, f := range failures {
+		fmt.Fprintf(&report, "%v\n", f)
+	}
+	if dir := os.Getenv("SIM_ARTIFACT_DIR"); dir != "" {
+		_ = os.MkdirAll(dir, 0o755)
+		path := filepath.Join(dir, "failing-seeds.txt")
+		if werr := os.WriteFile(path, []byte(report.String()), 0o644); werr != nil {
+			t.Logf("writing artifact %s: %v", path, werr)
+		} else {
+			t.Logf("failing seeds written to %s", path)
+		}
+	}
+	t.Fatalf("%d of %d churn-sweep seeds failed:\n%s", len(failures), *flagSeeds, report.String())
 }
 
 // TestSystematicSmoke enumerates every forced schedule prefix of length 4

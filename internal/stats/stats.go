@@ -50,6 +50,15 @@ type PE struct {
 	DeadPEs  uint64
 	Degraded bool
 
+	// Elastic-membership activity (zero unless the world's membership
+	// layer is engaged). TasksForwarded counts tasks this PE handed to
+	// live members while draining out (or while parked, for stragglers
+	// that raced its departure); MemberDrains/MemberJoins count this PE's
+	// own completed voluntary transitions.
+	TasksForwarded uint64
+	MemberDrains   uint64
+	MemberJoins    uint64
+
 	Acquires uint64
 	Releases uint64
 
@@ -132,6 +141,9 @@ func (s *PE) Add(o PE) {
 		s.DeadPEs = o.DeadPEs
 	}
 	s.Degraded = s.Degraded || o.Degraded
+	s.TasksForwarded += o.TasksForwarded
+	s.MemberDrains += o.MemberDrains
+	s.MemberJoins += o.MemberJoins
 	s.Acquires += o.Acquires
 	s.Releases += o.Releases
 	s.QueueGrows += o.QueueGrows
@@ -187,6 +199,9 @@ func (s PE) Delta(prev PE) PE {
 	d.TasksLost = sub(s.TasksLost, prev.TasksLost)
 	d.TasksWrittenOff = sub(s.TasksWrittenOff, prev.TasksWrittenOff)
 	d.DeadPEs = s.DeadPEs // membership watermark, not a per-job rate
+	d.TasksForwarded = sub(s.TasksForwarded, prev.TasksForwarded)
+	d.MemberDrains = sub(s.MemberDrains, prev.MemberDrains)
+	d.MemberJoins = sub(s.MemberJoins, prev.MemberJoins)
 	d.Acquires = sub(s.Acquires, prev.Acquires)
 	d.Releases = sub(s.Releases, prev.Releases)
 	d.QueueGrows = sub(s.QueueGrows, prev.QueueGrows)

@@ -49,9 +49,12 @@ type Detector struct {
 	activity uint64 // work events not visible in the counters (see NoteActivity)
 
 	// Rank 0's detection state: the previous clean (spawned==executed)
-	// global sum, or ^0 if none yet.
-	lastClean uint64
-	done      bool
+	// global sum, or ^0 if none yet; lastCleanEpoch is the membership
+	// epoch it was observed under (elastic worlds only — a clean pass
+	// confirms only a clean pass taken over the same membership).
+	lastClean      uint64
+	lastCleanEpoch uint64
+	done           bool
 
 	// Degraded-mode leader state: the previous pass's per-live-PE
 	// (spawned, executed, activity) vector, reused across calls.
@@ -178,18 +181,31 @@ func (d *Detector) NoteActivity() error {
 }
 
 // Check is called by an idle PE. It returns true once global termination
-// has been detected. Rank 0 performs a summation pass per call; other
-// ranks poll their local flag (no communication). Once any peer has been
-// declared dead, detection switches to the degraded protocol over live
-// membership (see checkDegraded).
+// has been detected. The wave leader performs a summation pass per call;
+// other ranks poll their local flag (no communication). The leader is
+// rank 0 on a fixed-membership world; under elastic membership it is the
+// lowest engaged (member or joining) rank, so a draining or parked rank
+// 0 hands the wave to its successor and the wave re-forms over the new
+// membership — any epoch change between two passes voids the first, so a
+// verdict is only ever reached by two clean passes over the same
+// membership. Once any peer has been declared dead, detection switches
+// to the degraded protocol over live membership (see checkDegraded).
 func (d *Detector) Check() (bool, error) {
 	if d.done {
 		return true, nil
 	}
-	if lv := d.ctx.Liveness(); lv != nil && lv.AnyDead() {
+	lv := d.ctx.Liveness()
+	if lv != nil && lv.AnyDead() {
 		return d.checkDegraded(lv)
 	}
-	if d.ctx.Rank() != 0 {
+	leader := 0
+	elastic := lv != nil && lv.Elastic()
+	var epoch uint64
+	if elastic {
+		leader = lv.Leader()
+		epoch = lv.MemberEpoch()
+	}
+	if d.ctx.Rank() != leader {
 		v, err := d.ctx.Load64(d.ctx.Rank(), d.flagAddr)
 		if err != nil {
 			return false, err
@@ -204,6 +220,10 @@ func (d *Detector) Check() (bool, error) {
 	d.Probes++
 	var sumSpawned, sumExecuted uint64
 	var buf [2 * shmem.WordSize]byte
+	// The sum runs over ALL ranks, parked included: counters are
+	// monotonic for the fleet's lifetime, and tasks a rank executed
+	// before draining out must stay in the executed sum — that is what
+	// makes a drain loss-free from the detector's point of view.
 	for pe := 0; pe < d.ctx.NumPEs(); pe++ {
 		if err := d.ctx.Get(pe, d.countersAddr, buf[:]); err != nil {
 			if transientPeerErr(err) {
@@ -221,6 +241,13 @@ func (d *Detector) Check() (bool, error) {
 		sumSpawned += sp
 		sumExecuted += ex
 	}
+	if elastic && lv.MemberEpoch() != epoch {
+		// Membership moved under the pass (a drain began flushing work
+		// sideways, a join added a steal target): void it and re-form
+		// the wave over the new membership.
+		d.lastClean = ^uint64(0)
+		return false, nil
+	}
 	if sumExecuted > sumSpawned {
 		// A torn snapshot: a task spawned on one PE after we read its
 		// counter was executed on a PE we read later. Not quiescent;
@@ -233,12 +260,15 @@ func (d *Detector) Check() (bool, error) {
 		d.lastClean = ^uint64(0)
 		return false, nil
 	}
-	if d.lastClean != sumSpawned {
-		// First clean pass at this count; confirm on the next call.
+	if d.lastClean != sumSpawned || (elastic && d.lastCleanEpoch != epoch) {
+		// First clean pass at this count (or under this membership);
+		// confirm on the next call.
 		d.lastClean = sumSpawned
+		d.lastCleanEpoch = epoch
 		return false, nil
 	}
-	// Two identical clean passes: quiesced. Broadcast the flag.
+	// Two identical clean passes: quiesced. Broadcast the flag to every
+	// rank — parked ranks poll it too, which is how they leave the job.
 	for pe := 0; pe < d.ctx.NumPEs(); pe++ {
 		if err := d.ctx.Store64NBI(pe, d.flagAddr, 1); err != nil {
 			return false, err

@@ -75,6 +75,16 @@ const (
 	// JobEnd: a job epoch closed on this PE. A = job sequence number,
 	// B = tasks this PE executed during the job.
 	JobEnd
+	// MemberJoin: a rank entered the membership (elastic worlds). A =
+	// the joining rank, B = the membership epoch after the transition.
+	// Recorded by the rank itself when it completes its join, and by
+	// every other PE when it folds the new member into its victim sets.
+	MemberJoin
+	// MemberDrain: a rank left the membership voluntarily. A = the
+	// draining rank, B = the membership epoch after the transition.
+	// Recorded by the rank itself once its queue is flushed (loss-free),
+	// and by every other PE when it drops the rank from its victim sets.
+	MemberDrain
 	numKinds
 )
 
@@ -100,6 +110,8 @@ var kindNames = [numKinds]string{
 	PeerState:      "peer-state",
 	JobStart:       "job-start",
 	JobEnd:         "job-end",
+	MemberJoin:     "member-join",
+	MemberDrain:    "member-drain",
 }
 
 // KindByName resolves a kind name (as produced by Kind.String) back to
